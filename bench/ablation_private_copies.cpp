@@ -1,0 +1,68 @@
+// Ablation: number of private histogram copies per block.
+//
+// Paper Sec. IV-C: "As an implementation detail, we use one private copy of
+// the output for each thread block. ... We tested more private copies per
+// block and found that it does not bring overall performance advantage
+// (data not shown)." This bench produces that withheld data: more copies
+// reduce shared-atomic collisions but inflate the block's shared-memory
+// footprint (lower occupancy) and add flush work.
+#include <cstdio>
+#include <iostream>
+
+#include "common/datagen.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+#include "kernels/sdh.hpp"
+#include "perfmodel/occupancy.hpp"
+#include "perfmodel/timemodel.hpp"
+
+int main() {
+  using namespace tbs;
+  using namespace tbs::bench;
+
+  std::printf("=== Ablation: private histogram copies per block ===\n\n");
+
+  vgpu::Device dev;
+  const int B = 256;
+  const int buckets = 512;
+  const std::size_t n = 4096;
+  const auto pts = uniform_box(n, 10.0f, 42);
+  const double width = pts.max_possible_distance() / buckets + 1e-4;
+
+  TextTable t({"copies", "shared/block", "occupancy", "atomic collisions",
+               "time (model)"});
+  std::vector<double> times;
+  std::vector<std::uint64_t> collisions;
+  for (const int copies : {1, 2, 4, 8}) {
+    const auto result =
+        kernels::run_sdh_private_copies(dev, pts, width, buckets, B, copies);
+    const std::size_t shm =
+        3 * B * sizeof(float) +
+        static_cast<std::size_t>(buckets) * copies * sizeof(std::uint32_t);
+    const auto occ = perfmodel::occupancy(dev.spec(), B, shm, 32);
+    const auto rep = perfmodel::model_time(dev.spec(), result.stats);
+    times.push_back(rep.seconds);
+    collisions.push_back(result.stats.atomic_collision_extra);
+    t.add_row({std::to_string(copies), std::to_string(shm) + " B",
+               TextTable::num(100 * occ.occupancy, 0) + "%",
+               std::to_string(result.stats.atomic_collision_extra),
+               fmt_time(rep.seconds)});
+    // Correctness guard: every configuration must produce the same SDH.
+    if (result.hist.total() != n * (n - 1) / 2) {
+      std::printf("FATAL: histogram total wrong for copies=%d\n", copies);
+      return 1;
+    }
+  }
+  t.print(std::cout);
+
+  std::printf("\nshape checks:\n");
+  ShapeChecks checks;
+  checks.expect(collisions.back() < collisions.front(),
+                "more copies do reduce shared-atomic collisions");
+  const double best = *std::min_element(times.begin(), times.end());
+  checks.expect(times[0] <= best * 1.15,
+                "one copy per block is within 15% of the best "
+                "configuration (paper: no overall advantage from more "
+                "copies)");
+  return checks.finish();
+}

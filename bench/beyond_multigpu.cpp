@@ -1,0 +1,63 @@
+// "Beyond" bench: multi-GPU SDH scaling (paper Sec. V: "extended to a
+// multi-GPU environment"). Round-robin block ownership across 1/2/4/8
+// simulated devices; modeled kernel time of the slowest device plus the
+// PCI-E input-replication cost.
+#include <cstdio>
+#include <iostream>
+
+#include "common/datagen.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+#include "kernels/multi.hpp"
+
+int main() {
+  using namespace tbs;
+  using namespace tbs::bench;
+
+  std::printf("=== Beyond: multi-GPU SDH scaling ===\n\n");
+
+  const std::size_t n = 4096;
+  const int buckets = 256;
+  const auto pts = uniform_box(n, 10.0f, 888);
+  const double w = pts.max_possible_distance() / buckets + 1e-4;
+
+  TextTable t({"devices", "kernel (model)", "transfer", "end-to-end",
+               "kernel scaling", "pairs device0 / total"});
+  std::vector<double> kernel_times;
+  double t1 = 0.0;
+  for (const int d : {1, 2, 4, 8}) {
+    std::vector<vgpu::Device> devs(static_cast<std::size_t>(d));
+    const auto r = kernels::run_sdh_multi(
+        devs, pts, w, buckets, kernels::SdhVariant::RegShmOut, 256);
+    if (r.hist.total() != n * (n - 1) / 2) {
+      std::printf("FATAL: wrong histogram total with %d devices\n", d);
+      return 1;
+    }
+    if (d == 1) t1 = r.kernel_seconds;
+    kernel_times.push_back(r.kernel_seconds);
+    const double share =
+        static_cast<double>(r.per_device[0].shared_atomics) /
+        (static_cast<double>(n) * (n - 1) / 2);
+    t.add_row({std::to_string(d), fmt_time(r.kernel_seconds),
+               fmt_time(r.transfer_seconds),
+               fmt_time(r.kernel_seconds + r.transfer_seconds),
+               TextTable::num(t1 / r.kernel_seconds, 2) + "x",
+               TextTable::num(share, 3)});
+  }
+  t.print(std::cout);
+
+  std::printf("\nshape checks:\n");
+  ShapeChecks checks;
+  checks.expect(kernel_times[1] < kernel_times[0] &&
+                    kernel_times[2] < kernel_times[1],
+                "kernel time keeps dropping through 4 devices");
+  const double scale4 = kernel_times[0] / kernel_times[2];
+  checks.expect(scale4 > 2.0,
+                "4 devices give >2x kernel speedup (round-robin balance; "
+                "measured " +
+                    TextTable::num(scale4, 2) + "x)");
+  checks.expect(kernel_times[3] <= kernel_times[2] * 1.05,
+                "8 devices never slower than 4 (diminishing returns at "
+                "this N are acceptable)");
+  return checks.finish();
+}

@@ -1,0 +1,86 @@
+// The framework vision in practice: define a brand-new 2-body statistic
+// with nothing but functors and run it through the generic engine, which
+// supplies the optimized kernel skeletons (Register-SHM tiling,
+// privatized output) the paper develops.
+//
+// Statistic here: the two-point *angular* correlation function of a toy
+// galaxy catalog on the celestial sphere (one of the paper's motivating
+// applications), plus a custom Type-I "potential energy" reduction — a
+// softened inverse-distance sum — to show the Type-I path too.
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "core/angular.hpp"
+#include "core/generic.hpp"
+#include "core/problem.hpp"
+#include "perfmodel/timemodel.hpp"
+#include "vgpu/device.hpp"
+
+int main() {
+  using namespace tbs;
+
+  vgpu::Device dev;
+  const std::size_t n = 3000;
+
+  // --- Type-II: angular correlation of clustered vs uniform catalogs ----
+  const PointsSoA galaxies = core::clustered_sphere(n, 16, 0.02, 9);
+  const PointsSoA randoms = core::random_sphere(n, 9);
+
+  const int buckets = 36;  // 5-degree bins
+  const auto dd = core::run_angular_correlation(dev, galaxies, buckets);
+  const auto rr = core::run_angular_correlation(dev, randoms, buckets);
+
+  std::printf("theta     DD        RR        w(theta) ~ DD/RR - 1\n");
+  double w_small = 0, w_large = 0;
+  for (int b = 0; b < 8; ++b) {
+    const double lo = 180.0 * b / buckets;
+    const double w = rr.counts[static_cast<std::size_t>(b)] == 0
+                         ? 0.0
+                         : static_cast<double>(dd.counts[
+                               static_cast<std::size_t>(b)]) /
+                                   static_cast<double>(rr.counts[
+                                       static_cast<std::size_t>(b)]) -
+                               1.0;
+    if (b == 0) w_small = w;
+    if (b == 7) w_large = w;
+    std::printf("%4.0f-%3.0f  %8llu  %8llu  %8.3f\n", lo,
+                180.0 * (b + 1) / buckets,
+                static_cast<unsigned long long>(
+                    dd.counts[static_cast<std::size_t>(b)]),
+                static_cast<unsigned long long>(
+                    rr.counts[static_cast<std::size_t>(b)]),
+                w);
+  }
+
+  // --- Type-I: a custom statistic defined inline ------------------------
+  // Softened pairwise potential U = sum 1 / sqrt(|p_i - p_j|^2 + eps).
+  const auto potential = core::run_generic_reduce(
+      dev, galaxies,
+      [](const Point3& a, const Point3& b) {
+        return 1.0 / std::sqrt(static_cast<double>(dist2(a, b)) + 1e-4);
+      },
+      /*ops_per_pair=*/14.0, 256);
+  std::printf("\ncustom Type-I statistic (softened potential): U = %.1f\n",
+              potential.value);
+
+  // The same classification logic the framework uses:
+  const auto cls_hist = core::classify(
+      core::OutputShape{0, buckets * 4, true}, dev.spec());
+  const auto cls_pot =
+      core::classify(core::OutputShape{8, 0, true}, dev.spec());
+  std::printf("classifier: angular histogram -> %s, potential -> %s\n",
+              core::to_string(cls_hist), core::to_string(cls_pot));
+
+  // Profiler view of the custom statistic's run.
+  const auto rep = perfmodel::model_time(dev.spec(), potential.stats);
+  std::printf("potential kernel: %.3f ms modeled, bottleneck %s\n",
+              rep.seconds * 1e3, rep.bottleneck.c_str());
+
+  const bool ok = w_small > 3.0 && w_large < 1.0 && potential.value > 0 &&
+                  cls_hist == core::OutputClass::SharedResident &&
+                  cls_pot == core::OutputClass::RegisterResident;
+  std::printf("\nchecks %s (w(<5deg)=%.2f, w(~40deg)=%.2f)\n",
+              ok ? "PASSED" : "FAILED", w_small, w_large);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// Molecular-dynamics-style RDF analysis (the paper's Sec. I motivation:
+// radial distribution functions over MD frames, cf. Levine et al. [4]).
+//
+// The paper's MD traces are proprietary; we synthesize a simple-liquid
+// configuration with a hard-core exclusion distance, which reproduces the
+// qualitative g(r) of a liquid: an exclusion hole below the core diameter,
+// a contact peak just above it, and g(r) -> 1 at long range. An ideal-gas
+// (uniform) frame is analyzed alongside as a control: its g(r) is flat ~1.
+#include <cstdio>
+
+#include "common/datagen.hpp"
+#include "common/histogram.hpp"
+#include "core/framework.hpp"
+
+int main() {
+  using namespace tbs;
+
+  const std::size_t n = 3000;
+  const float box = 30.0f;
+  const float core = 1.3f;  // hard-core diameter (packing ~0.13, RSA-feasible)
+
+  const PointsSoA liquid = hardcore_gas(n, box, core, /*seed=*/7);
+  const PointsSoA gas = uniform_box(n, box, /*seed=*/7);
+
+  core::TwoBodyFramework fw;
+  const int buckets = 60;
+  const double width = 6.0 / buckets;  // resolve r in [0, 6)
+
+  const auto sdh_liquid = fw.sdh(liquid, width, buckets);
+  const auto sdh_gas = fw.sdh(gas, width, buckets);
+  const auto g_liquid = radial_distribution(sdh_liquid.hist, n, box);
+  const auto g_gas = radial_distribution(sdh_gas.hist, n, box);
+
+  // Edge-corrected estimator: the raw g(r) of a finite non-periodic box
+  // under-counts outer shells (no wrap-around neighbours). Dividing by the
+  // ideal-gas control's g(r) — same box, same N — cancels the geometry,
+  // exactly like a DD/RR estimator in astronomy.
+  std::vector<double> g_corr(g_liquid.size(), 0.0);
+  for (std::size_t b = 0; b < g_corr.size(); ++b)
+    g_corr[b] = g_gas[b] > 0 ? g_liquid[b] / g_gas[b] : 0.0;
+
+  std::printf("   r      g(r) raw    g(r) edge-corrected\n");
+  for (int b = 0; b < buckets; b += 3)
+    std::printf(" %5.2f    %8.3f      %8.3f\n", (b + 0.5) * width,
+                g_liquid[static_cast<std::size_t>(b)],
+                g_corr[static_cast<std::size_t>(b)]);
+
+  // Self-checks that make this example meaningful as a demo.
+  bool ok = true;
+  // (a) exclusion hole: g ~ 0 below the core diameter.
+  const auto bucket_at = [&](double r) {
+    return static_cast<std::size_t>(r / width);
+  };
+  if (g_corr[bucket_at(core * 0.6)] > 0.05) ok = false;
+  // (b) contact peak above 1 just outside the core.
+  double peak = 0;
+  for (double r = core; r < core * 1.6; r += width)
+    peak = std::max(peak, g_corr[bucket_at(r)]);
+  if (peak < 1.05) ok = false;
+  // (c) long-range: the corrected g approaches 1.
+  if (std::abs(g_corr[bucket_at(5.5)] - 1.0) > 0.15) ok = false;
+
+  std::printf("\nliquid contact peak g = %.3f at ~%.1f; checks %s\n", peak,
+              static_cast<double>(core), ok ? "PASSED" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,149 @@
+#include "common/datagen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tbs {
+
+PointsSoA uniform_box(std::size_t n, float box, std::uint64_t seed) {
+  check(box > 0.0f, "uniform_box: box must be positive");
+  Rng rng(seed);
+  PointsSoA pts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.set(i, {static_cast<float>(rng.uniform(0.0, box)),
+                static_cast<float>(rng.uniform(0.0, box)),
+                static_cast<float>(rng.uniform(0.0, box))});
+  }
+  return pts;
+}
+
+PointsSoA gaussian_clusters(std::size_t n, std::size_t k, float box,
+                            float sigma, std::uint64_t seed) {
+  check(k > 0, "gaussian_clusters: need at least one cluster");
+  check(box > 0.0f, "gaussian_clusters: box must be positive");
+  Rng rng(seed);
+  std::vector<Point3> centres(k);
+  for (auto& c : centres) {
+    c = {static_cast<float>(rng.uniform(0.0, box)),
+         static_cast<float>(rng.uniform(0.0, box)),
+         static_cast<float>(rng.uniform(0.0, box))};
+  }
+  const auto clamp01 = [box](double v) {
+    return static_cast<float>(std::clamp(v, 0.0, static_cast<double>(box) -
+                                                     1e-4));
+  };
+  PointsSoA pts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point3& c = centres[rng.uniform_index(k)];
+    pts.set(i, {clamp01(c.x + sigma * rng.gaussian()),
+                clamp01(c.y + sigma * rng.gaussian()),
+                clamp01(c.z + sigma * rng.gaussian())});
+  }
+  return pts;
+}
+
+namespace {
+
+/// Integer cell key for the dart-throwing grid.
+struct CellKey {
+  int cx, cy, cz;
+  friend bool operator==(const CellKey&, const CellKey&) = default;
+};
+
+struct CellKeyHash {
+  std::size_t operator()(const CellKey& k) const noexcept {
+    std::uint64_t h = static_cast<std::uint32_t>(k.cx);
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint32_t>(k.cy);
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint32_t>(k.cz);
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+}  // namespace
+
+PointsSoA hardcore_gas(std::size_t n, float box, float min_dist,
+                       std::uint64_t seed) {
+  check(box > 0.0f && min_dist > 0.0f, "hardcore_gas: bad geometry");
+  // Feasibility guard: random sequential adsorption in 3-D saturates around
+  // 38% sphere packing; stay well below it so dart throwing terminates.
+  const double sphere_vol =
+      4.0 / 3.0 * 3.14159265358979 * std::pow(min_dist / 2.0, 3);
+  const double packing = static_cast<double>(n) * sphere_vol /
+                         std::pow(static_cast<double>(box), 3);
+  check(packing < 0.20,
+        "hardcore_gas: requested packing fraction too high to generate");
+
+  const float cell = min_dist;  // neighbours are within +-1 cell
+  std::unordered_map<CellKey, std::vector<Point3>, CellKeyHash> grid;
+  Rng rng(seed);
+  PointsSoA pts;
+  pts.reserve(n);
+  const float min_d2 = min_dist * min_dist;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 2000 * n + 100000;
+  while (pts.size() < n) {
+    check(++attempts <= max_attempts,
+          "hardcore_gas: dart throwing failed to converge");
+    const Point3 p{static_cast<float>(rng.uniform(0.0, box)),
+                   static_cast<float>(rng.uniform(0.0, box)),
+                   static_cast<float>(rng.uniform(0.0, box))};
+    const CellKey key{static_cast<int>(p.x / cell),
+                      static_cast<int>(p.y / cell),
+                      static_cast<int>(p.z / cell)};
+    bool ok = true;
+    for (int dx = -1; dx <= 1 && ok; ++dx) {
+      for (int dy = -1; dy <= 1 && ok; ++dy) {
+        for (int dz = -1; dz <= 1 && ok; ++dz) {
+          const auto it =
+              grid.find(CellKey{key.cx + dx, key.cy + dy, key.cz + dz});
+          if (it == grid.end()) continue;
+          for (const Point3& q : it->second) {
+            if (dist2(p, q) < min_d2) {
+              ok = false;
+              break;
+            }
+          }
+        }
+      }
+    }
+    if (!ok) continue;
+    grid[key].push_back(p);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+PointsSoA jittered_lattice(std::size_t n, float box, float jitter,
+                           std::uint64_t seed) {
+  check(box > 0.0f && jitter >= 0.0f, "jittered_lattice: bad geometry");
+  // Smallest side with side^3 >= n (integer check avoids cbrt round-off,
+  // e.g. cbrt(216) = 6 + eps must not become side 7).
+  std::size_t side = static_cast<std::size_t>(
+      std::llround(std::cbrt(static_cast<double>(n))));
+  if (side == 0) side = 1;
+  while (side * side * side < n) ++side;
+  while (side > 1 && (side - 1) * (side - 1) * (side - 1) >= n) --side;
+  const float spacing = box / static_cast<float>(side);
+  Rng rng(seed);
+  PointsSoA pts;
+  pts.reserve(n);
+  for (std::size_t ix = 0; ix < side && pts.size() < n; ++ix) {
+    for (std::size_t iy = 0; iy < side && pts.size() < n; ++iy) {
+      for (std::size_t iz = 0; iz < side && pts.size() < n; ++iz) {
+        const auto j = [&rng, jitter] {
+          return static_cast<float>(rng.uniform(-jitter, jitter));
+        };
+        pts.push_back({(static_cast<float>(ix) + 0.5f) * spacing + j(),
+                       (static_cast<float>(iy) + 0.5f) * spacing + j(),
+                       (static_cast<float>(iz) + 0.5f) * spacing + j()});
+      }
+    }
+  }
+  return pts;
+}
+
+}  // namespace tbs

@@ -1,0 +1,42 @@
+// Synthetic workload generators.
+//
+// The paper evaluates on "synthetic data ... generated following a uniform
+// distribution in a region" (Sec. IV-B). We provide that generator plus
+// clustered and hard-core processes so that examples and property tests can
+// exercise non-uniform inputs:
+//   * uniform_box      — the paper's workload (CSR / ideal-gas process);
+//   * gaussian_clusters— galaxy-like clustered data for 2-PCF demos;
+//   * hardcore_gas     — minimum-separation process, gives an RDF with an
+//                        exclusion hole and contact peak like a simple liquid;
+//   * jittered_lattice — crystal-like configuration with sharp RDF peaks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/points.hpp"
+#include "common/rng.hpp"
+
+namespace tbs {
+
+/// n points uniform in the cube [0, box)^3.
+PointsSoA uniform_box(std::size_t n, float box, std::uint64_t seed);
+
+/// n points drawn from k isotropic Gaussian blobs whose centres are uniform
+/// in [0, box)^3; sigma is the blob standard deviation. Points are clamped
+/// into the box.
+PointsSoA gaussian_clusters(std::size_t n, std::size_t k, float box,
+                            float sigma, std::uint64_t seed);
+
+/// n points uniform in [0, box)^3 subject to a minimum pair separation
+/// `min_dist` (dart throwing on a uniform grid). Throws if the requested
+/// density is infeasible (packing fraction too high).
+PointsSoA hardcore_gas(std::size_t n, float box, float min_dist,
+                       std::uint64_t seed);
+
+/// Simple-cubic lattice filling [0, box)^3 with at least n sites, truncated
+/// to exactly n points, each jittered by a uniform displacement in
+/// [-jitter, jitter]^3.
+PointsSoA jittered_lattice(std::size_t n, float box, float jitter,
+                           std::uint64_t seed);
+
+}  // namespace tbs

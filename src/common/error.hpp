@@ -1,0 +1,33 @@
+// Lightweight runtime-check helpers used across the library.
+//
+// We deliberately avoid macros (C++ Core Guidelines ES.30/ES.31); call sites
+// pass std::source_location implicitly so error messages stay useful.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace tbs {
+
+/// Thrown when a precondition or internal invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Abort the current operation with a CheckError carrying file:line context.
+[[noreturn]] inline void fail(
+    const std::string& msg,
+    std::source_location loc = std::source_location::current()) {
+  throw CheckError(std::string(loc.file_name()) + ":" +
+                   std::to_string(loc.line()) + ": " + msg);
+}
+
+/// Verify a condition; throws CheckError with context when it does not hold.
+inline void check(bool cond, const std::string& msg,
+                  std::source_location loc = std::source_location::current()) {
+  if (!cond) fail(msg, loc);
+}
+
+}  // namespace tbs

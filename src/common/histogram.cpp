@@ -1,0 +1,29 @@
+#include "common/histogram.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace tbs {
+
+std::vector<double> radial_distribution(const Histogram& sdh, std::size_t n,
+                                        double box) {
+  check(n >= 2, "radial_distribution: need at least two points");
+  check(box > 0.0, "radial_distribution: box must be positive");
+  const double density = static_cast<double>(n) / (box * box * box);
+  const double w = sdh.bucket_width();
+  std::vector<double> g(sdh.bucket_count(), 0.0);
+  for (std::size_t b = 0; b < g.size(); ++b) {
+    const double r_lo = static_cast<double>(b) * w;
+    const double r_hi = r_lo + w;
+    const double shell_vol =
+        4.0 / 3.0 * std::numbers::pi *
+        (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    // Expected unordered pair count in the shell for an ideal gas.
+    const double expected =
+        0.5 * static_cast<double>(n) * density * shell_vol;
+    g[b] = expected > 0.0 ? static_cast<double>(sdh[b]) / expected : 0.0;
+  }
+  return g;
+}
+
+}  // namespace tbs

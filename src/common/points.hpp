@@ -1,0 +1,125 @@
+// Point-set container in structure-of-arrays (SoA) layout.
+//
+// Section IV-A of the paper requires the input to be stored as "multiple
+// arrays of single-dimension values instead of an array of structures" so
+// that a warp's loads of one coordinate are coalesced. The vgpu executor's
+// coalescing analyzer is what rewards this layout, so the container exposes
+// the per-coordinate arrays directly.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tbs {
+
+/// A single 3-D point; convenience AoS view used by scalar (CPU) code.
+struct Point3 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  friend constexpr bool operator==(const Point3&, const Point3&) = default;
+};
+
+/// Squared Euclidean distance between two points.
+constexpr float dist2(const Point3& a, const Point3& b) noexcept {
+  const float dx = a.x - b.x;
+  const float dy = a.y - b.y;
+  const float dz = a.z - b.z;
+  return dx * dx + dy * dy + dz * dz;
+}
+
+/// Euclidean distance between two points.
+inline float dist(const Point3& a, const Point3& b) noexcept {
+  return std::sqrt(dist2(a, b));
+}
+
+/// 3-D point set in SoA layout; the canonical input of every 2-BS problem.
+class PointsSoA {
+ public:
+  PointsSoA() = default;
+
+  /// Create an n-point set with all coordinates zero.
+  explicit PointsSoA(std::size_t n) : x_(n), y_(n), z_(n) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return x_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return x_.empty(); }
+
+  void reserve(std::size_t n) {
+    x_.reserve(n);
+    y_.reserve(n);
+    z_.reserve(n);
+  }
+
+  void push_back(const Point3& p) {
+    x_.push_back(p.x);
+    y_.push_back(p.y);
+    z_.push_back(p.z);
+  }
+
+  /// Drop all points but keep capacity.
+  void clear() noexcept {
+    x_.clear();
+    y_.clear();
+    z_.clear();
+  }
+
+  [[nodiscard]] Point3 operator[](std::size_t i) const noexcept {
+    return {x_[i], y_[i], z_[i]};
+  }
+
+  void set(std::size_t i, const Point3& p) noexcept {
+    x_[i] = p.x;
+    y_[i] = p.y;
+    z_[i] = p.z;
+  }
+
+  [[nodiscard]] std::span<const float> x() const noexcept { return x_; }
+  [[nodiscard]] std::span<const float> y() const noexcept { return y_; }
+  [[nodiscard]] std::span<const float> z() const noexcept { return z_; }
+  [[nodiscard]] std::span<float> x() noexcept { return x_; }
+  [[nodiscard]] std::span<float> y() noexcept { return y_; }
+  [[nodiscard]] std::span<float> z() noexcept { return z_; }
+
+  /// Truncate or zero-extend to exactly n points.
+  void resize(std::size_t n) {
+    x_.resize(n);
+    y_.resize(n);
+    z_.resize(n);
+  }
+
+  /// Axis-aligned bounding box, as {min, max}. Precondition: non-empty.
+  [[nodiscard]] std::array<Point3, 2> bounding_box() const {
+    check(!empty(), "bounding_box of empty point set");
+    Point3 lo = (*this)[0];
+    Point3 hi = lo;
+    for (std::size_t i = 1; i < size(); ++i) {
+      const Point3 p = (*this)[i];
+      lo.x = std::min(lo.x, p.x);
+      lo.y = std::min(lo.y, p.y);
+      lo.z = std::min(lo.z, p.z);
+      hi.x = std::max(hi.x, p.x);
+      hi.y = std::max(hi.y, p.y);
+      hi.z = std::max(hi.z, p.z);
+    }
+    return {lo, hi};
+  }
+
+  /// Largest pairwise distance that can occur inside the bounding box.
+  [[nodiscard]] float max_possible_distance() const {
+    const auto [lo, hi] = bounding_box();
+    return dist(lo, hi);
+  }
+
+ private:
+  std::vector<float> x_;
+  std::vector<float> y_;
+  std::vector<float> z_;
+};
+
+}  // namespace tbs

@@ -1,0 +1,99 @@
+// Deterministic, portable pseudo-random number generation.
+//
+// We implement xoshiro256** (Blackman & Vigna) seeded through splitmix64 so
+// that data generation is bit-reproducible across platforms and compilers —
+// std::mt19937 distributions are not guaranteed to produce identical streams
+// across standard-library implementations, which would make golden tests
+// brittle.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+
+namespace tbs {
+
+/// splitmix64 step; used only for seeding.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x2b5d1e7fc0ffee11ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept {
+    // Lemire-style rejection-free bounded sampling (bias negligible for our
+    // n << 2^64, but we do the widening multiply anyway for correctness).
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>((*this)()) * n;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box–Muller (deterministic across platforms).
+  double gaussian() noexcept {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    spare_ = r * std::sin(theta);
+    have_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace tbs

@@ -1,0 +1,46 @@
+// Small numeric helpers shared by tests and benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "common/error.hpp"
+
+namespace tbs {
+
+/// Arithmetic mean. Precondition: non-empty.
+inline double mean(std::span<const double> v) {
+  check(!v.empty(), "mean of empty range");
+  double s = 0.0;
+  for (const double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+inline double stddev(std::span<const double> v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (const double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+/// Geometric mean. Precondition: non-empty, all positive.
+inline double geomean(std::span<const double> v) {
+  check(!v.empty(), "geomean of empty range");
+  double s = 0.0;
+  for (const double x : v) {
+    check(x > 0.0, "geomean requires positive values");
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(v.size()));
+}
+
+/// Relative difference |a-b| / max(|a|,|b|,eps).
+inline double rel_diff(double a, double b, double eps = 1e-300) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), eps});
+  return std::fabs(a - b) / scale;
+}
+
+}  // namespace tbs

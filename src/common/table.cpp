@@ -1,0 +1,96 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tbs {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  check(!headers_.empty(), "TextTable: need at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  check(cells.size() == headers_.size(),
+        "TextTable::add_row: cell count must match header count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << v;
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+      os << (c + 1 < row.size() ? "  " : "\n");
+    }
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+void print_ascii_chart(
+    std::ostream& os, const std::string& title, const std::vector<double>& x,
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    bool log_y) {
+  constexpr int kRows = 16;
+  constexpr int kCols = 64;
+  if (x.empty() || series.empty()) return;
+
+  double lo = 1e300;
+  double hi = -1e300;
+  for (const auto& [name, ys] : series) {
+    for (double v : ys) {
+      const double t = log_y ? std::log10(std::max(v, 1e-12)) : v;
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+  }
+  if (hi <= lo) hi = lo + 1.0;
+
+  std::vector<std::string> canvas(kRows, std::string(kCols, ' '));
+  const double x_lo = x.front();
+  const double x_hi = x.back() > x_lo ? x.back() : x_lo + 1.0;
+  static constexpr char kGlyphs[] = "*o+x#@%&";
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const auto& ys = series[s].second;
+    const char glyph = kGlyphs[s % (sizeof(kGlyphs) - 1)];
+    for (std::size_t i = 0; i < ys.size() && i < x.size(); ++i) {
+      const double ty =
+          log_y ? std::log10(std::max(ys[i], 1e-12)) : ys[i];
+      const int col = static_cast<int>((x[i] - x_lo) / (x_hi - x_lo) *
+                                       (kCols - 1));
+      const int row = static_cast<int>((ty - lo) / (hi - lo) * (kRows - 1));
+      canvas[kRows - 1 - row][col] = glyph;
+    }
+  }
+
+  os << "  " << title << (log_y ? "   [log-y]" : "") << "\n";
+  for (const auto& line : canvas) os << "  |" << line << "\n";
+  os << "  +" << std::string(kCols, '-') << "\n  legend:";
+  for (std::size_t s = 0; s < series.size(); ++s)
+    os << "  " << kGlyphs[s % (sizeof(kGlyphs) - 1)] << "=" << series[s].first;
+  os << "\n";
+}
+
+}  // namespace tbs

@@ -1,0 +1,41 @@
+// Plain-text table and series rendering for benchmark output.
+//
+// Bench binaries reproduce the paper's tables/figures as aligned text; this
+// keeps the harness dependency-free and diff-friendly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tbs {
+
+/// Aligned ASCII table. Columns are sized to fit the widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Render with a header underline and two-space column gaps.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a y-vs-x series as a fixed-width ASCII chart (log-y optional).
+/// Useful for eyeballing the figure shapes directly in bench output.
+void print_ascii_chart(std::ostream& os, const std::string& title,
+                       const std::vector<double>& x,
+                       const std::vector<std::pair<std::string,
+                                                   std::vector<double>>>&
+                           series,
+                       bool log_y);
+
+}  // namespace tbs

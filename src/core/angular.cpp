@@ -1,0 +1,70 @@
+#include "core/angular.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "core/generic.hpp"
+
+namespace tbs::core {
+
+AngularResult run_angular_correlation(vgpu::Device& dev,
+                                      const PointsSoA& dirs, int buckets,
+                                      int block_size) {
+  check(buckets > 0, "run_angular_correlation: bad bucket count");
+  const float scale =
+      static_cast<float>(buckets / std::numbers::pi);
+  const auto bucket_fn = [scale, buckets](const Point3& a,
+                                          const Point3& b) {
+    const float dot =
+        std::clamp(a.x * b.x + a.y * b.y + a.z * b.z, -1.0f, 1.0f);
+    const int idx = static_cast<int>(std::acos(dot) * scale);
+    return std::min(idx, buckets - 1);
+  };
+  // dot (5) + clamp (2) + acos (~8 SFU) + scale/min (2)
+  constexpr double kOpsPerPair = 17.0;
+
+  auto generic = run_generic_histogram(dev, dirs, bucket_fn, buckets,
+                                       kOpsPerPair, block_size);
+  return AngularResult{std::move(generic.counts), generic.stats};
+}
+
+PointsSoA random_sphere(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  PointsSoA out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double x = 0, y = 0, z = 0, r2 = 0;
+    do {
+      x = rng.gaussian();
+      y = rng.gaussian();
+      z = rng.gaussian();
+      r2 = x * x + y * y + z * z;
+    } while (r2 < 1e-12);
+    const double inv = 1.0 / std::sqrt(r2);
+    out.set(i, {static_cast<float>(x * inv), static_cast<float>(y * inv),
+                static_cast<float>(z * inv)});
+  }
+  return out;
+}
+
+PointsSoA clustered_sphere(std::size_t n, std::size_t k, double sigma_rad,
+                           std::uint64_t seed) {
+  check(k > 0, "clustered_sphere: need at least one cluster");
+  Rng rng(seed);
+  const PointsSoA centres = random_sphere(k, seed ^ 0x5eedULL);
+  PointsSoA out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point3 c = centres[rng.uniform_index(k)];
+    // Perturb the centre by a gaussian tangent displacement, renormalize.
+    double x = c.x + sigma_rad * rng.gaussian();
+    double y = c.y + sigma_rad * rng.gaussian();
+    double z = c.z + sigma_rad * rng.gaussian();
+    const double norm = std::sqrt(x * x + y * y + z * z);
+    check(norm > 1e-12, "clustered_sphere: degenerate direction");
+    out.set(i, {static_cast<float>(x / norm), static_cast<float>(y / norm),
+                static_cast<float>(z / norm)});
+  }
+  return out;
+}
+
+}  // namespace tbs::core

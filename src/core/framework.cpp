@@ -1,0 +1,72 @@
+#include "core/framework.hpp"
+
+#include <algorithm>
+
+namespace tbs::core {
+
+namespace {
+
+/// Planning below this size costs more than it saves; use the paper's
+/// default choices directly.
+constexpr std::size_t kPlanThreshold = 2048;
+
+}  // namespace
+
+TwoBodyFramework::TwoBodyFramework(vgpu::DeviceSpec spec)
+    : dev_(std::move(spec)) {}
+
+kernels::SdhResult TwoBodyFramework::sdh(const PointsSoA& pts,
+                                         double bucket_width, int buckets) {
+  kernels::SdhVariant variant = kernels::SdhVariant::RegRocOut;
+  int block = 256;
+  if (pts.size() > kPlanThreshold) {
+    const SdhPlan plan = plan_sdh(dev_, pts, bucket_width, buckets,
+                                  static_cast<double>(pts.size()));
+    variant = plan.variant;
+    block = plan.block_size;
+    sdh_plan_ = plan;
+  } else {
+    sdh_plan_.reset();
+  }
+  return kernels::run_sdh(dev_, pts, bucket_width, buckets, variant, block);
+}
+
+kernels::PcfResult TwoBodyFramework::pcf(const PointsSoA& pts,
+                                         double radius) {
+  kernels::PcfVariant variant = kernels::PcfVariant::RegShm;
+  int block = 256;
+  if (pts.size() > kPlanThreshold) {
+    const PcfPlan plan =
+        plan_pcf(dev_, pts, radius, static_cast<double>(pts.size()));
+    variant = plan.variant;
+    block = plan.block_size;
+    pcf_plan_ = plan;
+  } else {
+    pcf_plan_.reset();
+  }
+  return kernels::run_pcf(dev_, pts, radius, variant, block);
+}
+
+kernels::KnnResult TwoBodyFramework::knn(const PointsSoA& pts, int k,
+                                         int block_size) {
+  return kernels::run_knn(dev_, pts, k, block_size);
+}
+
+kernels::KdeResult TwoBodyFramework::kde(const PointsSoA& pts,
+                                         double bandwidth, int block_size) {
+  return kernels::run_kde(dev_, pts, bandwidth, block_size);
+}
+
+kernels::JoinResult TwoBodyFramework::join(const PointsSoA& pts,
+                                           double radius,
+                                           kernels::JoinVariant variant,
+                                           int block_size) {
+  return kernels::run_distance_join(dev_, pts, radius, variant, block_size);
+}
+
+kernels::GramResult TwoBodyFramework::gram(const PointsSoA& pts,
+                                           double gamma, int block_size) {
+  return kernels::run_gram(dev_, pts, gamma, block_size);
+}
+
+}  // namespace tbs::core

@@ -1,0 +1,66 @@
+// TwoBodyFramework — the user-facing facade of the library.
+//
+// One object owns a simulated device and exposes every 2-BS problem as a
+// single call. By default each call auto-plans (classify output pattern,
+// price kernel variants, pick the cheapest — the paper's framework vision);
+// the chosen plan is retrievable afterwards for inspection.
+#pragma once
+
+#include <optional>
+
+#include "core/planner.hpp"
+#include "core/problem.hpp"
+#include "kernels/pcf.hpp"
+#include "kernels/sdh.hpp"
+#include "kernels/type1.hpp"
+#include "kernels/type3.hpp"
+#include "vgpu/device.hpp"
+
+namespace tbs::core {
+
+class TwoBodyFramework {
+ public:
+  explicit TwoBodyFramework(vgpu::DeviceSpec spec = vgpu::DeviceSpec{});
+
+  [[nodiscard]] vgpu::Device& device() noexcept { return dev_; }
+
+  /// Spatial distance histogram (Type-II), auto-planned.
+  kernels::SdhResult sdh(const PointsSoA& pts, double bucket_width,
+                         int buckets);
+
+  /// 2-point correlation function (Type-I), auto-planned.
+  kernels::PcfResult pcf(const PointsSoA& pts, double radius);
+
+  /// All-point kNN distances (Type-I), k <= kernels::kMaxKnnK.
+  kernels::KnnResult knn(const PointsSoA& pts, int k, int block_size = 256);
+
+  /// Gaussian KDE at each point (Type-I).
+  kernels::KdeResult kde(const PointsSoA& pts, double bandwidth,
+                         int block_size = 256);
+
+  /// Distance join (Type-III); two-phase output strategy by default.
+  kernels::JoinResult join(const PointsSoA& pts, double radius,
+                           kernels::JoinVariant variant =
+                               kernels::JoinVariant::TwoPhase,
+                           int block_size = 256);
+
+  /// RBF Gram matrix (Type-III).
+  kernels::GramResult gram(const PointsSoA& pts, double gamma,
+                           int block_size = 256);
+
+  /// Plan chosen by the most recent sdh() call, if any.
+  [[nodiscard]] const std::optional<SdhPlan>& last_sdh_plan() const {
+    return sdh_plan_;
+  }
+  /// Plan chosen by the most recent pcf() call, if any.
+  [[nodiscard]] const std::optional<PcfPlan>& last_pcf_plan() const {
+    return pcf_plan_;
+  }
+
+ private:
+  vgpu::Device dev_;
+  std::optional<SdhPlan> sdh_plan_;
+  std::optional<PcfPlan> pcf_plan_;
+};
+
+}  // namespace tbs::core

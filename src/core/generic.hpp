@@ -1,0 +1,370 @@
+// Generic 2-BS engine — the paper's long-term vision (Sec. I & V): one
+// optimized kernel skeleton per output class, parameterized by the
+// problem's distance function, so a *new* 2-BS needs no new kernel code.
+//
+//   Type-I  : run_generic_reduce    — accumulate f(p_i, p_j) over all
+//             unordered pairs into per-thread registers, coalesced store,
+//             host sum. Pairwise stage: Register-SHM tiling (the Fig. 2
+//             winner).
+//   Type-II : run_generic_histogram — bucket(p_i, p_j) -> privatized
+//             shared-memory histogram + reduction kernel (the Fig. 4
+//             winning output stage).
+//   Type-III: run_generic_join      — predicate(p_i, p_j) -> emit (i, j)
+//             with the two-phase (count, prefix-sum, emit) strategy.
+//
+// Functors run on the host (the simulator executes functionally), but the
+// kernels charge their declared `ops_per_pair` to the cost model so the
+// analytical machinery (planner, time model, extrapolation) works for
+// user-defined statistics exactly as for the built-ins.
+//
+// The engine is header-only because the kernels are templates over the
+// functor type; everything heavy lives in the vgpu executor.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/histogram.hpp"
+#include "common/points.hpp"
+#include "vgpu/buffer.hpp"
+#include "vgpu/device.hpp"
+
+namespace tbs::core {
+
+/// Result of a Type-I generic run: the scalar statistic plus counters.
+struct GenericReduceResult {
+  double value = 0.0;
+  vgpu::KernelStats stats;
+};
+
+/// Result of a Type-II generic run.
+struct GenericHistogramResult {
+  std::vector<std::uint64_t> counts;
+  vgpu::KernelStats stats;
+};
+
+/// Result of a Type-III generic run.
+struct GenericJoinResult {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  vgpu::KernelStats stats;
+};
+
+namespace detail {
+
+/// Shared pairwise skeleton: Register-SHM tiling over all higher blocks
+/// plus the reused-tile intra-block loop; `visit(q_index, q)` is invoked
+/// once per unordered pair with this thread's anchor in `reg`.
+///
+/// PairVisit must be an awaitable-returning callable? No — simpler: the
+/// three engines below inline the skeleton because Type-I visits are pure
+/// register ops while Type-II/III visits must co_await; C++ coroutines
+/// cannot abstract over "maybe co_await" without extra task machinery.
+struct GenericParams {
+  const vgpu::DevicePoints* pts = nullptr;
+  int n = 0;
+  double ops_per_pair = 8.0;
+};
+
+}  // namespace detail
+
+/// Type-I: sum of fn(p_i, p_j) over all unordered pairs (i < j).
+/// `fn` must be a pure function Point3 x Point3 -> double;
+/// `ops_per_pair` is the arithmetic cost charged to the model per pair.
+template <class PairFn>
+GenericReduceResult run_generic_reduce(vgpu::Device& dev,
+                                       const PointsSoA& pts, PairFn fn,
+                                       double ops_per_pair, int block_size) {
+  check(!pts.empty(), "run_generic_reduce: empty point set");
+  check(block_size > 0, "run_generic_reduce: bad block size");
+  const int n = static_cast<int>(pts.size());
+  const int grid = (n + block_size - 1) / block_size;
+
+  vgpu::DevicePoints dpts(pts);
+  vgpu::DeviceBuffer<double> out(static_cast<std::size_t>(n), 0.0);
+
+  const auto kernel = [&dpts, &out, n, ops_per_pair,
+                       fn](vgpu::ThreadCtx& ctx) -> vgpu::KernelTask {
+    const int B = ctx.block_dim;
+    const int t = ctx.thread_id;
+    const int b = ctx.block_id;
+    const int M = ctx.grid_dim;
+    const long g = static_cast<long>(b) * B + t;
+    const bool active = g < n;
+
+    vgpu::SharedPointsTile tile(ctx, 0, static_cast<std::size_t>(B));
+    Point3 reg{};
+    if (active)
+      reg = co_await dpts.load_point(ctx, static_cast<std::size_t>(g));
+
+    double acc = 0.0;
+    ctx.mark_phase(vgpu::Phase::InterBlock);
+    for (int i = b + 1; i < M; ++i) {
+      const long src = static_cast<long>(i) * B + t;
+      if (src < n)
+        co_await tile.store_point(
+            ctx, t,
+            co_await dpts.load_point(ctx, static_cast<std::size_t>(src)));
+      co_await ctx.sync();
+      const int lim = static_cast<int>(
+          std::min<long>(B, n - static_cast<long>(i) * B));
+      if (active) {
+        for (int j = 0; j < lim; ++j) {
+          ctx.control(2);
+          const Point3 q = co_await tile.load_point(ctx, j);
+          ctx.arith(ops_per_pair);
+          acc += fn(reg, q);
+        }
+      }
+      co_await ctx.sync();
+    }
+
+    ctx.mark_phase(vgpu::Phase::IntraBlock);
+    if (active) co_await tile.store_point(ctx, t, reg);
+    co_await ctx.sync();
+    const int lim_l = static_cast<int>(
+        std::min<long>(B, n - static_cast<long>(b) * B));
+    for (int i = t + 1; i < lim_l; ++i) {
+      ctx.control(2);
+      const Point3 q = co_await tile.load_point(ctx, i);
+      ctx.arith(ops_per_pair);
+      acc += fn(reg, q);
+    }
+
+    ctx.mark_phase(vgpu::Phase::Output);
+    if (active)
+      co_await out.store(ctx, static_cast<std::size_t>(g), acc);
+  };
+
+  GenericReduceResult result;
+  vgpu::LaunchConfig cfg;
+  cfg.grid_dim = grid;
+  cfg.block_dim = block_size;
+  cfg.shared_bytes =
+      vgpu::SharedPointsTile::bytes(static_cast<std::size_t>(block_size));
+  result.stats = dev.launch(cfg, kernel);
+  for (const double v : out.host()) result.value += v;
+  return result;
+}
+
+/// Type-II: histogram of bucket_fn(p_i, p_j) over all unordered pairs.
+/// `bucket_fn` must return an int in [0, buckets) (values are clamped).
+template <class BucketFn>
+GenericHistogramResult run_generic_histogram(vgpu::Device& dev,
+                                             const PointsSoA& pts,
+                                             BucketFn bucket_fn, int buckets,
+                                             double ops_per_pair,
+                                             int block_size) {
+  check(!pts.empty(), "run_generic_histogram: empty point set");
+  check(buckets > 0, "run_generic_histogram: bad bucket count");
+  check(block_size > 0, "run_generic_histogram: bad block size");
+  const int n = static_cast<int>(pts.size());
+  const int grid = (n + block_size - 1) / block_size;
+
+  vgpu::DevicePoints dpts(pts);
+  vgpu::DeviceBuffer<std::uint32_t> scratch(
+      static_cast<std::size_t>(grid) * buckets, 0);
+  vgpu::DeviceBuffer<std::uint64_t> out(static_cast<std::size_t>(buckets),
+                                        0);
+
+  const auto clampb = [buckets](int b) {
+    return static_cast<std::size_t>(std::clamp(b, 0, buckets - 1));
+  };
+
+  const auto kernel = [&, bucket_fn](vgpu::ThreadCtx& ctx)
+      -> vgpu::KernelTask {
+    const int B = ctx.block_dim;
+    const int t = ctx.thread_id;
+    const int b = ctx.block_id;
+    const int M = ctx.grid_dim;
+    const long g = static_cast<long>(b) * B + t;
+    const bool active = g < n;
+
+    vgpu::SharedPointsTile tile(ctx, 0, static_cast<std::size_t>(B));
+    auto hist = ctx.shared<std::uint32_t>(
+        vgpu::SharedPointsTile::bytes(static_cast<std::size_t>(B)),
+        static_cast<std::size_t>(buckets));
+    for (int h = t; h < buckets; h += B) co_await hist.store(ctx, h, 0u);
+
+    Point3 reg{};
+    if (active)
+      reg = co_await dpts.load_point(ctx, static_cast<std::size_t>(g));
+    co_await ctx.sync();
+
+    ctx.mark_phase(vgpu::Phase::InterBlock);
+    for (int i = b + 1; i < M; ++i) {
+      const long src = static_cast<long>(i) * B + t;
+      if (src < n)
+        co_await tile.store_point(
+            ctx, t,
+            co_await dpts.load_point(ctx, static_cast<std::size_t>(src)));
+      co_await ctx.sync();
+      const int lim = static_cast<int>(
+          std::min<long>(B, n - static_cast<long>(i) * B));
+      if (active) {
+        for (int j = 0; j < lim; ++j) {
+          ctx.control(2);
+          const Point3 q = co_await tile.load_point(ctx, j);
+          ctx.arith(ops_per_pair);
+          co_await hist.atomic_add(ctx, clampb(bucket_fn(reg, q)), 1u);
+        }
+      }
+      co_await ctx.sync();
+    }
+
+    ctx.mark_phase(vgpu::Phase::IntraBlock);
+    if (active) co_await tile.store_point(ctx, t, reg);
+    co_await ctx.sync();
+    const int lim_l = static_cast<int>(
+        std::min<long>(B, n - static_cast<long>(b) * B));
+    for (int i = t + 1; i < lim_l; ++i) {
+      ctx.control(2);
+      const Point3 q = co_await tile.load_point(ctx, i);
+      ctx.arith(ops_per_pair);
+      co_await hist.atomic_add(ctx, clampb(bucket_fn(reg, q)), 1u);
+    }
+
+    co_await ctx.sync();
+    ctx.mark_phase(vgpu::Phase::Output);
+    for (int h = t; h < buckets; h += B) {
+      const std::uint32_t v = co_await hist.load(ctx, h);
+      co_await scratch.store(
+          ctx, static_cast<std::size_t>(b) * buckets + h, v);
+    }
+  };
+
+  const auto reduce = [&](vgpu::ThreadCtx& ctx) -> vgpu::KernelTask {
+    const long h = ctx.global_thread_id();
+    if (h >= buckets) co_return;
+    ctx.mark_phase(vgpu::Phase::Output);
+    std::uint64_t sum = 0;
+    for (int c = 0; c < grid; ++c) {
+      ctx.control(2);
+      sum += co_await scratch.load(
+          ctx, static_cast<std::size_t>(c) * buckets + h);
+      ctx.arith(1);
+    }
+    co_await out.store(ctx, static_cast<std::size_t>(h), sum);
+  };
+
+  GenericHistogramResult result;
+  vgpu::LaunchConfig cfg;
+  cfg.grid_dim = grid;
+  cfg.block_dim = block_size;
+  cfg.shared_bytes =
+      vgpu::SharedPointsTile::bytes(static_cast<std::size_t>(block_size)) +
+      static_cast<std::size_t>(buckets) * sizeof(std::uint32_t);
+  check(cfg.shared_bytes <= dev.spec().shared_mem_per_block_cap,
+        "run_generic_histogram: histogram too large for shared memory "
+        "(Type-II requires it; use a Type-III strategy)");
+  result.stats = dev.launch(cfg, kernel);
+
+  vgpu::LaunchConfig rcfg;
+  rcfg.grid_dim = (buckets + block_size - 1) / block_size;
+  rcfg.block_dim = block_size;
+  result.stats.merge(dev.launch(rcfg, reduce));
+
+  result.counts.assign(out.host().begin(), out.host().end());
+  return result;
+}
+
+/// Type-III: emit every unordered pair (i, j) with pred(p_i, p_j) true,
+/// using the two-phase strategy (no atomics).
+template <class PredFn>
+GenericJoinResult run_generic_join(vgpu::Device& dev, const PointsSoA& pts,
+                                   PredFn pred, double ops_per_pair,
+                                   int block_size) {
+  check(!pts.empty(), "run_generic_join: empty point set");
+  check(block_size > 0, "run_generic_join: bad block size");
+  const int n = static_cast<int>(pts.size());
+  const int grid = (n + block_size - 1) / block_size;
+
+  vgpu::DevicePoints dpts(pts);
+  vgpu::DeviceBuffer<std::uint32_t> counts(static_cast<std::size_t>(n), 0);
+  vgpu::DeviceBuffer<std::uint32_t> offsets(static_cast<std::size_t>(n), 0);
+  vgpu::DeviceBuffer<std::uint32_t> out_i;
+  vgpu::DeviceBuffer<std::uint32_t> out_j;
+
+  // One kernel, two modes (count / emit); mode selected per launch.
+  const auto make_kernel = [&](bool emit) {
+    return [&, emit, pred](vgpu::ThreadCtx& ctx) -> vgpu::KernelTask {
+      const int B = ctx.block_dim;
+      const int t = ctx.thread_id;
+      const int b = ctx.block_id;
+      const int M = ctx.grid_dim;
+      const long g = static_cast<long>(b) * B + t;
+      const bool active = g < n;
+
+      vgpu::SharedPointsTile tile(ctx, 0, static_cast<std::size_t>(B));
+      Point3 reg{};
+      if (active)
+        reg = co_await dpts.load_point(ctx, static_cast<std::size_t>(g));
+      std::uint32_t found = 0;
+      std::size_t slice = 0;
+      if (emit && active)
+        slice = co_await offsets.load(ctx, static_cast<std::size_t>(g));
+
+      for (int i = b; i < M; ++i) {
+        const long src = static_cast<long>(i) * B + t;
+        if (src < n)
+          co_await tile.store_point(
+              ctx, t,
+              co_await dpts.load_point(ctx, static_cast<std::size_t>(src)));
+        co_await ctx.sync();
+        const long base = static_cast<long>(i) * B;
+        const int lim = static_cast<int>(std::min<long>(B, n - base));
+        if (active) {
+          const int j0 = (i == b) ? t + 1 : 0;
+          for (int j = j0; j < lim; ++j) {
+            ctx.control(2);
+            const Point3 q = co_await tile.load_point(ctx, j);
+            ctx.arith(ops_per_pair);
+            if (pred(reg, q)) {
+              if (emit) {
+                co_await out_i.store(ctx, slice,
+                                     static_cast<std::uint32_t>(g));
+                co_await out_j.store(
+                    ctx, slice, static_cast<std::uint32_t>(base + j));
+                ++slice;
+              } else {
+                ++found;
+              }
+            }
+          }
+        }
+        co_await ctx.sync();
+      }
+      if (!emit && active)
+        co_await counts.store(ctx, static_cast<std::size_t>(g), found);
+    };
+  };
+
+  vgpu::LaunchConfig cfg;
+  cfg.grid_dim = grid;
+  cfg.block_dim = block_size;
+  cfg.shared_bytes =
+      vgpu::SharedPointsTile::bytes(static_cast<std::size_t>(block_size));
+
+  GenericJoinResult result;
+  result.stats = dev.launch(cfg, make_kernel(/*emit=*/false));
+
+  std::uint32_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    offsets.host()[static_cast<std::size_t>(i)] = total;
+    total += counts.host()[static_cast<std::size_t>(i)];
+  }
+  out_i = vgpu::DeviceBuffer<std::uint32_t>(
+      std::max<std::size_t>(total, 1), 0);
+  out_j = vgpu::DeviceBuffer<std::uint32_t>(
+      std::max<std::size_t>(total, 1), 0);
+
+  result.stats.merge(dev.launch(cfg, make_kernel(/*emit=*/true)));
+  result.pairs.reserve(total);
+  for (std::uint32_t e = 0; e < total; ++e)
+    result.pairs.emplace_back(out_i.host()[e], out_j.host()[e]);
+  return result;
+}
+
+}  // namespace tbs::core

@@ -1,0 +1,117 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "perfmodel/counts.hpp"
+#include "perfmodel/timemodel.hpp"
+
+namespace tbs::core {
+
+namespace {
+
+/// Calibration sizes (multiples of every candidate block size).
+constexpr std::array<double, 3> kCalibN = {512, 1024, 2048};
+
+/// Truncate the sample to n points (cycling if the sample is smaller).
+PointsSoA take(const PointsSoA& sample, std::size_t n) {
+  check(!sample.empty(), "planner: empty sample");
+  PointsSoA out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(sample[i % sample.size()]);
+  return out;
+}
+
+/// Simulate at the three calibration sizes and price at target_n.
+template <class RunFn>
+Candidate price(vgpu::Device& dev, const PointsSoA& sample,
+                const std::string& name, double target_n, RunFn run) {
+  std::array<vgpu::KernelStats, 3> stats;
+  for (int i = 0; i < 3; ++i) {
+    const PointsSoA pts =
+        take(sample, static_cast<std::size_t>(kCalibN[
+            static_cast<std::size_t>(i)]));
+    stats[static_cast<std::size_t>(i)] = run(dev, pts);
+  }
+  const perfmodel::StatsPoly poly(kCalibN, stats);
+  const auto report =
+      perfmodel::model_time(dev.spec(), poly.predict(target_n));
+  return Candidate{name, report.seconds, report.bottleneck};
+}
+
+}  // namespace
+
+SdhPlan plan_sdh(vgpu::Device& dev, const PointsSoA& sample,
+                 double bucket_width, int buckets, double target_n) {
+  using kernels::SdhVariant;
+  SdhPlan plan;
+  plan.predicted_seconds = std::numeric_limits<double>::infinity();
+
+  constexpr SdhVariant kVariants[] = {
+      SdhVariant::NaiveOut,   SdhVariant::RegShmOut, SdhVariant::RegRocOut,
+      SdhVariant::RegShmLb,   SdhVariant::ShuffleOut,
+  };
+  constexpr int kBlockSizes[] = {128, 256, 512};
+
+  for (const SdhVariant v : kVariants) {
+    for (const int b : kBlockSizes) {
+      // Skip configurations whose shared demand cannot launch.
+      if (kernels::sdh_shared_bytes(v, b, buckets) >
+          dev.spec().shared_mem_per_block_cap)
+        continue;
+      const std::string name =
+          std::string(kernels::to_string(v)) + "/B" + std::to_string(b);
+      Candidate c = price(dev, sample, name, target_n,
+                          [&](vgpu::Device& d, const PointsSoA& pts) {
+                            return kernels::run_sdh(d, pts, bucket_width,
+                                                    buckets, v, b)
+                                .stats;
+                          });
+      if (c.predicted_seconds < plan.predicted_seconds) {
+        plan.predicted_seconds = c.predicted_seconds;
+        plan.variant = v;
+        plan.block_size = b;
+      }
+      plan.considered.push_back(std::move(c));
+    }
+  }
+  check(!plan.considered.empty(), "plan_sdh: no launchable candidate");
+  return plan;
+}
+
+PcfPlan plan_pcf(vgpu::Device& dev, const PointsSoA& sample, double radius,
+                 double target_n) {
+  using kernels::PcfVariant;
+  PcfPlan plan;
+  plan.predicted_seconds = std::numeric_limits<double>::infinity();
+
+  constexpr PcfVariant kVariants[] = {
+      PcfVariant::ShmShm,
+      PcfVariant::RegShm,
+      PcfVariant::RegRoc,
+  };
+  constexpr int kBlockSizes[] = {128, 256, 512};
+
+  for (const PcfVariant v : kVariants) {
+    for (const int b : kBlockSizes) {
+      const std::string name =
+          std::string(kernels::to_string(v)) + "/B" + std::to_string(b);
+      Candidate c = price(dev, sample, name, target_n,
+                          [&](vgpu::Device& d, const PointsSoA& pts) {
+                            return kernels::run_pcf(d, pts, radius, v, b)
+                                .stats;
+                          });
+      if (c.predicted_seconds < plan.predicted_seconds) {
+        plan.predicted_seconds = c.predicted_seconds;
+        plan.variant = v;
+        plan.block_size = b;
+      }
+      plan.considered.push_back(std::move(c));
+    }
+  }
+  return plan;
+}
+
+}  // namespace tbs::core

@@ -1,0 +1,50 @@
+// Kernel planner — the seed of the paper's envisioned framework that
+// "automatically generates optimized code for any new 2-BS problem"
+// (Sec. I & V). Given a problem instance and a target size, the planner
+// simulates every candidate kernel at three small calibration sizes,
+// extrapolates the counters with perfmodel::StatsPoly, prices them with
+// perfmodel::model_time, and picks the cheapest variant.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/points.hpp"
+#include "kernels/pcf.hpp"
+#include "kernels/sdh.hpp"
+#include "vgpu/device.hpp"
+
+namespace tbs::core {
+
+/// One priced candidate considered by the planner.
+struct Candidate {
+  std::string name;
+  double predicted_seconds = 0.0;
+  std::string bottleneck;
+};
+
+struct SdhPlan {
+  kernels::SdhVariant variant = kernels::SdhVariant::RegRocOut;
+  int block_size = 256;
+  double predicted_seconds = 0.0;
+  std::vector<Candidate> considered;  ///< all candidates, priced
+};
+
+struct PcfPlan {
+  kernels::PcfVariant variant = kernels::PcfVariant::RegShm;
+  int block_size = 256;
+  double predicted_seconds = 0.0;
+  std::vector<Candidate> considered;
+};
+
+/// Plan an SDH run of `target_n` points with the given histogram geometry.
+/// `sample` supplies the data distribution for calibration (a subset is
+/// used); it may be much smaller than target_n.
+SdhPlan plan_sdh(vgpu::Device& dev, const PointsSoA& sample,
+                 double bucket_width, int buckets, double target_n);
+
+/// Plan a 2-PCF run of `target_n` points.
+PcfPlan plan_pcf(vgpu::Device& dev, const PointsSoA& sample, double radius,
+                 double target_n);
+
+}  // namespace tbs::core

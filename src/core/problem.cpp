@@ -1,0 +1,31 @@
+#include "core/problem.hpp"
+
+namespace tbs::core {
+
+const char* to_string(OutputClass c) {
+  switch (c) {
+    case OutputClass::RegisterResident: return "Type-I (registers)";
+    case OutputClass::SharedResident: return "Type-II (shared memory)";
+    case OutputClass::GlobalResident: return "Type-III (global memory)";
+  }
+  return "?";
+}
+
+OutputClass classify(const OutputShape& shape,
+                     const vgpu::DeviceSpec& spec) {
+  // A thread can realistically keep ~8 words of output in registers before
+  // spilling (the paper's "small enough to be placed in registers").
+  constexpr std::size_t kRegisterBudgetBytes = 32;
+  if (shape.bytes_per_block == 0 &&
+      shape.bytes_per_thread <= kRegisterBudgetBytes)
+    return OutputClass::RegisterResident;
+
+  if (shape.commutative && shape.bytes_per_block > 0) {
+    // Leave at least a quarter of the per-block shared budget for tiles.
+    const std::size_t budget = spec.shared_mem_per_block_cap * 3 / 4;
+    if (shape.bytes_per_block <= budget) return OutputClass::SharedResident;
+  }
+  return OutputClass::GlobalResident;
+}
+
+}  // namespace tbs::core

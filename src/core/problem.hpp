@@ -1,0 +1,44 @@
+// 2-BS problem descriptors and the output-pattern classification of
+// Sec. III-B: Type-I (register-resident output), Type-II (shared-memory-
+// resident output), Type-III (global-memory output).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "vgpu/spec.hpp"
+
+namespace tbs::core {
+
+/// The paper's three output classes.
+enum class OutputClass {
+  RegisterResident,  ///< Type-I  — e.g. 2-PCF, small-k kNN, KDE
+  SharedResident,    ///< Type-II — e.g. SDH, RDF
+  GlobalResident,    ///< Type-III — e.g. joins, Gram matrices
+};
+
+const char* to_string(OutputClass c);
+
+/// What a 2-BS problem's output looks like, independent of any kernel.
+struct OutputShape {
+  /// Bytes of output state each *thread* must keep live during the
+  /// pairwise stage (e.g. 4 for a pair counter, 4k for a kNN list).
+  std::size_t bytes_per_thread = 0;
+  /// Bytes of the combined output one *block* would privatize
+  /// (e.g. 4 * buckets for a histogram). 0 when per-thread state is the
+  /// whole output.
+  std::size_t bytes_per_block = 0;
+  /// Whether per-block private copies can be merged by reduction
+  /// (commutative updates). Joins/Gram emits are not.
+  bool commutative = true;
+};
+
+/// Classify an output shape against a device (Sec. III-B's decision).
+/// Rules:
+///  * fits in a handful of registers per thread -> RegisterResident;
+///  * one private copy per block fits in shared memory (leaving room for a
+///    tile) and updates are commutative -> SharedResident;
+///  * otherwise -> GlobalResident.
+OutputClass classify(const OutputShape& shape, const vgpu::DeviceSpec& spec);
+
+}  // namespace tbs::core

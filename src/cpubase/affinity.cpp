@@ -1,0 +1,59 @@
+#include "cpubase/affinity.hpp"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace tbs::cpubase {
+
+const char* to_string(Affinity a) {
+  switch (a) {
+    case Affinity::None: return "none";
+    case Affinity::Scatter: return "scatter";
+    case Affinity::Compact: return "compact";
+    case Affinity::Balanced: return "balanced";
+  }
+  return "?";
+}
+
+std::vector<int> affinity_map(Affinity policy, unsigned threads,
+                              unsigned cores) {
+  std::vector<int> map(threads, -1);
+  if (cores == 0 || policy == Affinity::None) return map;
+  for (unsigned t = 0; t < threads; ++t) {
+    switch (policy) {
+      case Affinity::Scatter:
+        // Round-robin across all cores: 0, 1, 2, ... wrapping.
+        map[t] = static_cast<int>(t % cores);
+        break;
+      case Affinity::Compact:
+        // Fill core 0 first, then core 1, ... (threads/cores per core).
+        map[t] = static_cast<int>(t / ((threads + cores - 1) / cores));
+        break;
+      case Affinity::Balanced: {
+        // Contiguous equal partitions: thread t gets partition t*cores/threads.
+        map[t] = static_cast<int>(
+            (static_cast<unsigned long>(t) * cores) / threads);
+        break;
+      }
+      case Affinity::None:
+        break;
+    }
+  }
+  return map;
+}
+
+void pin_current_thread(int core) {
+  if (core < 0) return;
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core), &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
+
+}  // namespace tbs::cpubase

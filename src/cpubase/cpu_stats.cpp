@@ -1,0 +1,206 @@
+#include "cpubase/cpu_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace tbs::cpubase {
+
+namespace {
+
+/// Apply the config's affinity policy for a worker (no-op for None).
+void apply_affinity(const CpuConfig& cfg, ThreadPool& pool, unsigned id) {
+  if (cfg.affinity == Affinity::None) return;
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const auto map = affinity_map(cfg.affinity, pool.size(), cores);
+  pin_current_thread(map[id]);
+}
+
+}  // namespace
+
+Histogram cpu_sdh(ThreadPool& pool, const PointsSoA& pts,
+                  double bucket_width, std::size_t buckets,
+                  const CpuConfig& cfg) {
+  check(!pts.empty(), "cpu_sdh: empty point set");
+  const std::size_t n = pts.size();
+  // Bucket with the same double-precision division Histogram::bucket_of
+  // uses, so boundary pairs land identically across all implementations.
+  const double w = bucket_width;
+  const std::span<const float> xs = pts.x();
+  const std::span<const float> ys = pts.y();
+  const std::span<const float> zs = pts.z();
+
+  // One private histogram per worker (the paper's privatization on CPU).
+  std::vector<std::vector<std::uint64_t>> priv(
+      pool.size(), std::vector<std::uint64_t>(buckets, 0));
+  const int nb = static_cast<int>(buckets);
+
+  parallel_for(
+      pool, 0, n, cfg.schedule,
+      [&](unsigned id, std::size_t lo, std::size_t hi) {
+        apply_affinity(cfg, pool, id);
+        std::uint64_t* mine = priv[id].data();
+        for (std::size_t i = lo; i < hi; ++i) {
+          const float xi = xs[i];
+          const float yi = ys[i];
+          const float zi = zs[i];
+          for (std::size_t j = i + 1; j < n; ++j) {
+            const float dx = xi - xs[j];
+            const float dy = yi - ys[j];
+            const float dz = zi - zs[j];
+            const float d = std::sqrt(dx * dx + dy * dy + dz * dz);
+            ++mine[static_cast<std::size_t>(std::min(
+                static_cast<int>(static_cast<double>(d) / w), nb - 1))];
+          }
+        }
+      },
+      cfg.chunk);
+
+  // Tree reduction of the private copies.
+  for (std::size_t stride = 1; stride < priv.size(); stride *= 2)
+    for (std::size_t i = 0; i + stride < priv.size(); i += 2 * stride)
+      for (std::size_t b = 0; b < buckets; ++b)
+        priv[i][b] += priv[i + stride][b];
+
+  Histogram result(bucket_width, buckets);
+  for (std::size_t b = 0; b < buckets; ++b) result.set_count(b, priv[0][b]);
+  return result;
+}
+
+std::uint64_t cpu_pcf(ThreadPool& pool, const PointsSoA& pts, double radius,
+                      const CpuConfig& cfg) {
+  check(!pts.empty(), "cpu_pcf: empty point set");
+  const std::size_t n = pts.size();
+  const auto r2 = static_cast<float>(radius * radius);
+  const std::span<const float> xs = pts.x();
+  const std::span<const float> ys = pts.y();
+  const std::span<const float> zs = pts.z();
+
+  std::vector<std::uint64_t> partial(pool.size(), 0);
+  parallel_for(
+      pool, 0, n, cfg.schedule,
+      [&](unsigned id, std::size_t lo, std::size_t hi) {
+        apply_affinity(cfg, pool, id);
+        std::uint64_t count = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const float xi = xs[i];
+          const float yi = ys[i];
+          const float zi = zs[i];
+          for (std::size_t j = i + 1; j < n; ++j) {
+            const float dx = xi - xs[j];
+            const float dy = yi - ys[j];
+            const float dz = zi - zs[j];
+            if (dx * dx + dy * dy + dz * dz < r2) ++count;
+          }
+        }
+        partial[id] += count;
+      },
+      cfg.chunk);
+
+  std::uint64_t total = 0;
+  for (const auto c : partial) total += c;
+  return total;
+}
+
+std::vector<std::vector<float>> cpu_knn(ThreadPool& pool,
+                                        const PointsSoA& pts, int k,
+                                        const CpuConfig& cfg) {
+  check(k >= 1, "cpu_knn: k must be >= 1");
+  check(pts.size() > static_cast<std::size_t>(k),
+        "cpu_knn: need more points than k");
+  const std::size_t n = pts.size();
+  std::vector<std::vector<float>> result(n);
+
+  parallel_for(
+      pool, 0, n, cfg.schedule,
+      [&](unsigned, std::size_t lo, std::size_t hi) {
+        std::vector<float> d2(n);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Point3 pi = pts[i];
+          for (std::size_t j = 0; j < n; ++j) d2[j] = dist2(pi, pts[j]);
+          d2[i] = std::numeric_limits<float>::infinity();  // exclude self
+          std::vector<float> copy = d2;
+          std::nth_element(copy.begin(), copy.begin() + (k - 1), copy.end());
+          copy.resize(static_cast<std::size_t>(k));
+          std::sort(copy.begin(), copy.end());
+          for (auto& v : copy) v = std::sqrt(v);
+          result[i] = std::move(copy);
+        }
+      },
+      cfg.chunk);
+  return result;
+}
+
+std::vector<double> cpu_kde(ThreadPool& pool, const PointsSoA& pts,
+                            double bandwidth, const CpuConfig& cfg) {
+  check(bandwidth > 0.0, "cpu_kde: bandwidth must be positive");
+  const std::size_t n = pts.size();
+  const double inv = 1.0 / (2.0 * bandwidth * bandwidth);
+  std::vector<double> f(n, 0.0);
+
+  parallel_for(
+      pool, 0, n, cfg.schedule,
+      [&](unsigned, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Point3 pi = pts[i];
+          double sum = 0.0;
+          for (std::size_t j = 0; j < n; ++j) {
+            if (j == i) continue;
+            sum += std::exp(-static_cast<double>(dist2(pi, pts[j])) * inv);
+          }
+          f[i] = sum;
+        }
+      },
+      cfg.chunk);
+  return f;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> cpu_distance_join(
+    ThreadPool& pool, const PointsSoA& pts, double radius,
+    const CpuConfig& cfg) {
+  const std::size_t n = pts.size();
+  const auto r2 = static_cast<float>(radius * radius);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  std::mutex out_mutex;
+
+  parallel_for(
+      pool, 0, n, cfg.schedule,
+      [&](unsigned, std::size_t lo, std::size_t hi) {
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> local;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Point3 pi = pts[i];
+          for (std::size_t j = i + 1; j < n; ++j) {
+            if (dist2(pi, pts[j]) < r2)
+              local.emplace_back(static_cast<std::uint32_t>(i),
+                                 static_cast<std::uint32_t>(j));
+          }
+        }
+        const std::lock_guard lock(out_mutex);
+        out.insert(out.end(), local.begin(), local.end());
+      },
+      cfg.chunk);
+  return out;
+}
+
+std::vector<float> cpu_gram(ThreadPool& pool, const PointsSoA& pts,
+                            double gamma, const CpuConfig& cfg) {
+  const std::size_t n = pts.size();
+  std::vector<float> k(n * n, 0.0f);
+  const auto g = static_cast<float>(gamma);
+
+  parallel_for(
+      pool, 0, n, cfg.schedule,
+      [&](unsigned, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Point3 pi = pts[i];
+          for (std::size_t j = 0; j < n; ++j)
+            k[i * n + j] = std::exp(-g * dist2(pi, pts[j]));
+        }
+      },
+      cfg.chunk);
+  return k;
+}
+
+}  // namespace tbs::cpubase

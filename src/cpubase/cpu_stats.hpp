@@ -1,0 +1,58 @@
+// Multi-core CPU implementations of the 2-BS problems.
+//
+// These serve two roles:
+//  1. the paper's highly-optimized CPU baseline (Sec. IV-D: per-thread
+//     private histograms, tree reduction, tunable schedule and affinity);
+//  2. ground truth for every GPU kernel's functional tests.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/points.hpp"
+#include "cpubase/affinity.hpp"
+#include "cpubase/thread_pool.hpp"
+
+namespace tbs::cpubase {
+
+/// Tuning knobs of the CPU baseline (paper Sec. IV-D).
+struct CpuConfig {
+  Schedule schedule = Schedule::Guided;  ///< paper's pick
+  Affinity affinity = Affinity::Balanced;
+  std::size_t chunk = 64;  ///< dynamic/guided grain, in outer-loop rows
+};
+
+/// Spatial distance histogram: per-thread private histograms merged by a
+/// tree reduction after all distance evaluations return.
+Histogram cpu_sdh(ThreadPool& pool, const PointsSoA& pts,
+                  double bucket_width, std::size_t buckets,
+                  const CpuConfig& cfg = {});
+
+/// 2-point correlation function: unordered pairs with distance < radius.
+std::uint64_t cpu_pcf(ThreadPool& pool, const PointsSoA& pts, double radius,
+                      const CpuConfig& cfg = {});
+
+/// All-point k-nearest-neighbour distances: for each point, the distances
+/// to its k nearest other points, ascending. k must be >= 1.
+std::vector<std::vector<float>> cpu_knn(ThreadPool& pool,
+                                        const PointsSoA& pts, int k,
+                                        const CpuConfig& cfg = {});
+
+/// Gaussian kernel density estimate at every point (excluding self):
+/// f(i) = sum_j exp(-|p_i - p_j|^2 / (2 h^2)).
+std::vector<double> cpu_kde(ThreadPool& pool, const PointsSoA& pts,
+                            double bandwidth, const CpuConfig& cfg = {});
+
+/// Distance join: all unordered pairs (i, j), i < j, with dist < radius.
+/// Pair order in the result is unspecified.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> cpu_distance_join(
+    ThreadPool& pool, const PointsSoA& pts, double radius,
+    const CpuConfig& cfg = {});
+
+/// RBF Gram matrix K[i*n+j] = exp(-gamma |p_i - p_j|^2) (row-major, n x n).
+std::vector<float> cpu_gram(ThreadPool& pool, const PointsSoA& pts,
+                            double gamma, const CpuConfig& cfg = {});
+
+}  // namespace tbs::cpubase

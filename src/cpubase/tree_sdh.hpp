@@ -1,0 +1,36 @@
+// Tree-based SDH — the paper's "first line of defense": its related work
+// (Tu et al. [5], Chen et al. [6], Kumar et al. [13]) reduces SDH
+// complexity to ~O(N^{3/2}) by comparing *tree nodes* instead of points:
+// when every pair between two nodes provably falls into one histogram
+// bucket (max AABB distance and min AABB distance bucket-equal), the
+// whole n_i * n_j block resolves in O(1); otherwise recurse.
+//
+// The paper notes that "the core procedure of pairwise comparison as well
+// as the strategy to parallelize the algorithm remains the same" — this
+// module provides the exact sequential algorithm so benches can show the
+// complexity crossover against the quadratic kernels.
+#pragma once
+
+#include <cstdint>
+
+#include "common/histogram.hpp"
+#include "common/points.hpp"
+
+namespace tbs::cpubase {
+
+/// Observability counters for the resolution process.
+struct TreeSdhStats {
+  std::uint64_t node_pair_visits = 0;  ///< resolve calls
+  std::uint64_t resolved_pairs = 0;    ///< point pairs settled in bulk
+  std::uint64_t brute_pairs = 0;       ///< point pairs settled one by one
+  std::uint64_t tree_nodes = 0;
+};
+
+/// Exact SDH via an octree with bulk node-pair resolution. Results are
+/// identical to the brute-force histogram; `leaf_size` bounds the points
+/// per leaf (smaller leaves resolve more in bulk but cost more tree).
+Histogram tree_sdh(const PointsSoA& pts, double bucket_width,
+                   std::size_t buckets, int leaf_size = 32,
+                   TreeSdhStats* stats = nullptr);
+
+}  // namespace tbs::cpubase

@@ -1,0 +1,38 @@
+#include "kernels/multi.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "perfmodel/timemodel.hpp"
+
+namespace tbs::kernels {
+
+MultiSdhResult run_sdh_multi(std::vector<vgpu::Device>& devices,
+                             const PointsSoA& pts, double bucket_width,
+                             int buckets, SdhVariant variant,
+                             int block_size,
+                             const perfmodel::TransferModel& pcie) {
+  check(!devices.empty(), "run_sdh_multi: need at least one device");
+  const int d = static_cast<int>(devices.size());
+
+  MultiSdhResult result{
+      Histogram(bucket_width, static_cast<std::size_t>(buckets)), {}, 0.0,
+      0.0};
+  for (int owner = 0; owner < d; ++owner) {
+    const SdhResult partial =
+        run_sdh_partitioned(devices[static_cast<std::size_t>(owner)], pts,
+                            bucket_width, buckets, variant, block_size,
+                            owner, d);
+    result.hist.merge(partial.hist);
+    const auto report = perfmodel::model_time(
+        devices[static_cast<std::size_t>(owner)].spec(), partial.stats);
+    result.kernel_seconds = std::max(result.kernel_seconds, report.seconds);
+    result.per_device.push_back(partial.stats);
+  }
+  // Input replication: x/y/z floats to every device over one host link.
+  result.transfer_seconds =
+      pcie.broadcast_seconds(pts.size() * 3 * sizeof(float), d);
+  return result;
+}
+
+}  // namespace tbs::kernels

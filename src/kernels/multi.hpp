@@ -1,0 +1,33 @@
+// Multi-GPU SDH (paper Sec. V: "our work can also be extended to a
+// multi-GPU environment"). The input is replicated to every simulated
+// device; anchor blocks are owned round-robin; each device produces a
+// partial histogram that the host merges. Modeled time is the slowest
+// device's kernel time plus the input broadcast.
+#pragma once
+
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/points.hpp"
+#include "kernels/sdh.hpp"
+#include "perfmodel/transfer.hpp"
+#include "vgpu/device.hpp"
+
+namespace tbs::kernels {
+
+struct MultiSdhResult {
+  Histogram hist;                              ///< merged full histogram
+  std::vector<vgpu::KernelStats> per_device;   ///< each device's counters
+  double kernel_seconds = 0.0;   ///< modeled max over devices
+  double transfer_seconds = 0.0; ///< input broadcast (PCI-E model)
+};
+
+/// Run the SDH across `devices` simulated GPUs. Requires a privatized
+/// variant (RegShmOut / RegRocOut).
+MultiSdhResult run_sdh_multi(std::vector<vgpu::Device>& devices,
+                             const PointsSoA& pts, double bucket_width,
+                             int buckets, SdhVariant variant,
+                             int block_size,
+                             const perfmodel::TransferModel& pcie = {});
+
+}  // namespace tbs::kernels

@@ -1,0 +1,47 @@
+// Type-III (global-memory output) 2-BS kernels: distance join with
+// potentially quadratic output, and the RBF Gram matrix whose output *is*
+// quadratic. These exercise the output strategies the paper defers to
+// future work; we implement two and benchmark them against each other:
+//   * GlobalCursor — every emitting thread bumps one global atomic cursor;
+//   * TwoPhase    — count matches per thread, host prefix-sum, then a second
+//                   kernel writes into precomputed exclusive slices
+//                   (no atomics at all).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/points.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/stats.hpp"
+
+namespace tbs::kernels {
+
+enum class JoinVariant { GlobalCursor, TwoPhase };
+
+const char* to_string(JoinVariant v);
+
+struct JoinResult {
+  /// Unordered matching pairs (i < j); order unspecified.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  vgpu::KernelStats stats;
+};
+
+/// Distance join: emit all pairs with dist < radius into global memory.
+JoinResult run_distance_join(vgpu::Device& dev, const PointsSoA& pts,
+                             double radius, JoinVariant variant,
+                             int block_size);
+
+struct GramResult {
+  std::vector<float> matrix;  ///< row-major n x n, K[i*n+j]
+  vgpu::KernelStats stats;
+};
+
+/// RBF Gram matrix K[i,j] = exp(-gamma * |p_i - p_j|^2). Output is written
+/// transposed per-thread so warp stores coalesce (the matrix is symmetric,
+/// so the result is identical).
+GramResult run_gram(vgpu::Device& dev, const PointsSoA& pts, double gamma,
+                    int block_size);
+
+}  // namespace tbs::kernels

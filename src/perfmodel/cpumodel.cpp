@@ -1,0 +1,20 @@
+#include "perfmodel/cpumodel.hpp"
+
+#include "common/error.hpp"
+
+namespace tbs::perfmodel {
+
+CpuModel::CpuModel(double pairs, double seconds, unsigned threads_used)
+    : pair_cost_(0.0) {
+  check(pairs > 0 && seconds > 0 && threads_used > 0,
+        "CpuModel: calibration inputs must be positive");
+  pair_cost_ = seconds * threads_used / pairs;
+}
+
+double CpuModel::seconds(double n, unsigned cores) const {
+  check(cores > 0, "CpuModel: cores must be positive");
+  const double pairs = n * (n - 1.0) / 2.0;
+  return pairs * pair_cost_ / cores;
+}
+
+}  // namespace tbs::perfmodel

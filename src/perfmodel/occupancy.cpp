@@ -1,0 +1,52 @@
+#include "perfmodel/occupancy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tbs::perfmodel {
+
+OccupancyResult occupancy(const vgpu::DeviceSpec& spec, int block_dim,
+                          std::size_t shared_bytes_per_block,
+                          int regs_per_thread) {
+  check(block_dim > 0 && block_dim <= spec.max_threads_per_block,
+        "occupancy: block_dim out of range");
+
+  OccupancyResult r;
+  int blocks = spec.max_blocks_per_sm;
+  r.limiter = "max-blocks";
+
+  const int by_threads = spec.max_threads_per_sm / block_dim;
+  if (by_threads < blocks) {
+    blocks = by_threads;
+    r.limiter = "threads";
+  }
+  if (shared_bytes_per_block > 0) {
+    const auto by_shared = static_cast<int>(
+        spec.shared_mem_per_sm / shared_bytes_per_block);
+    if (by_shared < blocks) {
+      blocks = by_shared;
+      r.limiter = "shared-memory";
+    }
+  }
+  if (regs_per_thread > 0) {
+    const auto by_regs = static_cast<int>(
+        spec.regs_per_sm /
+        (static_cast<long>(regs_per_thread) * block_dim));
+    if (by_regs < blocks) {
+      blocks = by_regs;
+      r.limiter = "registers";
+    }
+  }
+
+  r.blocks_per_sm = std::max(blocks, 0);
+  const int warps_per_block =
+      (block_dim + spec.warp_size - 1) / spec.warp_size;
+  r.warps_per_sm = r.blocks_per_sm * warps_per_block;
+  const int max_warps = spec.max_threads_per_sm / spec.warp_size;
+  r.occupancy =
+      static_cast<double>(r.warps_per_sm) / static_cast<double>(max_warps);
+  return r;
+}
+
+}  // namespace tbs::perfmodel

@@ -1,0 +1,23 @@
+// Occupancy calculator: how many blocks/warps can be resident per SM given
+// the launch's shared-memory, register and thread-count demands. This is
+// the mechanism behind the paper's Fig. 5 (occupancy steps down as the
+// histogram grows and fewer private copies fit per SM).
+#pragma once
+
+#include "vgpu/spec.hpp"
+
+namespace tbs::perfmodel {
+
+struct OccupancyResult {
+  int blocks_per_sm = 0;
+  int warps_per_sm = 0;
+  double occupancy = 0.0;  ///< warps_per_sm / max resident warps
+  const char* limiter = "";
+};
+
+/// Resident-block calculation, mirroring the CUDA occupancy calculator.
+OccupancyResult occupancy(const vgpu::DeviceSpec& spec, int block_dim,
+                          std::size_t shared_bytes_per_block,
+                          int regs_per_thread);
+
+}  // namespace tbs::perfmodel

@@ -1,0 +1,85 @@
+#include "perfmodel/timemodel.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tbs::perfmodel {
+
+TimeReport model_time(const vgpu::DeviceSpec& spec,
+                      const vgpu::KernelStats& stats) {
+  check(stats.block_dim > 0, "model_time: stats carry no launch config");
+
+  TimeReport r;
+  r.occ = occupancy(spec, stats.block_dim, stats.shared_bytes_per_block,
+                    stats.regs_per_thread);
+
+  const double clock = spec.core_clock_hz;
+  const int warps_per_block =
+      (stats.block_dim + spec.warp_size - 1) / spec.warp_size;
+  const double total_warps =
+      static_cast<double>(stats.grid_dim) * warps_per_block;
+
+  // Warps actually runnable at once: resident capacity across SMs, but no
+  // more than the grid provides.
+  const double resident =
+      std::max(1.0, std::min(total_warps,
+                             static_cast<double>(r.occ.warps_per_sm) *
+                                 spec.sm_count));
+
+  // Below the saturation knee, on-SM throughput units starve: each warp
+  // instruction is separated by tens of cycles of latency, so a unit only
+  // reaches its peak rate when most warp slots are occupied.
+  const double feed = std::min(
+      1.0, r.occ.occupancy / std::max(1e-9, spec.saturation_occupancy));
+
+  r.latency_s = stats.total_warp_cycles / resident / clock;
+  r.arith_s = stats.arith_warp_cycles /
+              (spec.arith_ipc_per_sm * spec.sm_count * feed) / clock;
+  r.control_s = stats.control_warp_cycles /
+                (spec.arith_ipc_per_sm * spec.sm_count * feed) / clock;
+  r.dram_s = static_cast<double>(stats.dram_bytes) / spec.bw_global;
+  r.l2_s = static_cast<double>(stats.l2_bytes) / spec.bw_l2;
+  // The read-only cache is request-throughput limited (tex units), not
+  // byte limited: broadcast reads cost a request slot regardless of size.
+  r.roc_s = static_cast<double>(stats.roc_port_cycles) /
+            (spec.roc_requests_per_cycle * spec.sm_count * feed * clock);
+  // Shared memory is a banked port per SM: one transaction (conflict-free
+  // pass) per cycle per SM.
+  r.shared_s = static_cast<double>(stats.shared_transactions) /
+               (static_cast<double>(spec.sm_count) * feed * clock);
+  // Global atomics serialize on L2 slices; parallelism is bounded by how
+  // many distinct lines the atomics touch.
+  const double slice_parallelism = std::max(
+      1.0, std::min<double>(spec.l2_slices,
+                            static_cast<double>(stats.atomic_distinct_lines)));
+  r.gatomic_s = stats.global_atomic_port_cycles / slice_parallelism / clock;
+
+  const struct {
+    const char* name;
+    double t;
+  } legs[] = {
+      {"latency", r.latency_s},   {"arithmetic", r.arith_s},
+      {"control", r.control_s},   {"dram", r.dram_s},
+      {"l2", r.l2_s},             {"read-only-cache", r.roc_s},
+      {"shared-memory", r.shared_s}, {"global-atomics", r.gatomic_s},
+  };
+  r.seconds = 0.0;
+  r.bottleneck = "latency";
+  for (const auto& leg : legs) {
+    if (leg.t > r.seconds) {
+      r.seconds = leg.t;
+      r.bottleneck = leg.name;
+    }
+  }
+  if (r.seconds <= 0.0) r.seconds = 1e-12;  // degenerate empty launch
+
+  r.bw_dram = static_cast<double>(stats.dram_bytes) / r.seconds;
+  r.bw_l2 = static_cast<double>(stats.l2_bytes) / r.seconds;
+  r.bw_roc = static_cast<double>(stats.roc_hit_bytes) / r.seconds;
+  r.bw_shared = static_cast<double>(stats.shared_transactions) *
+                static_cast<double>(spec.line_bytes) / r.seconds;
+  return r;
+}
+
+}  // namespace tbs::perfmodel

@@ -1,0 +1,62 @@
+// Kernel-time model: converts exact execution counters (vgpu::KernelStats)
+// into predicted kernel time, per-unit utilization and achieved bandwidth —
+// the quantities the paper reads off the NVIDIA Visual Profiler.
+//
+// The model is a first-order roofline with a latency/occupancy leg:
+//   time = max( latency-limited, arithmetic, control,
+//               DRAM, L2, read-only cache, shared-memory port,
+//               global-atomic serialization )
+// where
+//   latency-limited = total serial warp cycles / resident warps,
+//   shared port     = banked-port busy cycles / (SM count),
+//   atomic serial   = L2-slice busy cycles / usable slices.
+// Every leg is derived from counters the executor measured, so each
+// reported number is explainable — mirroring how the paper argues about
+// its kernels (Eqs. 2–7 + profiler readouts).
+#pragma once
+
+#include <string>
+
+#include "perfmodel/occupancy.hpp"
+#include "vgpu/spec.hpp"
+#include "vgpu/stats.hpp"
+
+namespace tbs::perfmodel {
+
+/// Time breakdown and profiler-style report for one kernel launch.
+struct TimeReport {
+  double seconds = 0.0;       ///< modeled kernel time
+  std::string bottleneck;     ///< name of the binding leg
+
+  // Per-leg times (seconds).
+  double latency_s = 0.0;
+  double arith_s = 0.0;
+  double control_s = 0.0;
+  double dram_s = 0.0;
+  double l2_s = 0.0;
+  double roc_s = 0.0;
+  double shared_s = 0.0;
+  double gatomic_s = 0.0;
+
+  OccupancyResult occ;
+
+  // Utilization (leg time / kernel time), the paper's Tables II & IV.
+  [[nodiscard]] double util_arith() const { return arith_s / seconds; }
+  [[nodiscard]] double util_control() const { return control_s / seconds; }
+  [[nodiscard]] double util_dram() const { return dram_s / seconds; }
+  [[nodiscard]] double util_l2() const { return l2_s / seconds; }
+  [[nodiscard]] double util_roc() const { return roc_s / seconds; }
+  [[nodiscard]] double util_shared() const { return shared_s / seconds; }
+
+  // Achieved bandwidth (bytes/s), the paper's Table III.
+  double bw_dram = 0.0;
+  double bw_l2 = 0.0;
+  double bw_roc = 0.0;
+  double bw_shared = 0.0;  ///< port-equivalent bytes (transactions x 128B)
+};
+
+/// Model the launch described by `stats` on device `spec`.
+TimeReport model_time(const vgpu::DeviceSpec& spec,
+                      const vgpu::KernelStats& stats);
+
+}  // namespace tbs::perfmodel

@@ -1,0 +1,29 @@
+// Host <-> device transfer model (paper Sec. III-A: input reaches global
+// memory by DMA over PCI-E). Kernel-time models in this repo exclude
+// transfers, as the paper's figures do; benches that want end-to-end
+// numbers add them explicitly through this model.
+#pragma once
+
+#include <cstdint>
+
+namespace tbs::perfmodel {
+
+/// First-order PCI-E DMA model: fixed setup latency + bytes / bandwidth.
+struct TransferModel {
+  double bandwidth = 12.0e9;   ///< bytes/s (PCIe 3.0 x16 effective)
+  double latency_s = 10.0e-6;  ///< per-transfer setup cost
+
+  /// Seconds to move `bytes` in one DMA transfer (either direction).
+  [[nodiscard]] double seconds(std::uint64_t bytes) const {
+    return latency_s + static_cast<double>(bytes) / bandwidth;
+  }
+
+  /// Seconds to broadcast `bytes` to `devices` devices sequentially over
+  /// one host link (the conservative multi-GPU input-distribution cost).
+  [[nodiscard]] double broadcast_seconds(std::uint64_t bytes,
+                                         int devices) const {
+    return seconds(bytes) * devices;
+  }
+};
+
+}  // namespace tbs::perfmodel

@@ -1,0 +1,540 @@
+// Warp-lockstep execution engine.
+//
+// Scheduling model: every lane is a coroutine. A scheduler pass over each
+// warp (a) resumes lanes that have no pending op until they suspend or
+// finish, then (b) issues each *kind-group* of pending non-barrier ops as
+// one SIMT instruction: coalescing analysis for global ops, bank-conflict
+// analysis for shared ops, address-collision serialization for atomics, and
+// staging exchange for shuffles. Barriers release only when every live lane
+// of the block has arrived. A warp's clock advances by the charged cost of
+// each instruction it issues plus the max-over-lanes arithmetic between
+// suspension points — so divergence (lanes with longer loops) lengthens the
+// warp's serial time exactly as it does on real SIMT hardware.
+#include "vgpu/device.hpp"
+
+#include <algorithm>
+#include <array>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tbs::vgpu {
+
+namespace {
+
+/// One simulated thread: its context (stable address — coroutine captures
+/// a reference) plus its coroutine handle.
+struct Lane {
+  ThreadCtx ctx;
+  KernelTask task;
+  bool done = false;
+};
+
+/// Gathered view of one warp during a launch.
+struct WarpRunner {
+  WarpState state;
+  int first_lane = 0;
+  int lane_count = 0;
+};
+
+/// Scratch vector of lane indices pending the same op kind.
+using LaneGroup = std::array<int, 32>;
+
+class BlockExecutor {
+ public:
+  BlockExecutor(const DeviceSpec& spec, const LaunchConfig& cfg,
+                SetAssocCache& l2, KernelStats& stats)
+      : spec_(spec),
+        cfg_(cfg),
+        l2_(l2),
+        stats_(stats),
+        roc_(spec.roc_bytes_per_sm, spec.roc_ways, spec.line_bytes),
+        shared_arena_(cfg.shared_bytes) {}
+
+  void run(int block_id, const KernelBody& body) {
+    setup(block_id, body);
+
+    while (live_ > 0) {
+      bool progressed = false;
+      for (auto& warp : warps_) {
+        progressed |= step_warp(warp);
+      }
+      if (try_release_barrier()) progressed = true;
+      check(progressed || live_ == 0,
+            "vgpu deadlock: no lane can make progress (unsatisfiable "
+            "barrier?)");
+    }
+
+    // Flush per-warp accounting into the launch stats.
+    double block_cycles = 0.0;
+    for (auto& warp : warps_) {
+      warp.state.clock += warp.state.tail_arith_max;
+      stats_.arith_warp_cycles += warp.state.tail_arith_max;
+      stats_.phase_cycles[warp.state.cur_phase] +=
+          warp.state.clock - warp.state.phase_start_clock;
+      stats_.total_warp_cycles += warp.state.clock;
+      block_cycles = std::max(block_cycles, warp.state.clock);
+    }
+    stats_.max_block_cycles = std::max(stats_.max_block_cycles, block_cycles);
+    lanes_.clear();
+    warps_.clear();
+  }
+
+ private:
+  void setup(int block_id, const KernelBody& body) {
+    const int b = cfg_.block_dim;
+    const int warp_count = (b + spec_.warp_size - 1) / spec_.warp_size;
+    warps_.assign(static_cast<std::size_t>(warp_count), WarpRunner{});
+    lanes_ = std::vector<Lane>(static_cast<std::size_t>(b));
+    std::fill(shared_arena_.begin(), shared_arena_.end(), std::byte{0});
+    roc_.invalidate();  // fresh block ~ fresh SM residency (conservative)
+
+    for (int w = 0; w < warp_count; ++w) {
+      warps_[w].first_lane = w * spec_.warp_size;
+      warps_[w].lane_count =
+          std::min(spec_.warp_size, b - warps_[w].first_lane);
+    }
+    for (int t = 0; t < b; ++t) {
+      Lane& lane = lanes_[static_cast<std::size_t>(t)];
+      ThreadCtx& ctx = lane.ctx;
+      ctx.thread_id = t;
+      ctx.block_id = block_id;
+      ctx.block_dim = b;
+      ctx.grid_dim = cfg_.grid_dim;
+      ctx.lane = t % spec_.warp_size;
+      ctx.warp = &warps_[static_cast<std::size_t>(t / spec_.warp_size)].state;
+      ctx.shared_base = shared_arena_.data();
+      ctx.shared_size = shared_arena_.size();
+      ctx.shared_arena_addr =
+          reinterpret_cast<std::uintptr_t>(shared_arena_.data());
+      ctx.phase_cycles = &stats_.phase_cycles;
+      lane.task = body(ctx);
+    }
+    live_ = b;
+  }
+
+  /// Resume lanes with no pending op; returns true if any lane advanced.
+  bool fill_pending(WarpRunner& warp) {
+    bool advanced = false;
+    for (int i = 0; i < warp.lane_count; ++i) {
+      Lane& lane = lanes_[static_cast<std::size_t>(warp.first_lane + i)];
+      if (lane.done || lane.ctx.has_pending) continue;
+      lane.task.resume();
+      advanced = true;
+      if (lane.task.done()) {
+        lane.done = true;
+        --live_;
+        // Tail arithmetic executed after the lane's last suspension.
+        warp.state.tail_arith_max =
+            std::max(warp.state.tail_arith_max,
+                     lane.ctx.arith_ops - lane.ctx.arith_mark +
+                         lane.ctx.control_ops - lane.ctx.control_mark);
+        stats_.arith_ops += lane.ctx.arith_ops - lane.ctx.arith_mark;
+        stats_.control_ops += lane.ctx.control_ops - lane.ctx.control_mark;
+        lane.ctx.arith_mark = lane.ctx.arith_ops;
+        lane.ctx.control_mark = lane.ctx.control_ops;
+      }
+    }
+    return advanced;
+  }
+
+  /// One scheduler step for a warp. Returns true if anything progressed.
+  bool step_warp(WarpRunner& warp) {
+    bool progressed = fill_pending(warp);
+
+    // Partition live lanes by pending kind.
+    std::array<LaneGroup, 10> groups{};
+    std::array<int, 10> group_size{};
+    int pending_total = 0;
+    int barrier_count = 0;
+    for (int i = 0; i < warp.lane_count; ++i) {
+      const int idx = warp.first_lane + i;
+      const Lane& lane = lanes_[static_cast<std::size_t>(idx)];
+      if (lane.done || !lane.ctx.has_pending) continue;
+      ++pending_total;
+      const auto k = static_cast<std::size_t>(lane.ctx.pending.kind);
+      if (lane.ctx.pending.kind == OpKind::Barrier) {
+        ++barrier_count;
+        continue;
+      }
+      groups[k][static_cast<std::size_t>(group_size[k])] = idx;
+      ++group_size[k];
+    }
+    if (pending_total == 0) return progressed;
+
+    warp.state.at_barrier =
+        (barrier_count == pending_total && barrier_count > 0);
+
+    // Count live lanes of this warp (shuffle completeness check).
+    int warp_live = 0;
+    for (int i = 0; i < warp.lane_count; ++i)
+      if (!lanes_[static_cast<std::size_t>(warp.first_lane + i)].done)
+        ++warp_live;
+
+    // Issue every non-barrier kind group as one SIMT instruction. A shuffle
+    // only issues once *every* live lane of the warp has arrived at it —
+    // lanes still finishing a predicated side path (e.g. an atomic between
+    // two shuffles) are given time to catch up; if they can never arrive the
+    // block-level deadlock check fires.
+    for (std::size_t k = 0; k < groups.size(); ++k) {
+      if (group_size[k] == 0) continue;
+      if (static_cast<OpKind>(k) == OpKind::Shuffle &&
+          group_size[k] < warp_live)
+        continue;
+      issue(warp, static_cast<OpKind>(k), groups[k],
+            static_cast<std::size_t>(group_size[k]));
+      progressed = true;
+    }
+    return progressed;
+  }
+
+  /// Release the block barrier if every live lane has arrived.
+  bool try_release_barrier() {
+    int waiting = 0;
+    for (const auto& lane : lanes_) {
+      if (lane.done) continue;
+      if (lane.ctx.has_pending && lane.ctx.pending.kind == OpKind::Barrier)
+        ++waiting;
+    }
+    if (live_ == 0 || waiting < live_) return false;
+
+    // Fold each warp's pre-barrier arithmetic (max over its live lanes)
+    // into its clock before aligning all warps to the block-wide maximum.
+    for (auto& warp : warps_) {
+      pending_arith_max_ = 0.0;
+      pending_control_max_ = 0.0;
+      for (int i = 0; i < warp.lane_count; ++i) {
+        Lane& lane = lanes_[static_cast<std::size_t>(warp.first_lane + i)];
+        if (!lane.done) charge_arith_for_lane(lane);
+      }
+      warp.state.clock += pending_arith_max_ + pending_control_max_;
+      stats_.arith_warp_cycles += pending_arith_max_;
+      stats_.control_warp_cycles += pending_control_max_;
+    }
+
+    double block_clock = 0.0;
+    for (const auto& warp : warps_)
+      block_clock = std::max(block_clock, warp.state.clock);
+    block_clock += spec_.lat_barrier;
+    for (auto& warp : warps_) {
+      warp.state.clock = block_clock;
+      warp.state.at_barrier = false;
+    }
+    for (auto& lane : lanes_) {
+      if (lane.done) continue;
+      lane.ctx.has_pending = false;
+      ++stats_.barriers;
+    }
+    return true;
+  }
+
+  /// Fold a lane's un-charged arithmetic into the running max-over-lanes
+  /// accumulator (SIMD issue semantics); caller adds it to the warp clock.
+  void charge_arith_for_lane(Lane& lane) {
+    const double delta = lane.ctx.arith_ops - lane.ctx.arith_mark;
+    lane.ctx.arith_mark = lane.ctx.arith_ops;
+    stats_.arith_ops += delta;
+    pending_arith_max_ = std::max(pending_arith_max_, delta);
+    const double cdelta = lane.ctx.control_ops - lane.ctx.control_mark;
+    lane.ctx.control_mark = lane.ctx.control_ops;
+    stats_.control_ops += cdelta;
+    pending_control_max_ = std::max(pending_control_max_, cdelta);
+  }
+
+  void issue(WarpRunner& warp, OpKind kind, const LaneGroup& lanes,
+             std::size_t n) {
+    // Arithmetic executed since each lane's previous instruction, folded as
+    // max over the participating lanes (SIMD issue).
+    pending_arith_max_ = 0.0;
+    pending_control_max_ = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      charge_arith_for_lane(lanes_[static_cast<std::size_t>(lanes[i])]);
+    warp.state.clock += pending_arith_max_ + pending_control_max_;
+    stats_.arith_warp_cycles += pending_arith_max_;
+    stats_.control_warp_cycles += pending_control_max_;
+
+    stats_.warp_instructions += 1;
+    stats_.active_lane_slots += n;
+    stats_.possible_lane_slots += static_cast<std::uint64_t>(spec_.warp_size);
+
+    double cost = 0.0;
+    switch (kind) {
+      case OpKind::GlobalLoad:
+      case OpKind::GlobalStore:
+        cost = issue_global(lanes, n, /*through_roc=*/false);
+        if (kind == OpKind::GlobalLoad)
+          stats_.global_loads += n;
+        else
+          stats_.global_stores += n;
+        break;
+      case OpKind::RocLoad:
+        cost = issue_global(lanes, n, /*through_roc=*/true);
+        stats_.roc_loads += n;
+        break;
+      case OpKind::SharedLoad:
+      case OpKind::SharedStore:
+        cost = issue_shared(lanes, n);
+        if (kind == OpKind::SharedLoad)
+          stats_.shared_loads += n;
+        else
+          stats_.shared_stores += n;
+        break;
+      case OpKind::SharedAtomic:
+        cost = issue_atomic(lanes, n, /*global=*/false);
+        stats_.shared_atomics += n;
+        break;
+      case OpKind::GlobalAtomic:
+        cost = issue_atomic(lanes, n, /*global=*/true);
+        stats_.global_atomics += n;
+        break;
+      case OpKind::Shuffle:
+        cost = issue_shuffle(warp, lanes, n);
+        stats_.shuffles += n;
+        break;
+      case OpKind::Barrier:
+      case OpKind::None:
+        fail("issue(): unexpected op kind");
+    }
+    warp.state.clock += cost;
+
+    // Resume happens lazily: clearing has_pending lets fill_pending advance
+    // the lane on the next pass (await_resume then performs data movement).
+    for (std::size_t i = 0; i < n; ++i)
+      lanes_[static_cast<std::size_t>(lanes[i])].ctx.has_pending = false;
+  }
+
+  /// Coalescing + cache analysis for global-path ops. Returns cycle cost.
+  double issue_global(const LaneGroup& lanes, std::size_t n,
+                      bool through_roc) {
+    // Collect unique cache-line segments across all addresses in the group.
+    std::array<std::uintptr_t, 96> segs{};
+    std::size_t seg_count = 0;
+    std::uint64_t useful_bytes = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const PendingOp& op =
+          lanes_[static_cast<std::size_t>(lanes[i])].ctx.pending;
+      useful_bytes +=
+          static_cast<std::uint64_t>(op.n_addr) * op.elem_bytes;
+      for (int a = 0; a < op.n_addr; ++a) {
+        const std::uintptr_t seg = op.addr[a] / spec_.line_bytes;
+        bool found = false;
+        for (std::size_t s = 0; s < seg_count; ++s) {
+          if (segs[s] == seg) {
+            found = true;
+            break;
+          }
+        }
+        if (!found && seg_count < segs.size()) segs[seg_count++] = seg;
+      }
+    }
+    bool worst_is_dram = false;
+    bool any_roc_miss = false;
+    for (std::size_t s = 0; s < seg_count; ++s) {
+      const std::uintptr_t line_addr = segs[s] * spec_.line_bytes;
+      if (through_roc) {
+        // Every segment request occupies a tex-unit slot, hit or miss;
+        // hits are served at request granularity (useful bytes), only
+        // misses move whole lines on the L2/DRAM path below.
+        ++stats_.roc_port_cycles;
+        if (roc_.access(line_addr)) {
+          stats_.roc_hit_bytes += useful_bytes / seg_count;
+          continue;
+        }
+        any_roc_miss = true;
+      }
+      // L2 path (direct global access, or ROC miss fill).
+      if (l2_.access(line_addr)) {
+        stats_.l2_bytes += spec_.line_bytes;
+      } else {
+        stats_.dram_bytes += spec_.line_bytes;
+        worst_is_dram = true;
+      }
+    }
+    stats_.global_transactions += seg_count;
+
+    double base;
+    if (through_roc)
+      base = any_roc_miss ? (worst_is_dram ? spec_.lat_global : spec_.lat_l2)
+                          : spec_.lat_roc;
+    else
+      base = worst_is_dram ? spec_.lat_global : spec_.lat_l2;
+    return base +
+           static_cast<double>(seg_count > 0 ? seg_count - 1 : 0) *
+               spec_.extra_segment;
+  }
+
+  /// Bank-conflict analysis for shared ops. Returns cycle cost.
+  double issue_shared(const LaneGroup& lanes, std::size_t n) {
+    // For multi-address (point) ops, each address slot is a separate
+    // 32-lane access; conflicts are computed per slot.
+    int max_slots = 0;
+    std::uint64_t bytes = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const PendingOp& op =
+          lanes_[static_cast<std::size_t>(lanes[i])].ctx.pending;
+      max_slots = std::max(max_slots, static_cast<int>(op.n_addr));
+      bytes += static_cast<std::uint64_t>(op.n_addr) * op.elem_bytes;
+    }
+    stats_.shared_bytes += bytes;
+
+    std::uint64_t transactions = 0;
+    for (int slot = 0; slot < max_slots; ++slot) {
+      // words[bank] -> set of distinct word addresses (tiny linear scan).
+      std::array<std::array<std::uintptr_t, 32>, 32> words{};
+      std::array<int, 32> per_bank{};
+      int degree = 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        const PendingOp& op =
+            lanes_[static_cast<std::size_t>(lanes[i])].ctx.pending;
+        if (slot >= op.n_addr) continue;
+        const std::uintptr_t word = op.addr[static_cast<std::size_t>(slot)] / 4;
+        const auto bank = static_cast<std::size_t>(word % 32);
+        bool dup = false;
+        for (int w = 0; w < per_bank[bank]; ++w) {
+          if (words[bank][static_cast<std::size_t>(w)] == word) {
+            dup = true;  // same word: broadcast, no extra transaction
+            break;
+          }
+        }
+        if (!dup && per_bank[bank] < 32) {
+          words[bank][static_cast<std::size_t>(per_bank[bank])] = word;
+          ++per_bank[bank];
+          degree = std::max(degree, per_bank[bank]);
+        }
+      }
+      transactions += static_cast<std::uint64_t>(degree);
+    }
+    stats_.shared_transactions += transactions;
+    const std::uint64_t extra =
+        transactions - static_cast<std::uint64_t>(max_slots);
+    stats_.bank_conflict_extra += extra;
+    return spec_.lat_shared +
+           static_cast<double>(extra +
+                               static_cast<std::uint64_t>(max_slots) - 1) *
+               spec_.extra_bank_conflict;
+  }
+
+  /// Address-collision serialization for atomics. Returns cycle cost.
+  double issue_atomic(const LaneGroup& lanes, std::size_t n, bool global) {
+    std::array<std::uintptr_t, 32> addrs{};
+    std::array<int, 32> hits{};
+    std::size_t unique = 0;
+    std::uint64_t bytes = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const PendingOp& op =
+          lanes_[static_cast<std::size_t>(lanes[i])].ctx.pending;
+      bytes += op.elem_bytes;
+      const std::uintptr_t a = op.addr[0];
+      bool found = false;
+      for (std::size_t u = 0; u < unique; ++u) {
+        if (addrs[u] == a) {
+          ++hits[u];
+          found = true;
+          break;
+        }
+      }
+      if (!found && unique < addrs.size()) {
+        addrs[unique] = a;
+        hits[unique] = 1;
+        ++unique;
+      }
+    }
+    int max_collisions = 1;
+    std::uint64_t extra = 0;
+    for (std::size_t u = 0; u < unique; ++u) {
+      max_collisions = std::max(max_collisions, hits[u]);
+      extra += static_cast<std::uint64_t>(hits[u] - 1);
+    }
+    stats_.atomic_collision_extra += extra;
+
+    if (global) {
+      // Global atomics resolve in L2; each lane's RMW occupies its line's
+      // L2 slice — a device-wide serialization resource tracked separately
+      // from per-warp latency.
+      for (std::size_t u = 0; u < unique; ++u) {
+        const std::uintptr_t line =
+            addrs[u] / spec_.line_bytes * spec_.line_bytes;
+        if (l2_.access(line))
+          stats_.l2_bytes += spec_.line_bytes;
+        else
+          stats_.dram_bytes += spec_.line_bytes;
+        if (atomic_lines_.insert(line).second)
+          ++stats_.atomic_distinct_lines;
+      }
+      stats_.global_transactions += unique;
+      stats_.global_atomic_port_cycles +=
+          static_cast<double>(n) * spec_.l2_atomic_cycles;
+      return spec_.lat_global_atomic +
+             static_cast<double>(max_collisions - 1) *
+                 spec_.extra_global_atomic;
+    }
+    stats_.shared_bytes += bytes;
+    // Port cycles: max_collisions serialized passes, each a lock/update/
+    // unlock RMW sequence through the banked port.
+    stats_.shared_transactions += static_cast<std::uint64_t>(
+        spec_.shared_atomic_port_passes *
+        static_cast<double>(max_collisions));
+    return spec_.lat_shared_atomic +
+           static_cast<double>(max_collisions - 1) *
+               spec_.extra_shared_atomic;
+  }
+
+  /// Warp-wide register exchange. All live lanes must participate.
+  double issue_shuffle(WarpRunner& warp, const LaneGroup& /*lanes*/,
+                       std::size_t n) {
+    int live = 0;
+    for (int i = 0; i < warp.lane_count; ++i)
+      if (!lanes_[static_cast<std::size_t>(warp.first_lane + i)].done)
+        ++live;
+    check(static_cast<int>(n) == live,
+          "shuffle issued while some live lanes of the warp are not "
+          "participating (divergent shuffle is undefined)");
+    // Snapshot staging so later deposits don't race earlier reads.
+    std::copy(std::begin(warp.state.shfl_staging),
+              std::end(warp.state.shfl_staging),
+              std::begin(warp.state.shfl_result));
+    return spec_.lat_shuffle;
+  }
+
+  const DeviceSpec& spec_;
+  const LaunchConfig& cfg_;
+  SetAssocCache& l2_;
+  KernelStats& stats_;
+  SetAssocCache roc_;
+  std::unordered_set<std::uintptr_t> atomic_lines_;
+  std::vector<std::byte> shared_arena_;
+  std::vector<Lane> lanes_;
+  std::vector<WarpRunner> warps_;
+  int live_ = 0;
+  double pending_arith_max_ = 0.0;
+  double pending_control_max_ = 0.0;
+};
+
+}  // namespace
+
+Device::Device(DeviceSpec spec)
+    : spec_(std::move(spec)),
+      l2_(spec_.l2_bytes, spec_.l2_ways, spec_.line_bytes) {}
+
+KernelStats Device::launch(const LaunchConfig& cfg, const KernelBody& body) {
+  check(cfg.grid_dim > 0, "launch: grid_dim must be positive");
+  check(cfg.block_dim > 0 &&
+            cfg.block_dim <= spec_.max_threads_per_block,
+        "launch: block_dim out of range");
+  check(cfg.shared_bytes <= spec_.shared_mem_per_block_cap,
+        "launch: shared_bytes exceeds per-block cap");
+
+  KernelStats stats;
+  stats.grid_dim = cfg.grid_dim;
+  stats.block_dim = cfg.block_dim;
+  stats.shared_bytes_per_block = cfg.shared_bytes;
+  stats.regs_per_thread = cfg.regs_per_thread;
+  stats.launches = 1;
+
+  BlockExecutor exec(spec_, cfg, l2_, stats);
+  for (int b = 0; b < cfg.grid_dim; ++b) exec.run(b, body);
+  return stats;
+}
+
+}  // namespace tbs::vgpu

@@ -1,0 +1,44 @@
+// Device — the top-level simulated GPU: owns the L2 / read-only cache
+// simulators and runs kernel launches block by block, warp-lockstep.
+#pragma once
+
+#include <functional>
+
+#include "vgpu/cache.hpp"
+#include "vgpu/coro.hpp"
+#include "vgpu/ctx.hpp"
+#include "vgpu/spec.hpp"
+#include "vgpu/stats.hpp"
+
+namespace tbs::vgpu {
+
+/// Factory invoked once per simulated thread; returns the lane's coroutine.
+/// Typical use: a lambda capturing the kernel's buffers by reference.
+using KernelBody = std::function<KernelTask(ThreadCtx&)>;
+
+/// The simulated GPU. Deterministic and single-threaded: launches execute
+/// blocks sequentially, but the *cost model* accounts for them as if they
+/// ran concurrently across SMs (see perfmodel::KernelTimeModel).
+class Device {
+ public:
+  explicit Device(DeviceSpec spec = DeviceSpec{});
+
+  [[nodiscard]] const DeviceSpec& spec() const noexcept { return spec_; }
+
+  /// Run a kernel over cfg.grid_dim blocks of cfg.block_dim threads.
+  /// Returns the exact execution counters (the profiler view).
+  ///
+  /// Throws CheckError on launch misconfiguration, on kernel deadlock
+  /// (barrier that can never be satisfied), and propagates any exception a
+  /// kernel body throws.
+  KernelStats launch(const LaunchConfig& cfg, const KernelBody& body);
+
+  /// Drop all cached lines in L2 (e.g. between unrelated experiments).
+  void flush_caches() { l2_.invalidate(); }
+
+ private:
+  DeviceSpec spec_;
+  SetAssocCache l2_;
+};
+
+}  // namespace tbs::vgpu

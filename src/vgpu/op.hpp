@@ -1,0 +1,53 @@
+// Pending-operation descriptors exchanged between kernel coroutines and the
+// warp scheduler.
+//
+// A kernel coroutine suspends at every memory access / barrier / shuffle and
+// leaves one of these in its ThreadCtx slot; the executor gathers the 32
+// descriptors of a warp, analyzes them as a single SIMT instruction
+// (coalescing, bank conflicts, atomic collisions) and charges cycle cost
+// before resuming the lanes.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace tbs::vgpu {
+
+/// Kind of suspended operation.
+enum class OpKind : std::uint8_t {
+  None = 0,
+  GlobalLoad,
+  GlobalStore,
+  GlobalAtomic,
+  RocLoad,       ///< load through the read-only data cache path
+  SharedLoad,
+  SharedStore,
+  SharedAtomic,
+  Shuffle,
+  Barrier,
+};
+
+/// True for ops whose addresses live in the per-block shared arena.
+constexpr bool is_shared_op(OpKind k) noexcept {
+  return k == OpKind::SharedLoad || k == OpKind::SharedStore ||
+         k == OpKind::SharedAtomic;
+}
+
+/// True for ops that touch global memory (directly or via a cache).
+constexpr bool is_global_op(OpKind k) noexcept {
+  return k == OpKind::GlobalLoad || k == OpKind::GlobalStore ||
+         k == OpKind::GlobalAtomic || k == OpKind::RocLoad;
+}
+
+/// One lane's suspended operation. Up to three addresses so that a 3-D point
+/// (SoA x/y/z) can be fetched as one logical instruction.
+struct PendingOp {
+  OpKind kind = OpKind::None;
+  std::uint8_t n_addr = 0;
+  std::uint16_t elem_bytes = 0;            ///< bytes per address
+  std::array<std::uintptr_t, 3> addr{};    ///< byte addresses
+  int shuffle_src = 0;                     ///< source lane for Shuffle
+};
+
+}  // namespace tbs::vgpu

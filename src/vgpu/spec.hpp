@@ -1,0 +1,96 @@
+// Device specification for the simulated GPU.
+//
+// Defaults model the paper's testbed, an NVIDIA GTX Titan X (Maxwell,
+// GM200). Latency constants are the ones the paper itself cites from
+// micro-benchmarking studies [20][21]: ~350 cycles global memory, ~92 cycles
+// read-only data cache, ~28 cycles shared memory.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace tbs::vgpu {
+
+/// Static hardware description; all latencies in core clock cycles, all
+/// bandwidths in bytes per second.
+struct DeviceSpec {
+  std::string name = "sim-titan-x";
+
+  // Compute organization.
+  int sm_count = 24;               ///< GM200: 24 SMs
+  int warp_size = 32;
+  int max_threads_per_block = 1024;
+  int max_threads_per_sm = 2048;   ///< 64 resident warps
+  int max_blocks_per_sm = 32;
+  std::size_t shared_mem_per_sm = 96 * 1024;     ///< paper Sec. III-A
+  std::size_t shared_mem_per_block_cap = 48 * 1024;
+  long regs_per_sm = 65536;
+
+  double core_clock_hz = 1.0e9;
+  /// Fraction of full occupancy below which throughput units (arith,
+  /// shared port, tex) can no longer be kept fed: with long memory
+  /// latencies per warp instruction, an SM needs most of its 64 resident
+  /// warp slots filled before a unit saturates. Below this knee, unit
+  /// throughput degrades proportionally — the mechanism behind the
+  /// paper's Fig. 5 step function.
+  double saturation_occupancy = 0.75;
+  /// Sustained scalar-op issue rate per SM, in warp-ops per cycle (i.e. a
+  /// warp-wide scalar op retires every 1/ipc cycles). 2.0 reflects the
+  /// mul/add/special mix of distance kernels on Maxwell.
+  double arith_ipc_per_sm = 2.0;
+  /// Read-only-cache (texture) request throughput per SM, in warp-level
+  /// segment requests per cycle. Maxwell's 4 tex units serve well under
+  /// half the request rate of the 32-bank shared port — this is what makes
+  /// Register-ROC the slowest cached 2-PCF kernel (paper Fig. 2) while
+  /// Reg-ROC-Out still wins for SDH by moving tile traffic off the
+  /// atomics-contended shared port (paper Fig. 4).
+  double roc_requests_per_cycle = 0.4;
+  /// L2 slices that can service atomics in parallel.
+  int l2_slices = 24;
+  /// L2-slice busy cycles per global atomic RMW.
+  double l2_atomic_cycles = 2.0;
+
+  // Latencies (cycles) — the paper's constants.
+  double lat_global = 350.0;       ///< DRAM round trip
+  double lat_l2 = 190.0;           ///< L2 hit
+  double lat_roc = 92.0;           ///< read-only data cache hit
+  double lat_shared = 28.0;        ///< shared memory
+  double lat_global_atomic = 510.0;
+  double lat_shared_atomic = 38.0;
+  double lat_shuffle = 2.0;
+  double lat_barrier = 4.0;
+  /// Extra cycles per additional coalescing segment / bank-conflict replay /
+  /// atomic serialization step.
+  double extra_segment = 16.0;
+  double extra_bank_conflict = 4.0;
+  double extra_shared_atomic = 4.0;
+  double extra_global_atomic = 180.0;
+  /// Shared-port busy cycles per serialized shared-atomic pass: Maxwell
+  /// implements shared atomics as lock / update / unlock sequences.
+  double shared_atomic_port_passes = 4.0;
+
+  // Bandwidths (bytes/sec), device aggregate.
+  double bw_global = 336.5e9;      ///< Titan X DRAM
+  double bw_l2 = 450.0e9;
+  double bw_roc = 1.0e12;          ///< paper: ~1 TB/s
+  double bw_shared = 3.0e12;       ///< paper: ~3 TB/s
+
+  // Cache geometry for the functional cache simulators.
+  std::size_t line_bytes = 128;
+  std::size_t l2_bytes = 3 * 1024 * 1024;
+  int l2_ways = 16;
+  std::size_t roc_bytes_per_sm = 24 * 1024;
+  int roc_ways = 8;
+};
+
+/// Kernel launch configuration (grid of blocks of threads + dynamic shared
+/// memory per block), mirroring CUDA's <<<grid, block, shmem>>>.
+struct LaunchConfig {
+  int grid_dim = 1;
+  int block_dim = 32;
+  std::size_t shared_bytes = 0;
+  /// Registers per thread, used only by the occupancy model.
+  int regs_per_thread = 32;
+};
+
+}  // namespace tbs::vgpu

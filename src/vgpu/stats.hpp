@@ -1,0 +1,132 @@
+// Kernel execution counters collected by the executor.
+//
+// These play the role the NVIDIA Visual Profiler plays in the paper: every
+// table/figure about utilization or achieved bandwidth is derived from this
+// struct through perfmodel::KernelTimeModel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+namespace tbs::vgpu {
+
+/// Well-known phase ids used by the 2-BS kernels (see ThreadCtx::mark_phase).
+enum class Phase : int {
+  Setup = 0,       ///< tile loads / initialization
+  InterBlock = 1,  ///< L-vs-R distance computations
+  IntraBlock = 2,  ///< triangular within-L computations
+  Output = 3,      ///< result write-back / reduction
+};
+
+/// Aggregated counters for one kernel launch (or several merged launches).
+struct KernelStats {
+  // --- per-lane operation counts -----------------------------------------
+  std::uint64_t global_loads = 0;
+  std::uint64_t global_stores = 0;
+  std::uint64_t global_atomics = 0;
+  std::uint64_t roc_loads = 0;
+  std::uint64_t shared_loads = 0;
+  std::uint64_t shared_stores = 0;
+  std::uint64_t shared_atomics = 0;
+  std::uint64_t shuffles = 0;
+  std::uint64_t barriers = 0;
+
+  // --- memory traffic ------------------------------------------------------
+  std::uint64_t dram_bytes = 0;      ///< served by DRAM (L2 misses)
+  std::uint64_t l2_bytes = 0;        ///< served by L2 (hits)
+  std::uint64_t roc_hit_bytes = 0;   ///< useful bytes served by the ROC
+  std::uint64_t roc_port_cycles = 0; ///< tex-unit request slots consumed
+  std::uint64_t shared_bytes = 0;    ///< shared-memory traffic
+  std::uint64_t global_transactions = 0;  ///< coalesced segment count
+  std::uint64_t shared_transactions = 0;
+
+  // --- hazards ---------------------------------------------------------------
+  std::uint64_t bank_conflict_extra = 0;     ///< replays due to bank conflicts
+  std::uint64_t atomic_collision_extra = 0;  ///< serialization steps
+  /// L2-slice busy cycles consumed by global atomics (device-wide resource).
+  double global_atomic_port_cycles = 0.0;
+  /// Distinct cache lines global atomics touched (bounds slice parallelism).
+  std::uint64_t atomic_distinct_lines = 0;
+
+  // --- SIMD efficiency / divergence -----------------------------------------
+  std::uint64_t warp_instructions = 0;   ///< warp-level op groups issued
+  std::uint64_t active_lane_slots = 0;   ///< lanes participating
+  std::uint64_t possible_lane_slots = 0; ///< warp_instructions * warp_size
+
+  // --- arithmetic / control --------------------------------------------------
+  double arith_ops = 0.0;          ///< scalar flop-ish operations (per lane)
+  double arith_warp_cycles = 0.0;  ///< SIMD-folded cycles (max over lanes)
+  double control_ops = 0.0;        ///< branch/loop bookkeeping ops (per lane)
+  double control_warp_cycles = 0.0;
+
+  // --- simulated time ---------------------------------------------------------
+  double total_warp_cycles = 0.0;  ///< sum over warps of serial warp cycles
+  double max_block_cycles = 0.0;
+  std::map<int, double> phase_cycles;  ///< per-Phase warp-cycle totals
+
+  // --- launch configuration echo ----------------------------------------------
+  int grid_dim = 0;
+  int block_dim = 0;
+  std::size_t shared_bytes_per_block = 0;
+  int regs_per_thread = 0;
+  std::uint64_t launches = 0;
+
+  /// Fraction of SIMD lane slots doing useful work (1.0 = divergence-free).
+  [[nodiscard]] double simd_efficiency() const {
+    return possible_lane_slots == 0
+               ? 1.0
+               : static_cast<double>(active_lane_slots) /
+                     static_cast<double>(possible_lane_slots);
+  }
+
+  /// Cycles attributed to one phase (0 if the kernel never marked it).
+  [[nodiscard]] double phase(Phase p) const {
+    const auto it = phase_cycles.find(static_cast<int>(p));
+    return it == phase_cycles.end() ? 0.0 : it->second;
+  }
+
+  /// Combine counters from another launch (e.g. main kernel + reduction).
+  void merge(const KernelStats& o) {
+    global_loads += o.global_loads;
+    global_stores += o.global_stores;
+    global_atomics += o.global_atomics;
+    roc_loads += o.roc_loads;
+    shared_loads += o.shared_loads;
+    shared_stores += o.shared_stores;
+    shared_atomics += o.shared_atomics;
+    shuffles += o.shuffles;
+    barriers += o.barriers;
+    dram_bytes += o.dram_bytes;
+    l2_bytes += o.l2_bytes;
+    roc_hit_bytes += o.roc_hit_bytes;
+    roc_port_cycles += o.roc_port_cycles;
+    shared_bytes += o.shared_bytes;
+    global_transactions += o.global_transactions;
+    shared_transactions += o.shared_transactions;
+    bank_conflict_extra += o.bank_conflict_extra;
+    atomic_collision_extra += o.atomic_collision_extra;
+    global_atomic_port_cycles += o.global_atomic_port_cycles;
+    atomic_distinct_lines += o.atomic_distinct_lines;
+    warp_instructions += o.warp_instructions;
+    active_lane_slots += o.active_lane_slots;
+    possible_lane_slots += o.possible_lane_slots;
+    arith_ops += o.arith_ops;
+    arith_warp_cycles += o.arith_warp_cycles;
+    control_ops += o.control_ops;
+    control_warp_cycles += o.control_warp_cycles;
+    total_warp_cycles += o.total_warp_cycles;
+    max_block_cycles = std::max(max_block_cycles, o.max_block_cycles);
+    for (const auto& [k, v] : o.phase_cycles) phase_cycles[k] += v;
+    launches += o.launches;
+    // Keep the primary kernel's config (the first non-empty one).
+    if (grid_dim == 0) {
+      grid_dim = o.grid_dim;
+      block_dim = o.block_dim;
+      shared_bytes_per_block = o.shared_bytes_per_block;
+      regs_per_thread = o.regs_per_thread;
+    }
+  }
+};
+
+}  // namespace tbs::vgpu

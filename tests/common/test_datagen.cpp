@@ -1,0 +1,94 @@
+#include "common/datagen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tbs {
+namespace {
+
+TEST(UniformBox, SizeAndBounds) {
+  const auto pts = uniform_box(1000, 25.0f, 1);
+  ASSERT_EQ(pts.size(), 1000u);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Point3 p = pts[i];
+    EXPECT_GE(p.x, 0.0f);
+    EXPECT_LT(p.x, 25.0f);
+    EXPECT_GE(p.y, 0.0f);
+    EXPECT_LT(p.y, 25.0f);
+    EXPECT_GE(p.z, 0.0f);
+    EXPECT_LT(p.z, 25.0f);
+  }
+}
+
+TEST(UniformBox, DeterministicPerSeed) {
+  const auto a = uniform_box(100, 10.0f, 42);
+  const auto b = uniform_box(100, 10.0f, 42);
+  const auto c = uniform_box(100, 10.0f, 43);
+  EXPECT_EQ(a[50], b[50]);
+  EXPECT_NE(a[50], c[50]);
+}
+
+TEST(UniformBox, RejectsNonPositiveBox) {
+  EXPECT_THROW((void)uniform_box(10, 0.0f, 1), CheckError);
+}
+
+TEST(GaussianClusters, StaysInsideBox) {
+  const auto pts = gaussian_clusters(2000, 5, 50.0f, 2.0f, 7);
+  ASSERT_EQ(pts.size(), 2000u);
+  const auto [lo, hi] = pts.bounding_box();
+  EXPECT_GE(lo.x, 0.0f);
+  EXPECT_LE(hi.x, 50.0f);
+}
+
+TEST(GaussianClusters, IsActuallyClustered) {
+  // Mean nearest-neighbour distance of clustered data should be far below
+  // that of uniform data at equal density.
+  const std::size_t n = 500;
+  const auto clustered = gaussian_clusters(n, 3, 100.0f, 1.0f, 11);
+  const auto uniform = uniform_box(n, 100.0f, 11);
+  const auto mean_nn = [](const PointsSoA& pts) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      float best = std::numeric_limits<float>::max();
+      for (std::size_t j = 0; j < pts.size(); ++j)
+        if (j != i) best = std::min(best, dist2(pts[i], pts[j]));
+      sum += std::sqrt(best);
+    }
+    return sum / static_cast<double>(pts.size());
+  };
+  EXPECT_LT(mean_nn(clustered), 0.5 * mean_nn(uniform));
+}
+
+TEST(HardcoreGas, RespectsMinimumSeparation) {
+  const float min_dist = 1.5f;
+  const auto pts = hardcore_gas(300, 20.0f, min_dist, 3);
+  ASSERT_EQ(pts.size(), 300u);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    for (std::size_t j = i + 1; j < pts.size(); ++j)
+      ASSERT_GE(dist(pts[i], pts[j]), min_dist);
+}
+
+TEST(HardcoreGas, RejectsInfeasiblePacking) {
+  EXPECT_THROW((void)hardcore_gas(100000, 5.0f, 2.0f, 1), CheckError);
+}
+
+TEST(JitteredLattice, SizeAndJitterBound) {
+  const auto pts = jittered_lattice(1000, 10.0f, 0.05f, 5);
+  ASSERT_EQ(pts.size(), 1000u);
+  // 10 sites per axis, spacing 1.0: nearest neighbour ~ 1.0 +- 2*jitter.
+  float min_d = std::numeric_limits<float>::max();
+  for (std::size_t i = 0; i < 100; ++i)
+    for (std::size_t j = i + 1; j < 100; ++j)
+      min_d = std::min(min_d, dist(pts[i], pts[j]));
+  EXPECT_GT(min_d, 1.0f - 0.2f);
+}
+
+TEST(JitteredLattice, ZeroJitterIsExactLattice) {
+  const auto a = jittered_lattice(27, 3.0f, 0.0f, 1);
+  const auto b = jittered_lattice(27, 3.0f, 0.0f, 99);
+  for (std::size_t i = 0; i < 27; ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace tbs

@@ -1,0 +1,83 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/datagen.hpp"
+#include "common/error.hpp"
+
+namespace tbs {
+namespace {
+
+TEST(Histogram, BucketMappingAndClamp) {
+  Histogram h(0.5, 4);  // [0, 2)
+  EXPECT_EQ(h.bucket_of(0.0), 0u);
+  EXPECT_EQ(h.bucket_of(0.49), 0u);
+  EXPECT_EQ(h.bucket_of(0.5), 1u);
+  EXPECT_EQ(h.bucket_of(1.99), 3u);
+  EXPECT_EQ(h.bucket_of(7.0), 3u);  // clamps into last bucket
+}
+
+TEST(Histogram, AddAndTotal) {
+  Histogram h(1.0, 3);
+  h.add(0.5);
+  h.add(1.5, 4);
+  h.add(99.0);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[1], 4u);
+  EXPECT_EQ(h[2], 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a(1.0, 2), b(1.0, 2);
+  a.add(0.1);
+  b.add(0.2);
+  b.add(1.2);
+  a.merge(b);
+  EXPECT_EQ(a[0], 2u);
+  EXPECT_EQ(a[1], 1u);
+}
+
+TEST(Histogram, MergeRejectsGeometryMismatch) {
+  Histogram a(1.0, 2), b(0.5, 2), c(1.0, 3);
+  EXPECT_THROW(a.merge(b), CheckError);
+  EXPECT_THROW(a.merge(c), CheckError);
+}
+
+TEST(Histogram, ConstructionValidation) {
+  EXPECT_THROW(Histogram(0.0, 4), CheckError);
+  EXPECT_THROW(Histogram(1.0, 0), CheckError);
+}
+
+TEST(Histogram, SetCount) {
+  Histogram h(1.0, 2);
+  h.set_count(1, 42);
+  EXPECT_EQ(h[1], 42u);
+  EXPECT_THROW(h.set_count(5, 1), std::out_of_range);
+}
+
+TEST(RadialDistribution, IdealGasIsNearUnity) {
+  // Uniform points => g(r) ~ 1 away from r=0 and boundary effects.
+  const std::size_t n = 3000;
+  const double box = 20.0;
+  const auto pts = uniform_box(n, static_cast<float>(box), 17);
+  Histogram sdh(0.25, 16);  // r in [0, 4): small vs box => edge effects mild
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      sdh.add(dist(pts[i], pts[j]));
+  const auto g = radial_distribution(sdh, n, box);
+  // Skip the first buckets (few pairs, noisy) and the tail: the last
+  // bucket absorbs all clamped distances and the outer shells feel the
+  // non-periodic box's edge deficit.
+  for (std::size_t b = 2; b + 4 < g.size(); ++b)
+    EXPECT_NEAR(g[b], 1.0, 0.3) << "bucket " << b;
+}
+
+TEST(RadialDistribution, ValidatesInputs) {
+  Histogram h(1.0, 4);
+  EXPECT_THROW((void)radial_distribution(h, 1, 10.0), CheckError);
+  EXPECT_THROW((void)radial_distribution(h, 10, 0.0), CheckError);
+}
+
+}  // namespace
+}  // namespace tbs

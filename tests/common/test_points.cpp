@@ -1,0 +1,75 @@
+#include "common/points.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tbs {
+namespace {
+
+TEST(Points, Dist2AndDist) {
+  const Point3 a{0, 0, 0};
+  const Point3 b{3, 4, 0};
+  EXPECT_FLOAT_EQ(dist2(a, b), 25.0f);
+  EXPECT_FLOAT_EQ(dist(a, b), 5.0f);
+  EXPECT_FLOAT_EQ(dist(a, a), 0.0f);
+}
+
+TEST(PointsSoA, PushBackAndIndex) {
+  PointsSoA pts;
+  pts.push_back({1, 2, 3});
+  pts.push_back({4, 5, 6});
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0], (Point3{1, 2, 3}));
+  EXPECT_EQ(pts[1], (Point3{4, 5, 6}));
+}
+
+TEST(PointsSoA, SoALayoutIsPerCoordinate) {
+  PointsSoA pts;
+  pts.push_back({1, 2, 3});
+  pts.push_back({4, 5, 6});
+  EXPECT_FLOAT_EQ(pts.x()[0], 1.0f);
+  EXPECT_FLOAT_EQ(pts.x()[1], 4.0f);
+  EXPECT_FLOAT_EQ(pts.y()[0], 2.0f);
+  EXPECT_FLOAT_EQ(pts.z()[1], 6.0f);
+}
+
+TEST(PointsSoA, SetOverwrites) {
+  PointsSoA pts(3);
+  pts.set(1, {7, 8, 9});
+  EXPECT_EQ(pts[1], (Point3{7, 8, 9}));
+  EXPECT_EQ(pts[0], (Point3{0, 0, 0}));
+}
+
+TEST(PointsSoA, BoundingBox) {
+  PointsSoA pts;
+  pts.push_back({0, 5, -1});
+  pts.push_back({2, -3, 4});
+  pts.push_back({1, 1, 1});
+  const auto [lo, hi] = pts.bounding_box();
+  EXPECT_EQ(lo, (Point3{0, -3, -1}));
+  EXPECT_EQ(hi, (Point3{2, 5, 4}));
+}
+
+TEST(PointsSoA, BoundingBoxOfEmptyThrows) {
+  PointsSoA pts;
+  EXPECT_THROW((void)pts.bounding_box(), CheckError);
+}
+
+TEST(PointsSoA, MaxPossibleDistanceIsDiagonal) {
+  PointsSoA pts;
+  pts.push_back({0, 0, 0});
+  pts.push_back({1, 1, 1});
+  EXPECT_NEAR(pts.max_possible_distance(), std::sqrt(3.0f), 1e-6);
+}
+
+TEST(PointsSoA, ResizeAndClear) {
+  PointsSoA pts(5);
+  pts.resize(2);
+  EXPECT_EQ(pts.size(), 2u);
+  pts.clear();
+  EXPECT_TRUE(pts.empty());
+}
+
+}  // namespace
+}  // namespace tbs

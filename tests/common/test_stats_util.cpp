@@ -1,0 +1,46 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace tbs {
+namespace {
+
+TEST(StatsUtil, Mean) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_THROW((void)mean(std::vector<double>{}), CheckError);
+}
+
+TEST(StatsUtil, Stddev) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(stddev(v), 2.138, 0.01);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(StatsUtil, Geomean) {
+  const std::vector<double> v{1, 4, 16};
+  EXPECT_NEAR(geomean(v), 4.0, 1e-9);
+  EXPECT_THROW((void)geomean(std::vector<double>{1.0, -1.0}), CheckError);
+}
+
+TEST(StatsUtil, RelDiff) {
+  EXPECT_DOUBLE_EQ(rel_diff(10.0, 10.0), 0.0);
+  EXPECT_NEAR(rel_diff(10.0, 11.0), 1.0 / 11.0, 1e-12);
+  EXPECT_NEAR(rel_diff(0.0, 0.0), 0.0, 1e-12);
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer t;
+  const double a = t.seconds();
+  EXPECT_GE(a, 0.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace tbs

@@ -1,0 +1,64 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tbs {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "v"});
+  t.add_row({"a", "1.5"});
+  t.add_row({"longer-name", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // All lines of the body share the same column offset for 'v' values.
+  const auto pos1 = out.find("1.5");
+  const auto pos2 = out.find("2", pos1);
+  ASSERT_NE(pos1, std::string::npos);
+  ASSERT_NE(pos2, std::string::npos);
+}
+
+TEST(TextTable, RejectsBadRowWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), CheckError);
+}
+
+TEST(TextTable, NumFormatsWithPrecision) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(AsciiChart, RendersWithoutCrashingAndShowsLegend) {
+  std::ostringstream os;
+  print_ascii_chart(os, "test", {1, 2, 3, 4},
+                    {{"up", {1, 2, 3, 4}}, {"down", {4, 3, 2, 1}}},
+                    /*log_y=*/false);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("legend"), std::string::npos);
+  EXPECT_NE(out.find("up"), std::string::npos);
+  EXPECT_NE(out.find("down"), std::string::npos);
+}
+
+TEST(AsciiChart, HandlesLogScaleAndEmptyInput) {
+  std::ostringstream os;
+  print_ascii_chart(os, "empty", {}, {}, true);
+  EXPECT_TRUE(os.str().empty());
+  print_ascii_chart(os, "log", {1, 10}, {{"s", {0.001, 1000.0}}}, true);
+  EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace tbs

@@ -1,0 +1,104 @@
+#include "core/angular.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "vgpu/device.hpp"
+
+namespace tbs::core {
+namespace {
+
+TEST(RandomSphere, PointsAreUnitNorm) {
+  const auto dirs = random_sphere(500, 401);
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    const Point3 p = dirs[i];
+    EXPECT_NEAR(p.x * p.x + p.y * p.y + p.z * p.z, 1.0f, 1e-5);
+  }
+}
+
+TEST(RandomSphere, MeanIsNearOrigin) {
+  const auto dirs = random_sphere(20000, 402);
+  double mx = 0, my = 0, mz = 0;
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    mx += dirs[i].x;
+    my += dirs[i].y;
+    mz += dirs[i].z;
+  }
+  const double n = static_cast<double>(dirs.size());
+  EXPECT_NEAR(mx / n, 0.0, 0.02);
+  EXPECT_NEAR(my / n, 0.0, 0.02);
+  EXPECT_NEAR(mz / n, 0.0, 0.02);
+}
+
+TEST(ClusteredSphere, UnitNormAndClustered) {
+  const auto dirs = clustered_sphere(1000, 4, 0.05, 403);
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    const Point3 p = dirs[i];
+    ASSERT_NEAR(p.x * p.x + p.y * p.y + p.z * p.z, 1.0f, 1e-5);
+  }
+}
+
+TEST(AngularCorrelation, MatchesCpuReference) {
+  const auto dirs = random_sphere(500, 404);
+  const int buckets = 24;
+  vgpu::Device dev;
+  const auto result = run_angular_correlation(dev, dirs, buckets, 128);
+
+  std::vector<std::uint64_t> expected(buckets, 0);
+  const double scale = buckets / std::numbers::pi;
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    const Point3 a = dirs[i];
+    for (std::size_t j = i + 1; j < dirs.size(); ++j) {
+      const Point3 b = dirs[j];
+      const float dot =
+          std::clamp(a.x * b.x + a.y * b.y + a.z * b.z, -1.0f, 1.0f);
+      const int idx = std::min(
+          static_cast<int>(std::acos(dot) * scale), buckets - 1);
+      ++expected[static_cast<std::size_t>(idx)];
+    }
+  }
+  ASSERT_EQ(result.counts.size(), expected.size());
+  for (int b = 0; b < buckets; ++b)
+    EXPECT_EQ(result.counts[static_cast<std::size_t>(b)],
+              expected[static_cast<std::size_t>(b)])
+        << "bucket " << b;
+}
+
+TEST(AngularCorrelation, IsotropicCatalogFollowsSinTheta) {
+  // For uniform directions, P(theta) ~ sin(theta)/2: the histogram must
+  // peak near 90 degrees and vanish at the poles.
+  const auto dirs = random_sphere(2000, 405);
+  const int buckets = 18;  // 10-degree bins
+  vgpu::Device dev;
+  const auto r = run_angular_correlation(dev, dirs, buckets, 128);
+  const std::uint64_t mid = r.counts[9];   // ~90-100 deg
+  const std::uint64_t pole = r.counts[0];  // 0-10 deg
+  EXPECT_GT(mid, 5 * pole);
+  std::uint64_t total = 0;
+  for (const auto c : r.counts) total += c;
+  EXPECT_EQ(total, dirs.size() * (dirs.size() - 1) / 2);
+}
+
+TEST(AngularCorrelation, ClusteredCatalogHasSmallAngleExcess) {
+  const std::size_t n = 1500;
+  vgpu::Device dev;
+  const auto clustered =
+      run_angular_correlation(dev, clustered_sphere(n, 10, 0.03, 406), 36);
+  const auto uniform =
+      run_angular_correlation(dev, random_sphere(n, 406), 36);
+  // First bin (< 5 degrees): clustered must massively exceed uniform.
+  EXPECT_GT(clustered.counts[0], 20 * std::max<std::uint64_t>(
+                                          uniform.counts[0], 1));
+}
+
+TEST(AngularCorrelation, ValidatesBuckets) {
+  vgpu::Device dev;
+  const auto dirs = random_sphere(64, 407);
+  EXPECT_THROW((void)run_angular_correlation(dev, dirs, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace tbs::core

@@ -1,0 +1,61 @@
+#include "core/problem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tbs::core {
+namespace {
+
+vgpu::DeviceSpec spec() { return vgpu::DeviceSpec{}; }
+
+TEST(Classify, ScalarOutputIsTypeI) {
+  OutputShape s;
+  s.bytes_per_thread = 4;  // a pair counter
+  EXPECT_EQ(classify(s, spec()), OutputClass::RegisterResident);
+}
+
+TEST(Classify, SmallKnnListIsTypeI) {
+  OutputShape s;
+  s.bytes_per_thread = 32;  // 8 floats
+  EXPECT_EQ(classify(s, spec()), OutputClass::RegisterResident);
+}
+
+TEST(Classify, HistogramIsTypeII) {
+  OutputShape s;
+  s.bytes_per_thread = 0;
+  s.bytes_per_block = 4 * 2048;  // 2048-bucket histogram
+  s.commutative = true;
+  EXPECT_EQ(classify(s, spec()), OutputClass::SharedResident);
+}
+
+TEST(Classify, HugeHistogramFallsToTypeIII) {
+  OutputShape s;
+  s.bytes_per_block = 1024 * 1024;  // 256k buckets: no shared fit
+  s.commutative = true;
+  EXPECT_EQ(classify(s, spec()), OutputClass::GlobalResident);
+}
+
+TEST(Classify, NonCommutativeOutputIsTypeIII) {
+  OutputShape s;
+  s.bytes_per_block = 1024;  // would fit, but emits can't be reduced
+  s.commutative = false;
+  EXPECT_EQ(classify(s, spec()), OutputClass::GlobalResident);
+}
+
+TEST(Classify, LargePerThreadStateIsNotTypeI) {
+  OutputShape s;
+  s.bytes_per_thread = 4096;  // k=1024 kNN list
+  s.bytes_per_block = 0;
+  EXPECT_EQ(classify(s, spec()), OutputClass::GlobalResident);
+}
+
+TEST(Classify, ToStringNames) {
+  EXPECT_STREQ(to_string(OutputClass::RegisterResident),
+               "Type-I (registers)");
+  EXPECT_STREQ(to_string(OutputClass::SharedResident),
+               "Type-II (shared memory)");
+  EXPECT_STREQ(to_string(OutputClass::GlobalResident),
+               "Type-III (global memory)");
+}
+
+}  // namespace
+}  // namespace tbs::core

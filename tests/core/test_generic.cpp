@@ -1,0 +1,159 @@
+// The generic 2-BS engine must reproduce every specialized kernel's
+// results when given the equivalent functor — that is the point of the
+// paper's framework vision.
+#include "core/generic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/datagen.hpp"
+#include "cpubase/cpu_stats.hpp"
+#include "kernels/distance.hpp"
+#include "kernels/pcf.hpp"
+#include "kernels/sdh.hpp"
+#include "vgpu/device.hpp"
+
+namespace tbs::core {
+namespace {
+
+TEST(GenericReduce, ReproducesPcf) {
+  const auto pts = uniform_box(777, 10.0f, 301);
+  const float r2 = 4.0f;
+  vgpu::Device dev;
+  const auto generic = run_generic_reduce(
+      dev, pts,
+      [r2](const Point3& a, const Point3& b) {
+        return dist2(a, b) < r2 ? 1.0 : 0.0;
+      },
+      kernels::kPcfPairOps, 128);
+  const auto specialized =
+      kernels::run_pcf(dev, pts, 2.0, kernels::PcfVariant::RegShm, 128);
+  EXPECT_DOUBLE_EQ(generic.value,
+                   static_cast<double>(specialized.pairs_within));
+}
+
+TEST(GenericReduce, SumsArbitraryPairFunction) {
+  // Sum of squared distances over all pairs, vs host brute force.
+  const auto pts = uniform_box(300, 5.0f, 302);
+  vgpu::Device dev;
+  const auto generic = run_generic_reduce(
+      dev, pts,
+      [](const Point3& a, const Point3& b) {
+        return static_cast<double>(dist2(a, b));
+      },
+      8.0, 64);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    for (std::size_t j = i + 1; j < pts.size(); ++j)
+      expected += dist2(pts[i], pts[j]);
+  EXPECT_NEAR(generic.value, expected, expected * 1e-9);
+}
+
+TEST(GenericReduce, RaggedSizesWork) {
+  const auto pts = uniform_box(389, 5.0f, 303);
+  vgpu::Device dev;
+  const auto count = run_generic_reduce(
+      dev, pts, [](const Point3&, const Point3&) { return 1.0; }, 1.0, 128);
+  EXPECT_DOUBLE_EQ(count.value, 389.0 * 388.0 / 2.0);
+}
+
+TEST(GenericHistogram, ReproducesSdh) {
+  const auto pts = uniform_box(512, 12.0f, 304);
+  const int buckets = 48;
+  const double width = pts.max_possible_distance() / buckets + 1e-4;
+  vgpu::Device dev;
+  const auto generic = run_generic_histogram(
+      dev, pts,
+      [width, buckets](const Point3& a, const Point3& b) {
+        return kernels::bucket_of(dist(a, b), width, buckets);
+      },
+      buckets, kernels::kSdhPairOps, 128);
+  const auto specialized = kernels::run_sdh(
+      dev, pts, width, buckets, kernels::SdhVariant::RegShmOut, 128);
+  ASSERT_EQ(generic.counts.size(), static_cast<std::size_t>(buckets));
+  for (int h = 0; h < buckets; ++h)
+    EXPECT_EQ(generic.counts[static_cast<std::size_t>(h)],
+              specialized.hist[static_cast<std::size_t>(h)])
+        << "bucket " << h;
+}
+
+TEST(GenericHistogram, ClampsOutOfRangeBuckets) {
+  PointsSoA pts;
+  pts.push_back({0, 0, 0});
+  pts.push_back({1, 0, 0});
+  pts.push_back({2, 0, 0});
+  vgpu::Device dev;
+  const auto r = run_generic_histogram(
+      dev, pts,
+      [](const Point3& a, const Point3& b) {
+        return static_cast<int>(dist(a, b) * 100.0f) - 50;  // wild values
+      },
+      4, 8.0, 32);
+  std::uint64_t total = 0;
+  for (const auto c : r.counts) total += c;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(GenericHistogram, RejectsOversizedHistogram) {
+  const auto pts = uniform_box(64, 5.0f, 305);
+  vgpu::Device dev;
+  EXPECT_THROW((void)run_generic_histogram(
+                   dev, pts,
+                   [](const Point3&, const Point3&) { return 0; }, 50000,
+                   8.0, 128),
+               CheckError);
+}
+
+TEST(GenericJoin, ReproducesDistanceJoin) {
+  const auto pts = uniform_box(400, 8.0f, 306);
+  const float r2 = 1.44f;
+  vgpu::Device dev;
+  const auto generic = run_generic_join(
+      dev, pts,
+      [r2](const Point3& a, const Point3& b) { return dist2(a, b) < r2; },
+      kernels::kPcfPairOps, 128);
+
+  cpubase::ThreadPool pool(1);
+  const auto expected = cpubase::cpu_distance_join(pool, pts, 1.2);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> got(
+      generic.pairs.begin(), generic.pairs.end());
+  std::set<std::pair<std::uint32_t, std::uint32_t>> want(expected.begin(),
+                                                         expected.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(GenericJoin, CustomPredicateSameOctant) {
+  // A non-distance join: pairs in the same octant of the box.
+  const auto pts = uniform_box(200, 2.0f, 307);
+  vgpu::Device dev;
+  const auto octant = [](const Point3& p) {
+    return (p.x >= 1.0f ? 1 : 0) | (p.y >= 1.0f ? 2 : 0) |
+           (p.z >= 1.0f ? 4 : 0);
+  };
+  const auto r = run_generic_join(
+      dev, pts,
+      [octant](const Point3& a, const Point3& b) {
+        return octant(a) == octant(b);
+      },
+      4.0, 64);
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    for (std::size_t j = i + 1; j < pts.size(); ++j)
+      if (octant(pts[i]) == octant(pts[j])) ++expected;
+  EXPECT_EQ(r.pairs.size(), expected);
+}
+
+TEST(GenericEngine, ChargesDeclaredArithmeticCost) {
+  const auto pts = uniform_box(256, 5.0f, 308);
+  vgpu::Device dev;
+  const auto cheap = run_generic_reduce(
+      dev, pts, [](const Point3&, const Point3&) { return 1.0; }, 1.0, 128);
+  const auto costly = run_generic_reduce(
+      dev, pts, [](const Point3&, const Point3&) { return 1.0; }, 100.0,
+      128);
+  EXPECT_GT(costly.stats.arith_ops, 50.0 * cheap.stats.arith_ops);
+}
+
+}  // namespace
+}  // namespace tbs::core

@@ -1,0 +1,97 @@
+#include "cpubase/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tbs::cpubase {
+namespace {
+
+class ScheduleParam : public ::testing::TestWithParam<Schedule> {};
+
+TEST_P(ScheduleParam, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10007;  // prime, exercises uneven chunking
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(pool, 0, kN, GetParam(),
+               [&](unsigned, std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i)
+                   hits[i].fetch_add(1, std::memory_order_relaxed);
+               },
+               64);
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST_P(ScheduleParam, HandlesOffsetRanges) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  parallel_for(pool, 100, 200, GetParam(),
+               [&](unsigned, std::size_t lo, std::size_t hi) {
+                 long local = 0;
+                 for (std::size_t i = lo; i < hi; ++i)
+                   local += static_cast<long>(i);
+                 sum.fetch_add(local);
+               },
+               7);
+  EXPECT_EQ(sum.load(), (100 + 199) * 100 / 2);
+}
+
+TEST_P(ScheduleParam, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallel_for(pool, 5, 5, GetParam(),
+               [&](unsigned, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedules, ScheduleParam,
+                         ::testing::Values(Schedule::Static,
+                                           Schedule::Dynamic,
+                                           Schedule::Guided));
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  int x = 0;
+  pool.run_on_all([&](unsigned id) {
+    EXPECT_EQ(id, 0u);
+    ++x;
+  });
+  EXPECT_EQ(x, 1);
+}
+
+TEST(ThreadPool, RunOnAllReachesEveryWorker) {
+  ThreadPool pool(6);
+  std::vector<std::atomic<int>> seen(6);
+  pool.run_on_all([&](unsigned id) { seen[id].fetch_add(1); });
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyRegions) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int rep = 0; rep < 50; ++rep)
+    pool.run_on_all([&](unsigned) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ParallelFor, RejectsBadArguments) {
+  ThreadPool pool(2);
+  const auto noop = [](unsigned, std::size_t, std::size_t) {};
+  EXPECT_THROW(parallel_for(pool, 5, 1, Schedule::Static, noop), CheckError);
+  EXPECT_THROW(parallel_for(pool, 0, 5, Schedule::Dynamic, noop, 0),
+               CheckError);
+}
+
+TEST(Schedule, ToStringNames) {
+  EXPECT_STREQ(to_string(Schedule::Static), "static");
+  EXPECT_STREQ(to_string(Schedule::Dynamic), "dynamic");
+  EXPECT_STREQ(to_string(Schedule::Guided), "guided");
+}
+
+}  // namespace
+}  // namespace tbs::cpubase

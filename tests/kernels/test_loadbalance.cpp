@@ -1,0 +1,88 @@
+// The Sec. IV-E1 load-balancing technique: correctness of the (t+j) mod B
+// pairing and its divergence-elimination claim.
+#include <gtest/gtest.h>
+
+#include "common/datagen.hpp"
+#include "kernels/sdh.hpp"
+#include "vgpu/device.hpp"
+
+namespace tbs::kernels {
+namespace {
+
+TEST(LoadBalance, PairingCoversEveryPairExactlyOnce) {
+  // Host-side check of the index scheme itself, for several block sizes.
+  for (const int b : {4, 8, 32, 64, 128}) {
+    std::vector<int> hits(static_cast<std::size_t>(b * b), 0);
+    const int half = b / 2;
+    for (int t = 0; t < b; ++t) {
+      for (int j = 1; j <= half; ++j) {
+        if (j == half && t >= half) break;
+        const int idx = t + j < b ? t + j : t + j - b;
+        const int lo = std::min(t, idx);
+        const int hi = std::max(t, idx);
+        ++hits[static_cast<std::size_t>(lo * b + hi)];
+      }
+    }
+    for (int lo = 0; lo < b; ++lo)
+      for (int hi = lo + 1; hi < b; ++hi)
+        EXPECT_EQ(hits[static_cast<std::size_t>(lo * b + hi)], 1)
+            << "B=" << b << " pair (" << lo << "," << hi << ")";
+  }
+}
+
+TEST(LoadBalance, IntraBlockPhaseIsFasterThanUnbalanced) {
+  // Single block => the whole kernel is the intra-block loop. The balanced
+  // kernel must beat the triangular one in simulated cycles (paper Fig. 7
+  // isolates exactly this phase).
+  const auto pts = uniform_box(1024, 10.0f, 31);
+  vgpu::Device dev;
+  const auto plain =
+      run_sdh(dev, pts, 0.5, 32, SdhVariant::RegShmOut, 1024).stats;
+  const auto lb =
+      run_sdh(dev, pts, 0.5, 32, SdhVariant::RegShmLb, 1024).stats;
+  EXPECT_LT(lb.phase(vgpu::Phase::IntraBlock),
+            plain.phase(vgpu::Phase::IntraBlock));
+  EXPECT_LT(lb.total_warp_cycles, plain.total_warp_cycles);
+}
+
+TEST(LoadBalance, BalancedIntraBlockIsDivergenceFree) {
+  const auto pts = uniform_box(512, 10.0f, 32);
+  vgpu::Device dev;
+  const auto plain =
+      run_sdh(dev, pts, 0.5, 32, SdhVariant::RegShmOut, 512).stats;
+  const auto lb =
+      run_sdh(dev, pts, 0.5, 32, SdhVariant::RegShmLb, 512).stats;
+  // All lanes run the same trip count in the balanced kernel, so its SIMD
+  // efficiency must be strictly higher than the triangular loop's.
+  EXPECT_GT(lb.simd_efficiency(), plain.simd_efficiency());
+  EXPECT_GT(lb.simd_efficiency(), 0.99);
+}
+
+TEST(LoadBalance, MultiBlockSpeedupIsModest) {
+  // With many blocks the intra-block phase is a small share of the work, so
+  // the end-to-end speedup should be small but real (paper: 1.04-1.14x).
+  const auto pts = uniform_box(2048, 10.0f, 33);
+  vgpu::Device dev;
+  const double plain =
+      run_sdh(dev, pts, 0.5, 32, SdhVariant::RegShmOut, 256)
+          .stats.total_warp_cycles;
+  const double lb = run_sdh(dev, pts, 0.5, 32, SdhVariant::RegShmLb, 256)
+                        .stats.total_warp_cycles;
+  const double speedup = plain / lb;
+  EXPECT_GT(speedup, 1.0);
+  EXPECT_LT(speedup, 1.5);
+}
+
+TEST(LoadBalance, FallsBackToTriangularOnRaggedBlock) {
+  // N not a multiple of B: the balanced path requires a full block, so the
+  // kernel must still produce correct results via the fallback loop.
+  const auto pts = uniform_box(700, 10.0f, 34);
+  vgpu::Device dev;
+  const auto lb = run_sdh(dev, pts, 0.5, 16, SdhVariant::RegShmLb, 256).hist;
+  const auto plain =
+      run_sdh(dev, pts, 0.5, 16, SdhVariant::RegShmOut, 256).hist;
+  EXPECT_EQ(lb, plain);
+}
+
+}  // namespace
+}  // namespace tbs::kernels

@@ -1,0 +1,99 @@
+#include "kernels/multi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/datagen.hpp"
+#include "common/error.hpp"
+#include "perfmodel/transfer.hpp"
+
+namespace tbs::kernels {
+namespace {
+
+TEST(MultiSdh, PartitionsSumToFullHistogram) {
+  const auto pts = uniform_box(700, 10.0f, 601);
+  const double w = 0.4;
+  vgpu::Device single;
+  const auto full =
+      run_sdh(single, pts, w, 32, SdhVariant::RegShmOut, 128).hist;
+
+  for (const int d : {2, 3, 4}) {
+    std::vector<vgpu::Device> devs(static_cast<std::size_t>(d));
+    const auto multi =
+        run_sdh_multi(devs, pts, w, 32, SdhVariant::RegShmOut, 128);
+    EXPECT_EQ(multi.hist, full) << d << " devices";
+  }
+}
+
+TEST(MultiSdh, RegRocVariantAlsoWorks) {
+  const auto pts = uniform_box(512, 10.0f, 602);
+  vgpu::Device single;
+  const auto full =
+      run_sdh(single, pts, 0.5, 16, SdhVariant::RegRocOut, 128).hist;
+  std::vector<vgpu::Device> devs(2);
+  const auto multi =
+      run_sdh_multi(devs, pts, 0.5, 16, SdhVariant::RegRocOut, 128);
+  EXPECT_EQ(multi.hist, full);
+}
+
+TEST(MultiSdh, WorkSplitsAcrossDevices) {
+  const auto pts = uniform_box(1024, 10.0f, 603);
+  std::vector<vgpu::Device> devs(2);
+  const auto multi =
+      run_sdh_multi(devs, pts, 0.4, 32, SdhVariant::RegShmOut, 128);
+  ASSERT_EQ(multi.per_device.size(), 2u);
+  const auto pairs = [](const vgpu::KernelStats& s) {
+    return s.shared_atomics;  // one shared atomic per pair
+  };
+  const std::uint64_t total = pairs(multi.per_device[0]) +
+                              pairs(multi.per_device[1]);
+  EXPECT_EQ(total, 1024ull * 1023 / 2);
+  // Round-robin ownership keeps the split within ~25% of even.
+  const double ratio = static_cast<double>(pairs(multi.per_device[0])) /
+                       static_cast<double>(total);
+  EXPECT_NEAR(ratio, 0.5, 0.25);
+}
+
+TEST(MultiSdh, MoreDevicesModelFasterKernels) {
+  const auto pts = uniform_box(2048, 10.0f, 604);
+  std::vector<vgpu::Device> one(1), four(4);
+  const auto t1 =
+      run_sdh_multi(one, pts, 0.4, 32, SdhVariant::RegShmOut, 128);
+  const auto t4 =
+      run_sdh_multi(four, pts, 0.4, 32, SdhVariant::RegShmOut, 128);
+  EXPECT_LT(t4.kernel_seconds, t1.kernel_seconds);
+  EXPECT_GT(t4.transfer_seconds, t1.transfer_seconds);  // replication cost
+}
+
+TEST(MultiSdh, PartitionedRunValidatesArguments) {
+  const auto pts = uniform_box(128, 5.0f, 605);
+  vgpu::Device dev;
+  EXPECT_THROW((void)run_sdh_partitioned(dev, pts, 0.5, 8,
+                                         SdhVariant::Naive, 64, 0, 2),
+               CheckError);
+  EXPECT_THROW((void)run_sdh_partitioned(dev, pts, 0.5, 8,
+                                         SdhVariant::RegShmOut, 64, 2, 2),
+               CheckError);
+  std::vector<vgpu::Device> none;
+  EXPECT_THROW((void)run_sdh_multi(none, pts, 0.5, 8,
+                                   SdhVariant::RegShmOut, 64),
+               CheckError);
+}
+
+TEST(TransferModel, LatencyPlusBandwidth) {
+  const perfmodel::TransferModel pcie{10.0e9, 5.0e-6};
+  EXPECT_NEAR(pcie.seconds(10'000'000), 5e-6 + 1e-3, 1e-9);
+  EXPECT_NEAR(pcie.broadcast_seconds(10'000'000, 3),
+              3 * (5e-6 + 1e-3), 1e-9);
+}
+
+TEST(TransferModel, DefaultsAreSane) {
+  const perfmodel::TransferModel pcie;
+  // 24 MB of points (2M x 12B) should take ~2 ms — small vs multi-second
+  // kernels, as the paper's figures (which exclude transfers) assume.
+  const double t = pcie.seconds(2'000'000ull * 12);
+  EXPECT_GT(t, 1e-3);
+  EXPECT_LT(t, 1e-2);
+}
+
+}  // namespace
+}  // namespace tbs::kernels

@@ -1,0 +1,99 @@
+#include "kernels/type1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/datagen.hpp"
+#include "cpubase/cpu_stats.hpp"
+#include "vgpu/device.hpp"
+
+namespace tbs::kernels {
+namespace {
+
+TEST(Knn, MatchesCpuReference) {
+  const auto pts = uniform_box(400, 10.0f, 61);
+  cpubase::ThreadPool pool(1);
+  const auto expected = cpubase::cpu_knn(pool, pts, 3);
+
+  vgpu::Device dev;
+  const auto result = run_knn(dev, pts, 3, 128);
+  ASSERT_EQ(result.neighbours.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    ASSERT_EQ(result.neighbours[i].size(), 3u);
+    for (int j = 0; j < 3; ++j)
+      EXPECT_NEAR(result.neighbours[i][static_cast<std::size_t>(j)],
+                  expected[i][static_cast<std::size_t>(j)], 1e-3)
+          << "point " << i << " neighbour " << j;
+  }
+}
+
+TEST(Knn, K1OnLatticeIsSpacing) {
+  const auto pts = jittered_lattice(343, 7.0f, 0.0f, 1);  // spacing 1
+  vgpu::Device dev;
+  const auto result = run_knn(dev, pts, 1, 64);
+  for (const auto& row : result.neighbours)
+    EXPECT_NEAR(row[0], 1.0f, 1e-4);
+}
+
+TEST(Knn, DistancesAreSorted) {
+  const auto pts = gaussian_clusters(300, 4, 10.0f, 0.8f, 8);
+  vgpu::Device dev;
+  const auto result = run_knn(dev, pts, 5, 64);
+  for (const auto& row : result.neighbours)
+    for (std::size_t j = 1; j < row.size(); ++j)
+      EXPECT_LE(row[j - 1], row[j]);
+}
+
+TEST(Knn, RaggedSizeWorks) {
+  const auto pts = uniform_box(217, 5.0f, 62);
+  cpubase::ThreadPool pool(1);
+  const auto expected = cpubase::cpu_knn(pool, pts, 2);
+  vgpu::Device dev;
+  const auto result = run_knn(dev, pts, 2, 64);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    EXPECT_NEAR(result.neighbours[i][0], expected[i][0], 1e-3);
+}
+
+TEST(Knn, RejectsOutOfRangeK) {
+  const auto pts = uniform_box(64, 5.0f, 63);
+  vgpu::Device dev;
+  EXPECT_THROW((void)run_knn(dev, pts, 0, 64), CheckError);
+  EXPECT_THROW((void)run_knn(dev, pts, kMaxKnnK + 1, 64), CheckError);
+}
+
+TEST(Kde, MatchesCpuReference) {
+  const auto pts = uniform_box(300, 8.0f, 71);
+  const double h = 1.2;
+  cpubase::ThreadPool pool(1);
+  const auto expected = cpubase::cpu_kde(pool, pts, h);
+
+  vgpu::Device dev;
+  const auto result = run_kde(dev, pts, h, 128);
+  ASSERT_EQ(result.density.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double rel = std::abs(result.density[i] - expected[i]) /
+                       std::max(1e-9, expected[i]);
+    EXPECT_LT(rel, 1e-3) << "point " << i;
+  }
+}
+
+TEST(Kde, DenseRegionsHaveHigherDensity) {
+  // Clustered data: points inside clusters must outscore isolated ones.
+  auto pts = gaussian_clusters(400, 2, 40.0f, 0.5f, 81);
+  pts.push_back({39.0f, 1.0f, 1.0f});  // likely far from both clusters
+  vgpu::Device dev;
+  const auto result = run_kde(dev, pts, 1.0, 128);
+  double cluster_mean = 0.0;
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i)
+    cluster_mean += result.density[i];
+  cluster_mean /= static_cast<double>(pts.size() - 1);
+  EXPECT_LT(result.density.back(), cluster_mean);
+}
+
+TEST(Kde, RejectsBadBandwidth) {
+  const auto pts = uniform_box(64, 5.0f, 2);
+  vgpu::Device dev;
+  EXPECT_THROW((void)run_kde(dev, pts, 0.0, 64), CheckError);
+}
+
+}  // namespace
+}  // namespace tbs::kernels

@@ -1,0 +1,124 @@
+#include "kernels/type3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/datagen.hpp"
+#include "cpubase/cpu_stats.hpp"
+#include "vgpu/device.hpp"
+
+namespace tbs::kernels {
+namespace {
+
+using PairSet = std::set<std::pair<std::uint32_t, std::uint32_t>>;
+
+PairSet to_set(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& v) {
+  PairSet s;
+  for (auto [a, b] : v) s.emplace(std::min(a, b), std::max(a, b));
+  return s;
+}
+
+class JoinParam : public ::testing::TestWithParam<JoinVariant> {};
+
+TEST_P(JoinParam, MatchesCpuReference) {
+  const auto variant = GetParam();
+  const auto pts = uniform_box(500, 10.0f, 91);
+  const double radius = 1.2;
+  cpubase::ThreadPool pool(1);
+  const auto expected = to_set(cpubase::cpu_distance_join(pool, pts, radius));
+
+  vgpu::Device dev;
+  const auto result = run_distance_join(dev, pts, radius, variant, 128);
+  EXPECT_EQ(to_set(result.pairs), expected) << to_string(variant);
+}
+
+TEST_P(JoinParam, PairsAreOrderedAndDistinct) {
+  const auto variant = GetParam();
+  const auto pts = gaussian_clusters(300, 3, 12.0f, 0.7f, 92);
+  vgpu::Device dev;
+  const auto result = run_distance_join(dev, pts, 1.0, variant, 64);
+  PairSet seen;
+  for (auto [a, b] : result.pairs) {
+    EXPECT_LT(a, b);
+    EXPECT_TRUE(seen.emplace(a, b).second) << "duplicate pair";
+  }
+}
+
+TEST_P(JoinParam, RaggedSizeWorks) {
+  const auto variant = GetParam();
+  const auto pts = uniform_box(333, 8.0f, 93);
+  cpubase::ThreadPool pool(1);
+  const auto expected = to_set(cpubase::cpu_distance_join(pool, pts, 1.5));
+  vgpu::Device dev;
+  const auto result = run_distance_join(dev, pts, 1.5, variant, 128);
+  EXPECT_EQ(to_set(result.pairs), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothVariants, JoinParam,
+                         ::testing::Values(JoinVariant::GlobalCursor,
+                                           JoinVariant::TwoPhase));
+
+TEST(Join, TwoPhaseUsesNoAtomicsCursorDoes) {
+  const auto pts = uniform_box(400, 6.0f, 94);
+  vgpu::Device dev;
+  const auto cursor =
+      run_distance_join(dev, pts, 1.0, JoinVariant::GlobalCursor, 128);
+  const auto twophase =
+      run_distance_join(dev, pts, 1.0, JoinVariant::TwoPhase, 128);
+  EXPECT_GT(cursor.stats.global_atomics, 0u);
+  EXPECT_EQ(twophase.stats.global_atomics, 0u);
+  EXPECT_EQ(to_set(cursor.pairs), to_set(twophase.pairs));
+}
+
+TEST(Join, EmptyResultWhenRadiusTiny) {
+  const auto pts = jittered_lattice(125, 5.0f, 0.0f, 7);  // spacing 1
+  vgpu::Device dev;
+  for (const auto v : {JoinVariant::GlobalCursor, JoinVariant::TwoPhase}) {
+    const auto r = run_distance_join(dev, pts, 0.25, v, 64);
+    EXPECT_TRUE(r.pairs.empty()) << to_string(v);
+  }
+}
+
+TEST(Gram, MatchesCpuReference) {
+  const auto pts = uniform_box(192, 4.0f, 95);
+  const double gamma = 0.5;
+  cpubase::ThreadPool pool(1);
+  const auto expected = cpubase::cpu_gram(pool, pts, gamma);
+
+  vgpu::Device dev;
+  const auto result = run_gram(dev, pts, gamma, 64);
+  ASSERT_EQ(result.matrix.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_NEAR(result.matrix[i], expected[i], 1e-5);
+}
+
+TEST(Gram, MatrixIsSymmetricWithUnitDiagonal) {
+  const auto pts = gaussian_clusters(100, 2, 5.0f, 0.5f, 96);
+  vgpu::Device dev;
+  const auto result = run_gram(dev, pts, 1.0, 32);
+  const std::size_t n = pts.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(result.matrix[i * n + i], 1.0f, 1e-6);
+    for (std::size_t j = 0; j < i; ++j)
+      EXPECT_FLOAT_EQ(result.matrix[i * n + j], result.matrix[j * n + i]);
+  }
+}
+
+TEST(Gram, StoresAreCoalescedQuadraticOutput) {
+  const std::size_t n = 256;
+  const auto pts = uniform_box(n, 5.0f, 97);
+  vgpu::Device dev;
+  const auto result = run_gram(dev, pts, 1.0, 128);
+  // Quadratic output: one store per (i, j) pair.
+  EXPECT_EQ(result.stats.global_stores, n * n);
+  // Coalesced column writes: ~4 bytes/lane * 32 lanes = 1 segment per
+  // warp-store, so transactions should be close to stores/32, not stores.
+  EXPECT_LT(result.stats.global_transactions,
+            result.stats.global_stores / 8);
+}
+
+}  // namespace
+}  // namespace tbs::kernels

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "common/datagen.hpp"
+#include "cpubase/cpu_stats.hpp"
+#include "kernels/pcf.hpp"
+#include "vgpu/device.hpp"
+
+namespace tbs::kernels {
+namespace {
+
+TEST(PcfWarpSum, MatchesCpuReference) {
+  for (const std::size_t n : {256u, 777u, 1024u, 1500u}) {
+    const auto pts = uniform_box(n, 10.0f, 701 + n);
+    cpubase::ThreadPool pool(1);
+    const auto expected = cpubase::cpu_pcf(pool, pts, 2.0);
+    vgpu::Device dev;
+    EXPECT_EQ(run_pcf_warpsum(dev, pts, 2.0, 128).pairs_within, expected)
+        << "n=" << n;
+  }
+}
+
+TEST(PcfWarpSum, StoresOncePerWarpInsteadOfPerThread) {
+  const std::size_t n = 1024;
+  const auto pts = uniform_box(n, 10.0f, 702);
+  vgpu::Device dev;
+  const auto per_thread =
+      run_pcf(dev, pts, 2.0, PcfVariant::RegShm, 128).stats;
+  const auto per_warp = run_pcf_warpsum(dev, pts, 2.0, 128).stats;
+  EXPECT_EQ(per_thread.global_stores, n);
+  EXPECT_EQ(per_warp.global_stores, n / 32);
+  // The butterfly costs log2(32) = 5 shuffles per lane.
+  EXPECT_EQ(per_warp.shuffles, n * 5);
+}
+
+TEST(PcfWarpSum, AgreesWithAllOtherVariants) {
+  const auto pts = gaussian_clusters(640, 3, 10.0f, 0.8f, 703);
+  vgpu::Device dev;
+  const auto expected =
+      run_pcf(dev, pts, 1.5, PcfVariant::Naive, 64).pairs_within;
+  EXPECT_EQ(run_pcf_warpsum(dev, pts, 1.5, 64).pairs_within, expected);
+}
+
+TEST(PcfWarpSum, RejectsNonWarpMultipleBlock) {
+  const auto pts = uniform_box(128, 5.0f, 704);
+  vgpu::Device dev;
+  EXPECT_THROW((void)run_pcf_warpsum(dev, pts, 1.0, 48), CheckError);
+}
+
+}  // namespace
+}  // namespace tbs::kernels

@@ -1,0 +1,38 @@
+#include "perfmodel/cpumodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tbs::perfmodel {
+namespace {
+
+TEST(CpuModel, CalibrationRecoversPairCost) {
+  // 1e9 pairs in 10s on 4 threads => 40 ns*threads/pair / ... = 4e-8 s·core.
+  const CpuModel m(1e9, 10.0, 4);
+  EXPECT_NEAR(m.pair_cost(), 4e-8, 1e-12);
+}
+
+TEST(CpuModel, TimeScalesQuadraticallyInN) {
+  const CpuModel m(1e6, 1.0, 1);
+  const double t1 = m.seconds(1e4, 1);
+  const double t2 = m.seconds(2e4, 1);
+  EXPECT_NEAR(t2 / t1, 4.0, 0.01);
+}
+
+TEST(CpuModel, MoreCoresAreFaster) {
+  const CpuModel m(1e6, 1.0, 1);
+  EXPECT_NEAR(m.seconds(1e4, 8) * 8, m.seconds(1e4, 1), 1e-9);
+  EXPECT_DOUBLE_EQ(m.paper_cpu_seconds(1e4), m.seconds(1e4, 8));
+}
+
+TEST(CpuModel, RejectsBadInputs) {
+  EXPECT_THROW(CpuModel(0, 1, 1), CheckError);
+  EXPECT_THROW(CpuModel(1, 0, 1), CheckError);
+  EXPECT_THROW(CpuModel(1, 1, 0), CheckError);
+  const CpuModel m(1e6, 1.0, 1);
+  EXPECT_THROW((void)m.seconds(100, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace tbs::perfmodel

@@ -1,0 +1,78 @@
+#include "perfmodel/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tbs::perfmodel {
+namespace {
+
+vgpu::DeviceSpec spec() { return vgpu::DeviceSpec{}; }
+
+TEST(Occupancy, ThreadLimited) {
+  // B=1024, no shared: 2048/1024 = 2 blocks, 64 warps => 100% occupancy.
+  const auto r = occupancy(spec(), 1024, 0, 0);
+  EXPECT_EQ(r.blocks_per_sm, 2);
+  EXPECT_EQ(r.warps_per_sm, 64);
+  EXPECT_DOUBLE_EQ(r.occupancy, 1.0);
+  EXPECT_STREQ(r.limiter, "threads");
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  // B=256 (max 8 blocks by threads); 20KB shared/block: 96/20 = 4 blocks.
+  const auto r = occupancy(spec(), 256, 20 * 1024, 0);
+  EXPECT_EQ(r.blocks_per_sm, 4);
+  EXPECT_STREQ(r.limiter, "shared-memory");
+  EXPECT_DOUBLE_EQ(r.occupancy, 0.5);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  // 128 regs/thread, B=512: 65536/(128*512) = 1 block.
+  const auto r = occupancy(spec(), 512, 0, 128);
+  EXPECT_EQ(r.blocks_per_sm, 1);
+  EXPECT_STREQ(r.limiter, "registers");
+}
+
+TEST(Occupancy, MaxBlocksLimited) {
+  // Tiny blocks: 2048/32 = 64 > 32 max blocks.
+  const auto r = occupancy(spec(), 32, 0, 0);
+  EXPECT_EQ(r.blocks_per_sm, 32);
+  EXPECT_STREQ(r.limiter, "max-blocks");
+  EXPECT_DOUBLE_EQ(r.occupancy, 0.5);
+}
+
+TEST(Occupancy, MonotoneNonIncreasingInSharedBytes) {
+  double prev = 2.0;
+  for (std::size_t sh = 1024; sh <= 48 * 1024; sh += 1024) {
+    const auto r = occupancy(spec(), 256, sh, 32);
+    EXPECT_LE(r.occupancy, prev);
+    prev = r.occupancy;
+  }
+}
+
+TEST(Occupancy, StepFunctionInHistogramSize) {
+  // The Fig. 5 mechanism: growing the private histogram steps occupancy
+  // down at discrete points.
+  const auto occ_at = [&](int buckets) {
+    return occupancy(spec(), 256, 3 * 256 * 4 + static_cast<std::size_t>(
+                                                    buckets) * 4, 32)
+        .occupancy;
+  };
+  EXPECT_GT(occ_at(1000), occ_at(5000));
+  // Plateaus exist: nearby sizes inside one step share occupancy.
+  EXPECT_DOUBLE_EQ(occ_at(2000), occ_at(2100));
+}
+
+TEST(Occupancy, ZeroWhenBlockCannotFit) {
+  const auto r = occupancy(spec(), 256, 97 * 1024, 0);
+  EXPECT_EQ(r.blocks_per_sm, 0);
+  EXPECT_DOUBLE_EQ(r.occupancy, 0.0);
+}
+
+TEST(Occupancy, RejectsBadBlockDim) {
+  EXPECT_THROW((void)occupancy(spec(), 0, 0, 0), CheckError);
+  EXPECT_THROW((void)occupancy(spec(), 4096, 0, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace tbs::perfmodel

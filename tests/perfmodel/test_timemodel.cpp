@@ -1,0 +1,148 @@
+#include "perfmodel/timemodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/datagen.hpp"
+#include "common/error.hpp"
+#include "kernels/pcf.hpp"
+#include "perfmodel/counts.hpp"
+#include "kernels/sdh.hpp"
+#include "vgpu/device.hpp"
+
+namespace tbs::perfmodel {
+namespace {
+
+vgpu::KernelStats base_stats() {
+  vgpu::KernelStats s;
+  s.grid_dim = 64;
+  s.block_dim = 256;
+  s.shared_bytes_per_block = 0;
+  s.regs_per_thread = 32;
+  return s;
+}
+
+TEST(TimeModel, PicksTheLargestLeg) {
+  auto s = base_stats();
+  s.dram_bytes = 1'000'000'000;  // ~3ms on 336 GB/s, dominates
+  s.arith_warp_cycles = 1000;
+  s.total_warp_cycles = 1000;
+  const auto r = model_time(vgpu::DeviceSpec{}, s);
+  EXPECT_EQ(r.bottleneck, "dram");
+  EXPECT_NEAR(r.seconds, 1e9 / 336.5e9, 1e-5);
+}
+
+TEST(TimeModel, UtilizationIsLegOverTotal) {
+  auto s = base_stats();
+  s.dram_bytes = 336'500'000;                    // 1 ms
+  s.arith_warp_cycles = 2.0 * 24.0 * 0.5e6;      // 0.5 ms at ipc 2, 24 SMs
+  const auto r = model_time(vgpu::DeviceSpec{}, s);
+  EXPECT_EQ(r.bottleneck, "dram");
+  EXPECT_NEAR(r.util_arith(), 0.5, 0.01);
+  EXPECT_NEAR(r.util_dram(), 1.0, 1e-9);
+}
+
+TEST(TimeModel, LatencyLegScalesInverselyWithOccupancy) {
+  auto a = base_stats();
+  a.total_warp_cycles = 1e9;
+  a.grid_dim = 10000;
+  auto b = a;
+  // Shrink occupancy via huge shared demand: fewer resident warps.
+  b.shared_bytes_per_block = 40 * 1024;
+  const auto ra = model_time(vgpu::DeviceSpec{}, a);
+  const auto rb = model_time(vgpu::DeviceSpec{}, b);
+  EXPECT_GT(rb.latency_s, ra.latency_s);
+}
+
+TEST(TimeModel, SmallGridCannotHideLatency) {
+  auto few = base_stats();
+  few.total_warp_cycles = 1e6;
+  few.grid_dim = 1;  // 8 warps total
+  auto many = few;
+  many.grid_dim = 1000;
+  const auto r_few = model_time(vgpu::DeviceSpec{}, few);
+  const auto r_many = model_time(vgpu::DeviceSpec{}, many);
+  EXPECT_GT(r_few.latency_s, r_many.latency_s);
+}
+
+TEST(TimeModel, SharedPortLegUsesTransactions) {
+  auto s = base_stats();
+  s.shared_transactions = 24ull * 1'000'000;  // 1e6 cycles of all SM ports
+  const auto r = model_time(vgpu::DeviceSpec{}, s);
+  EXPECT_NEAR(r.shared_s, 1e-3, 1e-9);
+  EXPECT_EQ(r.bottleneck, "shared-memory");
+}
+
+TEST(TimeModel, GlobalAtomicSerializationRespectsLineParallelism) {
+  auto one_line = base_stats();
+  one_line.global_atomic_port_cycles = 1e6;
+  one_line.atomic_distinct_lines = 1;
+  auto many_lines = one_line;
+  many_lines.atomic_distinct_lines = 100;  // capped at l2_slices (24)
+  const auto r1 = model_time(vgpu::DeviceSpec{}, one_line);
+  const auto r2 = model_time(vgpu::DeviceSpec{}, many_lines);
+  EXPECT_NEAR(r1.gatomic_s / r2.gatomic_s, 24.0, 1e-6);
+}
+
+TEST(TimeModel, AchievedBandwidthIsBytesOverTime) {
+  auto s = base_stats();
+  s.dram_bytes = 336'500'000;  // exactly 1ms of DRAM => achieved == peak
+  const auto r = model_time(vgpu::DeviceSpec{}, s);
+  EXPECT_NEAR(r.bw_dram, 336.5e9, 1e6);
+}
+
+TEST(TimeModel, RequiresLaunchConfig) {
+  vgpu::KernelStats s;  // no block_dim
+  EXPECT_THROW((void)model_time(vgpu::DeviceSpec{}, s), tbs::CheckError);
+}
+
+// --- Shape checks on real kernels (the paper's qualitative claims) -------
+
+TEST(TimeModelShape, NaivePcfIsMemoryBoundCachedPcfIsComputeBound) {
+  // At paper scale (extrapolated counters; a 2048-point grid would be
+  // honestly latency-bound because 8 blocks cannot fill 24 SMs).
+  vgpu::Device dev;
+  const auto at_scale = [&](kernels::PcfVariant v) {
+    std::array<vgpu::KernelStats, 3> calib;
+    const std::array<double, 3> ns = {1024, 2048, 4096};
+    for (int i = 0; i < 3; ++i) {
+      const auto pts = uniform_box(
+          static_cast<std::size_t>(ns[static_cast<std::size_t>(i)]), 10.0f,
+          1);
+      calib[static_cast<std::size_t>(i)] =
+          kernels::run_pcf(dev, pts, 2.0, v, 256).stats;
+    }
+    return model_time(dev.spec(), StatsPoly(ns, calib).predict(400'000));
+  };
+  const auto naive = at_scale(kernels::PcfVariant::Naive);
+  const auto reg = at_scale(kernels::PcfVariant::RegShm);
+  // Paper Table II: naive is memory-bound (L2), Register-SHM compute-bound.
+  EXPECT_TRUE(naive.bottleneck == "l2" || naive.bottleneck == "dram" ||
+              naive.bottleneck == "latency")
+      << naive.bottleneck;
+  EXPECT_TRUE(reg.bottleneck == "arithmetic" ||
+              reg.bottleneck == "shared-memory")
+      << reg.bottleneck;
+  EXPECT_GT(reg.util_arith(), naive.util_arith() * 2);
+}
+
+TEST(TimeModelShape, PrivatizedSdhBeatsGlobalAtomicSdh) {
+  const auto pts = uniform_box(2048, 10.0f, 2);
+  vgpu::Device dev;
+  const double direct =
+      model_time(dev.spec(),
+                 kernels::run_sdh(dev, pts, 0.4, 64,
+                                  kernels::SdhVariant::RegShm, 256)
+                     .stats)
+          .seconds;
+  const double priv =
+      model_time(dev.spec(),
+                 kernels::run_sdh(dev, pts, 0.4, 64,
+                                  kernels::SdhVariant::RegShmOut, 256)
+                     .stats)
+          .seconds;
+  // Paper Fig. 4: about an order of magnitude apart.
+  EXPECT_GT(direct / priv, 4.0);
+}
+
+}  // namespace
+}  // namespace tbs::perfmodel

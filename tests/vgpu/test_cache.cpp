@@ -1,0 +1,72 @@
+#include "vgpu/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tbs::vgpu {
+namespace {
+
+TEST(SetAssocCache, FirstTouchMissesThenHits) {
+  SetAssocCache c(1024, 2, 128);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(64));  // same 128B line
+  EXPECT_FALSE(c.access(128));
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(SetAssocCache, LruEvictionWithinSet) {
+  // 2-way, 2 sets of 128B lines => capacity 512B. Lines 0, 256, 512 all map
+  // to set 0 (line_index % 2 == 0).
+  SetAssocCache c(512, 2, 128);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(256));
+  EXPECT_TRUE(c.access(0));     // refresh line 0; 256 is now LRU
+  EXPECT_FALSE(c.access(512));  // evicts 256
+  EXPECT_TRUE(c.access(0));
+  EXPECT_FALSE(c.access(256));  // was evicted
+}
+
+TEST(SetAssocCache, InvalidateForgetsLines) {
+  SetAssocCache c(1024, 4, 128);
+  EXPECT_FALSE(c.access(0));
+  c.invalidate();
+  EXPECT_FALSE(c.access(0));
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(SetAssocCache, WorkingSetSmallerThanCapacityAlwaysHits) {
+  SetAssocCache c(16 * 1024, 8, 128);
+  // Touch 64 lines (8KB), then re-touch: all hits.
+  for (int i = 0; i < 64; ++i) (void)c.access(static_cast<unsigned>(i) * 128);
+  const auto misses_before = c.misses();
+  for (int rep = 0; rep < 3; ++rep)
+    for (int i = 0; i < 64; ++i)
+      EXPECT_TRUE(c.access(static_cast<unsigned>(i) * 128));
+  EXPECT_EQ(c.misses(), misses_before);
+}
+
+TEST(SetAssocCache, StreamLargerThanCapacityThrashes) {
+  SetAssocCache c(1024, 2, 128);  // 8 lines
+  for (int rep = 0; rep < 3; ++rep)
+    for (int i = 0; i < 64; ++i)
+      (void)c.access(static_cast<unsigned>(i) * 128);
+  // Sequential stream of 64 lines through an 8-line cache: ~all misses.
+  EXPECT_GT(c.misses(), c.hits());
+}
+
+TEST(SetAssocCache, ValidatesGeometry) {
+  EXPECT_THROW(SetAssocCache(1024, 0, 128), CheckError);
+  EXPECT_THROW(SetAssocCache(1024, 2, 100), CheckError);  // non-pow2 line
+}
+
+TEST(SetAssocCache, TinyCapacityStillWorks) {
+  SetAssocCache c(64, 4, 128);  // capacity < one way*line => 1 set forced
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+}
+
+}  // namespace
+}  // namespace tbs::vgpu

@@ -1,0 +1,262 @@
+// Functional semantics of the SIMT executor: thread identity, barriers,
+// shared memory visibility, atomics, shuffles, divergence handling and
+// deadlock detection.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "vgpu/buffer.hpp"
+#include "vgpu/device.hpp"
+
+namespace tbs::vgpu {
+namespace {
+
+TEST(ExecSemantics, EveryThreadRunsWithCorrectIds) {
+  Device dev;
+  DeviceBuffer<int> out(4 * 64, -1);
+  LaunchConfig cfg{4, 64, 0};
+  auto body = [&](ThreadCtx& ctx) -> KernelTask {
+    co_await out.store(ctx, static_cast<std::size_t>(ctx.global_thread_id()),
+                       ctx.block_id * 1000 + ctx.thread_id);
+  };
+  dev.launch(cfg, body);
+  for (int b = 0; b < 4; ++b)
+    for (int t = 0; t < 64; ++t)
+      EXPECT_EQ(out.host()[static_cast<std::size_t>(b * 64 + t)],
+                b * 1000 + t);
+}
+
+TEST(ExecSemantics, LaneAndWarpIdsAreConsistent) {
+  Device dev;
+  DeviceBuffer<int> lanes(96, -1);
+  LaunchConfig cfg{1, 96, 0};
+  dev.launch(cfg, [&](ThreadCtx& ctx) -> KernelTask {
+    co_await lanes.store(ctx, static_cast<std::size_t>(ctx.thread_id),
+                         ctx.lane);
+  });
+  for (int t = 0; t < 96; ++t)
+    EXPECT_EQ(lanes.host()[static_cast<std::size_t>(t)], t % 32);
+}
+
+TEST(ExecSemantics, BarrierMakesSharedStoresVisible) {
+  // Thread t writes shared[t]; after sync, thread t reads shared[B-1-t].
+  Device dev;
+  constexpr int kB = 128;
+  DeviceBuffer<int> out(kB, -1);
+  LaunchConfig cfg{1, kB, kB * sizeof(int)};
+  dev.launch(cfg, [&](ThreadCtx& ctx) -> KernelTask {
+    auto sh = ctx.shared<int>(0, kB);
+    co_await sh.store(ctx, ctx.thread_id, ctx.thread_id * 7);
+    co_await ctx.sync();
+    const int v = co_await sh.load(ctx, kB - 1 - ctx.thread_id);
+    co_await out.store(ctx, static_cast<std::size_t>(ctx.thread_id), v);
+  });
+  for (int t = 0; t < kB; ++t)
+    EXPECT_EQ(out.host()[static_cast<std::size_t>(t)], (kB - 1 - t) * 7);
+}
+
+TEST(ExecSemantics, SharedMemoryIsPerBlock) {
+  // Each block writes its block id into shared[0]; all threads must read
+  // back their own block's value, not another block's.
+  Device dev;
+  DeviceBuffer<int> out(8 * 32, -1);
+  LaunchConfig cfg{8, 32, sizeof(int)};
+  dev.launch(cfg, [&](ThreadCtx& ctx) -> KernelTask {
+    auto sh = ctx.shared<int>(0, 1);
+    if (ctx.thread_id == 0) co_await sh.store(ctx, 0, ctx.block_id + 100);
+    co_await ctx.sync();
+    const int v = co_await sh.load(ctx, 0);
+    co_await out.store(ctx, static_cast<std::size_t>(ctx.global_thread_id()),
+                       v);
+  });
+  for (int b = 0; b < 8; ++b)
+    for (int t = 0; t < 32; ++t)
+      EXPECT_EQ(out.host()[static_cast<std::size_t>(b * 32 + t)], b + 100);
+}
+
+TEST(ExecSemantics, GlobalAtomicsAccumulateAcrossBlocks) {
+  Device dev;
+  DeviceBuffer<std::uint64_t> counter(1, 0);
+  LaunchConfig cfg{16, 64, 0};
+  dev.launch(cfg, [&](ThreadCtx& ctx) -> KernelTask {
+    co_await counter.atomic_add(ctx, 0, 1ull);
+    co_await counter.atomic_add(ctx, 0, 2ull);
+  });
+  EXPECT_EQ(counter.host()[0], 16ull * 64 * 3);
+}
+
+TEST(ExecSemantics, AtomicAddReturnsPreviousValue) {
+  Device dev;
+  DeviceBuffer<std::uint32_t> counter(1, 0);
+  DeviceBuffer<std::uint32_t> seen(64, 0);
+  LaunchConfig cfg{1, 64, 0};
+  dev.launch(cfg, [&](ThreadCtx& ctx) -> KernelTask {
+    const std::uint32_t old = co_await counter.atomic_add(ctx, 0, 1u);
+    co_await seen.store(ctx, static_cast<std::size_t>(ctx.thread_id), old);
+  });
+  // Previous values must be a permutation of 0..63.
+  std::vector<std::uint32_t> v(seen.host().begin(), seen.host().end());
+  std::sort(v.begin(), v.end());
+  for (std::uint32_t i = 0; i < 64; ++i) EXPECT_EQ(v[i], i);
+  EXPECT_EQ(counter.host()[0], 64u);
+}
+
+TEST(ExecSemantics, SharedAtomicsWithinBlock) {
+  Device dev;
+  DeviceBuffer<std::uint32_t> out(4, 0);
+  LaunchConfig cfg{4, 256, sizeof(std::uint32_t)};
+  dev.launch(cfg, [&](ThreadCtx& ctx) -> KernelTask {
+    auto sh = ctx.shared<std::uint32_t>(0, 1);
+    co_await sh.atomic_add(ctx, 0, 1u);
+    co_await ctx.sync();
+    if (ctx.thread_id == 0) {
+      const std::uint32_t total = co_await sh.load(ctx, 0);
+      co_await out.store(ctx, static_cast<std::size_t>(ctx.block_id), total);
+    }
+  });
+  for (int b = 0; b < 4; ++b)
+    EXPECT_EQ(out.host()[static_cast<std::size_t>(b)], 256u);
+}
+
+TEST(ExecSemantics, ShuffleBroadcastsRegisterValues) {
+  Device dev;
+  DeviceBuffer<int> out(64, -1);
+  LaunchConfig cfg{1, 64, 0};
+  dev.launch(cfg, [&](ThreadCtx& ctx) -> KernelTask {
+    const int mine = ctx.thread_id * 3;
+    int sum = 0;
+    for (int k = 0; k < 32; ++k) {
+      const int got = co_await ctx.shfl(mine, k);
+      sum += got;
+    }
+    co_await out.store(ctx, static_cast<std::size_t>(ctx.thread_id), sum);
+  });
+  // Warp 0: sum of 3*(0..31); warp 1: sum of 3*(32..63).
+  const int w0 = 3 * (31 * 32 / 2);
+  const int w1 = 3 * ((32 + 63) * 32 / 2);
+  for (int t = 0; t < 32; ++t)
+    EXPECT_EQ(out.host()[static_cast<std::size_t>(t)], w0);
+  for (int t = 32; t < 64; ++t)
+    EXPECT_EQ(out.host()[static_cast<std::size_t>(t)], w1);
+}
+
+TEST(ExecSemantics, ShuffleCarriesFloats) {
+  Device dev;
+  DeviceBuffer<float> out(32, 0.0f);
+  LaunchConfig cfg{1, 32, 0};
+  dev.launch(cfg, [&](ThreadCtx& ctx) -> KernelTask {
+    const float mine = 0.5f * static_cast<float>(ctx.thread_id);
+    const float from_next =
+        co_await ctx.shfl(mine, (ctx.lane + 1) % 32);
+    co_await out.store(ctx, static_cast<std::size_t>(ctx.thread_id),
+                       from_next);
+  });
+  for (int t = 0; t < 32; ++t)
+    EXPECT_FLOAT_EQ(out.host()[static_cast<std::size_t>(t)],
+                    0.5f * static_cast<float>((t + 1) % 32));
+}
+
+TEST(ExecSemantics, DivergentLoopsStillComputeCorrectly) {
+  // Triangular loop: thread t sums t..B-1 via shared loads.
+  Device dev;
+  constexpr int kB = 64;
+  DeviceBuffer<long> out(kB, -1);
+  LaunchConfig cfg{1, kB, kB * sizeof(int)};
+  dev.launch(cfg, [&](ThreadCtx& ctx) -> KernelTask {
+    auto sh = ctx.shared<int>(0, kB);
+    co_await sh.store(ctx, ctx.thread_id, ctx.thread_id);
+    co_await ctx.sync();
+    long sum = 0;
+    for (int i = ctx.thread_id; i < kB; ++i) sum += co_await sh.load(ctx, i);
+    co_await out.store(ctx, static_cast<std::size_t>(ctx.thread_id), sum);
+  });
+  for (int t = 0; t < kB; ++t) {
+    long expect = 0;
+    for (int i = t; i < kB; ++i) expect += i;
+    EXPECT_EQ(out.host()[static_cast<std::size_t>(t)], expect);
+  }
+}
+
+TEST(ExecSemantics, EarlyReturnThreadsDontBlockBarriers) {
+  Device dev;
+  DeviceBuffer<int> out(1, 0);
+  LaunchConfig cfg{1, 64, sizeof(int)};
+  dev.launch(cfg, [&](ThreadCtx& ctx) -> KernelTask {
+    if (ctx.thread_id >= 32) co_return;  // upper warp exits immediately
+    auto sh = ctx.shared<int>(0, 1);
+    if (ctx.thread_id == 0) co_await sh.store(ctx, 0, 7);
+    co_await ctx.sync();
+    if (ctx.thread_id == 1) {
+      const int v = co_await sh.load(ctx, 0);
+      co_await out.store(ctx, 0, v);
+    }
+  });
+  EXPECT_EQ(out.host()[0], 7);
+}
+
+TEST(ExecSemantics, KernelExceptionsPropagate) {
+  Device dev;
+  LaunchConfig cfg{1, 32, 0};
+  EXPECT_THROW(dev.launch(cfg,
+                          [&](ThreadCtx& ctx) -> KernelTask {
+                            if (ctx.thread_id == 5)
+                              tbs::fail("kernel bug");
+                            co_return;
+                          }),
+               tbs::CheckError);
+}
+
+TEST(ExecSemantics, SharedOutOfRangeSliceThrows) {
+  Device dev;
+  LaunchConfig cfg{1, 32, 16};
+  EXPECT_THROW(dev.launch(cfg,
+                          [&](ThreadCtx& ctx) -> KernelTask {
+                            auto sh = ctx.shared<int>(0, 100);  // > 16 bytes
+                            co_await sh.store(ctx, 0, 1);
+                          }),
+               tbs::CheckError);
+}
+
+TEST(ExecSemantics, StatsCountOperations) {
+  Device dev;
+  DeviceBuffer<int> buf(64, 1);
+  DeviceBuffer<std::uint64_t> acc(1, 0);
+  LaunchConfig cfg{1, 64, 64 * sizeof(int)};
+  const auto stats = dev.launch(cfg, [&](ThreadCtx& ctx) -> KernelTask {
+    auto sh = ctx.shared<int>(0, 64);
+    const int v =
+        co_await buf.load(ctx, static_cast<std::size_t>(ctx.thread_id));
+    co_await sh.store(ctx, ctx.thread_id, v);
+    co_await ctx.sync();
+    const int w = co_await sh.load(ctx, (ctx.thread_id + 1) % 64);
+    co_await acc.atomic_add(ctx, 0, static_cast<std::uint64_t>(w));
+  });
+  EXPECT_EQ(stats.global_loads, 64u);
+  EXPECT_EQ(stats.shared_stores, 64u);
+  EXPECT_EQ(stats.shared_loads, 64u);
+  EXPECT_EQ(stats.global_atomics, 64u);
+  EXPECT_EQ(stats.barriers, 64u);
+  EXPECT_GT(stats.total_warp_cycles, 0.0);
+  EXPECT_EQ(acc.host()[0], 64u);
+}
+
+TEST(ExecSemantics, SimdEfficiencyReflectsDivergence) {
+  Device dev;
+  DeviceBuffer<std::uint64_t> sink(1, 0);
+  LaunchConfig cfg{1, 32, 0};
+  // Uniform kernel: every lane does the same 8 atomics.
+  const auto uniform = dev.launch(cfg, [&](ThreadCtx& ctx) -> KernelTask {
+    for (int i = 0; i < 8; ++i) co_await sink.atomic_add(ctx, 0, 1ull);
+  });
+  // Divergent kernel: lane t does t atomics.
+  const auto divergent = dev.launch(cfg, [&](ThreadCtx& ctx) -> KernelTask {
+    for (int i = 0; i < ctx.thread_id; ++i)
+      co_await sink.atomic_add(ctx, 0, 1ull);
+  });
+  EXPECT_GT(uniform.simd_efficiency(), 0.99);
+  EXPECT_LT(divergent.simd_efficiency(), 0.75);
+}
+
+}  // namespace
+}  // namespace tbs::vgpu

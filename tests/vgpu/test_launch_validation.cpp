@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "vgpu/buffer.hpp"
+#include "vgpu/device.hpp"
+
+namespace tbs::vgpu {
+namespace {
+
+KernelTask noop(ThreadCtx& ctx) {
+  (void)ctx;
+  co_return;
+}
+
+TEST(LaunchValidation, RejectsBadGrid) {
+  Device dev;
+  EXPECT_THROW(dev.launch(LaunchConfig{0, 32, 0}, noop), tbs::CheckError);
+}
+
+TEST(LaunchValidation, RejectsBadBlockDim) {
+  Device dev;
+  EXPECT_THROW(dev.launch(LaunchConfig{1, 0, 0}, noop), tbs::CheckError);
+  EXPECT_THROW(dev.launch(LaunchConfig{1, 2048, 0}, noop), tbs::CheckError);
+}
+
+TEST(LaunchValidation, RejectsOversizedShared) {
+  Device dev;
+  LaunchConfig cfg{1, 32, dev.spec().shared_mem_per_block_cap + 1};
+  EXPECT_THROW(dev.launch(cfg, noop), tbs::CheckError);
+}
+
+TEST(LaunchValidation, MaxBlockDimAccepted) {
+  Device dev;
+  const auto stats = dev.launch(LaunchConfig{1, 1024, 0}, noop);
+  EXPECT_EQ(stats.block_dim, 1024);
+}
+
+TEST(LaunchValidation, PartialWarpBlockRuns) {
+  Device dev;
+  DeviceBuffer<int> out(10, 0);
+  const auto stats =
+      dev.launch(LaunchConfig{1, 10, 0}, [&](ThreadCtx& ctx) -> KernelTask {
+        co_await out.store(ctx, static_cast<std::size_t>(ctx.thread_id), 1);
+      });
+  EXPECT_EQ(stats.global_stores, 10u);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(out.host()[static_cast<std::size_t>(i)], 1);
+}
+
+TEST(LaunchValidation, DeviceBufferOutOfRangeThrows) {
+  Device dev;
+  DeviceBuffer<int> buf(4, 0);
+  EXPECT_THROW(
+      dev.launch(LaunchConfig{1, 32, 0},
+                 [&](ThreadCtx& ctx) -> KernelTask {
+                   (void)co_await buf.load(ctx, 100);
+                 }),
+      tbs::CheckError);
+}
+
+TEST(LaunchValidation, StatsEchoLaunchConfig) {
+  Device dev;
+  LaunchConfig cfg{3, 64, 128};
+  cfg.regs_per_thread = 40;
+  const auto stats = dev.launch(cfg, noop);
+  EXPECT_EQ(stats.grid_dim, 3);
+  EXPECT_EQ(stats.block_dim, 64);
+  EXPECT_EQ(stats.shared_bytes_per_block, 128u);
+  EXPECT_EQ(stats.regs_per_thread, 40);
+  EXPECT_EQ(stats.launches, 1u);
+}
+
+TEST(LaunchValidation, StatsMergeAccumulates) {
+  KernelStats a;
+  a.global_loads = 5;
+  a.total_warp_cycles = 10.0;
+  a.grid_dim = 2;
+  a.block_dim = 32;
+  a.launches = 1;
+  KernelStats b;
+  b.global_loads = 7;
+  b.total_warp_cycles = 3.0;
+  b.grid_dim = 1;
+  b.block_dim = 64;
+  b.launches = 1;
+  a.merge(b);
+  EXPECT_EQ(a.global_loads, 12u);
+  EXPECT_DOUBLE_EQ(a.total_warp_cycles, 13.0);
+  EXPECT_EQ(a.block_dim, 32);  // keeps primary config
+  EXPECT_EQ(a.launches, 2u);
+}
+
+}  // namespace
+}  // namespace tbs::vgpu
