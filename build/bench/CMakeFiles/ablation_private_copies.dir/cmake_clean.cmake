@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_private_copies.dir/ablation_private_copies.cpp.o"
+  "CMakeFiles/ablation_private_copies.dir/ablation_private_copies.cpp.o.d"
+  "CMakeFiles/ablation_private_copies.dir/harness.cpp.o"
+  "CMakeFiles/ablation_private_copies.dir/harness.cpp.o.d"
+  "ablation_private_copies"
+  "ablation_private_copies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_private_copies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_type3.dir/ablation_type3.cpp.o"
+  "CMakeFiles/ablation_type3.dir/ablation_type3.cpp.o.d"
+  "CMakeFiles/ablation_type3.dir/harness.cpp.o"
+  "CMakeFiles/ablation_type3.dir/harness.cpp.o.d"
+  "ablation_type3"
+  "ablation_type3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_type3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_warpsum.cpp" "bench/CMakeFiles/ablation_warpsum.dir/ablation_warpsum.cpp.o" "gcc" "bench/CMakeFiles/ablation_warpsum.dir/ablation_warpsum.cpp.o.d"
+  "/root/repo/bench/harness.cpp" "bench/CMakeFiles/ablation_warpsum.dir/harness.cpp.o" "gcc" "bench/CMakeFiles/ablation_warpsum.dir/harness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/tbs_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/tbs_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpubase/CMakeFiles/tbs_cpubase.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/tbs_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

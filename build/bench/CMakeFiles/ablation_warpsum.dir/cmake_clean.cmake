@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_warpsum.dir/ablation_warpsum.cpp.o"
+  "CMakeFiles/ablation_warpsum.dir/ablation_warpsum.cpp.o.d"
+  "CMakeFiles/ablation_warpsum.dir/harness.cpp.o"
+  "CMakeFiles/ablation_warpsum.dir/harness.cpp.o.d"
+  "ablation_warpsum"
+  "ablation_warpsum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_warpsum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

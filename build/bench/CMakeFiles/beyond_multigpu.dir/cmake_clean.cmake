@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beyond_multigpu.dir/beyond_multigpu.cpp.o"
+  "CMakeFiles/beyond_multigpu.dir/beyond_multigpu.cpp.o.d"
+  "CMakeFiles/beyond_multigpu.dir/harness.cpp.o"
+  "CMakeFiles/beyond_multigpu.dir/harness.cpp.o.d"
+  "beyond_multigpu"
+  "beyond_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beyond_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

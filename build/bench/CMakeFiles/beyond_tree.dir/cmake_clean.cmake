@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beyond_tree.dir/beyond_tree.cpp.o"
+  "CMakeFiles/beyond_tree.dir/beyond_tree.cpp.o.d"
+  "CMakeFiles/beyond_tree.dir/harness.cpp.o"
+  "CMakeFiles/beyond_tree.dir/harness.cpp.o.d"
+  "beyond_tree"
+  "beyond_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beyond_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

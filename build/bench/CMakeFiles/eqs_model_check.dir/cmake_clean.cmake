@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqs_model_check.dir/eqs_model_check.cpp.o"
+  "CMakeFiles/eqs_model_check.dir/eqs_model_check.cpp.o.d"
+  "CMakeFiles/eqs_model_check.dir/harness.cpp.o"
+  "CMakeFiles/eqs_model_check.dir/harness.cpp.o.d"
+  "eqs_model_check"
+  "eqs_model_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqs_model_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_pcf.dir/fig2_pcf.cpp.o"
+  "CMakeFiles/fig2_pcf.dir/fig2_pcf.cpp.o.d"
+  "CMakeFiles/fig2_pcf.dir/harness.cpp.o"
+  "CMakeFiles/fig2_pcf.dir/harness.cpp.o.d"
+  "fig2_pcf"
+  "fig2_pcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_pcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sdh.dir/fig4_sdh.cpp.o"
+  "CMakeFiles/fig4_sdh.dir/fig4_sdh.cpp.o.d"
+  "CMakeFiles/fig4_sdh.dir/harness.cpp.o"
+  "CMakeFiles/fig4_sdh.dir/harness.cpp.o.d"
+  "fig4_sdh"
+  "fig4_sdh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sdh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

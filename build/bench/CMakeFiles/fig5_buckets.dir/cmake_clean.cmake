@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_buckets.dir/fig5_buckets.cpp.o"
+  "CMakeFiles/fig5_buckets.dir/fig5_buckets.cpp.o.d"
+  "CMakeFiles/fig5_buckets.dir/harness.cpp.o"
+  "CMakeFiles/fig5_buckets.dir/harness.cpp.o.d"
+  "fig5_buckets"
+  "fig5_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

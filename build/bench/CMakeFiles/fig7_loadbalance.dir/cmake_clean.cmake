@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_loadbalance.dir/fig7_loadbalance.cpp.o"
+  "CMakeFiles/fig7_loadbalance.dir/fig7_loadbalance.cpp.o.d"
+  "CMakeFiles/fig7_loadbalance.dir/harness.cpp.o"
+  "CMakeFiles/fig7_loadbalance.dir/harness.cpp.o.d"
+  "fig7_loadbalance"
+  "fig7_loadbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

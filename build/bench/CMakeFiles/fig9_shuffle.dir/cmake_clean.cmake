@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_shuffle.dir/fig9_shuffle.cpp.o"
+  "CMakeFiles/fig9_shuffle.dir/fig9_shuffle.cpp.o.d"
+  "CMakeFiles/fig9_shuffle.dir/harness.cpp.o"
+  "CMakeFiles/fig9_shuffle.dir/harness.cpp.o.d"
+  "fig9_shuffle"
+  "fig9_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_pcf_util.dir/harness.cpp.o"
+  "CMakeFiles/tab2_pcf_util.dir/harness.cpp.o.d"
+  "CMakeFiles/tab2_pcf_util.dir/tab2_pcf_util.cpp.o"
+  "CMakeFiles/tab2_pcf_util.dir/tab2_pcf_util.cpp.o.d"
+  "tab2_pcf_util"
+  "tab2_pcf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_pcf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

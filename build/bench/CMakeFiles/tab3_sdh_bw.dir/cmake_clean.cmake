@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_sdh_bw.dir/harness.cpp.o"
+  "CMakeFiles/tab3_sdh_bw.dir/harness.cpp.o.d"
+  "CMakeFiles/tab3_sdh_bw.dir/tab3_sdh_bw.cpp.o"
+  "CMakeFiles/tab3_sdh_bw.dir/tab3_sdh_bw.cpp.o.d"
+  "tab3_sdh_bw"
+  "tab3_sdh_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_sdh_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_sdh_util.dir/harness.cpp.o"
+  "CMakeFiles/tab4_sdh_util.dir/harness.cpp.o.d"
+  "CMakeFiles/tab4_sdh_util.dir/tab4_sdh_util.cpp.o"
+  "CMakeFiles/tab4_sdh_util.dir/tab4_sdh_util.cpp.o.d"
+  "tab4_sdh_util"
+  "tab4_sdh_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_sdh_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

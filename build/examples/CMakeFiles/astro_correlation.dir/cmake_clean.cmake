@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astro_correlation.dir/astro_correlation.cpp.o"
+  "CMakeFiles/astro_correlation.dir/astro_correlation.cpp.o.d"
+  "astro_correlation"
+  "astro_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astro_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_statistic.dir/custom_statistic.cpp.o"
+  "CMakeFiles/custom_statistic.dir/custom_statistic.cpp.o.d"
+  "custom_statistic"
+  "custom_statistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_statistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

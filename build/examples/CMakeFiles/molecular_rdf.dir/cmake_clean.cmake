@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecular_rdf.dir/molecular_rdf.cpp.o"
+  "CMakeFiles/molecular_rdf.dir/molecular_rdf.cpp.o.d"
+  "molecular_rdf"
+  "molecular_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecular_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

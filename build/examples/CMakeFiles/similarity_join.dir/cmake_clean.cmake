@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_join.dir/similarity_join.cpp.o"
+  "CMakeFiles/similarity_join.dir/similarity_join.cpp.o.d"
+  "similarity_join"
+  "similarity_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

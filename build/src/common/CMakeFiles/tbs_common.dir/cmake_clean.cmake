@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbs_common.dir/datagen.cpp.o"
+  "CMakeFiles/tbs_common.dir/datagen.cpp.o.d"
+  "CMakeFiles/tbs_common.dir/histogram.cpp.o"
+  "CMakeFiles/tbs_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/tbs_common.dir/table.cpp.o"
+  "CMakeFiles/tbs_common.dir/table.cpp.o.d"
+  "libtbs_common.a"
+  "libtbs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbs_core.dir/angular.cpp.o"
+  "CMakeFiles/tbs_core.dir/angular.cpp.o.d"
+  "CMakeFiles/tbs_core.dir/framework.cpp.o"
+  "CMakeFiles/tbs_core.dir/framework.cpp.o.d"
+  "CMakeFiles/tbs_core.dir/planner.cpp.o"
+  "CMakeFiles/tbs_core.dir/planner.cpp.o.d"
+  "CMakeFiles/tbs_core.dir/problem.cpp.o"
+  "CMakeFiles/tbs_core.dir/problem.cpp.o.d"
+  "libtbs_core.a"
+  "libtbs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtbs_core.a"
+)

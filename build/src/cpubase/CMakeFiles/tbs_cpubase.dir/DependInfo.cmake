@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpubase/affinity.cpp" "src/cpubase/CMakeFiles/tbs_cpubase.dir/affinity.cpp.o" "gcc" "src/cpubase/CMakeFiles/tbs_cpubase.dir/affinity.cpp.o.d"
+  "/root/repo/src/cpubase/cpu_stats.cpp" "src/cpubase/CMakeFiles/tbs_cpubase.dir/cpu_stats.cpp.o" "gcc" "src/cpubase/CMakeFiles/tbs_cpubase.dir/cpu_stats.cpp.o.d"
+  "/root/repo/src/cpubase/thread_pool.cpp" "src/cpubase/CMakeFiles/tbs_cpubase.dir/thread_pool.cpp.o" "gcc" "src/cpubase/CMakeFiles/tbs_cpubase.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/cpubase/tree_sdh.cpp" "src/cpubase/CMakeFiles/tbs_cpubase.dir/tree_sdh.cpp.o" "gcc" "src/cpubase/CMakeFiles/tbs_cpubase.dir/tree_sdh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

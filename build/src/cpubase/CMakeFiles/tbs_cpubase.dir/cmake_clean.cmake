@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbs_cpubase.dir/affinity.cpp.o"
+  "CMakeFiles/tbs_cpubase.dir/affinity.cpp.o.d"
+  "CMakeFiles/tbs_cpubase.dir/cpu_stats.cpp.o"
+  "CMakeFiles/tbs_cpubase.dir/cpu_stats.cpp.o.d"
+  "CMakeFiles/tbs_cpubase.dir/thread_pool.cpp.o"
+  "CMakeFiles/tbs_cpubase.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/tbs_cpubase.dir/tree_sdh.cpp.o"
+  "CMakeFiles/tbs_cpubase.dir/tree_sdh.cpp.o.d"
+  "libtbs_cpubase.a"
+  "libtbs_cpubase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbs_cpubase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

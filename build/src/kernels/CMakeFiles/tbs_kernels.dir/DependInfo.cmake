@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/multi.cpp" "src/kernels/CMakeFiles/tbs_kernels.dir/multi.cpp.o" "gcc" "src/kernels/CMakeFiles/tbs_kernels.dir/multi.cpp.o.d"
+  "/root/repo/src/kernels/pcf.cpp" "src/kernels/CMakeFiles/tbs_kernels.dir/pcf.cpp.o" "gcc" "src/kernels/CMakeFiles/tbs_kernels.dir/pcf.cpp.o.d"
+  "/root/repo/src/kernels/sdh.cpp" "src/kernels/CMakeFiles/tbs_kernels.dir/sdh.cpp.o" "gcc" "src/kernels/CMakeFiles/tbs_kernels.dir/sdh.cpp.o.d"
+  "/root/repo/src/kernels/type1.cpp" "src/kernels/CMakeFiles/tbs_kernels.dir/type1.cpp.o" "gcc" "src/kernels/CMakeFiles/tbs_kernels.dir/type1.cpp.o.d"
+  "/root/repo/src/kernels/type3.cpp" "src/kernels/CMakeFiles/tbs_kernels.dir/type3.cpp.o" "gcc" "src/kernels/CMakeFiles/tbs_kernels.dir/type3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tbs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/tbs_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/tbs_perfmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

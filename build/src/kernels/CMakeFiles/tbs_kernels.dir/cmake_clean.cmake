@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbs_kernels.dir/multi.cpp.o"
+  "CMakeFiles/tbs_kernels.dir/multi.cpp.o.d"
+  "CMakeFiles/tbs_kernels.dir/pcf.cpp.o"
+  "CMakeFiles/tbs_kernels.dir/pcf.cpp.o.d"
+  "CMakeFiles/tbs_kernels.dir/sdh.cpp.o"
+  "CMakeFiles/tbs_kernels.dir/sdh.cpp.o.d"
+  "CMakeFiles/tbs_kernels.dir/type1.cpp.o"
+  "CMakeFiles/tbs_kernels.dir/type1.cpp.o.d"
+  "CMakeFiles/tbs_kernels.dir/type3.cpp.o"
+  "CMakeFiles/tbs_kernels.dir/type3.cpp.o.d"
+  "libtbs_kernels.a"
+  "libtbs_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbs_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

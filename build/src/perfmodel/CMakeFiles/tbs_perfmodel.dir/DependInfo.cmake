@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/counts.cpp" "src/perfmodel/CMakeFiles/tbs_perfmodel.dir/counts.cpp.o" "gcc" "src/perfmodel/CMakeFiles/tbs_perfmodel.dir/counts.cpp.o.d"
+  "/root/repo/src/perfmodel/cpumodel.cpp" "src/perfmodel/CMakeFiles/tbs_perfmodel.dir/cpumodel.cpp.o" "gcc" "src/perfmodel/CMakeFiles/tbs_perfmodel.dir/cpumodel.cpp.o.d"
+  "/root/repo/src/perfmodel/occupancy.cpp" "src/perfmodel/CMakeFiles/tbs_perfmodel.dir/occupancy.cpp.o" "gcc" "src/perfmodel/CMakeFiles/tbs_perfmodel.dir/occupancy.cpp.o.d"
+  "/root/repo/src/perfmodel/timemodel.cpp" "src/perfmodel/CMakeFiles/tbs_perfmodel.dir/timemodel.cpp.o" "gcc" "src/perfmodel/CMakeFiles/tbs_perfmodel.dir/timemodel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tbs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/tbs_vgpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

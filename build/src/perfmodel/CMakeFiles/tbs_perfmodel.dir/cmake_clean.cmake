@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbs_perfmodel.dir/counts.cpp.o"
+  "CMakeFiles/tbs_perfmodel.dir/counts.cpp.o.d"
+  "CMakeFiles/tbs_perfmodel.dir/cpumodel.cpp.o"
+  "CMakeFiles/tbs_perfmodel.dir/cpumodel.cpp.o.d"
+  "CMakeFiles/tbs_perfmodel.dir/occupancy.cpp.o"
+  "CMakeFiles/tbs_perfmodel.dir/occupancy.cpp.o.d"
+  "CMakeFiles/tbs_perfmodel.dir/timemodel.cpp.o"
+  "CMakeFiles/tbs_perfmodel.dir/timemodel.cpp.o.d"
+  "libtbs_perfmodel.a"
+  "libtbs_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbs_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbs_vgpu.dir/device.cpp.o"
+  "CMakeFiles/tbs_vgpu.dir/device.cpp.o.d"
+  "libtbs_vgpu.a"
+  "libtbs_vgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbs_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

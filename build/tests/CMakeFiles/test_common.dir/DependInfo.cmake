@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_datagen.cpp" "tests/CMakeFiles/test_common.dir/common/test_datagen.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_datagen.cpp.o.d"
+  "/root/repo/tests/common/test_histogram.cpp" "tests/CMakeFiles/test_common.dir/common/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_histogram.cpp.o.d"
+  "/root/repo/tests/common/test_points.cpp" "tests/CMakeFiles/test_common.dir/common/test_points.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_points.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats_util.cpp" "tests/CMakeFiles/test_common.dir/common/test_stats_util.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats_util.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/tbs_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/tbs_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpubase/CMakeFiles/tbs_cpubase.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/tbs_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

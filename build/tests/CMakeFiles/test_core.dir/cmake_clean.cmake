@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_angular.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_angular.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_classify.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_classify.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_framework.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_framework.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_generic.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_generic.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_generic_more.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_generic_more.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_planner.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_planner.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

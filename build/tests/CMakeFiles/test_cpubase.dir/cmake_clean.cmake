@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpubase.dir/cpubase/test_affinity.cpp.o"
+  "CMakeFiles/test_cpubase.dir/cpubase/test_affinity.cpp.o.d"
+  "CMakeFiles/test_cpubase.dir/cpubase/test_cpu_stats.cpp.o"
+  "CMakeFiles/test_cpubase.dir/cpubase/test_cpu_stats.cpp.o.d"
+  "CMakeFiles/test_cpubase.dir/cpubase/test_thread_pool.cpp.o"
+  "CMakeFiles/test_cpubase.dir/cpubase/test_thread_pool.cpp.o.d"
+  "CMakeFiles/test_cpubase.dir/cpubase/test_tree_sdh.cpp.o"
+  "CMakeFiles/test_cpubase.dir/cpubase/test_tree_sdh.cpp.o.d"
+  "test_cpubase"
+  "test_cpubase.pdb"
+  "test_cpubase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpubase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

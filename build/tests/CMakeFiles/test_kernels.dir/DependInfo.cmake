@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernels/test_loadbalance.cpp" "tests/CMakeFiles/test_kernels.dir/kernels/test_loadbalance.cpp.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_loadbalance.cpp.o.d"
+  "/root/repo/tests/kernels/test_multi.cpp" "tests/CMakeFiles/test_kernels.dir/kernels/test_multi.cpp.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_multi.cpp.o.d"
+  "/root/repo/tests/kernels/test_pcf.cpp" "tests/CMakeFiles/test_kernels.dir/kernels/test_pcf.cpp.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_pcf.cpp.o.d"
+  "/root/repo/tests/kernels/test_properties.cpp" "tests/CMakeFiles/test_kernels.dir/kernels/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_properties.cpp.o.d"
+  "/root/repo/tests/kernels/test_sdh.cpp" "tests/CMakeFiles/test_kernels.dir/kernels/test_sdh.cpp.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_sdh.cpp.o.d"
+  "/root/repo/tests/kernels/test_type1.cpp" "tests/CMakeFiles/test_kernels.dir/kernels/test_type1.cpp.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_type1.cpp.o.d"
+  "/root/repo/tests/kernels/test_type3.cpp" "tests/CMakeFiles/test_kernels.dir/kernels/test_type3.cpp.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_type3.cpp.o.d"
+  "/root/repo/tests/kernels/test_warpsum.cpp" "tests/CMakeFiles/test_kernels.dir/kernels/test_warpsum.cpp.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_warpsum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/tbs_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/tbs_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpubase/CMakeFiles/tbs_cpubase.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/tbs_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels.dir/kernels/test_loadbalance.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_loadbalance.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_multi.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_multi.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_pcf.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_pcf.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_properties.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_properties.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_sdh.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_sdh.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_type1.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_type1.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_type3.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_type3.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_warpsum.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_warpsum.cpp.o.d"
+  "test_kernels"
+  "test_kernels.pdb"
+  "test_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_counts.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_counts.cpp.o.d"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_cpumodel.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_cpumodel.cpp.o.d"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_occupancy.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_occupancy.cpp.o.d"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_saturation.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_saturation.cpp.o.d"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_timemodel.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_timemodel.cpp.o.d"
+  "test_perfmodel"
+  "test_perfmodel.pdb"
+  "test_perfmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vgpu.dir/vgpu/test_cache.cpp.o"
+  "CMakeFiles/test_vgpu.dir/vgpu/test_cache.cpp.o.d"
+  "CMakeFiles/test_vgpu.dir/vgpu/test_exec_costs.cpp.o"
+  "CMakeFiles/test_vgpu.dir/vgpu/test_exec_costs.cpp.o.d"
+  "CMakeFiles/test_vgpu.dir/vgpu/test_exec_edge.cpp.o"
+  "CMakeFiles/test_vgpu.dir/vgpu/test_exec_edge.cpp.o.d"
+  "CMakeFiles/test_vgpu.dir/vgpu/test_exec_semantics.cpp.o"
+  "CMakeFiles/test_vgpu.dir/vgpu/test_exec_semantics.cpp.o.d"
+  "CMakeFiles/test_vgpu.dir/vgpu/test_launch_validation.cpp.o"
+  "CMakeFiles/test_vgpu.dir/vgpu/test_launch_validation.cpp.o.d"
+  "test_vgpu"
+  "test_vgpu.pdb"
+  "test_vgpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
