@@ -22,6 +22,7 @@ int main() {
               "===\n\n");
 
   vgpu::Device dev;
+  vgpu::Stream stream(dev);  // launches flow through the async runtime
   const int buckets = 256;
   const double target_n = 400'000;
   const std::vector<int> block_sizes = {64, 128, 256, 512, 1024};
@@ -32,7 +33,7 @@ int main() {
     const auto runner = [&, B](std::size_t nn) {
       const auto pts = uniform_box(nn, 10.0f, 42);
       const double width = pts.max_possible_distance() / buckets + 1e-4;
-      return kernels::run_sdh(dev, pts, width, buckets,
+      return kernels::run_sdh(stream, pts, width, buckets,
                               SdhVariant::RegShmOut, B)
           .stats;
     };

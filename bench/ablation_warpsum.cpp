@@ -23,6 +23,7 @@ int main() {
               "===\n\n");
 
   vgpu::Device dev;
+  vgpu::Stream stream(dev);  // launches flow through the async runtime
   const double radius = 2.0;
 
   TextTable t({"N", "stores/thread", "stores/warp", "per-thread time",
@@ -31,10 +32,10 @@ int main() {
   for (const std::size_t n : {512u, 2048u, 4096u}) {
     const auto pts = uniform_box(n, 10.0f, 99);
     dev.flush_caches();
-    const auto thread_out =
-        kernels::run_pcf(dev, pts, radius, kernels::PcfVariant::RegShm, 128);
+    const auto thread_out = kernels::run_pcf(stream, pts, radius,
+                                             kernels::PcfVariant::RegShm, 128);
     dev.flush_caches();
-    const auto warp_out = kernels::run_pcf_warpsum(dev, pts, radius, 128);
+    const auto warp_out = kernels::run_pcf_warpsum(stream, pts, radius, 128);
     if (thread_out.pairs_within != warp_out.pairs_within) {
       std::printf("FATAL: result mismatch at N=%zu\n", n);
       return 1;

@@ -22,16 +22,19 @@ int main() {
   std::printf("=== Analytical model check (paper Eqs. 2-7) ===\n\n");
 
   vgpu::Device dev;
+  vgpu::Stream stream(dev);  // launches flow through the async runtime
   const std::size_t n = 2048;
   const int B = 128;
   const auto pts = uniform_box(n, 10.0f, 42);
 
   const auto naive =
-      kernels::run_pcf(dev, pts, 2.0, kernels::PcfVariant::Naive, B).stats;
+      kernels::run_pcf(stream, pts, 2.0, kernels::PcfVariant::Naive, B).stats;
   const auto regshm =
-      kernels::run_pcf(dev, pts, 2.0, kernels::PcfVariant::RegShm, B).stats;
+      kernels::run_pcf(stream, pts, 2.0, kernels::PcfVariant::RegShm, B)
+          .stats;
   const auto shmshm =
-      kernels::run_pcf(dev, pts, 2.0, kernels::PcfVariant::ShmShm, B).stats;
+      kernels::run_pcf(stream, pts, 2.0, kernels::PcfVariant::ShmShm, B)
+          .stats;
 
   const double dn = static_cast<double>(n);
   TextTable t({"quantity", "paper eq.", "simulated", "rel.diff"});
@@ -60,7 +63,7 @@ int main() {
   const auto run_sdh_at = [&](std::size_t nn) {
     const auto p = uniform_box(nn, 10.0f, 7);
     const double width = p.max_possible_distance() / 64 + 1e-4;
-    return kernels::run_sdh(dev, p, width, 64,
+    return kernels::run_sdh(stream, p, width, 64,
                             kernels::SdhVariant::RegRocOut, 128)
         .stats;
   };

@@ -22,12 +22,13 @@ int main() {
   std::printf("=== Fig. 2: 2-PCF kernel comparison ===\n\n");
 
   vgpu::Device dev;
+  vgpu::Stream stream(dev);  // launches flow through the async runtime
   const int B = 256;
   const double radius = 2.0;
   const auto make_runner = [&](PcfVariant v) {
-    return [&dev, v, radius](std::size_t n) {
+    return [&stream, v, radius](std::size_t n) {
       const auto pts = uniform_box(n, 10.0f, 42);
-      return kernels::run_pcf(dev, pts, radius, v, 256).stats;
+      return kernels::run_pcf(stream, pts, radius, v, 256).stats;
     };
   };
   (void)B;

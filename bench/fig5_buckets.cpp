@@ -22,6 +22,7 @@ int main() {
   std::printf("=== Fig. 5: Reg-ROC-Out vs histogram size (N = 512k) ===\n\n");
 
   vgpu::Device dev;
+  vgpu::Stream stream(dev);  // launches flow through the async runtime
   const double target_n = 512'000;
   const int B = 256;
   const std::vector<int> bucket_counts = {16,   64,   250,  500,  1000,
@@ -35,7 +36,7 @@ int main() {
     const auto runner = [&, buckets](std::size_t n) {
       const auto pts = uniform_box(n, 10.0f, 42);
       const double width = pts.max_possible_distance() / buckets + 1e-4;
-      return kernels::run_sdh(dev, pts, width, buckets,
+      return kernels::run_sdh(stream, pts, width, buckets,
                               kernels::SdhVariant::RegRocOut, B)
           .stats;
     };

@@ -23,12 +23,13 @@ int main() {
   std::printf("per-pair CPU cost: %.2f ns*core\n\n", cpu.pair_cost() * 1e9);
 
   vgpu::Device dev;
+  vgpu::Stream stream(dev);  // launches flow through the async runtime
   const int buckets = 256;
   const auto make_runner = [&](SdhVariant v) {
-    return [&dev, v, buckets](std::size_t n) {
+    return [&stream, v, buckets](std::size_t n) {
       const auto pts = uniform_box(n, 10.0f, 42);
       const double width = pts.max_possible_distance() / buckets + 1e-4;
-      return kernels::run_sdh(dev, pts, width, buckets, v, 256).stats;
+      return kernels::run_sdh(stream, pts, width, buckets, v, 256).stats;
     };
   };
 

@@ -15,45 +15,56 @@
 #include "common/datagen.hpp"
 #include "common/table.hpp"
 #include "harness.hpp"
-#include "kernels/pcf.hpp"
+#include "kernels/registry.hpp"
 
 int main() {
   using namespace tbs;
   using namespace tbs::bench;
-  using kernels::PcfVariant;
 
   std::printf("=== Table II: 2-PCF resource utilization ===\n\n");
 
   vgpu::Device dev;
+  vgpu::Stream stream(dev);  // launches flow through the async runtime
   const double target_n = 400'000;  // paper-scale run via extrapolation
   std::printf("(counters calibrated at N<=4096, reported at N=%.0fk)\n\n",
               target_n / 1000);
 
+  // Kernels come from the registry by their paper names — the same table
+  // the planner enumerates, so the bench can never drift out of sync.
   struct Row {
-    PcfVariant v;
+    const char* name;
     double paper_arith, paper_ctrl;
     const char* paper_mem;
   };
   const Row rows[] = {
-      {PcfVariant::Naive, 0.15, 0.03, "76% (L2)"},
-      {PcfVariant::ShmShm, 0.50, 0.07, "35% (shared)"},
-      {PcfVariant::RegShm, 0.52, 0.11, "35% (shared)"},
-      {PcfVariant::RegRoc, 0.24, 0.10, "65% (data cache)"},
+      {"Naive", 0.15, 0.03, "76% (L2)"},
+      {"SHM-SHM", 0.50, 0.07, "35% (shared)"},
+      {"Register-SHM", 0.52, 0.11, "35% (shared)"},
+      {"Register-ROC", 0.24, 0.10, "65% (data cache)"},
   };
+  const auto& registry = kernels::KernelRegistry::instance();
 
   TextTable t({"kernel", "arith", "ctrl", "bottleneck", "shared", "l2",
                "roc", "paper arith", "paper mem"});
   std::vector<perfmodel::TimeReport> reports;
   for (const auto& row : rows) {
+    const kernels::KernelVariant* kv =
+        registry.find(kernels::ProblemType::Pcf, row.name);
+    if (kv == nullptr) {
+      std::printf("FATAL: kernel '%s' not in registry\n", row.name);
+      return 1;
+    }
     const auto rep = report_at(
         dev.spec(), kCalibSizes,
-        [&dev, v = row.v](std::size_t n) {
+        [&stream, kv](std::size_t n) {
           const auto pts = uniform_box(n, 10.0f, 42);
-          return kernels::run_pcf(dev, pts, 2.0, v, 256).stats;
+          const auto desc = kernels::ProblemDesc::pcf(2.0);
+          kernels::KernelOutput sink;
+          return kv->launch(stream, pts, desc, 256, sink);
         },
         target_n);
     reports.push_back(rep);
-    t.add_row({kernels::to_string(row.v),
+    t.add_row({kv->name,
                TextTable::num(100 * rep.util_arith(), 0) + "%",
                TextTable::num(100 * rep.util_control(), 0) + "%",
                rep.bottleneck,

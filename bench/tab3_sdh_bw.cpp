@@ -26,6 +26,7 @@ int main() {
   std::printf("=== Table III: SDH achieved memory bandwidth ===\n\n");
 
   vgpu::Device dev;
+  vgpu::Stream stream(dev);  // launches flow through the async runtime
   const double target_n = 400'000;  // paper-scale run via extrapolation
   const int buckets = 256;
   std::printf("(counters calibrated at N<=4096, reported at N=%.0fk)\n\n",
@@ -45,10 +46,10 @@ int main() {
   for (const auto v : variants) {
     const auto rep = report_at(
         dev.spec(), kCalibSizes,
-        [&dev, v, buckets](std::size_t n) {
+        [&stream, v, buckets](std::size_t n) {
           const auto pts = uniform_box(n, 10.0f, 42);
           const double width = pts.max_possible_distance() / buckets + 1e-4;
-          return kernels::run_sdh(dev, pts, width, buckets, v, 256).stats;
+          return kernels::run_sdh(stream, pts, width, buckets, v, 256).stats;
         },
         target_n);
     reports.push_back(rep);

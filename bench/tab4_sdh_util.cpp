@@ -14,46 +14,57 @@
 #include "common/datagen.hpp"
 #include "common/table.hpp"
 #include "harness.hpp"
-#include "kernels/sdh.hpp"
+#include "kernels/registry.hpp"
 
 int main() {
   using namespace tbs;
   using namespace tbs::bench;
-  using kernels::SdhVariant;
 
   std::printf("=== Table IV: SDH resource utilization ===\n\n");
 
   vgpu::Device dev;
+  vgpu::Stream stream(dev);  // launches flow through the async runtime
   const double target_n = 400'000;  // paper-scale run via extrapolation
   const int buckets = 256;
   std::printf("(counters calibrated at N<=4096, reported at N=%.0fk)\n\n",
               target_n / 1000);
 
+  // Kernels come from the registry by their paper names — the same table
+  // the planner enumerates, so the bench can never drift out of sync.
   struct Row {
-    SdhVariant v;
+    const char* name;
     const char* paper;
   };
   const Row rows[] = {
-      {SdhVariant::Naive, "5% arith, Max(L2)"},
-      {SdhVariant::NaiveOut, "23% arith, Max(L2)"},
-      {SdhVariant::RegShmOut, "25% arith, 95% shm"},
-      {SdhVariant::RegRocOut, "20% arith, 86% shm + 27% roc"},
+      {"Naive", "5% arith, Max(L2)"},
+      {"Naive-Out", "23% arith, Max(L2)"},
+      {"Reg-SHM-Out", "25% arith, 95% shm"},
+      {"Reg-ROC-Out", "20% arith, 86% shm + 27% roc"},
   };
+  const auto& registry = kernels::KernelRegistry::instance();
 
   TextTable t({"kernel", "arith", "ctrl", "shared", "l2", "roc",
                "bottleneck", "paper"});
   std::vector<perfmodel::TimeReport> reports;
   for (const auto& row : rows) {
+    const kernels::KernelVariant* kv =
+        registry.find(kernels::ProblemType::Sdh, row.name);
+    if (kv == nullptr) {
+      std::printf("FATAL: kernel '%s' not in registry\n", row.name);
+      return 1;
+    }
     const auto rep = report_at(
         dev.spec(), kCalibSizes,
-        [&dev, v = row.v, buckets](std::size_t n) {
+        [&stream, kv, buckets](std::size_t n) {
           const auto pts = uniform_box(n, 10.0f, 42);
           const double width = pts.max_possible_distance() / buckets + 1e-4;
-          return kernels::run_sdh(dev, pts, width, buckets, v, 256).stats;
+          const auto desc = kernels::ProblemDesc::sdh(width, buckets);
+          kernels::KernelOutput sink;
+          return kv->launch(stream, pts, desc, 256, sink);
         },
         target_n);
     reports.push_back(rep);
-    t.add_row({kernels::to_string(row.v),
+    t.add_row({kv->name,
                TextTable::num(100 * rep.util_arith(), 0) + "%",
                TextTable::num(100 * rep.util_control(), 0) + "%",
                TextTable::num(100 * rep.util_shared(), 0) + "%",

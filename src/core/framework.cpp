@@ -20,15 +20,17 @@ kernels::SdhResult TwoBodyFramework::sdh(const PointsSoA& pts,
   kernels::SdhVariant variant = kernels::SdhVariant::RegRocOut;
   int block = 256;
   if (pts.size() > kPlanThreshold) {
-    const SdhPlan plan = plan_sdh(dev_, pts, bucket_width, buckets,
-                                  static_cast<double>(pts.size()));
-    variant = plan.variant;
-    block = plan.block_size;
-    sdh_plan_ = plan;
+    const Plan p =
+        plan(stream_, pts, kernels::ProblemDesc::sdh(bucket_width, buckets),
+             static_cast<double>(pts.size()), &plan_cache_);
+    variant = static_cast<kernels::SdhVariant>(p.kernel->variant_id);
+    block = p.block_size;
+    sdh_plan_ = SdhPlan{variant, block, p.predicted_seconds, p.considered};
   } else {
     sdh_plan_.reset();
   }
-  return kernels::run_sdh(dev_, pts, bucket_width, buckets, variant, block);
+  return kernels::run_sdh(stream_, pts, bucket_width, buckets, variant,
+                          block);
 }
 
 kernels::PcfResult TwoBodyFramework::pcf(const PointsSoA& pts,
@@ -36,15 +38,15 @@ kernels::PcfResult TwoBodyFramework::pcf(const PointsSoA& pts,
   kernels::PcfVariant variant = kernels::PcfVariant::RegShm;
   int block = 256;
   if (pts.size() > kPlanThreshold) {
-    const PcfPlan plan =
-        plan_pcf(dev_, pts, radius, static_cast<double>(pts.size()));
-    variant = plan.variant;
-    block = plan.block_size;
-    pcf_plan_ = plan;
+    const Plan p = plan(stream_, pts, kernels::ProblemDesc::pcf(radius),
+                        static_cast<double>(pts.size()), &plan_cache_);
+    variant = static_cast<kernels::PcfVariant>(p.kernel->variant_id);
+    block = p.block_size;
+    pcf_plan_ = PcfPlan{variant, block, p.predicted_seconds, p.considered};
   } else {
     pcf_plan_.reset();
   }
-  return kernels::run_pcf(dev_, pts, radius, variant, block);
+  return kernels::run_pcf(stream_, pts, radius, variant, block);
 }
 
 kernels::KnnResult TwoBodyFramework::knn(const PointsSoA& pts, int k,

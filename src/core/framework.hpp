@@ -3,7 +3,10 @@
 // One object owns a simulated device and exposes every 2-BS problem as a
 // single call. By default each call auto-plans (classify output pattern,
 // price kernel variants, pick the cheapest — the paper's framework vision);
-// the chosen plan is retrievable afterwards for inspection.
+// the chosen plan is retrievable afterwards for inspection. Planned
+// problems (sdh/pcf) run through the framework's stream on the async
+// runtime, and plans are memoized in a PlanCache: a repeated query shape
+// reuses its plan with zero additional calibration launches.
 #pragma once
 
 #include <optional>
@@ -15,6 +18,7 @@
 #include "kernels/type1.hpp"
 #include "kernels/type3.hpp"
 #include "vgpu/device.hpp"
+#include "vgpu/stream.hpp"
 
 namespace tbs::core {
 
@@ -57,8 +61,13 @@ class TwoBodyFramework {
     return pcf_plan_;
   }
 
+  /// The memoized plans accumulated by sdh()/pcf() calls.
+  [[nodiscard]] const PlanCache& plan_cache() const { return plan_cache_; }
+
  private:
   vgpu::Device dev_;
+  vgpu::Stream stream_{dev_};  ///< all planned launches flow through here
+  PlanCache plan_cache_;
   std::optional<SdhPlan> sdh_plan_;
   std::optional<PcfPlan> pcf_plan_;
 };

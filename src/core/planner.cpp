@@ -1,7 +1,9 @@
 #include "core/planner.hpp"
 
 #include <algorithm>
+#include <array>
 #include <limits>
+#include <utility>
 
 #include "common/error.hpp"
 #include "perfmodel/counts.hpp"
@@ -14,6 +16,8 @@ namespace {
 /// Calibration sizes (multiples of every candidate block size).
 constexpr std::array<double, 3> kCalibN = {512, 1024, 2048};
 
+constexpr std::array<int, 3> kBlockSizes = {128, 256, 512};
+
 /// Truncate the sample to n points (cycling if the sample is smaller).
 PointsSoA take(const PointsSoA& sample, std::size_t n) {
   check(!sample.empty(), "planner: empty sample");
@@ -25,93 +29,141 @@ PointsSoA take(const PointsSoA& sample, std::size_t n) {
 }
 
 /// Simulate at the three calibration sizes and price at target_n.
-template <class RunFn>
-Candidate price(vgpu::Device& dev, const PointsSoA& sample,
-                const std::string& name, double target_n, RunFn run) {
+Candidate price(vgpu::Stream& stream, const PointsSoA& sample,
+                const kernels::KernelVariant& kernel,
+                const kernels::ProblemDesc& desc, int block_size,
+                double target_n) {
   std::array<vgpu::KernelStats, 3> stats;
-  for (int i = 0; i < 3; ++i) {
+  for (std::size_t i = 0; i < kCalibN.size(); ++i) {
     const PointsSoA pts =
-        take(sample, static_cast<std::size_t>(kCalibN[
-            static_cast<std::size_t>(i)]));
-    stats[static_cast<std::size_t>(i)] = run(dev, pts);
+        take(sample, static_cast<std::size_t>(kCalibN[i]));
+    kernels::KernelOutput sink;  // calibration discards outputs
+    stats[i] = kernel.launch(stream, pts, desc, block_size, sink);
   }
   const perfmodel::StatsPoly poly(kCalibN, stats);
   const auto report =
-      perfmodel::model_time(dev.spec(), poly.predict(target_n));
+      perfmodel::model_time(stream.device().spec(), poly.predict(target_n));
+  const std::string name =
+      kernel.name + "/B" + std::to_string(block_size);
   return Candidate{name, report.seconds, report.bottleneck};
 }
 
 }  // namespace
 
-SdhPlan plan_sdh(vgpu::Device& dev, const PointsSoA& sample,
-                 double bucket_width, int buckets, double target_n) {
-  using kernels::SdhVariant;
-  SdhPlan plan;
-  plan.predicted_seconds = std::numeric_limits<double>::infinity();
+std::string plan_cache_key(const vgpu::DeviceSpec& spec,
+                           const kernels::ProblemDesc& desc,
+                           double target_n) {
+  // Round the target up to a power of two so nearby sizes share a plan.
+  std::uint64_t n_bucket = 1;
+  while (static_cast<double>(n_bucket) < target_n) n_bucket <<= 1;
 
-  constexpr SdhVariant kVariants[] = {
-      SdhVariant::NaiveOut,   SdhVariant::RegShmOut, SdhVariant::RegRocOut,
-      SdhVariant::RegShmLb,   SdhVariant::ShuffleOut,
-  };
-  constexpr int kBlockSizes[] = {128, 256, 512};
+  std::string key = spec.name;
+  key += '|';
+  key += std::to_string(spec.sm_count);
+  key += '|';
+  key += std::to_string(spec.shared_mem_per_block_cap);
+  key += '|';
+  key += kernels::to_string(desc.type);
+  key += '|';
+  key += std::to_string(desc.bucket_width);
+  key += '|';
+  key += std::to_string(desc.buckets);
+  key += '|';
+  key += std::to_string(desc.radius);
+  key += "|N";
+  key += std::to_string(n_bucket);
+  return key;
+}
 
-  for (const SdhVariant v : kVariants) {
+std::optional<Plan> PlanCache::find(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = plans_.find(key);
+  if (it == plans_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void PlanCache::store(const std::string& key, const Plan& plan) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  plans_[key] = plan;
+}
+
+std::uint64_t PlanCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t PlanCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t PlanCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+Plan plan(vgpu::Stream& stream, const PointsSoA& sample,
+          const kernels::ProblemDesc& desc, double target_n,
+          PlanCache* cache) {
+  const std::string key =
+      plan_cache_key(stream.device().spec(), desc, target_n);
+  if (cache != nullptr) {
+    if (std::optional<Plan> hit = cache->find(key)) return *std::move(hit);
+  }
+
+  Plan out;
+  out.predicted_seconds = std::numeric_limits<double>::infinity();
+
+  const auto candidates =
+      kernels::KernelRegistry::instance().plannable(desc.type);
+  for (const kernels::KernelVariant* kernel : candidates) {
     for (const int b : kBlockSizes) {
       // Skip configurations whose shared demand cannot launch.
-      if (kernels::sdh_shared_bytes(v, b, buckets) >
-          dev.spec().shared_mem_per_block_cap)
+      if (kernel->shared_bytes(b, desc.buckets) >
+          stream.device().spec().shared_mem_per_block_cap)
         continue;
-      const std::string name =
-          std::string(kernels::to_string(v)) + "/B" + std::to_string(b);
-      Candidate c = price(dev, sample, name, target_n,
-                          [&](vgpu::Device& d, const PointsSoA& pts) {
-                            return kernels::run_sdh(d, pts, bucket_width,
-                                                    buckets, v, b)
-                                .stats;
-                          });
-      if (c.predicted_seconds < plan.predicted_seconds) {
-        plan.predicted_seconds = c.predicted_seconds;
-        plan.variant = v;
-        plan.block_size = b;
+      Candidate c = price(stream, sample, *kernel, desc, b, target_n);
+      if (c.predicted_seconds < out.predicted_seconds) {
+        out.predicted_seconds = c.predicted_seconds;
+        out.kernel = kernel;
+        out.block_size = b;
       }
-      plan.considered.push_back(std::move(c));
+      out.considered.push_back(std::move(c));
     }
   }
-  check(!plan.considered.empty(), "plan_sdh: no launchable candidate");
-  return plan;
+  check(!out.considered.empty(), "plan: no launchable candidate");
+
+  if (cache != nullptr) cache->store(key, out);
+  return out;
+}
+
+SdhPlan plan_sdh(vgpu::Device& dev, const PointsSoA& sample,
+                 double bucket_width, int buckets, double target_n) {
+  vgpu::Stream stream(dev);
+  Plan g = plan(stream, sample,
+                kernels::ProblemDesc::sdh(bucket_width, buckets), target_n);
+  SdhPlan out;
+  out.variant = static_cast<kernels::SdhVariant>(g.kernel->variant_id);
+  out.block_size = g.block_size;
+  out.predicted_seconds = g.predicted_seconds;
+  out.considered = std::move(g.considered);
+  return out;
 }
 
 PcfPlan plan_pcf(vgpu::Device& dev, const PointsSoA& sample, double radius,
                  double target_n) {
-  using kernels::PcfVariant;
-  PcfPlan plan;
-  plan.predicted_seconds = std::numeric_limits<double>::infinity();
-
-  constexpr PcfVariant kVariants[] = {
-      PcfVariant::ShmShm,
-      PcfVariant::RegShm,
-      PcfVariant::RegRoc,
-  };
-  constexpr int kBlockSizes[] = {128, 256, 512};
-
-  for (const PcfVariant v : kVariants) {
-    for (const int b : kBlockSizes) {
-      const std::string name =
-          std::string(kernels::to_string(v)) + "/B" + std::to_string(b);
-      Candidate c = price(dev, sample, name, target_n,
-                          [&](vgpu::Device& d, const PointsSoA& pts) {
-                            return kernels::run_pcf(d, pts, radius, v, b)
-                                .stats;
-                          });
-      if (c.predicted_seconds < plan.predicted_seconds) {
-        plan.predicted_seconds = c.predicted_seconds;
-        plan.variant = v;
-        plan.block_size = b;
-      }
-      plan.considered.push_back(std::move(c));
-    }
-  }
-  return plan;
+  vgpu::Stream stream(dev);
+  Plan g = plan(stream, sample, kernels::ProblemDesc::pcf(radius), target_n);
+  PcfPlan out;
+  out.variant = static_cast<kernels::PcfVariant>(g.kernel->variant_id);
+  out.block_size = g.block_size;
+  out.predicted_seconds = g.predicted_seconds;
+  out.considered = std::move(g.considered);
+  return out;
 }
 
 }  // namespace tbs::core

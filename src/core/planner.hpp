@@ -1,18 +1,31 @@
 // Kernel planner — the seed of the paper's envisioned framework that
 // "automatically generates optimized code for any new 2-BS problem"
 // (Sec. I & V). Given a problem instance and a target size, the planner
-// simulates every candidate kernel at three small calibration sizes,
-// extrapolates the counters with perfmodel::StatsPoly, prices them with
-// perfmodel::model_time, and picks the cheapest variant.
+// simulates every planner-eligible registry variant at three small
+// calibration sizes, extrapolates the counters with perfmodel::StatsPoly,
+// prices them with perfmodel::model_time, and picks the cheapest.
+//
+// The generic entry point is plan(): it enumerates KernelRegistry rather
+// than a per-problem table, so a new statistic becomes plannable the moment
+// its variants register. plan_sdh() / plan_pcf() remain as typed wrappers
+// over it. Calibration launches go through a Stream, so planning shares the
+// async runtime with serving; pass a PlanCache to memoize plans across
+// queries (calibration is the expensive part — a hit costs zero launches).
 #pragma once
 
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/points.hpp"
 #include "kernels/pcf.hpp"
+#include "kernels/registry.hpp"
 #include "kernels/sdh.hpp"
 #include "vgpu/device.hpp"
+#include "vgpu/stream.hpp"
 
 namespace tbs::core {
 
@@ -21,6 +34,14 @@ struct Candidate {
   std::string name;
   double predicted_seconds = 0.0;
   std::string bottleneck;
+};
+
+/// A generic plan: the winning registry variant and block size.
+struct Plan {
+  const kernels::KernelVariant* kernel = nullptr;
+  int block_size = 256;
+  double predicted_seconds = 0.0;
+  std::vector<Candidate> considered;  ///< all candidates, priced
 };
 
 struct SdhPlan {
@@ -37,9 +58,41 @@ struct PcfPlan {
   std::vector<Candidate> considered;
 };
 
+/// Memoization key for a planning request: device identity, problem
+/// descriptor, and the target size rounded up to a power of two (the time
+/// model is smooth in N, so nearby sizes share a plan).
+std::string plan_cache_key(const vgpu::DeviceSpec& spec,
+                           const kernels::ProblemDesc& desc, double target_n);
+
+/// Thread-safe plan memo. Keyed by plan_cache_key(); hit/miss counters are
+/// exposed so tests (and ops dashboards) can assert cache effectiveness.
+class PlanCache {
+ public:
+  [[nodiscard]] std::optional<Plan> find(const std::string& key) const;
+  void store(const std::string& key, const Plan& plan);
+
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Plan> plans_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+/// Plan a run of `target_n` points of the described problem. `sample`
+/// supplies the data distribution for calibration (a subset is used; it may
+/// be much smaller than target_n). Candidates whose shared-memory demand
+/// exceeds the device's per-block cap are skipped; throws CheckError if no
+/// candidate is launchable. With a cache, a repeat request returns the
+/// memoized plan without a single calibration launch.
+Plan plan(vgpu::Stream& stream, const PointsSoA& sample,
+          const kernels::ProblemDesc& desc, double target_n,
+          PlanCache* cache = nullptr);
+
 /// Plan an SDH run of `target_n` points with the given histogram geometry.
-/// `sample` supplies the data distribution for calibration (a subset is
-/// used); it may be much smaller than target_n.
 SdhPlan plan_sdh(vgpu::Device& dev, const PointsSoA& sample,
                  double bucket_width, int buckets, double target_n);
 

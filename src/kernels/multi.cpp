@@ -1,9 +1,11 @@
 #include "kernels/multi.hpp"
 
 #include <algorithm>
+#include <deque>
 
 #include "common/error.hpp"
 #include "perfmodel/timemodel.hpp"
+#include "vgpu/stream.hpp"
 
 namespace tbs::kernels {
 
@@ -15,12 +17,17 @@ MultiSdhResult run_sdh_multi(std::vector<vgpu::Device>& devices,
   check(!devices.empty(), "run_sdh_multi: need at least one device");
   const int d = static_cast<int>(devices.size());
 
+  // One stream per device, as a real multi-GPU driver would: each owner's
+  // launches execute on the shared worker pool through its device's stream.
+  std::deque<vgpu::Stream> streams;
+  for (vgpu::Device& dev : devices) streams.emplace_back(dev);
+
   MultiSdhResult result{
       Histogram(bucket_width, static_cast<std::size_t>(buckets)), {}, 0.0,
       0.0};
   for (int owner = 0; owner < d; ++owner) {
     const SdhResult partial =
-        run_sdh_partitioned(devices[static_cast<std::size_t>(owner)], pts,
+        run_sdh_partitioned(streams[static_cast<std::size_t>(owner)], pts,
                             bucket_width, buckets, variant, block_size,
                             owner, d);
     result.hist.merge(partial.hist);

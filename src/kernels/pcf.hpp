@@ -15,6 +15,7 @@
 #include "common/points.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/stats.hpp"
+#include "vgpu/stream.hpp"
 
 namespace tbs::kernels {
 
@@ -35,12 +36,21 @@ struct PcfResult {
 PcfResult run_pcf(vgpu::Device& dev, const PointsSoA& pts, double radius,
                   PcfVariant variant, int block_size);
 
+/// Stream overload: the launch goes through `stream`, so blocks execute on
+/// the async worker pool. Counters are bit-identical to the Device overload.
+PcfResult run_pcf(vgpu::Stream& stream, const PointsSoA& pts, double radius,
+                  PcfVariant variant, int block_size);
+
 /// Register-SHM pairwise stage + a warp-level butterfly reduction of the
 /// per-thread counts via shuffle-XOR exchanges, so only one lane per warp
 /// writes to global memory (32x fewer output stores). An extension of the
 /// paper's register-content-sharing theme (Sec. IV-E2) to the *output*
 /// stage of Type-I problems.
 PcfResult run_pcf_warpsum(vgpu::Device& dev, const PointsSoA& pts,
+                          double radius, int block_size);
+
+/// Stream overload of run_pcf_warpsum (see run_pcf(Stream&, ...)).
+PcfResult run_pcf_warpsum(vgpu::Stream& stream, const PointsSoA& pts,
                           double radius, int block_size);
 
 }  // namespace tbs::kernels

@@ -1,0 +1,134 @@
+#include "kernels/registry.hpp"
+
+#include <utility>
+
+#include "kernels/pcf.hpp"
+#include "kernels/sdh.hpp"
+#include "vgpu/buffer.hpp"
+
+namespace tbs::kernels {
+
+const char* to_string(ProblemType t) {
+  switch (t) {
+    case ProblemType::Sdh: return "SDH";
+    case ProblemType::Pcf: return "PCF";
+  }
+  return "?";
+}
+
+namespace {
+
+KernelVariant make_sdh(SdhVariant v, bool plannable) {
+  KernelVariant kv;
+  kv.name = to_string(v);
+  kv.problem = ProblemType::Sdh;
+  kv.variant_id = static_cast<int>(v);
+  kv.plannable = plannable;
+  kv.shared_bytes = [v](int block_size, int buckets) {
+    return sdh_shared_bytes(v, block_size, buckets);
+  };
+  kv.launch = [v](vgpu::Stream& stream, const PointsSoA& pts,
+                  const ProblemDesc& d, int block_size, KernelOutput& out) {
+    SdhResult r =
+        run_sdh(stream, pts, d.bucket_width, d.buckets, v, block_size);
+    if (out.hist != nullptr) *out.hist = std::move(r.hist);
+    return r.stats;
+  };
+  return kv;
+}
+
+KernelVariant make_pcf(PcfVariant v, bool plannable) {
+  KernelVariant kv;
+  kv.name = to_string(v);
+  kv.problem = ProblemType::Pcf;
+  kv.variant_id = static_cast<int>(v);
+  kv.plannable = plannable;
+  kv.shared_bytes = [v](int block_size, int /*buckets*/) {
+    return pcf_shared_bytes(v, block_size);
+  };
+  kv.launch = [v](vgpu::Stream& stream, const PointsSoA& pts,
+                  const ProblemDesc& d, int block_size, KernelOutput& out) {
+    PcfResult r = run_pcf(stream, pts, d.radius, v, block_size);
+    if (out.pairs != nullptr) *out.pairs = r.pairs_within;
+    return r.stats;
+  };
+  return kv;
+}
+
+/// The warp-shuffle output reduction extension lives outside PcfVariant, so
+/// it registers with variant_id = -1. Not plannable: it requires a warp-
+/// multiple block size, which the planner's candidate grid doesn't
+/// guarantee for future extensions, and it exists as an ablation.
+KernelVariant make_pcf_warpsum() {
+  KernelVariant kv;
+  kv.name = "Warpsum";
+  kv.problem = ProblemType::Pcf;
+  kv.variant_id = -1;
+  kv.plannable = false;
+  kv.shared_bytes = [](int block_size, int /*buckets*/) {
+    return vgpu::SharedPointsTile::bytes(
+        static_cast<std::size_t>(block_size));
+  };
+  kv.launch = [](vgpu::Stream& stream, const PointsSoA& pts,
+                 const ProblemDesc& d, int block_size, KernelOutput& out) {
+    PcfResult r = run_pcf_warpsum(stream, pts, d.radius, block_size);
+    if (out.pairs != nullptr) *out.pairs = r.pairs_within;
+    return r.stats;
+  };
+  return kv;
+}
+
+}  // namespace
+
+KernelRegistry::KernelRegistry() {
+  // SDH variants, enum order. The global-atomic output kernels (Naive,
+  // Register-SHM, Register-ROC) are figure baselines; the planner considers
+  // only the privatized-output family, matching the paper's Sec. IV-C
+  // finding that output privatization always wins for Type-II problems.
+  variants_.push_back(make_sdh(SdhVariant::Naive, /*plannable=*/false));
+  variants_.push_back(make_sdh(SdhVariant::RegShm, /*plannable=*/false));
+  variants_.push_back(make_sdh(SdhVariant::RegRoc, /*plannable=*/false));
+  variants_.push_back(make_sdh(SdhVariant::NaiveOut, /*plannable=*/true));
+  variants_.push_back(make_sdh(SdhVariant::RegShmOut, /*plannable=*/true));
+  variants_.push_back(make_sdh(SdhVariant::RegRocOut, /*plannable=*/true));
+  variants_.push_back(make_sdh(SdhVariant::RegShmLb, /*plannable=*/true));
+  variants_.push_back(make_sdh(SdhVariant::ShuffleOut, /*plannable=*/true));
+
+  // PCF variants, enum order. Naive is the figure baseline.
+  variants_.push_back(make_pcf(PcfVariant::Naive, /*plannable=*/false));
+  variants_.push_back(make_pcf(PcfVariant::ShmShm, /*plannable=*/true));
+  variants_.push_back(make_pcf(PcfVariant::RegShm, /*plannable=*/true));
+  variants_.push_back(make_pcf(PcfVariant::RegRoc, /*plannable=*/true));
+
+  variants_.push_back(make_pcf_warpsum());
+}
+
+const KernelRegistry& KernelRegistry::instance() {
+  static const KernelRegistry registry;
+  return registry;
+}
+
+std::vector<const KernelVariant*> KernelRegistry::for_problem(
+    ProblemType t) const {
+  std::vector<const KernelVariant*> out;
+  for (const KernelVariant& v : variants_)
+    if (v.problem == t) out.push_back(&v);
+  return out;
+}
+
+std::vector<const KernelVariant*> KernelRegistry::plannable(
+    ProblemType t) const {
+  std::vector<const KernelVariant*> out;
+  for (const KernelVariant& v : variants_)
+    if (v.problem == t && v.plannable) out.push_back(&v);
+  return out;
+}
+
+const KernelVariant* KernelRegistry::find(ProblemType t,
+                                          std::string_view name) const {
+  for (const KernelVariant& v : variants_)
+    if (v.problem == t && v.name == name) return &v;
+  return nullptr;
+}
+
+}  // namespace tbs::kernels

@@ -1,0 +1,118 @@
+// Generic kernel registry — the single catalogue of every 2-body-statistics
+// kernel variant the simulator implements.
+//
+// Before this registry existed, the planner, the framework facade, and each
+// benchmark carried its own hand-rolled switch over SdhVariant / PcfVariant
+// plus a parallel table of shared-memory formulas. The registry collapses
+// that plumbing: a variant registers once with its name, problem type,
+// shared-memory requirement, and a type-erased launch functor, and every
+// consumer (core/planner.cpp, core/framework.cpp, bench/) enumerates the
+// same table. Adding a ninth SDH variant is now a one-entry change.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/points.hpp"
+#include "vgpu/stats.hpp"
+#include "vgpu/stream.hpp"
+
+namespace tbs::kernels {
+
+/// Which 2-body statistic a kernel computes (paper Sec. III taxonomy:
+/// Type-I = scalar-per-thread output, Type-II = histogram output).
+enum class ProblemType { Sdh, Pcf };
+
+const char* to_string(ProblemType t);
+
+/// Everything a launch needs to know about the *problem* (as opposed to the
+/// kernel): histogram geometry for SDH, cutoff radius for PCF. One struct so
+/// the planner and cache can key on it generically.
+struct ProblemDesc {
+  ProblemType type = ProblemType::Sdh;
+  double bucket_width = 0.0;  ///< SDH only
+  int buckets = 0;            ///< SDH only
+  double radius = 0.0;        ///< PCF only
+
+  static ProblemDesc sdh(double bucket_width, int buckets) {
+    ProblemDesc d;
+    d.type = ProblemType::Sdh;
+    d.bucket_width = bucket_width;
+    d.buckets = buckets;
+    return d;
+  }
+
+  static ProblemDesc pcf(double radius) {
+    ProblemDesc d;
+    d.type = ProblemType::Pcf;
+    d.radius = radius;
+    return d;
+  }
+};
+
+/// Output sinks for a registry launch. A consumer passes pointers for the
+/// outputs it wants; a variant fills whichever match its problem type
+/// (hist for SDH, pairs for PCF) and ignores the rest.
+struct KernelOutput {
+  Histogram* hist = nullptr;
+  std::uint64_t* pairs = nullptr;
+};
+
+/// One registered kernel variant.
+struct KernelVariant {
+  /// Paper-figure name, e.g. "Reg-SHM-Out" — matches to_string(SdhVariant).
+  std::string name;
+  ProblemType problem = ProblemType::Sdh;
+  /// The underlying enum value (static_cast of SdhVariant / PcfVariant);
+  /// -1 for variants outside those enums (e.g. the warpsum extension).
+  int variant_id = -1;
+  /// Whether the autotuning planner should consider this variant. Mirrors
+  /// the paper's evaluation: naive baselines exist for figures, not for
+  /// serving real queries.
+  bool plannable = false;
+
+  /// Dynamic shared-memory bytes per block (buckets ignored for Type-I).
+  std::function<std::size_t(int block_size, int buckets)> shared_bytes;
+
+  /// Launch on `stream` and fill `out`; returns the merged kernel stats.
+  std::function<vgpu::KernelStats(vgpu::Stream&, const PointsSoA&,
+                                  const ProblemDesc&, int block_size,
+                                  KernelOutput&)>
+      launch;
+};
+
+/// Process-wide catalogue of kernel variants. Populated once at first use;
+/// read-only afterwards, so concurrent lookups need no locking.
+class KernelRegistry {
+ public:
+  static const KernelRegistry& instance();
+
+  /// All registered variants, SDH first, in enum order.
+  [[nodiscard]] const std::vector<KernelVariant>& variants() const {
+    return variants_;
+  }
+
+  /// Variants computing the given problem type (registration order).
+  [[nodiscard]] std::vector<const KernelVariant*> for_problem(
+      ProblemType t) const;
+
+  /// Planner-eligible variants for the given problem type.
+  [[nodiscard]] std::vector<const KernelVariant*> plannable(
+      ProblemType t) const;
+
+  /// Look up a variant by problem type and name; nullptr if absent.
+  [[nodiscard]] const KernelVariant* find(ProblemType t,
+                                          std::string_view name) const;
+
+ private:
+  KernelRegistry();
+
+  std::vector<KernelVariant> variants_;
+};
+
+}  // namespace tbs::kernels

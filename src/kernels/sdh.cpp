@@ -586,7 +586,11 @@ std::size_t sdh_shared_bytes(SdhVariant v, int block_size, int buckets) {
 
 namespace {
 
-SdhResult run_sdh_impl(Device& dev, const PointsSoA& pts,
+/// Shared implementation, parameterized over how launches are issued:
+/// `do_launch(cfg, body) -> KernelStats` is either Device::launch (inline
+/// blocks) or an enqueue-and-wait through a Stream (pooled blocks).
+template <class Launch>
+SdhResult run_sdh_impl(Launch&& do_launch, const PointsSoA& pts,
                        double bucket_width, int buckets, SdhVariant variant,
                        int block_size, int owner, int num_owners) {
   check(!pts.empty(), "run_sdh: empty point set");
@@ -637,13 +641,13 @@ SdhResult run_sdh_impl(Device& dev, const PointsSoA& pts,
     }
     fail("run_sdh: unknown variant");
   };
-  KernelStats stats = dev.launch(cfg, body);
+  KernelStats stats = do_launch(cfg, body);
 
   if (is_privatized(variant)) {
     LaunchConfig rcfg;
     rcfg.grid_dim = (buckets + block_size - 1) / block_size;
     rcfg.block_dim = block_size;
-    const KernelStats rstats = dev.launch(rcfg, [&](ThreadCtx& ctx) {
+    const KernelStats rstats = do_launch(rcfg, [&](ThreadCtx& ctx) {
       return sdh_reduce(ctx, p, grid);
     });
     stats.merge(rstats);
@@ -657,23 +661,57 @@ SdhResult run_sdh_impl(Device& dev, const PointsSoA& pts,
   return result;
 }
 
+/// Launcher running blocks inline on the calling thread.
+auto inline_launcher(Device& dev) {
+  return [&dev](const LaunchConfig& cfg, const vgpu::KernelBody& body) {
+    return dev.launch(cfg, body);
+  };
+}
+
+/// Launcher enqueueing on a stream and waiting, so blocks run pooled.
+auto stream_launcher(vgpu::Stream& stream) {
+  return [&stream](const LaunchConfig& cfg, const vgpu::KernelBody& body) {
+    return stream.device().launch_async(stream, cfg, body).wait();
+  };
+}
+
+void check_partition_variant(SdhVariant variant) {
+  check(variant == SdhVariant::RegShmOut || variant == SdhVariant::RegRocOut,
+        "run_sdh_partitioned: only privatized Reg-SHM-Out / Reg-ROC-Out "
+        "support device partitioning");
+}
+
 }  // namespace
 
 SdhResult run_sdh(Device& dev, const PointsSoA& pts, double bucket_width,
                   int buckets, SdhVariant variant, int block_size) {
-  return run_sdh_impl(dev, pts, bucket_width, buckets, variant, block_size,
-                      /*owner=*/0, /*num_owners=*/1);
+  return run_sdh_impl(inline_launcher(dev), pts, bucket_width, buckets,
+                      variant, block_size, /*owner=*/0, /*num_owners=*/1);
+}
+
+SdhResult run_sdh(vgpu::Stream& stream, const PointsSoA& pts,
+                  double bucket_width, int buckets, SdhVariant variant,
+                  int block_size) {
+  return run_sdh_impl(stream_launcher(stream), pts, bucket_width, buckets,
+                      variant, block_size, /*owner=*/0, /*num_owners=*/1);
 }
 
 SdhResult run_sdh_partitioned(Device& dev, const PointsSoA& pts,
                               double bucket_width, int buckets,
                               SdhVariant variant, int block_size, int owner,
                               int num_owners) {
-  check(variant == SdhVariant::RegShmOut || variant == SdhVariant::RegRocOut,
-        "run_sdh_partitioned: only privatized Reg-SHM-Out / Reg-ROC-Out "
-        "support device partitioning");
-  return run_sdh_impl(dev, pts, bucket_width, buckets, variant, block_size,
-                      owner, num_owners);
+  check_partition_variant(variant);
+  return run_sdh_impl(inline_launcher(dev), pts, bucket_width, buckets,
+                      variant, block_size, owner, num_owners);
+}
+
+SdhResult run_sdh_partitioned(vgpu::Stream& stream, const PointsSoA& pts,
+                              double bucket_width, int buckets,
+                              SdhVariant variant, int block_size, int owner,
+                              int num_owners) {
+  check_partition_variant(variant);
+  return run_sdh_impl(stream_launcher(stream), pts, bucket_width, buckets,
+                      variant, block_size, owner, num_owners);
 }
 
 SdhResult run_sdh_private_copies(Device& dev, const PointsSoA& pts,

@@ -20,6 +20,7 @@
 #include "common/points.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/stats.hpp"
+#include "vgpu/stream.hpp"
 
 namespace tbs::kernels {
 
@@ -59,12 +60,25 @@ SdhResult run_sdh(vgpu::Device& dev, const PointsSoA& pts,
                   double bucket_width, int buckets, SdhVariant variant,
                   int block_size);
 
+/// Stream overload: launches go through `stream`, so blocks execute on the
+/// async worker pool. Counters are bit-identical to the Device overload
+/// (the executor's determinism contract, pinned by the runtime tests).
+SdhResult run_sdh(vgpu::Stream& stream, const PointsSoA& pts,
+                  double bucket_width, int buckets, SdhVariant variant,
+                  int block_size);
+
 /// Partition-aware SDH for multi-device execution (paper Sec. V future
 /// work): computes only the blocks with block_id % num_owners == owner.
 /// Round-robin ownership balances the triangular inter-block workload.
 /// Partial histograms from all owners sum to the full SDH (see
 /// kernels/multi.hpp for the orchestration).
 SdhResult run_sdh_partitioned(vgpu::Device& dev, const PointsSoA& pts,
+                              double bucket_width, int buckets,
+                              SdhVariant variant, int block_size, int owner,
+                              int num_owners);
+
+/// Stream overload of run_sdh_partitioned (see run_sdh(Stream&, ...)).
+SdhResult run_sdh_partitioned(vgpu::Stream& stream, const PointsSoA& pts,
                               double bucket_width, int buckets,
                               SdhVariant variant, int block_size, int owner,
                               int num_owners);

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <new>
 #include <span>
 #include <vector>
 
@@ -15,6 +16,35 @@
 #include "vgpu/ctx.hpp"
 
 namespace tbs::vgpu {
+
+/// cudaMalloc guarantees at least 256-byte alignment; mirror that so the
+/// coalescing / cache-set analysis of a launch depends only on the layout
+/// *within* each buffer, never on where the host allocator happened to
+/// place it. Without this, counters drift between otherwise identical runs
+/// whenever malloc returns a different address.
+inline constexpr std::size_t kDeviceAllocAlign = 256;
+
+template <class T>
+struct DeviceAllocator {
+  using value_type = T;
+
+  DeviceAllocator() = default;
+  template <class U>
+  DeviceAllocator(const DeviceAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T),
+                                          std::align_val_t{kDeviceAllocAlign}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kDeviceAllocAlign});
+  }
+
+  template <class U>
+  bool operator==(const DeviceAllocator<U>&) const noexcept {
+    return true;
+  }
+};
 
 template <class T>
 class DeviceBuffer {
@@ -30,8 +60,8 @@ class DeviceBuffer {
 
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
 
-  /// Host-side view (valid only between launches; the simulator is
-  /// single-threaded so there is no transfer step to get wrong).
+  /// Host-side view (valid only between launches — including queued async
+  /// launches: drain the stream before reading what a kernel wrote).
   [[nodiscard]] std::span<T> host() noexcept { return data_; }
   [[nodiscard]] std::span<const T> host() const noexcept { return data_; }
 
@@ -97,7 +127,7 @@ class DeviceBuffer {
     return aw;
   }
 
-  std::vector<T> data_;
+  std::vector<T, DeviceAllocator<T>> data_;
 };
 
 /// SoA 3-D point set resident in simulated global memory (paper Sec. IV-A:

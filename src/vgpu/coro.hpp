@@ -1,9 +1,11 @@
 // Coroutine plumbing for simulated device kernels.
 //
 // A kernel is any callable returning KernelTask; the executor owns the
-// coroutine handle and resumes it lane-by-lane. Kernels never run
-// concurrently with each other — the simulator is single-threaded and
-// deterministic by construction.
+// coroutine handle and resumes it lane-by-lane. Each lane's coroutine is
+// resumed by exactly one executor thread; under the async stream runtime
+// different *blocks* may execute on different pool workers, but the blocks
+// of a launch never share coroutine state, and the snapshot/replay contract
+// in device.cpp keeps results deterministic either way.
 #pragma once
 
 #include <coroutine>

@@ -18,6 +18,7 @@
 // timing model.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <coroutine>
 #include <cstddef>
@@ -92,11 +93,22 @@ struct PointStoreAwaiter : OpAwaiterBase {
 };
 
 /// Read-modify-write add; returns the previous value (like atomicAdd).
+/// Global atomics use a real CPU atomic RMW: blocks of a stream launch run
+/// concurrently on the worker pool and may contend on the same address.
+/// Shared-memory atomics stay plain — the arena is private to the block.
 template <class T>
 struct AtomicAddAwaiter : OpAwaiterBase {
   T* dst;
   T value;
   T await_resume() const noexcept {
+    if (op.kind == OpKind::GlobalAtomic) {
+      std::atomic_ref<T> ref(*dst);
+      T old = ref.load(std::memory_order_relaxed);
+      while (!ref.compare_exchange_weak(old, static_cast<T>(old + value),
+                                        std::memory_order_relaxed)) {
+      }
+      return old;
+    }
     const T old = *dst;
     *dst = static_cast<T>(old + value);
     return old;
@@ -109,6 +121,14 @@ struct AtomicMinAwaiter : OpAwaiterBase {
   T* dst;
   T value;
   T await_resume() const noexcept {
+    if (op.kind == OpKind::GlobalAtomic) {
+      std::atomic_ref<T> ref(*dst);
+      T old = ref.load(std::memory_order_relaxed);
+      while (value < old && !ref.compare_exchange_weak(
+                                old, value, std::memory_order_relaxed)) {
+      }
+      return old;
+    }
     const T old = *dst;
     if (value < old) *dst = value;
     return old;

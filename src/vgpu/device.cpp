@@ -10,18 +10,38 @@
 // each instruction it issues plus the max-over-lanes arithmetic between
 // suspension points — so divergence (lanes with longer loops) lengthens the
 // warp's serial time exactly as it does on real SIMT hardware.
+// Launch semantics (shared by Device::launch and the async stream path):
+// every block executes against a private copy of the L2 state taken at
+// launch entry — on real hardware blocks race, so no block may depend on
+// another's fills — and each block logs its device-visible side effects
+// (unique L2 lines and atomic lines, in first-touch order) into a ledger.
+// After all blocks finish, ledgers are replayed into the device L2 and the
+// counters merged in block-id order. The result is a pure function of
+// (device state, config, body): bit-identical whether blocks ran inline or
+// on the worker pool, which is the contract the stream tests pin down.
 #include "vgpu/device.hpp"
 
 #include <algorithm>
 #include <array>
+#include <exception>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
 #include "common/error.hpp"
+#include "cpubase/thread_pool.hpp"
+#include "vgpu/stream.hpp"
 
 namespace tbs::vgpu {
 
 namespace {
+
+/// Per-block record of device-visible side effects, replayed in block-id
+/// order after all blocks finish (see the launch-semantics note above).
+struct BlockLedger {
+  std::vector<std::uintptr_t> l2_lines;      ///< unique lines, first touch
+  std::vector<std::uintptr_t> atomic_lines;  ///< unique atomic lines
+};
 
 /// One simulated thread: its context (stable address — coroutine captures
 /// a reference) plus its coroutine handle.
@@ -44,11 +64,12 @@ using LaneGroup = std::array<int, 32>;
 class BlockExecutor {
  public:
   BlockExecutor(const DeviceSpec& spec, const LaunchConfig& cfg,
-                SetAssocCache& l2, KernelStats& stats)
+                SetAssocCache& l2, KernelStats& stats, BlockLedger& ledger)
       : spec_(spec),
         cfg_(cfg),
         l2_(l2),
         stats_(stats),
+        ledger_(ledger),
         roc_(spec.roc_bytes_per_sm, spec.roc_ways, spec.line_bytes),
         shared_arena_(cfg.shared_bytes) {}
 
@@ -344,6 +365,7 @@ class BlockExecutor {
         any_roc_miss = true;
       }
       // L2 path (direct global access, or ROC miss fill).
+      record_l2_line(line_addr);
       if (l2_.access(line_addr)) {
         stats_.l2_bytes += spec_.line_bytes;
       } else {
@@ -455,12 +477,13 @@ class BlockExecutor {
       for (std::size_t u = 0; u < unique; ++u) {
         const std::uintptr_t line =
             addrs[u] / spec_.line_bytes * spec_.line_bytes;
+        record_l2_line(line);
         if (l2_.access(line))
           stats_.l2_bytes += spec_.line_bytes;
         else
           stats_.dram_bytes += spec_.line_bytes;
-        if (atomic_lines_.insert(line).second)
-          ++stats_.atomic_distinct_lines;
+        if (atomic_seen_.insert(line).second)
+          ledger_.atomic_lines.push_back(line);
       }
       stats_.global_transactions += unique;
       stats_.global_atomic_port_cycles +=
@@ -497,12 +520,20 @@ class BlockExecutor {
     return spec_.lat_shuffle;
   }
 
+  /// Log a line's first touch by this block for post-launch L2 replay.
+  void record_l2_line(std::uintptr_t line_addr) {
+    if (l2_seen_.insert(line_addr).second)
+      ledger_.l2_lines.push_back(line_addr);
+  }
+
   const DeviceSpec& spec_;
   const LaunchConfig& cfg_;
   SetAssocCache& l2_;
   KernelStats& stats_;
+  BlockLedger& ledger_;
   SetAssocCache roc_;
-  std::unordered_set<std::uintptr_t> atomic_lines_;
+  std::unordered_set<std::uintptr_t> l2_seen_;
+  std::unordered_set<std::uintptr_t> atomic_seen_;
   std::vector<std::byte> shared_arena_;
   std::vector<Lane> lanes_;
   std::vector<WarpRunner> warps_;
@@ -511,19 +542,94 @@ class BlockExecutor {
   double pending_control_max_ = 0.0;
 };
 
+/// Pool workers executing the blocks of draining async launches. Created
+/// once, lazily; size requested via set_async_worker_count before first use.
+unsigned& requested_async_workers() {
+  static unsigned count = 0;  // 0 = hardware concurrency
+  return count;
+}
+
+cpubase::ThreadPool& exec_pool() {
+  static cpubase::ThreadPool pool(requested_async_workers());
+  return pool;
+}
+
+/// The pool supports one parallel_for at a time; serialize pooled launches.
+std::mutex g_pool_mutex;
+
 }  // namespace
+
+void set_async_worker_count(unsigned n) { requested_async_workers() = n; }
+
+unsigned async_worker_count() { return exec_pool().size(); }
 
 Device::Device(DeviceSpec spec)
     : spec_(std::move(spec)),
       l2_(spec_.l2_bytes, spec_.l2_ways, spec_.line_bytes) {}
 
-KernelStats Device::launch(const LaunchConfig& cfg, const KernelBody& body) {
+void Device::validate_launch(const LaunchConfig& cfg) const {
   check(cfg.grid_dim > 0, "launch: grid_dim must be positive");
   check(cfg.block_dim > 0 &&
             cfg.block_dim <= spec_.max_threads_per_block,
         "launch: block_dim out of range");
   check(cfg.shared_bytes <= spec_.shared_mem_per_block_cap,
         "launch: shared_bytes exceeds per-block cap");
+}
+
+KernelStats Device::launch(const LaunchConfig& cfg, const KernelBody& body) {
+  return execute_launch(cfg, body, /*pooled=*/false);
+}
+
+Event Device::launch_async(Stream& stream, const LaunchConfig& cfg,
+                           KernelBody body) {
+  check(&stream.device() == this,
+        "launch_async: stream is bound to a different device");
+  validate_launch(cfg);
+  auto state = std::make_shared<detail::EventState>();
+  stream.queue_.push_back(Stream::Record{cfg, std::move(body), state});
+  return Event{std::move(state), &stream};
+}
+
+KernelStats Device::execute_launch(const LaunchConfig& cfg,
+                                   const KernelBody& body, bool pooled) {
+  validate_launch(cfg);
+
+  const int grid = cfg.grid_dim;
+  std::vector<KernelStats> block_stats(static_cast<std::size_t>(grid));
+  std::vector<BlockLedger> ledgers(static_cast<std::size_t>(grid));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(grid));
+
+  // Worker exceptions must not escape parallel_for (the pool does not catch
+  // them); the lowest-block-id error is rethrown after the join.
+  const auto run_block = [&](int b, SetAssocCache& shard) {
+    const auto i = static_cast<std::size_t>(b);
+    try {
+      shard = l2_;  // launch-entry snapshot (see note at top of file)
+      BlockExecutor exec(spec_, cfg, shard, block_stats[i], ledgers[i]);
+      exec.run(b, body);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  if (pooled && grid > 1) {
+    cpubase::ThreadPool& pool = exec_pool();
+    std::scoped_lock lock(g_pool_mutex);
+    std::vector<SetAssocCache> shards(pool.size(), l2_);
+    cpubase::parallel_for(
+        pool, 0, static_cast<std::size_t>(grid), cpubase::Schedule::Dynamic,
+        [&](unsigned worker, std::size_t lo, std::size_t hi) {
+          for (std::size_t b = lo; b < hi; ++b)
+            run_block(static_cast<int>(b), shards[worker]);
+        },
+        /*chunk=*/1);
+  } else {
+    SetAssocCache shard = l2_;
+    for (int b = 0; b < grid; ++b) run_block(b, shard);
+  }
+
+  for (const std::exception_ptr& err : errors)
+    if (err) std::rethrow_exception(err);
 
   KernelStats stats;
   stats.grid_dim = cfg.grid_dim;
@@ -532,8 +638,15 @@ KernelStats Device::launch(const LaunchConfig& cfg, const KernelBody& body) {
   stats.regs_per_thread = cfg.regs_per_thread;
   stats.launches = 1;
 
-  BlockExecutor exec(spec_, cfg, l2_, stats);
-  for (int b = 0; b < cfg.grid_dim; ++b) exec.run(b, body);
+  std::unordered_set<std::uintptr_t> atomic_union;
+  for (int b = 0; b < grid; ++b) {
+    const auto i = static_cast<std::size_t>(b);
+    stats.merge(block_stats[i]);
+    for (const std::uintptr_t line : ledgers[i].l2_lines) l2_.access(line);
+    for (const std::uintptr_t line : ledgers[i].atomic_lines)
+      if (atomic_union.insert(line).second) ++stats.atomic_distinct_lines;
+  }
+  ++launches_done_;
   return stats;
 }
 

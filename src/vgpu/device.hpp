@@ -2,6 +2,7 @@
 // simulators and runs kernel launches block by block, warp-lockstep.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "vgpu/cache.hpp"
@@ -12,13 +13,20 @@
 
 namespace tbs::vgpu {
 
+class Stream;
+class Event;
+
 /// Factory invoked once per simulated thread; returns the lane's coroutine.
 /// Typical use: a lambda capturing the kernel's buffers by reference.
 using KernelBody = std::function<KernelTask(ThreadCtx&)>;
 
-/// The simulated GPU. Deterministic and single-threaded: launches execute
-/// blocks sequentially, but the *cost model* accounts for them as if they
-/// ran concurrently across SMs (see perfmodel::KernelTimeModel).
+/// The simulated GPU. Launches are deterministic: every block executes
+/// against a private snapshot of the L2 state taken at launch entry, and
+/// block effects are replayed into the device in block-id order afterwards
+/// — so counters are a pure function of (device state, config, body),
+/// identical whether blocks run inline (`launch`) or on the async worker
+/// pool (`launch_async` + Stream). The *cost model* accounts for blocks as
+/// if they ran concurrently across SMs (see perfmodel::KernelTimeModel).
 class Device {
  public:
   explicit Device(DeviceSpec spec = DeviceSpec{});
@@ -33,12 +41,33 @@ class Device {
   /// kernel body throws.
   KernelStats launch(const LaunchConfig& cfg, const KernelBody& body);
 
+  /// Enqueue a launch on `stream` (which must be bound to this device) and
+  /// return its completion Event. Configuration errors throw eagerly, here;
+  /// execution happens when the stream drains, with blocks scheduled onto
+  /// the shared worker pool. See stream.hpp for the determinism contract.
+  Event launch_async(Stream& stream, const LaunchConfig& cfg,
+                     KernelBody body);
+
   /// Drop all cached lines in L2 (e.g. between unrelated experiments).
   void flush_caches() { l2_.invalidate(); }
 
+  /// Kernel launches executed so far (async launches count when they run,
+  /// not when they enqueue). The plan cache's "no recalibration" tests key
+  /// off this counter.
+  [[nodiscard]] std::uint64_t launch_count() const noexcept {
+    return launches_done_;
+  }
+
  private:
+  friend class Stream;
+
+  void validate_launch(const LaunchConfig& cfg) const;
+  KernelStats execute_launch(const LaunchConfig& cfg, const KernelBody& body,
+                             bool pooled);
+
   DeviceSpec spec_;
   SetAssocCache l2_;
+  std::uint64_t launches_done_ = 0;
 };
 
 }  // namespace tbs::vgpu

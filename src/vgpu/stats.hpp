@@ -72,6 +72,10 @@ struct KernelStats {
   int regs_per_thread = 0;
   std::uint64_t launches = 0;
 
+  /// Bit-exact comparison; the stream determinism tests rely on this to
+  /// assert pooled and sequential execution produce identical counters.
+  [[nodiscard]] bool operator==(const KernelStats&) const = default;
+
   /// Fraction of SIMD lane slots doing useful work (1.0 = divergence-free).
   [[nodiscard]] double simd_efficiency() const {
     return possible_lane_slots == 0

@@ -1,0 +1,49 @@
+#include "vgpu/stream.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace tbs::vgpu {
+
+const KernelStats& Event::wait() {
+  check(state_ != nullptr, "Event::wait: waiting on an empty event");
+  if (!state_->done) stream_->drain_until(state_.get());
+  if (state_->error) std::rethrow_exception(state_->error);
+  return state_->stats;
+}
+
+KernelStats Stream::synchronize() {
+  drain_until(nullptr);
+  KernelStats merged = std::move(accumulated_);
+  accumulated_ = KernelStats{};
+  return merged;
+}
+
+void Stream::drain_until(const detail::EventState* target) {
+  while (!queue_.empty()) {
+    Record rec = std::move(queue_.front());
+    queue_.pop_front();
+    try {
+      rec.state->stats = dev_->execute_launch(rec.cfg, rec.body,
+                                              /*pooled=*/true);
+    } catch (...) {
+      rec.state->error = std::current_exception();
+    }
+    rec.state->done = true;
+    if (rec.state->error) {
+      // Later launches may depend on the failed one's results: poison the
+      // rest of the queue with the same error instead of running it.
+      for (Record& poisoned : queue_) {
+        poisoned.state->error = rec.state->error;
+        poisoned.state->done = true;
+      }
+      queue_.clear();
+      std::rethrow_exception(rec.state->error);
+    }
+    accumulated_.merge(rec.state->stats);
+    if (rec.state.get() == target) return;
+  }
+}
+
+}  // namespace tbs::vgpu

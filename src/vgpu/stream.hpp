@@ -1,0 +1,112 @@
+// Stream / Event — CUDA-style in-order launch queues over the simulated
+// device.
+//
+// A Stream is a FIFO of kernel launches enqueued with
+// `Device::launch_async`. Work executes lazily: the queue drains when an
+// Event is waited on or the stream synchronizes. While a launch drains, its
+// blocks are fanned out onto a shared worker pool (see
+// `set_async_worker_count`), yet the returned `KernelStats` are bit-identical
+// to the sequential `Device::launch` path — see device.cpp for the per-block
+// L2 snapshot + block-order replay contract that makes this hold.
+//
+// Determinism contract: functional results are deterministic for kernels
+// whose cross-block global-memory traffic is commutative-exact (integer
+// atomics, disjoint stores) and which do not consume the *returned* old
+// value of contended atomics — true of every SDH/PCF variant. Host-side use
+// is single-threaded per stream (like a CUDA stream driven from one host
+// thread); several Streams on one Device may be interleaved from one thread.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <memory>
+
+#include "vgpu/device.hpp"
+
+namespace tbs::vgpu {
+
+namespace detail {
+
+/// Shared completion record for one asynchronous launch.
+struct EventState {
+  bool done = false;
+  KernelStats stats;
+  std::exception_ptr error;
+};
+
+}  // namespace detail
+
+/// Completion handle for one `Device::launch_async` call (the CUDA-event
+/// analogue). Copyable; all copies observe the same launch.
+class Event {
+ public:
+  Event() = default;
+
+  /// True once the launch has executed (successfully or not).
+  [[nodiscard]] bool ready() const noexcept {
+    return state_ != nullptr && state_->done;
+  }
+
+  /// Drain the owning stream up to (and including) this launch, then return
+  /// its counters. Rethrows anything the kernel body threw. Waiting on a
+  /// default-constructed Event fails the check.
+  const KernelStats& wait();
+
+ private:
+  friend class Device;
+
+  Event(std::shared_ptr<detail::EventState> state, Stream* stream)
+      : state_(std::move(state)), stream_(stream) {}
+
+  std::shared_ptr<detail::EventState> state_;
+  Stream* stream_ = nullptr;
+};
+
+/// An in-order launch queue bound to one Device.
+class Stream {
+ public:
+  explicit Stream(Device& device) : dev_(&device) {}
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  [[nodiscard]] Device& device() const noexcept { return *dev_; }
+
+  /// Launches enqueued but not yet executed.
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Execute every pending launch in order. Returns the merged counters of
+  /// all launches completed on this stream since the previous synchronize()
+  /// call (including ones already drained through Event::wait). Rethrows
+  /// the first failure; launches queued behind a failed one are poisoned
+  /// with the same error (in-order semantics: they may depend on it).
+  KernelStats synchronize();
+
+ private:
+  friend class Device;
+  friend class Event;
+
+  struct Record {
+    LaunchConfig cfg;
+    KernelBody body;
+    std::shared_ptr<detail::EventState> state;
+  };
+
+  /// Execute queued launches FIFO until `target` completes (nullptr = all).
+  void drain_until(const detail::EventState* target);
+
+  Device* dev_;
+  std::deque<Record> queue_;
+  KernelStats accumulated_;  ///< merged stats since last synchronize()
+};
+
+/// Set how many pool workers execute the blocks of draining async launches
+/// (0 = hardware concurrency, at least 1). Only effective before the first
+/// async launch of the process — the pool is created once, on first use.
+void set_async_worker_count(unsigned n);
+
+/// Worker count of the async executor pool (creates the pool on first call).
+unsigned async_worker_count();
+
+}  // namespace tbs::vgpu

@@ -1,0 +1,151 @@
+// Generic registry-driven plan() and the PlanCache: cache keys, hit/miss
+// accounting, zero re-simulation on a hit, and the framework facade reusing
+// memoized plans across repeated queries.
+#include <gtest/gtest.h>
+
+#include "common/datagen.hpp"
+#include "common/error.hpp"
+#include "core/framework.hpp"
+#include "core/planner.hpp"
+#include "kernels/registry.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/stream.hpp"
+
+namespace tbs::core {
+namespace {
+
+using kernels::ProblemDesc;
+
+TEST(GenericPlan, AgreesWithTheTypedSdhWrapper) {
+  const auto sample = uniform_box(2048, 10.0f, 3);
+  const int buckets = 64;
+  const double width = sample.max_possible_distance() / buckets + 1e-4;
+
+  vgpu::Device dev;
+  vgpu::Stream stream(dev);
+  const Plan g = plan(stream, sample, ProblemDesc::sdh(width, buckets),
+                      100'000.0);
+  ASSERT_NE(g.kernel, nullptr);
+
+  vgpu::Device dev2;
+  const SdhPlan typed = plan_sdh(dev2, sample, width, buckets, 100'000.0);
+  EXPECT_EQ(static_cast<int>(typed.variant), g.kernel->variant_id);
+  EXPECT_EQ(typed.block_size, g.block_size);
+  EXPECT_DOUBLE_EQ(typed.predicted_seconds, g.predicted_seconds);
+  ASSERT_EQ(typed.considered.size(), g.considered.size());
+  for (std::size_t i = 0; i < g.considered.size(); ++i)
+    EXPECT_EQ(typed.considered[i].name, g.considered[i].name);
+}
+
+TEST(GenericPlan, PcfSkipsUnlaunchableCandidatesAndChecksNonEmpty) {
+  const auto sample = uniform_box(2048, 10.0f, 3);
+
+  // A device whose shared-memory cap rules out every SHM-SHM tile (2 tiles
+  // of 3*B floats; 3072 B already at B=128) but not the register kernels:
+  // those candidates must be skipped, not priced or crashed on. The old
+  // plan_pcf had no such skip at all.
+  vgpu::DeviceSpec tight;
+  tight.shared_mem_per_block_cap = 2 * 1024;
+  vgpu::Device dev(tight);
+  vgpu::Stream stream(dev);
+  const Plan p = plan(stream, sample, ProblemDesc::pcf(2.0), 100'000.0);
+  ASSERT_NE(p.kernel, nullptr);
+  EXPECT_FALSE(p.considered.empty());
+  for (const Candidate& c : p.considered) {
+    EXPECT_EQ(c.name.find("SHM-SHM"), std::string::npos)
+        << "unlaunchable candidate priced: " << c.name;
+  }
+}
+
+TEST(GenericPlan, ThrowsWhenNoCandidateIsLaunchable) {
+  const auto sample = uniform_box(2048, 10.0f, 3);
+  // Every plannable SDH variant privatizes its output in shared memory, so
+  // a zero cap leaves nothing launchable; the plan must fail loudly rather
+  // than return an uninitialized plan (the old plan_pcf did the latter).
+  vgpu::DeviceSpec zero;
+  zero.shared_mem_per_block_cap = 0;
+  vgpu::Device dev(zero);
+  vgpu::Stream stream(dev);
+  EXPECT_THROW(plan(stream, sample, ProblemDesc::sdh(0.5, 64), 100'000.0),
+               CheckError);
+}
+
+TEST(PlanCacheKey, BucketsTargetSizeByPowerOfTwo) {
+  const vgpu::DeviceSpec spec;
+  const auto desc = ProblemDesc::sdh(0.5, 64);
+  EXPECT_EQ(plan_cache_key(spec, desc, 5000.0),
+            plan_cache_key(spec, desc, 8000.0));  // both round to 8192
+  EXPECT_NE(plan_cache_key(spec, desc, 8192.0),
+            plan_cache_key(spec, desc, 8193.0));
+  EXPECT_NE(plan_cache_key(spec, desc, 5000.0),
+            plan_cache_key(spec, ProblemDesc::sdh(0.5, 128), 5000.0));
+  EXPECT_NE(plan_cache_key(spec, desc, 5000.0),
+            plan_cache_key(spec, ProblemDesc::pcf(2.0), 5000.0));
+}
+
+TEST(PlanCache, HitCostsZeroCalibrationLaunches) {
+  const auto sample = uniform_box(2048, 10.0f, 3);
+
+  vgpu::Device dev;
+  vgpu::Stream stream(dev);
+  PlanCache cache;
+
+  const Plan first =
+      plan(stream, sample, ProblemDesc::pcf(2.0), 50'000.0, &cache);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+  const std::uint64_t launches_after_first = dev.launch_count();
+  EXPECT_GT(launches_after_first, 0u);
+
+  // Same problem, nearby size: memoized — not a single simulation runs.
+  const Plan second =
+      plan(stream, sample, ProblemDesc::pcf(2.0), 60'000.0, &cache);
+  EXPECT_EQ(dev.launch_count(), launches_after_first);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(second.kernel, first.kernel);
+  EXPECT_EQ(second.block_size, first.block_size);
+
+  // A different problem shape misses and re-calibrates.
+  plan(stream, sample, ProblemDesc::pcf(1.0), 50'000.0, &cache);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_GT(dev.launch_count(), launches_after_first);
+}
+
+TEST(Framework, RepeatedQueryReusesThePlanWithZeroCalibration) {
+  const auto pts = uniform_box(4096, 10.0f, 11);
+  TwoBodyFramework fw;
+
+  const auto r1 = fw.sdh(pts, 0.5, 64);
+  ASSERT_TRUE(fw.last_sdh_plan().has_value());
+  EXPECT_EQ(fw.plan_cache().misses(), 1u);
+  const std::uint64_t after_first = fw.device().launch_count();
+
+  // Second identical query: plan comes from the cache; the only launches
+  // are the chosen kernel itself (main + reduction), no calibration.
+  const auto r2 = fw.sdh(pts, 0.5, 64);
+  EXPECT_EQ(fw.plan_cache().hits(), 1u);
+  const std::uint64_t delta = fw.device().launch_count() - after_first;
+  EXPECT_LE(delta, 2u);
+  EXPECT_GE(delta, 1u);
+  EXPECT_EQ(r1.hist.total(), r2.hist.total());
+
+  // Same for PCF: first call misses, second hits.
+  fw.pcf(pts, 2.0);
+  EXPECT_EQ(fw.plan_cache().misses(), 2u);
+  const std::uint64_t after_pcf = fw.device().launch_count();
+  fw.pcf(pts, 2.0);
+  EXPECT_EQ(fw.plan_cache().hits(), 2u);
+  EXPECT_LE(fw.device().launch_count() - after_pcf, 1u);
+}
+
+TEST(Framework, SmallQueriesBypassThePlanCache) {
+  const auto pts = uniform_box(256, 10.0f, 11);
+  TwoBodyFramework fw;
+  fw.sdh(pts, 0.5, 16);
+  EXPECT_EQ(fw.plan_cache().hits() + fw.plan_cache().misses(), 0u);
+  EXPECT_FALSE(fw.last_sdh_plan().has_value());
+}
+
+}  // namespace
+}  // namespace tbs::core

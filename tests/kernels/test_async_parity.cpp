@@ -1,0 +1,134 @@
+// The runtime's determinism invariant, end to end: for every SDH and PCF
+// kernel variant, running through a Stream on the worker pool produces
+// results AND counters bit-identical to the sequential Device::launch path.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/datagen.hpp"
+#include "kernels/pcf.hpp"
+#include "kernels/sdh.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/stream.hpp"
+
+namespace tbs::kernels {
+namespace {
+
+using vgpu::Device;
+using vgpu::Stream;
+
+// Force real multi-worker execution even on 1-core hosts (only effective if
+// this binary hasn't created the pool yet; either way the invariant holds).
+const bool kWorkersConfigured = [] {
+  vgpu::set_async_worker_count(4);
+  return true;
+}();
+
+constexpr std::size_t kN = 700;  // not a block multiple: ragged tail
+constexpr int kBuckets = 32;
+constexpr int kBlock = 128;
+
+class SdhAsyncParity : public ::testing::TestWithParam<SdhVariant> {};
+
+TEST_P(SdhAsyncParity, StreamMatchesInlineBitExactly) {
+  ASSERT_TRUE(kWorkersConfigured);
+  const SdhVariant variant = GetParam();
+  const auto pts = uniform_box(kN, 10.0f, 1234);
+  const double width = pts.max_possible_distance() / kBuckets + 1e-4;
+
+  Device dev_inline;
+  const SdhResult inline_r =
+      run_sdh(dev_inline, pts, width, kBuckets, variant, kBlock);
+
+  Device dev_async;
+  Stream stream(dev_async);
+  const SdhResult async_r =
+      run_sdh(stream, pts, width, kBuckets, variant, kBlock);
+
+  ASSERT_EQ(inline_r.hist.bucket_count(), async_r.hist.bucket_count());
+  for (std::size_t b = 0; b < inline_r.hist.bucket_count(); ++b)
+    EXPECT_EQ(inline_r.hist[b], async_r.hist[b]) << "bucket " << b;
+  EXPECT_EQ(inline_r.stats, async_r.stats);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, SdhAsyncParity,
+    ::testing::Values(SdhVariant::Naive, SdhVariant::RegShm,
+                      SdhVariant::RegRoc, SdhVariant::NaiveOut,
+                      SdhVariant::RegShmOut, SdhVariant::RegRocOut,
+                      SdhVariant::RegShmLb, SdhVariant::ShuffleOut),
+    [](const ::testing::TestParamInfo<SdhVariant>& info) {
+      std::string name = to_string(info.param);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+class PcfAsyncParity : public ::testing::TestWithParam<PcfVariant> {};
+
+TEST_P(PcfAsyncParity, StreamMatchesInlineBitExactly) {
+  const PcfVariant variant = GetParam();
+  const auto pts = uniform_box(kN, 10.0f, 4321);
+  const double radius = 2.0;
+
+  Device dev_inline;
+  const PcfResult inline_r = run_pcf(dev_inline, pts, radius, variant, kBlock);
+
+  Device dev_async;
+  Stream stream(dev_async);
+  const PcfResult async_r = run_pcf(stream, pts, radius, variant, kBlock);
+
+  EXPECT_EQ(inline_r.pairs_within, async_r.pairs_within);
+  EXPECT_EQ(inline_r.stats, async_r.stats);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, PcfAsyncParity,
+    ::testing::Values(PcfVariant::Naive, PcfVariant::ShmShm,
+                      PcfVariant::RegShm, PcfVariant::RegRoc),
+    [](const ::testing::TestParamInfo<PcfVariant>& info) {
+      std::string name = to_string(info.param);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(WarpsumAsyncParity, StreamMatchesInlineBitExactly) {
+  const auto pts = uniform_box(kN, 10.0f, 99);
+
+  Device dev_inline;
+  const PcfResult inline_r = run_pcf_warpsum(dev_inline, pts, 2.0, kBlock);
+
+  Device dev_async;
+  Stream stream(dev_async);
+  const PcfResult async_r = run_pcf_warpsum(stream, pts, 2.0, kBlock);
+
+  EXPECT_EQ(inline_r.pairs_within, async_r.pairs_within);
+  EXPECT_EQ(inline_r.stats, async_r.stats);
+}
+
+TEST(PartitionedAsyncParity, StreamMatchesInlineBitExactly) {
+  const auto pts = uniform_box(kN, 10.0f, 5);
+  const double width = pts.max_possible_distance() / kBuckets + 1e-4;
+
+  for (int owner = 0; owner < 2; ++owner) {
+    Device dev_inline;
+    const SdhResult inline_r =
+        run_sdh_partitioned(dev_inline, pts, width, kBuckets,
+                            SdhVariant::RegShmOut, kBlock, owner, 2);
+
+    Device dev_async;
+    Stream stream(dev_async);
+    const SdhResult async_r =
+        run_sdh_partitioned(stream, pts, width, kBuckets,
+                            SdhVariant::RegShmOut, kBlock, owner, 2);
+
+    for (std::size_t b = 0; b < inline_r.hist.bucket_count(); ++b)
+      EXPECT_EQ(inline_r.hist[b], async_r.hist[b])
+          << "owner " << owner << " bucket " << b;
+    EXPECT_EQ(inline_r.stats, async_r.stats) << "owner " << owner;
+  }
+}
+
+}  // namespace
+}  // namespace tbs::kernels

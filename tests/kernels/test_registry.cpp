@@ -1,0 +1,156 @@
+// KernelRegistry: the catalogue covers every variant enum, plannable flags
+// reproduce the old planner tables, shared-memory formulas agree with the
+// per-kernel helpers, and launch functors produce correct results.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/datagen.hpp"
+#include "kernels/pcf.hpp"
+#include "kernels/registry.hpp"
+#include "kernels/sdh.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/stream.hpp"
+
+namespace tbs::kernels {
+namespace {
+
+const KernelRegistry& reg() { return KernelRegistry::instance(); }
+
+TEST(Registry, CoversEverySdhEnumVariant) {
+  for (const SdhVariant v :
+       {SdhVariant::Naive, SdhVariant::RegShm, SdhVariant::RegRoc,
+        SdhVariant::NaiveOut, SdhVariant::RegShmOut, SdhVariant::RegRocOut,
+        SdhVariant::RegShmLb, SdhVariant::ShuffleOut}) {
+    const KernelVariant* kv = reg().find(ProblemType::Sdh, to_string(v));
+    ASSERT_NE(kv, nullptr) << to_string(v);
+    EXPECT_EQ(kv->variant_id, static_cast<int>(v));
+    EXPECT_EQ(kv->problem, ProblemType::Sdh);
+  }
+  EXPECT_EQ(reg().for_problem(ProblemType::Sdh).size(), 8u);
+}
+
+TEST(Registry, CoversEveryPcfEnumVariantPlusWarpsum) {
+  for (const PcfVariant v : {PcfVariant::Naive, PcfVariant::ShmShm,
+                             PcfVariant::RegShm, PcfVariant::RegRoc}) {
+    const KernelVariant* kv = reg().find(ProblemType::Pcf, to_string(v));
+    ASSERT_NE(kv, nullptr) << to_string(v);
+    EXPECT_EQ(kv->variant_id, static_cast<int>(v));
+    EXPECT_EQ(kv->problem, ProblemType::Pcf);
+  }
+  const KernelVariant* warpsum = reg().find(ProblemType::Pcf, "Warpsum");
+  ASSERT_NE(warpsum, nullptr);
+  EXPECT_EQ(warpsum->variant_id, -1);  // outside the PcfVariant enum
+  EXPECT_FALSE(warpsum->plannable);
+  EXPECT_EQ(reg().for_problem(ProblemType::Pcf).size(), 5u);
+}
+
+TEST(Registry, PlannableSetsMatchTheOldPlannerTables) {
+  // plan_sdh used to hard-code {Naive-Out, Reg-SHM-Out, Reg-ROC-Out,
+  // Reg-SHM-LB, Shuffle}; plan_pcf used {SHM-SHM, Register-SHM,
+  // Register-ROC}. The registry's plannable flags must reproduce both.
+  std::set<std::string> sdh_names;
+  for (const KernelVariant* kv : reg().plannable(ProblemType::Sdh))
+    sdh_names.insert(kv->name);
+  EXPECT_EQ(sdh_names,
+            (std::set<std::string>{"Naive-Out", "Reg-SHM-Out", "Reg-ROC-Out",
+                                   "Reg-SHM-LB", "Shuffle"}));
+
+  std::set<std::string> pcf_names;
+  for (const KernelVariant* kv : reg().plannable(ProblemType::Pcf))
+    pcf_names.insert(kv->name);
+  EXPECT_EQ(pcf_names, (std::set<std::string>{"SHM-SHM", "Register-SHM",
+                                              "Register-ROC"}));
+}
+
+TEST(Registry, SharedBytesAgreeWithKernelHelpers) {
+  const int buckets = 1000;
+  for (const KernelVariant* kv : reg().for_problem(ProblemType::Sdh)) {
+    const auto v = static_cast<SdhVariant>(kv->variant_id);
+    for (const int b : {128, 256, 512})
+      EXPECT_EQ(kv->shared_bytes(b, buckets), sdh_shared_bytes(v, b, buckets))
+          << kv->name << " B" << b;
+  }
+  for (const KernelVariant* kv : reg().for_problem(ProblemType::Pcf)) {
+    if (kv->variant_id < 0) continue;  // warpsum has no enum counterpart
+    const auto v = static_cast<PcfVariant>(kv->variant_id);
+    for (const int b : {128, 256, 512})
+      EXPECT_EQ(kv->shared_bytes(b, buckets), pcf_shared_bytes(v, b))
+          << kv->name << " B" << b;
+  }
+}
+
+TEST(Registry, FindRespectsProblemType) {
+  // Both problems have a kernel named "Naive"; find must not cross-match.
+  const KernelVariant* sdh_naive = reg().find(ProblemType::Sdh, "Naive");
+  const KernelVariant* pcf_naive = reg().find(ProblemType::Pcf, "Naive");
+  ASSERT_NE(sdh_naive, nullptr);
+  ASSERT_NE(pcf_naive, nullptr);
+  EXPECT_NE(sdh_naive, pcf_naive);
+  EXPECT_EQ(reg().find(ProblemType::Sdh, "SHM-SHM"), nullptr);
+  EXPECT_EQ(reg().find(ProblemType::Pcf, "no-such-kernel"), nullptr);
+}
+
+TEST(Registry, SdhLaunchFunctorProducesTheFullHistogram) {
+  const std::size_t n = 500;
+  const auto pts = uniform_box(n, 10.0f, 7);
+  const int buckets = 16;
+  const double width = pts.max_possible_distance() / buckets + 1e-4;
+  const auto desc = ProblemDesc::sdh(width, buckets);
+
+  const KernelVariant* kv = reg().find(ProblemType::Sdh, "Reg-ROC-Out");
+  ASSERT_NE(kv, nullptr);
+
+  vgpu::Device dev;
+  vgpu::Stream stream(dev);
+  Histogram hist(1.0, 1);
+  KernelOutput out;
+  out.hist = &hist;
+  const vgpu::KernelStats stats = kv->launch(stream, pts, desc, 128, out);
+
+  EXPECT_EQ(hist.total(), n * (n - 1) / 2);
+  EXPECT_GT(stats.launches, 0u);
+
+  // Cross-check against the direct entry point on a fresh device.
+  vgpu::Device dev2;
+  const SdhResult direct =
+      run_sdh(dev2, pts, width, buckets, SdhVariant::RegRocOut, 128);
+  for (std::size_t b = 0; b < hist.bucket_count(); ++b)
+    EXPECT_EQ(hist[b], direct.hist[b]) << "bucket " << b;
+}
+
+TEST(Registry, PcfLaunchFunctorCountsPairs) {
+  const std::size_t n = 500;
+  const auto pts = uniform_box(n, 10.0f, 7);
+  const auto desc = ProblemDesc::pcf(2.0);
+
+  const KernelVariant* kv = reg().find(ProblemType::Pcf, "Register-SHM");
+  ASSERT_NE(kv, nullptr);
+
+  vgpu::Device dev;
+  vgpu::Stream stream(dev);
+  std::uint64_t pairs = 0;
+  KernelOutput out;
+  out.pairs = &pairs;
+  kv->launch(stream, pts, desc, 128, out);
+
+  vgpu::Device dev2;
+  const PcfResult direct = run_pcf(dev2, pts, 2.0, PcfVariant::RegShm, 128);
+  EXPECT_EQ(pairs, direct.pairs_within);
+  EXPECT_GT(pairs, 0u);
+}
+
+TEST(Registry, NullOutputSinksAreIgnored) {
+  const auto pts = uniform_box(300, 10.0f, 7);
+  vgpu::Device dev;
+  vgpu::Stream stream(dev);
+  KernelOutput none;  // calibration-style launch: discard outputs
+  const KernelVariant* kv = reg().find(ProblemType::Sdh, "Reg-SHM-Out");
+  ASSERT_NE(kv, nullptr);
+  EXPECT_NO_THROW(
+      kv->launch(stream, pts, ProblemDesc::sdh(0.5, 16), 128, none));
+}
+
+}  // namespace
+}  // namespace tbs::kernels
