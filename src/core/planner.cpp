@@ -76,45 +76,55 @@ std::string plan_cache_key(const vgpu::DeviceSpec& spec,
 }
 
 std::optional<Plan> PlanCache::find(const std::string& key) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = plans_.find(key);
   if (it == plans_.end()) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+std::optional<Plan> PlanCache::peek(const std::string& key) const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = plans_.find(key);
+  if (it == plans_.end()) return std::nullopt;
   return it->second;
 }
 
 void PlanCache::store(const std::string& key, const Plan& plan) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::unique_lock<std::shared_mutex> lock(mu_);
   plans_[key] = plan;
 }
 
+std::shared_ptr<std::mutex> PlanCache::calibration_gate(
+    const std::string& key) {
+  const std::unique_lock<std::shared_mutex> lock(mu_);
+  std::shared_ptr<std::mutex>& gate = gates_[key];
+  if (gate == nullptr) gate = std::make_shared<std::mutex>();
+  return gate;
+}
+
 std::uint64_t PlanCache::hits() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
+  return hits_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t PlanCache::misses() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
+  return misses_.load(std::memory_order_relaxed);
 }
 
 std::size_t PlanCache::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::shared_lock<std::shared_mutex> lock(mu_);
   return plans_.size();
 }
 
-Plan plan(vgpu::Stream& stream, const PointsSoA& sample,
-          const kernels::ProblemDesc& desc, double target_n,
-          PlanCache* cache) {
-  const std::string key =
-      plan_cache_key(stream.device().spec(), desc, target_n);
-  if (cache != nullptr) {
-    if (std::optional<Plan> hit = cache->find(key)) return *std::move(hit);
-  }
+namespace {
 
+/// The calibration round itself: enumerate the registry, price every
+/// launchable (variant, block size) pair, pick the cheapest.
+Plan calibrate_plan(vgpu::Stream& stream, const PointsSoA& sample,
+                    const kernels::ProblemDesc& desc, double target_n) {
   Plan out;
   out.predicted_seconds = std::numeric_limits<double>::infinity();
 
@@ -136,8 +146,31 @@ Plan plan(vgpu::Stream& stream, const PointsSoA& sample,
     }
   }
   check(!out.considered.empty(), "plan: no launchable candidate");
+  return out;
+}
 
-  if (cache != nullptr) cache->store(key, out);
+}  // namespace
+
+Plan plan(vgpu::Stream& stream, const PointsSoA& sample,
+          const kernels::ProblemDesc& desc, double target_n,
+          PlanCache* cache) {
+  if (cache == nullptr)
+    return calibrate_plan(stream, sample, desc, target_n);
+
+  const std::string key =
+      plan_cache_key(stream.device().spec(), desc, target_n);
+  if (std::optional<Plan> hit = cache->find(key)) return *std::move(hit);
+
+  // Single-flight: hold the key's gate across calibration so concurrent
+  // misses run one round between them. The loser double-checks under the
+  // gate (peek, so the stats stay one-miss-per-client-lookup) and returns
+  // the winner's plan without a single launch of its own.
+  const std::shared_ptr<std::mutex> gate = cache->calibration_gate(key);
+  const std::lock_guard<std::mutex> in_flight(*gate);
+  if (std::optional<Plan> raced = cache->peek(key)) return *std::move(raced);
+
+  Plan out = calibrate_plan(stream, sample, desc, target_n);
+  cache->store(key, out);
   return out;
 }
 

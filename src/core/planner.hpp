@@ -13,10 +13,13 @@
 // queries (calibration is the expensive part — a hit costs zero launches).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -66,20 +69,37 @@ std::string plan_cache_key(const vgpu::DeviceSpec& spec,
 
 /// Thread-safe plan memo. Keyed by plan_cache_key(); hit/miss counters are
 /// exposed so tests (and ops dashboards) can assert cache effectiveness.
+///
+/// Concurrency contract (the serve layer's workers all share one cache):
+/// lookups take a shared lock, so hits never serialize behind each other,
+/// and calibration is single-flight — plan() holds the key's calibration
+/// gate while simulating, so N threads missing on the same key run exactly
+/// one calibration round between them (the rest block, then hit).
 class PlanCache {
  public:
   [[nodiscard]] std::optional<Plan> find(const std::string& key) const;
   void store(const std::string& key, const Plan& plan);
+
+  /// Per-key calibration gate: plan() holds this mutex across the miss path
+  /// (calibrate + store) so concurrent misses on one key calibrate once.
+  /// The gate outlives the cache entry; one gate per distinct key ever seen.
+  [[nodiscard]] std::shared_ptr<std::mutex> calibration_gate(
+      const std::string& key);
+
+  /// find() without touching the hit/miss counters — the double-check a
+  /// gate loser performs is not a client lookup and must not skew stats.
+  [[nodiscard]] std::optional<Plan> peek(const std::string& key) const;
 
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
   [[nodiscard]] std::size_t size() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   std::map<std::string, Plan> plans_;
-  mutable std::uint64_t hits_ = 0;
-  mutable std::uint64_t misses_ = 0;
+  std::map<std::string, std::shared_ptr<std::mutex>> gates_;  ///< under mu_
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
 };
 
 /// Plan a run of `target_n` points of the described problem. `sample`

@@ -3,6 +3,10 @@
 // memoized plans across repeated queries.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "common/datagen.hpp"
 #include "common/error.hpp"
 #include "core/framework.hpp"
@@ -110,6 +114,51 @@ TEST(PlanCache, HitCostsZeroCalibrationLaunches) {
   plan(stream, sample, ProblemDesc::pcf(1.0), 50'000.0, &cache);
   EXPECT_EQ(cache.misses(), 2u);
   EXPECT_GT(dev.launch_count(), launches_after_first);
+}
+
+TEST(PlanCache, ConcurrentMissesCalibrateExactlyOnce) {
+  const auto sample = uniform_box(2048, 10.0f, 3);
+  const auto desc = ProblemDesc::pcf(2.0);
+
+  // How many launches one calibration round costs, measured solo.
+  std::uint64_t solo_launches = 0;
+  {
+    vgpu::Device dev;
+    vgpu::Stream stream(dev);
+    plan(stream, sample, desc, 50'000.0);
+    solo_launches = dev.launch_count();
+  }
+  ASSERT_GT(solo_launches, 0u);
+
+  // Two threads, each with its own device/stream (streams are single-host-
+  // thread objects), racing on one shared cache and the same key. The gate
+  // must let exactly one of them calibrate; the other returns the stored
+  // plan with zero launches of its own — whoever wins the race.
+  PlanCache cache;
+  constexpr int kThreads = 2;
+  std::vector<vgpu::Device> devs(kThreads);
+  std::vector<Plan> plans(kThreads);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      vgpu::Stream stream(devs[static_cast<std::size_t>(t)]);
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      plans[static_cast<std::size_t>(t)] =
+          plan(stream, sample, desc, 50'000.0, &cache);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  std::uint64_t total_launches = 0;
+  for (const vgpu::Device& d : devs) total_launches += d.launch_count();
+  EXPECT_EQ(total_launches, solo_launches);
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_NE(plans[0].kernel, nullptr);
+  EXPECT_EQ(plans[0].kernel, plans[1].kernel);
+  EXPECT_EQ(plans[0].block_size, plans[1].block_size);
 }
 
 TEST(Framework, RepeatedQueryReusesThePlanWithZeroCalibration) {
