@@ -1,0 +1,192 @@
+// Serving throughput: queries/sec and tail latency of tbs::serve under
+// concurrent clients, with the result cache on and off.
+//
+// Unlike the paper-figure benches (which model one kernel at scale), this
+// measures the system layer above the kernels: admission, coalescing,
+// caching, and the stream-pool dispatch. Each configuration spins up a
+// fresh QueryEngine (2 devices x 2 streams), hammers it with a mixed
+// SDH/PCF/kNN/join workload from C client threads, and records
+// queries/sec, p50/p99 latency, and how many jobs actually reached a
+// device. Results go to stdout as a table and to BENCH_serve.json (path
+// overridable via argv[1]) for CI artifact upload.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/datagen.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+#include "serve/engine.hpp"
+
+namespace {
+
+using tbs::PointsSoA;
+namespace serve = tbs::serve;
+
+struct Shape {
+  serve::Query query;
+  const PointsSoA* pts;
+};
+
+struct RunResult {
+  std::size_t clients = 0;
+  bool cache_on = false;
+  std::uint64_t queries = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  serve::EngineStats stats;
+};
+
+RunResult run_config(const std::vector<Shape>& shapes, std::size_t clients,
+                     bool cache_on, int rounds) {
+  serve::QueryEngine::Config cfg;
+  cfg.devices = 2;
+  cfg.streams_per_device = 2;
+  cfg.queue_capacity = 64;
+  cfg.cache_capacity = cache_on ? 128 : 0;
+  serve::QueryEngine engine(cfg);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      std::vector<serve::QueryEngine::ResultFuture> futs;
+      futs.reserve(shapes.size());
+      // Drain between rounds: with the cache off, round r+1 must hit the
+      // devices again rather than coalescing onto round r's in-flight
+      // jobs — that is the cache-on/off contrast this bench measures.
+      for (int r = 0; r < rounds; ++r) {
+        futs.clear();
+        for (std::size_t i = 0; i < shapes.size(); ++i) {
+          // Stagger the order per client so shapes collide in flight.
+          const Shape& s = shapes[(i + c * 3) % shapes.size()];
+          futs.push_back(engine.submit(s.query, *s.pts));
+        }
+        for (auto& f : futs) f.get();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  RunResult out;
+  out.clients = clients;
+  out.cache_on = cache_on;
+  out.queries = static_cast<std::uint64_t>(clients) * rounds * shapes.size();
+  out.wall_seconds = wall;
+  out.qps = wall > 0.0 ? static_cast<double>(out.queries) / wall : 0.0;
+  out.stats = engine.stats();
+  return out;
+}
+
+void write_json(const std::string& path, const std::vector<RunResult>& runs) {
+  std::ofstream os(path);
+  os << "{\n  \"bench\": \"serve_throughput\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    const serve::EngineCounters& c = r.stats.counters;
+    os << "    {\"clients\": " << r.clients
+       << ", \"cache\": " << (r.cache_on ? "true" : "false")
+       << ", \"queries\": " << r.queries
+       << ", \"wall_seconds\": " << r.wall_seconds
+       << ", \"qps\": " << r.qps
+       << ", \"p50_ms\": " << r.stats.latency.p50 * 1e3
+       << ", \"p99_ms\": " << r.stats.latency.p99 * 1e3
+       << ", \"executed\": " << c.executed
+       << ", \"cache_hits\": " << c.cache_hits
+       << ", \"coalesced\": " << c.coalesced
+       << ", \"kernel_launches\": " << r.stats.kernel_launches
+       << ", \"occupancy\": " << r.stats.occupancy << "}"
+       << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tbs;
+  using namespace tbs::bench;
+
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+  std::printf("=== Serving throughput: QueryEngine, 2 devices x 2 streams "
+              "===\n\n");
+
+  // A mixed workload over two datasets — every 2-BS query type the engine
+  // serves, with enough distinct shapes that coalescing and caching both
+  // have work to do.
+  const PointsSoA box_a = uniform_box(400, 10.0f, 11);
+  const PointsSoA box_b = uniform_box(400, 12.0f, 23);
+  const double width_a = box_a.max_possible_distance() / 64 + 1e-4;
+  const double width_b = box_b.max_possible_distance() / 128 + 1e-4;
+  const std::vector<Shape> shapes = {
+      {serve::SdhQuery{width_a, 64}, &box_a},
+      {serve::SdhQuery{width_b, 128}, &box_b},
+      {serve::PcfQuery{1.0}, &box_a},
+      {serve::PcfQuery{1.5}, &box_b},
+      {serve::PcfQuery{2.0}, &box_a},
+      {serve::KnnQuery{4}, &box_a},
+      {serve::KnnQuery{8}, &box_b},
+      {serve::JoinQuery{1.2, kernels::JoinVariant::TwoPhase}, &box_b},
+      {serve::JoinQuery{1.2, kernels::JoinVariant::GlobalCursor}, &box_a},
+      {serve::SdhQuery{width_a, 32}, &box_b},
+  };
+  const int rounds = 4;
+
+  std::vector<RunResult> runs;
+  TextTable t({"clients", "cache", "queries", "qps", "p50", "p99",
+               "executed", "hits", "coalesced"});
+  for (const bool cache_on : {true, false}) {
+    for (const std::size_t clients : {1u, 2u, 4u, 8u}) {
+      const RunResult r = run_config(shapes, clients, cache_on, rounds);
+      runs.push_back(r);
+      t.add_row({std::to_string(r.clients), cache_on ? "on" : "off",
+                 std::to_string(r.queries), TextTable::num(r.qps, 0),
+                 fmt_time(r.stats.latency.p50), fmt_time(r.stats.latency.p99),
+                 std::to_string(r.stats.counters.executed),
+                 std::to_string(r.stats.counters.cache_hits),
+                 std::to_string(r.stats.counters.coalesced)});
+    }
+  }
+  t.print(std::cout);
+
+  write_json(out_path, runs);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  std::printf("\nshape checks:\n");
+  ShapeChecks checks;
+  for (const RunResult& r : runs) {
+    checks.expect(r.stats.counters.failed == 0 &&
+                      r.stats.counters.rejected == 0,
+                  "no failures or rejections (clients=" +
+                      std::to_string(r.clients) +
+                      ", cache=" + (r.cache_on ? "on" : "off") + ")");
+    checks.expect(r.qps > 0.0, "positive throughput");
+    checks.expect(r.stats.latency.p99 >= r.stats.latency.p50,
+                  "p99 >= p50");
+  }
+  // With the cache on, repeated shapes must collapse: far fewer jobs reach
+  // a device than with the cache off at the same client count.
+  for (std::size_t i = 0; i < 4; ++i) {
+    const RunResult& on = runs[i];
+    const RunResult& off = runs[i + 4];
+    checks.expect(on.stats.counters.executed < off.stats.counters.executed,
+                  "cache cuts device executions (clients=" +
+                      std::to_string(on.clients) + ": " +
+                      std::to_string(on.stats.counters.executed) + " < " +
+                      std::to_string(off.stats.counters.executed) + ")");
+  }
+  // Cache + coalescing bound the work: at most one execution per distinct
+  // shape when the cache is on.
+  for (std::size_t i = 0; i < 4; ++i)
+    checks.expect(runs[i].stats.counters.executed <= shapes.size(),
+                  "cache-on executions bounded by distinct shapes");
+  return checks.finish();
+}

@@ -15,6 +15,7 @@
 #include "common/points.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/stats.hpp"
+#include "vgpu/stream.hpp"
 
 namespace tbs::kernels {
 
@@ -33,6 +34,18 @@ JoinResult run_distance_join(vgpu::Device& dev, const PointsSoA& pts,
                              double radius, JoinVariant variant,
                              int block_size);
 
+/// Stream overload: launches go through `stream`, so blocks execute on the
+/// async worker pool. TwoPhase emits into precomputed exclusive slices, so
+/// pairs *and* counters are bit-identical to the Device overload.
+/// GlobalCursor consumes the returned old value of a contended atomic
+/// cursor, so pooled block scheduling permutes emission order: the pair
+/// *set* and per-thread operation counts are identical, but pair order and
+/// the traffic/coalescing counters (which depend on the emitted addresses)
+/// are not — the same caveat as on real hardware.
+JoinResult run_distance_join(vgpu::Stream& stream, const PointsSoA& pts,
+                             double radius, JoinVariant variant,
+                             int block_size);
+
 struct GramResult {
   std::vector<float> matrix;  ///< row-major n x n, K[i*n+j]
   vgpu::KernelStats stats;
@@ -42,6 +55,11 @@ struct GramResult {
 /// transposed per-thread so warp stores coalesce (the matrix is symmetric,
 /// so the result is identical).
 GramResult run_gram(vgpu::Device& dev, const PointsSoA& pts, double gamma,
+                    int block_size);
+
+/// Stream overload of run_gram: disjoint stores only, so the matrix and
+/// counters are bit-identical to the Device overload.
+GramResult run_gram(vgpu::Stream& stream, const PointsSoA& pts, double gamma,
                     int block_size);
 
 }  // namespace tbs::kernels

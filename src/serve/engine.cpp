@@ -1,0 +1,249 @@
+#include "serve/engine.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace tbs::serve {
+
+QueryEngine::QueryEngine() : QueryEngine(Config{}) {}
+
+QueryEngine::QueryEngine(Config cfg)
+    : cfg_(cfg), queue_(cfg.queue_capacity), cache_(cfg.cache_capacity) {
+  check(cfg_.devices >= 1, "QueryEngine: need at least one device");
+  check(cfg_.streams_per_device >= 1,
+        "QueryEngine: need at least one stream per device");
+  slots_.reserve(cfg_.devices);
+  for (std::size_t d = 0; d < cfg_.devices; ++d)
+    slots_.push_back(std::make_unique<DeviceSlot>(cfg_.spec));
+  if (cfg_.autostart) start();
+}
+
+QueryEngine::~QueryEngine() {
+  queue_.close();
+  for (std::thread& t : workers_) t.join();
+  // Anything still queued had no worker to run it (never-started engine):
+  // fail those futures rather than leaving them broken-promise.
+  while (std::optional<std::shared_ptr<Job>> job = queue_.pop()) {
+    (*job)->promise.set_exception(std::make_exception_ptr(
+        ServeError("QueryEngine: shut down with the query still queued")));
+  }
+}
+
+void QueryEngine::start() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  workers_.reserve(worker_count());
+  for (std::size_t w = 0; w < worker_count(); ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+QueryEngine::ResultFuture QueryEngine::sdh(const PointsSoA& pts,
+                                           double bucket_width, int buckets) {
+  return submit(SdhQuery{bucket_width, buckets}, pts);
+}
+
+QueryEngine::ResultFuture QueryEngine::pcf(const PointsSoA& pts,
+                                           double radius) {
+  return submit(PcfQuery{radius}, pts);
+}
+
+QueryEngine::ResultFuture QueryEngine::knn(const PointsSoA& pts, int k) {
+  return submit(KnnQuery{k}, pts);
+}
+
+QueryEngine::ResultFuture QueryEngine::join(const PointsSoA& pts,
+                                            double radius,
+                                            kernels::JoinVariant variant) {
+  return submit(JoinQuery{radius, variant}, pts);
+}
+
+QueryEngine::ResultFuture QueryEngine::submit(Query query,
+                                              const PointsSoA& pts) {
+  std::optional<ResultFuture> fut =
+      submit_impl(std::move(query), pts, /*block=*/true);
+  check(fut.has_value(), "QueryEngine::submit: blocking submit returned empty");
+  return *std::move(fut);
+}
+
+std::optional<QueryEngine::ResultFuture> QueryEngine::try_submit(
+    Query query, const PointsSoA& pts) {
+  return submit_impl(std::move(query), pts, /*block=*/false);
+}
+
+std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
+    Query query, const PointsSoA& pts, bool block) {
+  const Clock::time_point t0 = Clock::now();
+  const std::string key = query_key(query, dataset_fingerprint(pts));
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.submitted;
+  }
+
+  while (true) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+
+      // Fast path 1: already computed — serve from the LRU, zero launches.
+      if (std::optional<QueryResult> hit = cache_.find(key)) {
+        ++counters_.cache_hits;
+        ++counters_.completed;
+        std::promise<QueryResult> ready;
+        ready.set_value(*std::move(hit));
+        latency_.record(
+            std::chrono::duration<double>(Clock::now() - t0).count());
+        return ready.get_future().share();
+      }
+
+      // Fast path 2: identical query in flight — coalesce onto it.
+      if (const auto it = inflight_.find(key); it != inflight_.end()) {
+        ++counters_.coalesced;
+        return it->second;
+      }
+
+      // Slow path: a new job. Admission control happens here — the
+      // bounded queue is the only place work can pile up.
+      auto job = std::make_shared<Job>();
+      job->key = key;
+      job->query = query;
+      job->pts = std::make_shared<const PointsSoA>(pts);
+      job->submitted = t0;
+      ResultFuture fut = job->promise.get_future().share();
+      if (queue_.try_push(job)) {
+        inflight_.emplace(key, fut);
+        return fut;
+      }
+      if (!block) {
+        ++counters_.rejected;
+        return std::nullopt;
+      }
+    }
+    // Queue full in blocking mode: wait for a worker to free a slot, then
+    // re-run the fast paths (the query may complete or coalesce meanwhile).
+    if (!queue_.wait_not_full())
+      throw ServeError("QueryEngine: submit after shutdown");
+  }
+}
+
+void QueryEngine::worker_loop(std::size_t worker_index) {
+  DeviceSlot& slot = *slots_[worker_index / cfg_.streams_per_device];
+  vgpu::Stream stream(slot.dev);  // this worker's lane onto the device
+
+  while (std::optional<std::shared_ptr<Job>> popped = queue_.pop()) {
+    const std::shared_ptr<Job>& job = *popped;
+    const Clock::time_point t0 = Clock::now();
+
+    QueryResult result;
+    std::exception_ptr error;
+    try {
+      const std::lock_guard<std::mutex> dev_lock(slot.mu);
+      result = execute(slot, stream, *job);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    busy_ns_.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           Clock::now() - t0)
+                           .count(),
+                       std::memory_order_relaxed);
+
+    // Order matters twice over. Publish to the cache before retiring the
+    // in-flight entry, so a racing submit always finds the result one way
+    // or the other. And fulfill the promise *last*: a client waking from
+    // .get() must observe the counters already bumped and (cache disabled)
+    // the in-flight entry already gone, so an immediate identical resubmit
+    // re-executes instead of coalescing onto this finished job.
+    if (!error) cache_.store(job->key, result);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(job->key);
+      ++counters_.executed;
+      if (!error)
+        ++counters_.completed;
+      else
+        ++counters_.failed;
+    }
+    latency_.record(
+        std::chrono::duration<double>(Clock::now() - job->submitted).count());
+    if (!error)
+      job->promise.set_value(std::move(result));
+    else
+      job->promise.set_exception(error);
+  }
+}
+
+QueryResult QueryEngine::execute(DeviceSlot& slot, vgpu::Stream& stream,
+                                 const Job& job) {
+  const PointsSoA& pts = *job.pts;
+  return std::visit(
+      [&](const auto& q) -> QueryResult {
+        using Q = std::decay_t<decltype(q)>;
+        if constexpr (std::is_same_v<Q, SdhQuery>) {
+          auto variant = kernels::SdhVariant::RegRocOut;
+          int block = 256;
+          if (pts.size() > cfg_.plan_threshold) {
+            const core::Plan p = core::plan(
+                stream, pts,
+                kernels::ProblemDesc::sdh(q.bucket_width, q.buckets),
+                static_cast<double>(pts.size()), &plan_cache_);
+            variant = static_cast<kernels::SdhVariant>(p.kernel->variant_id);
+            block = p.block_size;
+          }
+          return kernels::run_sdh(stream, pts, q.bucket_width, q.buckets,
+                                  variant, block);
+        } else if constexpr (std::is_same_v<Q, PcfQuery>) {
+          auto variant = kernels::PcfVariant::RegShm;
+          int block = 256;
+          if (pts.size() > cfg_.plan_threshold) {
+            const core::Plan p =
+                core::plan(stream, pts, kernels::ProblemDesc::pcf(q.radius),
+                           static_cast<double>(pts.size()), &plan_cache_);
+            variant = static_cast<kernels::PcfVariant>(p.kernel->variant_id);
+            block = p.block_size;
+          }
+          return kernels::run_pcf(stream, pts, q.radius, variant, block);
+        } else if constexpr (std::is_same_v<Q, KnnQuery>) {
+          return kernels::run_knn(slot.dev, pts, q.k, /*block_size=*/256);
+        } else {
+          static_assert(std::is_same_v<Q, JoinQuery>);
+          return kernels::run_distance_join(stream, pts, q.radius, q.variant,
+                                            /*block_size=*/256);
+        }
+      },
+      job.query);
+}
+
+EngineStats QueryEngine::stats() const {
+  EngineStats out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out.counters = counters_;
+  }
+  out.latency = latency_.summary();
+  out.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - epoch_).count();
+  out.workers = worker_count();
+  out.queue_depth = queue_.size();
+  out.kernel_launches = launch_count();
+  if (out.elapsed_seconds > 0.0) {
+    out.throughput_qps =
+        static_cast<double>(out.counters.completed) / out.elapsed_seconds;
+    out.occupancy =
+        (static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) *
+         1e-9) /
+        (out.elapsed_seconds * static_cast<double>(out.workers));
+  }
+  return out;
+}
+
+std::uint64_t QueryEngine::launch_count() const {
+  std::uint64_t total = 0;
+  for (const std::unique_ptr<DeviceSlot>& slot : slots_) {
+    const std::lock_guard<std::mutex> lock(slot->mu);
+    total += slot->dev.launch_count();
+  }
+  return total;
+}
+
+}  // namespace tbs::serve

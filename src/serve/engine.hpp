@@ -1,0 +1,173 @@
+// QueryEngine — the concurrent 2-BS serving layer.
+//
+// The paper frames 2-BS kernels as building blocks of an analytics
+// framework; this is the first layer of the system above a single kernel
+// launch. Clients submit typed queries (SDH, PCF, kNN, distance join) from
+// any number of threads and get back a shared_future. Internally:
+//
+//   client threads                 worker threads (one per stream)
+//   ──────────────                 ────────────────────────────────
+//   result-cache lookup ──hit──▶   (no work: ready future)
+//   in-flight coalescing ─dup──▶   (no work: share the winner's future)
+//   bounded MPMC queue  ──────▶    pop → plan (shared PlanCache, single-
+//     · try_submit: reject when      flight calibration) → launch through
+//       full (admission control)     the worker's vgpu::Stream on its
+//     · submit: block for a slot     device → store in the LRU cache →
+//       (backpressure)               fulfill every attached promise
+//
+// Results are deterministic: every kernel the engine dispatches is
+// bit-identical between pooled/async and inline execution (the PR 1
+// runtime contract), so an 8-client concurrent run returns exactly what
+// the same queries produce sequentially through TwoBodyFramework. The one
+// caveat is inherited from the kernels, not the engine: a GlobalCursor
+// join's pair *order* is scheduling-dependent (its pair set is not).
+//
+// Latency (submit → completion) is recorded per query and occupancy and
+// throughput per engine, so benches can report p50/p99 and queries/sec.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "serve/metrics.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/result_cache.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/spec.hpp"
+#include "vgpu/stream.hpp"
+
+namespace tbs::serve {
+
+/// Thrown into futures whose work was abandoned (engine shut down with the
+/// job still queued and no worker to run it).
+class ServeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class QueryEngine {
+ public:
+  struct Config {
+    std::size_t devices = 2;            ///< simulated devices in the pool
+    std::size_t streams_per_device = 2; ///< workers = devices * streams
+    std::size_t queue_capacity = 64;    ///< admission-control bound
+    std::size_t cache_capacity = 128;   ///< LRU entries; 0 disables caching
+    std::size_t plan_threshold = 2048;  ///< auto-plan SDH/PCF above this N
+    bool autostart = true;              ///< spawn workers in the constructor
+    vgpu::DeviceSpec spec{};            ///< spec shared by every device
+  };
+
+  using ResultFuture = std::shared_future<QueryResult>;
+
+  QueryEngine();  ///< default Config (delegating; GCC rejects `= {}` here)
+  explicit QueryEngine(Config cfg);
+
+  /// Drains: closes the queue, lets workers finish everything already
+  /// admitted, then fails still-queued jobs (only possible with 0 workers)
+  /// with ServeError.
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  // --- typed submission (blocking: backpressure when the queue is full) ---
+  ResultFuture sdh(const PointsSoA& pts, double bucket_width, int buckets);
+  ResultFuture pcf(const PointsSoA& pts, double radius);
+  ResultFuture knn(const PointsSoA& pts, int k);
+  ResultFuture join(const PointsSoA& pts, double radius,
+                    kernels::JoinVariant variant =
+                        kernels::JoinVariant::TwoPhase);
+
+  /// Generic blocking submit. Copies the points once per *job*; coalesced
+  /// and cached submissions of the same query never copy again.
+  ResultFuture submit(Query query, const PointsSoA& pts);
+
+  /// Admission-controlled submit: std::nullopt when the queue is full
+  /// (the query is shed, not queued). Cache hits and coalesced queries are
+  /// always admitted — they add no work.
+  std::optional<ResultFuture> try_submit(Query query, const PointsSoA& pts);
+
+  /// Spawn the worker pool (idempotent; called by the constructor unless
+  /// Config::autostart is false — tests use the stopped state to fill the
+  /// queue deterministically).
+  void start();
+
+  /// One consistent health snapshot.
+  [[nodiscard]] EngineStats stats() const;
+
+  /// Kernel launches summed over the device pool (the "zero new launches
+  /// on a cache hit" assertions key off this).
+  [[nodiscard]] std::uint64_t launch_count() const;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return cfg_.devices * cfg_.streams_per_device;
+  }
+  [[nodiscard]] const ResultCache& cache() const noexcept { return cache_; }
+  [[nodiscard]] const core::PlanCache& plan_cache() const noexcept {
+    return plan_cache_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One admitted unit of work; every coalesced client holds `future`.
+  struct Job {
+    std::string key;
+    Query query;
+    std::shared_ptr<const PointsSoA> pts;
+    std::promise<QueryResult> promise;
+    Clock::time_point submitted{};
+  };
+
+  /// One simulated device plus the host lock serializing launches on it
+  /// (a Device is not thread-safe across streams; each worker owns its
+  /// stream but takes this lock for the duration of an execution).
+  struct DeviceSlot {
+    explicit DeviceSlot(const vgpu::DeviceSpec& spec) : dev(spec) {}
+    vgpu::Device dev;
+    std::mutex mu;
+  };
+
+  /// Fast paths + enqueue, shared by submit/try_submit. Returns a future
+  /// when served/admitted; nullopt when the queue is full and `block` is
+  /// false. Blocks for a free slot when `block` is true.
+  std::optional<ResultFuture> submit_impl(Query query, const PointsSoA& pts,
+                                          bool block);
+
+  /// Worker body: pop, execute on this worker's device slot, fulfill.
+  void worker_loop(std::size_t worker_index);
+
+  /// Run one query on a device slot through the given stream.
+  QueryResult execute(DeviceSlot& slot, vgpu::Stream& stream, const Job& job);
+
+  Config cfg_;
+  std::vector<std::unique_ptr<DeviceSlot>> slots_;
+  BoundedQueue<std::shared_ptr<Job>> queue_;
+  ResultCache cache_;
+  core::PlanCache plan_cache_;
+
+  mutable std::mutex mu_;  ///< guards inflight_, counters_, started_
+  std::unordered_map<std::string, ResultFuture> inflight_;
+  EngineCounters counters_;
+  bool started_ = false;
+
+  LatencyRecorder latency_;
+  std::atomic<std::int64_t> busy_ns_{0};  ///< summed worker execution time
+  Clock::time_point epoch_ = Clock::now();
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tbs::serve

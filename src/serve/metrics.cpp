@@ -1,0 +1,39 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tbs::serve {
+
+void LatencyRecorder::record(double seconds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(seconds);
+}
+
+LatencySummary LatencyRecorder::summary() const {
+  std::vector<double> sorted;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    sorted = samples_;
+  }
+  LatencySummary out;
+  out.count = sorted.size();
+  if (sorted.empty()) return out;
+  std::sort(sorted.begin(), sorted.end());
+
+  // Nearest-rank percentile: ceil(q * n) - 1, clamped.
+  const auto rank = [&](double q) {
+    const auto r = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    return sorted[std::min(sorted.size() - 1, r > 0 ? r - 1 : 0)];
+  };
+  out.p50 = rank(0.50);
+  out.p99 = rank(0.99);
+  out.max = sorted.back();
+  out.mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+             static_cast<double>(sorted.size());
+  return out;
+}
+
+}  // namespace tbs::serve

@@ -1,0 +1,61 @@
+// Serving metrics: per-query latency percentiles and engine-level
+// throughput/occupancy counters, the numbers an ops dashboard (and the
+// serve bench) reports as p50/p99 and queries/sec.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace tbs::serve {
+
+/// Summary of a latency distribution, in seconds.
+struct LatencySummary {
+  std::size_t count = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+/// Thread-safe reservoir of per-query latencies. Exact (stores every
+/// sample); serving benches run bounded query counts, so the memory is
+/// trivially bounded too.
+class LatencyRecorder {
+ public:
+  void record(double seconds);
+  [[nodiscard]] LatencySummary summary() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+};
+
+/// Monotonic counters the engine maintains; one snapshot per stats() call.
+struct EngineCounters {
+  std::uint64_t submitted = 0;   ///< every submit/try_submit call
+  std::uint64_t rejected = 0;    ///< shed by admission control (queue full)
+  std::uint64_t coalesced = 0;   ///< attached to an in-flight identical query
+  std::uint64_t cache_hits = 0;  ///< served from the result cache
+  std::uint64_t executed = 0;    ///< jobs actually run on a device
+  /// Queries answered successfully, counted once per *answer* produced:
+  /// one per executed job plus one per cache hit. Coalesced clients share
+  /// their job's single increment.
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;      ///< jobs that delivered an exception
+};
+
+/// One consistent snapshot of engine health.
+struct EngineStats {
+  EngineCounters counters;
+  LatencySummary latency;          ///< submit-to-completion, seconds
+  double elapsed_seconds = 0.0;    ///< since engine construction
+  double throughput_qps = 0.0;     ///< completed / elapsed
+  double occupancy = 0.0;          ///< busy worker-seconds / (elapsed * workers)
+  std::uint64_t kernel_launches = 0;  ///< summed over the device pool
+  std::size_t queue_depth = 0;
+  std::size_t workers = 0;
+};
+
+}  // namespace tbs::serve

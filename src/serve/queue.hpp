@@ -1,0 +1,98 @@
+// Bounded MPMC queue — the admission-control point of the serve layer.
+//
+// Producers choose their overload policy per call: `try_push` rejects when
+// the queue is full (load shedding — the caller turns that into a
+// queue-full error for the client), while `wait_not_full` + `try_push`
+// implements backpressure (the submitting client blocks until a worker
+// frees a slot). Consumers block in `pop` until an item arrives or the
+// queue is closed; close() lets consumers drain what is already queued
+// before they observe shutdown, so an engine destructor is a graceful
+// drain, not an abort.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace tbs::serve {
+
+template <class T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : cap_(capacity) {
+    check(capacity > 0, "BoundedQueue: capacity must be positive");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking push. False when the queue is full or closed.
+  bool try_push(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= cap_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until the queue has a free slot (or is closed). True when a
+  /// slot was available at wake-up — the caller still races other
+  /// producers for it, so pair this with try_push in a retry loop.
+  bool wait_not_full() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < cap_; });
+    return !closed_;
+  }
+
+  /// Block until an item is available or the queue is closed *and* empty.
+  /// Remaining items are handed out after close() so consumers drain.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Reject all future pushes and wake every waiter. Idempotent.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t cap_;
+  bool closed_ = false;
+};
+
+}  // namespace tbs::serve

@@ -1,0 +1,73 @@
+#include "serve/request.hpp"
+
+#include <cstring>
+#include <span>
+
+namespace tbs::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_floats(std::uint64_t& h, std::span<const float> v) {
+  fnv_bytes(h, v.data(), v.size_bytes());
+}
+
+}  // namespace
+
+const char* kind_name(const Query& q) {
+  switch (q.index()) {
+    case 0: return "sdh";
+    case 1: return "pcf";
+    case 2: return "knn";
+    case 3: return "join";
+  }
+  return "?";
+}
+
+std::uint64_t dataset_fingerprint(const PointsSoA& pts) {
+  std::uint64_t h = kFnvOffset;
+  const std::uint64_t n = pts.size();
+  fnv_bytes(h, &n, sizeof(n));
+  fnv_floats(h, pts.x());
+  fnv_floats(h, pts.y());
+  fnv_floats(h, pts.z());
+  return h;
+}
+
+std::string query_key(const Query& q, std::uint64_t dataset_fp) {
+  std::string key = kind_name(q);
+  key += '|';
+  std::visit(
+      [&key](const auto& query) {
+        using Q = std::decay_t<decltype(query)>;
+        if constexpr (std::is_same_v<Q, SdhQuery>) {
+          key += std::to_string(query.bucket_width);
+          key += '|';
+          key += std::to_string(query.buckets);
+        } else if constexpr (std::is_same_v<Q, PcfQuery>) {
+          key += std::to_string(query.radius);
+        } else if constexpr (std::is_same_v<Q, KnnQuery>) {
+          key += std::to_string(query.k);
+        } else if constexpr (std::is_same_v<Q, JoinQuery>) {
+          key += std::to_string(query.radius);
+          key += '|';
+          key += kernels::to_string(query.variant);
+        }
+      },
+      q);
+  key += "|fp";
+  key += std::to_string(dataset_fp);
+  return key;
+}
+
+}  // namespace tbs::serve

@@ -1,0 +1,93 @@
+// LRU result cache fronting the query engine.
+//
+// Keyed by query_key() — (problem descriptor, dataset fingerprint) — so a
+// repeated query shape over the same data is served without touching a
+// device. Values are full QueryResults (histogram / counts / pairs plus the
+// execution counters of the run that produced them), so a hit is
+// indistinguishable from a fresh execution to the client. Thread-safe; the
+// engine's workers store from several threads while clients look up.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "serve/request.hpp"
+
+namespace tbs::serve {
+
+class ResultCache {
+ public:
+  /// capacity == 0 disables the cache (find always misses, store drops).
+  explicit ResultCache(std::size_t capacity) : cap_(capacity) {}
+
+  /// Look up a key; a hit bumps the entry to most-recently-used.
+  [[nodiscard]] std::optional<QueryResult> find(const std::string& key) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // bump recency
+    return it->second->second;
+  }
+
+  /// Insert (or refresh) a key, evicting the least-recently-used entry
+  /// when over capacity.
+  void store(const std::string& key, QueryResult value) {
+    if (cap_ == 0) return;
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.emplace_front(key, std::move(value));
+    index_[key] = lru_.begin();
+    if (lru_.size() > cap_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t hits() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  [[nodiscard]] std::uint64_t evictions() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t cap_;
+  /// front = most recently used; pairs of (key, value).
+  std::list<std::pair<std::string, QueryResult>> lru_;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, QueryResult>>::iterator>
+      index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace tbs::serve

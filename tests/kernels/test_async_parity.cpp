@@ -3,11 +3,14 @@
 // results AND counters bit-identical to the sequential Device::launch path.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "common/datagen.hpp"
 #include "kernels/pcf.hpp"
 #include "kernels/sdh.hpp"
+#include "kernels/type3.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/stream.hpp"
 
@@ -104,6 +107,93 @@ TEST(WarpsumAsyncParity, StreamMatchesInlineBitExactly) {
   const PcfResult async_r = run_pcf_warpsum(stream, pts, 2.0, kBlock);
 
   EXPECT_EQ(inline_r.pairs_within, async_r.pairs_within);
+  EXPECT_EQ(inline_r.stats, async_r.stats);
+}
+
+TEST(JoinAsyncParity, TwoPhaseMatchesInlineBitExactly) {
+  const auto pts = uniform_box(kN, 10.0f, 77);
+  const double radius = 1.5;
+
+  Device dev_inline;
+  const JoinResult inline_r = run_distance_join(
+      dev_inline, pts, radius, JoinVariant::TwoPhase, kBlock);
+
+  Device dev_async;
+  Stream stream(dev_async);
+  const JoinResult async_r =
+      run_distance_join(stream, pts, radius, JoinVariant::TwoPhase, kBlock);
+
+  // TwoPhase emits into precomputed exclusive slices: even the pair *order*
+  // is identical between inline and pooled execution.
+  ASSERT_EQ(inline_r.pairs.size(), async_r.pairs.size());
+  EXPECT_EQ(inline_r.pairs, async_r.pairs);
+  EXPECT_EQ(inline_r.stats, async_r.stats);
+}
+
+TEST(JoinAsyncParity, GlobalCursorMatchesInlineAsASet) {
+  const auto pts = uniform_box(kN, 10.0f, 77);
+  const double radius = 1.5;
+
+  Device dev_inline;
+  JoinResult inline_r = run_distance_join(
+      dev_inline, pts, radius, JoinVariant::GlobalCursor, kBlock);
+
+  Device dev_async;
+  Stream stream(dev_async);
+  JoinResult async_r = run_distance_join(stream, pts, radius,
+                                         JoinVariant::GlobalCursor, kBlock);
+
+  // GlobalCursor threads consume the returned old value of one contended
+  // atomic, so pooled block scheduling permutes emission order; the pair
+  // *set* must still match the inline run exactly.
+  std::sort(inline_r.pairs.begin(), inline_r.pairs.end());
+  std::sort(async_r.pairs.begin(), async_r.pairs.end());
+  ASSERT_EQ(inline_r.pairs.size(), async_r.pairs.size());
+  EXPECT_EQ(inline_r.pairs, async_r.pairs);
+
+  // Operation counts are order-invariant (every thread issues the same ops
+  // wherever its pairs land); traffic/coalescing counters are not, because
+  // the emitted *addresses* depend on the cursor values each thread drew.
+  EXPECT_EQ(inline_r.stats.global_loads, async_r.stats.global_loads);
+  EXPECT_EQ(inline_r.stats.global_stores, async_r.stats.global_stores);
+  EXPECT_EQ(inline_r.stats.global_atomics, async_r.stats.global_atomics);
+  EXPECT_EQ(inline_r.stats.shared_loads, async_r.stats.shared_loads);
+  EXPECT_EQ(inline_r.stats.shared_stores, async_r.stats.shared_stores);
+  EXPECT_EQ(inline_r.stats.barriers, async_r.stats.barriers);
+  EXPECT_EQ(inline_r.stats.launches, async_r.stats.launches);
+  EXPECT_DOUBLE_EQ(inline_r.stats.arith_ops, async_r.stats.arith_ops);
+}
+
+TEST(JoinAsyncParity, BothVariantsAgreeOnTheJoinSetThroughStreams) {
+  const auto pts = uniform_box(kN, 10.0f, 31);
+  const double radius = 2.0;
+
+  Device dev_a;
+  Stream stream_a(dev_a);
+  JoinResult cursor_r = run_distance_join(stream_a, pts, radius,
+                                          JoinVariant::GlobalCursor, kBlock);
+  Device dev_b;
+  Stream stream_b(dev_b);
+  JoinResult two_phase_r =
+      run_distance_join(stream_b, pts, radius, JoinVariant::TwoPhase, kBlock);
+
+  std::sort(cursor_r.pairs.begin(), cursor_r.pairs.end());
+  std::sort(two_phase_r.pairs.begin(), two_phase_r.pairs.end());
+  EXPECT_EQ(cursor_r.pairs, two_phase_r.pairs);
+}
+
+TEST(GramAsyncParity, StreamMatchesInlineBitExactly) {
+  const auto pts = uniform_box(300, 10.0f, 13);
+
+  Device dev_inline;
+  const GramResult inline_r = run_gram(dev_inline, pts, 0.5, kBlock);
+
+  Device dev_async;
+  Stream stream(dev_async);
+  const GramResult async_r = run_gram(stream, pts, 0.5, kBlock);
+
+  ASSERT_EQ(inline_r.matrix.size(), async_r.matrix.size());
+  EXPECT_EQ(inline_r.matrix, async_r.matrix);
   EXPECT_EQ(inline_r.stats, async_r.stats);
 }
 

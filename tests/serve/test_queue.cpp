@@ -1,0 +1,116 @@
+// BoundedQueue: admission control (try_push rejection), backpressure
+// (wait_not_full), blocking pop, and graceful close-then-drain semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/queue.hpp"
+
+namespace tbs::serve {
+namespace {
+
+TEST(BoundedQueue, TryPushRejectsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: shed
+  EXPECT_EQ(q.size(), 2u);
+
+  ASSERT_TRUE(q.pop().has_value());
+  EXPECT_TRUE(q.try_push(3));  // slot freed
+}
+
+TEST(BoundedQueue, ZeroCapacityIsRejected) {
+  EXPECT_THROW(BoundedQueue<int>(0), CheckError);
+}
+
+TEST(BoundedQueue, PopDrainsFifoThenBlocksUntilClose) {
+  BoundedQueue<int> q(4);
+  q.try_push(10);
+  q.try_push(20);
+  EXPECT_EQ(q.pop(), std::optional<int>(10));
+  EXPECT_EQ(q.pop(), std::optional<int>(20));
+
+  std::thread closer([&] { q.close(); });
+  EXPECT_EQ(q.pop(), std::nullopt);  // woken by close, queue empty
+  closer.join();
+}
+
+TEST(BoundedQueue, CloseLetsConsumersDrainRemainingItems) {
+  BoundedQueue<int> q(4);
+  q.try_push(1);
+  q.try_push(2);
+  q.close();
+  EXPECT_FALSE(q.try_push(3));  // closed: rejected
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, WaitNotFullUnblocksWhenAConsumerFreesASlot) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+
+  std::atomic<bool> admitted{false};
+  std::thread producer([&] {
+    while (true) {
+      if (q.try_push(2)) break;
+      if (!q.wait_not_full()) return;  // closed
+    }
+    admitted = true;
+  });
+  EXPECT_EQ(q.pop(), std::optional<int>(1));  // frees the slot
+  producer.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+}
+
+TEST(BoundedQueue, WaitNotFullReturnsFalseOnClose) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+  std::thread waiter([&] { EXPECT_FALSE(q.wait_not_full()); });
+  q.close();
+  waiter.join();
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumersDeliverEverythingOnce) {
+  BoundedQueue<int> q(8);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 50;
+
+  std::atomic<int> sum{0};
+  std::atomic<int> received{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (std::optional<int> v = q.pop()) {
+        sum += *v;
+        ++received;
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int v = p * kPerProducer + i + 1;
+        while (!q.try_push(v)) {
+          if (!q.wait_not_full()) return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  q.close();
+  for (std::thread& t : consumers) t.join();
+
+  const int n = kProducers * kPerProducer;
+  EXPECT_EQ(received.load(), n);
+  EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+}
+
+}  // namespace
+}  // namespace tbs::serve

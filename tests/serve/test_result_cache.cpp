@@ -1,0 +1,82 @@
+// ResultCache: LRU order, eviction at capacity, recency bumps on hit, and
+// the capacity-0 disabled mode.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kernels/pcf.hpp"
+#include "serve/result_cache.hpp"
+
+namespace tbs::serve {
+namespace {
+
+QueryResult pcf_result(std::uint64_t pairs) {
+  kernels::PcfResult r;
+  r.pairs_within = pairs;
+  return r;
+}
+
+std::uint64_t pairs_of(const QueryResult& r) {
+  return std::get<kernels::PcfResult>(r).pairs_within;
+}
+
+TEST(ResultCache, StoresAndFindsByKey) {
+  ResultCache cache(4);
+  EXPECT_EQ(cache.find("a"), std::nullopt);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.store("a", pcf_result(7));
+  const auto hit = cache.find("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(pairs_of(*hit), 7u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedAtCapacity) {
+  ResultCache cache(2);
+  cache.store("a", pcf_result(1));
+  cache.store("b", pcf_result(2));
+  cache.store("c", pcf_result(3));  // evicts "a" (oldest)
+
+  EXPECT_EQ(cache.find("a"), std::nullopt);
+  EXPECT_TRUE(cache.find("b").has_value());
+  EXPECT_TRUE(cache.find("c").has_value());
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCache, HitBumpsRecencySoTheOtherEntryEvicts) {
+  ResultCache cache(2);
+  cache.store("a", pcf_result(1));
+  cache.store("b", pcf_result(2));
+  ASSERT_TRUE(cache.find("a").has_value());  // "a" now most recent
+  cache.store("c", pcf_result(3));           // evicts "b"
+
+  EXPECT_TRUE(cache.find("a").has_value());
+  EXPECT_EQ(cache.find("b"), std::nullopt);
+  EXPECT_TRUE(cache.find("c").has_value());
+}
+
+TEST(ResultCache, RestoreRefreshesValueAndRecency) {
+  ResultCache cache(2);
+  cache.store("a", pcf_result(1));
+  cache.store("b", pcf_result(2));
+  cache.store("a", pcf_result(10));  // refresh, "a" most recent
+  cache.store("c", pcf_result(3));   // evicts "b"
+
+  const auto hit = cache.find("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(pairs_of(*hit), 10u);
+  EXPECT_EQ(cache.find("b"), std::nullopt);
+}
+
+TEST(ResultCache, CapacityZeroDisablesStorage) {
+  ResultCache cache(0);
+  cache.store("a", pcf_result(1));
+  EXPECT_EQ(cache.find("a"), std::nullopt);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace tbs::serve
