@@ -9,6 +9,13 @@
 // queries/sec, p50/p99 latency, and how many jobs actually reached a
 // device. Results go to stdout as a table and to BENCH_serve.json (path
 // overridable via argv[1]) for CI artifact upload.
+//
+// Observability artifacts (paths overridable via argv[2..4]):
+//   trace.json   — Chrome trace of the final (8-client, cache-off) run;
+//                  open at https://ui.perfetto.dev or chrome://tracing
+//   metrics.json — that run's engine MetricsRegistry snapshot
+//   drift.json   — model-vs-measured drift report for the serving-default
+//                  kernels (CI gates on max_rel_error <= tolerance)
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -20,6 +27,8 @@
 #include "common/datagen.hpp"
 #include "common/table.hpp"
 #include "harness.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "serve/engine.hpp"
 
 namespace {
@@ -39,10 +48,15 @@ struct RunResult {
   double wall_seconds = 0.0;
   double qps = 0.0;
   serve::EngineStats stats;
+  std::string metrics_json;  ///< engine registry snapshot at run end
 };
 
 RunResult run_config(const std::vector<Shape>& shapes, std::size_t clients,
-                     bool cache_on, int rounds) {
+                     bool cache_on, int rounds, bool traced = false) {
+  if (traced) {
+    tbs::obs::Tracer::global().clear();
+    tbs::obs::Tracer::global().enable();
+  }
   serve::QueryEngine::Config cfg;
   cfg.devices = 2;
   cfg.streams_per_device = 2;
@@ -83,6 +97,8 @@ RunResult run_config(const std::vector<Shape>& shapes, std::size_t clients,
   out.wall_seconds = wall;
   out.qps = wall > 0.0 ? static_cast<double>(out.queries) / wall : 0.0;
   out.stats = engine.stats();
+  out.metrics_json = engine.metrics_json();
+  if (traced) tbs::obs::Tracer::global().disable();
   return out;
 }
 
@@ -116,6 +132,9 @@ int main(int argc, char** argv) {
   using namespace tbs::bench;
 
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+  const std::string trace_path = argc > 2 ? argv[2] : "trace.json";
+  const std::string metrics_path = argc > 3 ? argv[3] : "metrics.json";
+  const std::string drift_path = argc > 4 ? argv[4] : "drift.json";
   std::printf("=== Serving throughput: QueryEngine, 2 devices x 2 streams "
               "===\n\n");
 
@@ -145,7 +164,11 @@ int main(int argc, char** argv) {
                "executed", "hits", "coalesced"});
   for (const bool cache_on : {true, false}) {
     for (const std::size_t clients : {1u, 2u, 4u, 8u}) {
-      const RunResult r = run_config(shapes, clients, cache_on, rounds);
+      // Trace the last configuration only, so trace.json tells one
+      // engine's story (the busiest one: 8 clients, cache off).
+      const bool traced = !cache_on && clients == 8;
+      const RunResult r = run_config(shapes, clients, cache_on, rounds,
+                                     traced);
       runs.push_back(r);
       t.add_row({std::to_string(r.clients), cache_on ? "on" : "off",
                  std::to_string(r.queries), TextTable::num(r.qps, 0),
@@ -160,8 +183,44 @@ int main(int argc, char** argv) {
   write_json(out_path, runs);
   std::printf("\nwrote %s\n", out_path.c_str());
 
+  // Observability artifacts: the traced run's timeline + metrics snapshot.
+  obs::Tracer::global().write_chrome_trace(trace_path);
+  std::printf("wrote %s (%zu spans; open at https://ui.perfetto.dev)\n",
+              trace_path.c_str(), obs::Tracer::global().size());
+  {
+    std::ofstream os(metrics_path);
+    os << runs.back().metrics_json;
+  }
+  std::printf("wrote %s\n", metrics_path.c_str());
+
+  // Drift report for the kernels actually serving the default traffic:
+  // predicted vs measured access counters must agree within tolerance.
+  std::printf("\ndrift report (serving-default variants):\n");
+  vgpu::Device drift_dev;
+  vgpu::Stream drift_stream(drift_dev);
+  obs::DriftOptions drift_opt;
+  drift_opt.only_variants = {"Reg-ROC-Out", "Register-SHM"};
+  const obs::DriftReport drift = obs::check_drift(drift_stream, drift_opt);
+  TextTable dt({"variant", "counter", "predicted", "measured", "rel_err"});
+  for (const obs::DriftRow& row : drift.rows)
+    dt.add_row({row.variant, row.counter, TextTable::num(row.predicted, 0),
+                TextTable::num(row.measured, 0),
+                TextTable::num(row.rel_error * 100.0, 3) + "%"});
+  dt.print(std::cout);
+  drift.write_json(drift_path);
+  std::printf("wrote %s (max_rel_error=%.4f, tolerance=%.2f)\n",
+              drift_path.c_str(), drift.max_rel_error(), drift.tolerance);
+
   std::printf("\nshape checks:\n");
   ShapeChecks checks;
+  checks.expect(!drift.rows.empty(), "drift sweep covered the serving "
+                                     "defaults");
+  checks.expect(drift.within_tolerance(),
+                "model-vs-measured drift within tolerance (max " +
+                    std::to_string(drift.max_rel_error()) + " <= " +
+                    std::to_string(drift.tolerance) + ")");
+  checks.expect(obs::Tracer::global().size() > 0,
+                "traced run recorded spans");
   for (const RunResult& r : runs) {
     checks.expect(r.stats.counters.failed == 0 &&
                       r.stats.counters.rejected == 0,

@@ -10,11 +10,16 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/serve_demo
+//
+// Also writes serve_demo_trace.json — a Chrome trace of every query's
+// submit / queue wait / execute / kernel launch. Open it at
+// https://ui.perfetto.dev (or chrome://tracing) to see the timeline.
 #include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "common/datagen.hpp"
+#include "obs/trace.hpp"
 #include "serve/engine.hpp"
 
 int main() {
@@ -23,6 +28,8 @@ int main() {
   const PointsSoA gas = uniform_box(2000, 15.0f, /*seed=*/3);
   const int buckets = 64;
   const double width = gas.max_possible_distance() / buckets + 1e-4;
+
+  obs::Tracer::global().enable();  // engine spans land in the global tracer
 
   serve::QueryEngine::Config cfg;
   cfg.devices = 2;
@@ -69,6 +76,11 @@ int main() {
               stats.latency.p50 * 1e3, stats.latency.p99 * 1e3);
   std::printf("  throughput           : %.0f answers/sec\n",
               stats.throughput_qps);
+
+  obs::Tracer::global().write_chrome_trace("serve_demo_trace.json");
+  std::printf("  trace                : serve_demo_trace.json (%zu spans; "
+              "open at https://ui.perfetto.dev)\n",
+              obs::Tracer::global().size());
 
   // The dedup story in one line: 37 submissions, 3 distinct shapes.
   const bool deduped = stats.counters.executed <= 3;

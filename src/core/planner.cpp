@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "perfmodel/counts.hpp"
 #include "perfmodel/timemodel.hpp"
 
@@ -151,25 +153,66 @@ Plan calibrate_plan(vgpu::Stream& stream, const PointsSoA& sample,
 
 }  // namespace
 
+namespace {
+
+/// Calibrate with a span + counter around the round (planner counters live
+/// in the process-wide registry: the planner is a free function shared by
+/// every engine, framework, and bench in the process).
+Plan traced_calibrate(vgpu::Stream& stream, const PointsSoA& sample,
+                      const kernels::ProblemDesc& desc, double target_n,
+                      const std::string& key) {
+  obs::MetricsRegistry::global().counter("core.plan.calibrations").inc();
+  obs::Span span("core.plan.calibrate", "core");
+  if (!key.empty()) span.attr("key", key);
+  Plan out = calibrate_plan(stream, sample, desc, target_n);
+  span.attr("candidates", static_cast<std::uint64_t>(out.considered.size()));
+  span.attr("winner", out.kernel->name);
+  span.attr("predicted_seconds", out.predicted_seconds);
+  return out;
+}
+
+}  // namespace
+
 Plan plan(vgpu::Stream& stream, const PointsSoA& sample,
           const kernels::ProblemDesc& desc, double target_n,
           PlanCache* cache) {
-  if (cache == nullptr)
-    return calibrate_plan(stream, sample, desc, target_n);
+  obs::MetricsRegistry::global().counter("core.plan.calls").inc();
+  obs::Span span("core.plan", "core");
+
+  if (cache == nullptr) {
+    span.attr("outcome", "calibrated");
+    return traced_calibrate(stream, sample, desc, target_n, std::string());
+  }
 
   const std::string key =
       plan_cache_key(stream.device().spec(), desc, target_n);
-  if (std::optional<Plan> hit = cache->find(key)) return *std::move(hit);
+  span.attr("key", key);
+  if (std::optional<Plan> hit = cache->find(key)) {
+    obs::MetricsRegistry::global().counter("core.plan.cache_hits").inc();
+    span.attr("outcome", "cache_hit");
+    return *std::move(hit);
+  }
 
   // Single-flight: hold the key's gate across calibration so concurrent
   // misses run one round between them. The loser double-checks under the
   // gate (peek, so the stats stay one-miss-per-client-lookup) and returns
   // the winner's plan without a single launch of its own.
   const std::shared_ptr<std::mutex> gate = cache->calibration_gate(key);
-  const std::lock_guard<std::mutex> in_flight(*gate);
-  if (std::optional<Plan> raced = cache->peek(key)) return *std::move(raced);
+  std::unique_lock<std::mutex> in_flight(*gate, std::defer_lock);
+  {
+    obs::Span gate_span("core.plan.gate_wait", "core");
+    in_flight.lock();
+  }
+  if (std::optional<Plan> raced = cache->peek(key)) {
+    obs::MetricsRegistry::global()
+        .counter("core.plan.single_flight_waits")
+        .inc();
+    span.attr("outcome", "single_flight");
+    return *std::move(raced);
+  }
 
-  Plan out = calibrate_plan(stream, sample, desc, target_n);
+  span.attr("outcome", "calibrated");
+  Plan out = traced_calibrate(stream, sample, desc, target_n, key);
   cache->store(key, out);
   return out;
 }

@@ -131,4 +131,12 @@ const KernelVariant* KernelRegistry::find(ProblemType t,
   return nullptr;
 }
 
+const KernelVariant* KernelRegistry::find_by_id(ProblemType t,
+                                                int variant_id) const {
+  if (variant_id < 0) return nullptr;  // -1 marks extension variants
+  for (const KernelVariant& v : variants_)
+    if (v.problem == t && v.variant_id == variant_id) return &v;
+  return nullptr;
+}
+
 }  // namespace tbs::kernels

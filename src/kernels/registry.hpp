@@ -109,6 +109,13 @@ class KernelRegistry {
   [[nodiscard]] const KernelVariant* find(ProblemType t,
                                           std::string_view name) const;
 
+  /// Look up a variant by problem type and underlying enum value (the id a
+  /// Plan carries in kernel->variant_id); nullptr if absent or id is -1.
+  /// The profiler uses this to pair a measured launch with the perfmodel
+  /// prediction for the variant that produced it.
+  [[nodiscard]] const KernelVariant* find_by_id(ProblemType t,
+                                                int variant_id) const;
+
  private:
   KernelRegistry();
 

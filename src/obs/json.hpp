@@ -1,0 +1,56 @@
+// Minimal JSON support for the observability layer.
+//
+// The exporters (Chrome trace, metrics snapshot, drift report) emit JSON by
+// hand; `escape()` is the one primitive they share. The parser exists so
+// tests — and the CI drift gate — can structurally validate those artifacts
+// (does trace.json parse? do spans nest? is every counter present?) without
+// an external dependency. It is a strict recursive-descent parser over the
+// JSON grammar, not a general-purpose library: numbers become double,
+// objects preserve insertion order, errors throw CheckError.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tbs::obs::json {
+
+/// One parsed JSON value (a tagged tree).
+class Value {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  ///< insertion order
+
+  [[nodiscard]] bool is_null() const { return type == Type::Null; }
+  [[nodiscard]] bool is_bool() const { return type == Type::Bool; }
+  [[nodiscard]] bool is_number() const { return type == Type::Number; }
+  [[nodiscard]] bool is_string() const { return type == Type::String; }
+  [[nodiscard]] bool is_array() const { return type == Type::Array; }
+  [[nodiscard]] bool is_object() const { return type == Type::Object; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Object member lookup; throws CheckError when absent.
+  [[nodiscard]] const Value& at(std::string_view key) const;
+};
+
+/// Parse a complete JSON document (throws CheckError on malformed input or
+/// trailing garbage).
+Value parse(std::string_view text);
+
+/// Escape a string for embedding between double quotes in a JSON document.
+std::string escape(std::string_view s);
+
+/// Format a double the way the exporters do: plain notation, no locale,
+/// "0" for zero, enough digits to round-trip counters exactly.
+std::string number(double v);
+
+}  // namespace tbs::obs::json

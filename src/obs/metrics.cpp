@@ -1,0 +1,148 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace tbs::obs {
+
+FixedHistogram::FixedHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0) {
+  check(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+            std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                bounds_.end(),
+        "FixedHistogram: bounds must be strictly increasing");
+}
+
+void FixedHistogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[bucket];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+}
+
+FixedHistogram::Snapshot FixedHistogram::snapshot() const {
+  Snapshot out;
+  out.bounds = bounds_;
+  const std::lock_guard<std::mutex> lock(mu_);
+  out.counts = counts_;
+  out.count = count_;
+  out.sum = sum_;
+  out.min = min_;
+  out.max = max_;
+  return out;
+}
+
+std::vector<double> default_latency_bounds() {
+  return {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
+          2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5};
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+FixedHistogram& MetricsRegistry::histogram(const std::string& name,
+                                           std::vector<double> upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<FixedHistogram>& slot = histograms_[name];
+  if (slot == nullptr)
+    slot = std::make_unique<FixedHistogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.push_back(name);
+  return out;
+}
+
+std::string MetricsRegistry::json_snapshot() const {
+  // Copy the instrument pointers under the lock, then read the (atomic /
+  // internally locked) instruments without holding the registry mutex.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const FixedHistogram*>> histograms;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    for (const auto& [name, h] : histograms_)
+      histograms.emplace_back(name, h.get());
+  }
+
+  std::string out = "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    \"" + json::escape(counters[i].first) +
+           "\": " + std::to_string(counters[i].second->value());
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    \"" + json::escape(gauges[i].first) +
+           "\": " + json::number(gauges[i].second->value());
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const FixedHistogram::Snapshot snap = histograms[i].second->snapshot();
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    \"" + json::escape(histograms[i].first) + "\": {\"buckets\": [";
+    for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+      if (b != 0) out += ", ";
+      const std::string le =
+          b < snap.bounds.size() ? json::number(snap.bounds[b]) : "\"inf\"";
+      out += "{\"le\": " + le + ", \"count\": " +
+             std::to_string(snap.counts[b]) + "}";
+    }
+    out += "], \"count\": " + std::to_string(snap.count) +
+           ", \"sum\": " + json::number(snap.sum) +
+           ", \"mean\": " + json::number(snap.mean()) +
+           ", \"min\": " + json::number(snap.min) +
+           ", \"max\": " + json::number(snap.max) + "}";
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << json_snapshot();
+  return static_cast<bool>(os);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace tbs::obs

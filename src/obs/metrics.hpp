@@ -1,0 +1,130 @@
+// Metrics — a registry of named counters, gauges, and fixed-bucket
+// histograms with JSON snapshot export.
+//
+// This is the single sink every layer publishes into: the serve engine's
+// admission/coalescing/cache counters and latency histogram, the planner's
+// calibration counters, and the device pool's launch counter all live in
+// one registry, so an ops snapshot is one `json_snapshot()` call instead of
+// a walk over per-module structs. Instruments are created on first use and
+// live as long as the registry; the references `counter()` / `gauge()` /
+// `histogram()` return are stable, so hot paths resolve their instrument
+// once and then pay one relaxed atomic per event.
+//
+// Naming convention: dotted paths, lowercase — `serve.submitted`,
+// `core.plan.calibrations`, `vgpu.launches` (see DESIGN.md "Observability"
+// for the full catalogue).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tbs::obs {
+
+/// Monotonic event counter (relaxed atomic; aggregate reads are snapshots).
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, occupancy, ...).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: cumulative-style buckets defined by upper
+/// bounds, plus exact streaming count/sum/min/max. The bucket layout is
+/// fixed at creation (no rebinning), so concurrent observes are one mutex
+/// acquisition — cheap relative to the work being measured.
+class FixedHistogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; a final +inf bucket is
+  /// implicit (snapshot counts have bounds.size() + 1 entries).
+  explicit FixedHistogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;         ///< finite upper bounds
+    std::vector<std::uint64_t> counts;  ///< per bucket; last = overflow
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when empty
+    double max = 0.0;
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Bucket bounds for query-latency histograms, in seconds (100µs .. 2.5s,
+/// roughly log-spaced).
+std::vector<double> default_latency_bounds();
+
+/// Named instrument registry. Thread-safe; instruments are created on
+/// first use and never removed, so returned references remain valid for
+/// the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+
+  /// First call creates the histogram with `upper_bounds`; later calls
+  /// return the existing instrument (bounds argument ignored).
+  FixedHistogram& histogram(const std::string& name,
+                            std::vector<double> upper_bounds);
+
+  [[nodiscard]] std::vector<std::string> counter_names() const;
+
+  /// One JSON document with every instrument, names sorted:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  [[nodiscard]] std::string json_snapshot() const;
+
+  /// Write json_snapshot() to `path`; false if the file won't open.
+  bool write_json(const std::string& path) const;
+
+  /// Process-wide registry for instruments that are not owned by a single
+  /// component instance (planner counters, bench gauges).
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<FixedHistogram>> histograms_;
+};
+
+}  // namespace tbs::obs

@@ -1,0 +1,221 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+
+#include "common/datagen.hpp"
+#include "common/error.hpp"
+#include "kernels/registry.hpp"
+#include "obs/json.hpp"
+#include "perfmodel/counts.hpp"
+
+namespace tbs::obs {
+
+Profiler::Profiler(vgpu::Device& device, Tracer* tracer, std::size_t keep)
+    : dev_(&device), tracer_(tracer), keep_(keep) {
+  dev_->set_launch_observer(
+      [this](const vgpu::LaunchRecord& rec) { on_launch(rec); });
+}
+
+Profiler::~Profiler() { dev_->set_launch_observer(nullptr); }
+
+void Profiler::on_launch(const vgpu::LaunchRecord& rec) {
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // The launch just finished; reconstruct its interval from wall time so
+    // it lands nested under whatever span the draining thread has open.
+    const auto now = Tracer::Clock::now();
+    const auto start =
+        now - std::chrono::duration_cast<Tracer::Clock::duration>(
+                  std::chrono::duration<double>(rec.wall_seconds));
+    tracer_->record_span(
+        "vgpu.launch", "vgpu", start, now,
+        {{"grid", std::to_string(rec.cfg.grid_dim)},
+         {"block", std::to_string(rec.cfg.block_dim)},
+         {"warp_cycles", json::number(rec.stats->total_warp_cycles)},
+         {"pooled", rec.pooled ? "true" : "false"}});
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  Sample s;
+  s.cfg = rec.cfg;
+  s.stats = *rec.stats;
+  s.wall_seconds = rec.wall_seconds;
+  s.launch_index = rec.launch_index;
+  s.pooled = rec.pooled;
+  ring_.push_back(std::move(s));
+  while (ring_.size() > keep_) ring_.pop_front();
+  total_.merge(*rec.stats);
+  ++launches_;
+}
+
+std::vector<Profiler::Sample> Profiler::samples() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+vgpu::KernelStats Profiler::total() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t Profiler::launches() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return launches_;
+}
+
+// --- drift ------------------------------------------------------------------
+
+std::vector<std::pair<std::string, double>> drift_counters(
+    const vgpu::KernelStats& s) {
+  return {
+      {"global_loads", static_cast<double>(s.global_loads)},
+      {"global_stores", static_cast<double>(s.global_stores)},
+      {"global_atomics", static_cast<double>(s.global_atomics)},
+      {"roc_loads", static_cast<double>(s.roc_loads)},
+      {"shared_loads", static_cast<double>(s.shared_loads)},
+      {"shared_stores", static_cast<double>(s.shared_stores)},
+      {"shared_atomics", static_cast<double>(s.shared_atomics)},
+      {"shuffles", static_cast<double>(s.shuffles)},
+      {"total_warp_cycles", s.total_warp_cycles},
+  };
+}
+
+double DriftReport::max_rel_error() const {
+  double worst_err = 0.0;
+  for (const DriftRow& r : rows) worst_err = std::max(worst_err, r.rel_error);
+  return worst_err;
+}
+
+const DriftRow* DriftReport::worst() const {
+  const DriftRow* out = nullptr;
+  for (const DriftRow& r : rows)
+    if (out == nullptr || r.rel_error > out->rel_error) out = &r;
+  return out;
+}
+
+bool DriftReport::within_tolerance() const {
+  return max_rel_error() <= tolerance;
+}
+
+void DriftReport::enforce() const {
+  if (within_tolerance()) return;
+  const DriftRow* w = worst();
+  fail("drift report: model-vs-measured error " +
+       std::to_string(w->rel_error * 100) + "% on " + w->variant + "/" +
+       w->counter + " (predicted " + std::to_string(w->predicted) +
+       ", measured " + std::to_string(w->measured) + ") exceeds tolerance " +
+       std::to_string(tolerance * 100) + "%");
+}
+
+std::string DriftReport::to_json() const {
+  std::string out = "{\n  \"tolerance\": " + json::number(tolerance) +
+                    ",\n  \"verify_n\": " + json::number(verify_n) +
+                    ",\n  \"max_rel_error\": " + json::number(max_rel_error()) +
+                    ",\n  \"within_tolerance\": " +
+                    (within_tolerance() ? "true" : "false") +
+                    ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const DriftRow& r = rows[i];
+    out += "    {\"variant\": \"" + json::escape(r.variant) +
+           "\", \"counter\": \"" + json::escape(r.counter) +
+           "\", \"predicted\": " + json::number(r.predicted) +
+           ", \"measured\": " + json::number(r.measured) +
+           ", \"rel_error\": " + json::number(r.rel_error) + "}";
+    if (i + 1 < rows.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool DriftReport::write_json(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << to_json();
+  return static_cast<bool>(os);
+}
+
+namespace {
+
+/// Measure one variant's counters at size n (fresh deterministic dataset,
+/// outputs discarded — calibration style).
+vgpu::KernelStats measure(vgpu::Stream& stream,
+                          const kernels::KernelVariant& kernel,
+                          const kernels::ProblemDesc& desc, int block_size,
+                          double n) {
+  const PointsSoA pts =
+      uniform_box(static_cast<std::size_t>(n), 10.0f, /*seed=*/42);
+  kernels::KernelOutput sink;
+  return kernel.launch(stream, pts, desc, block_size, sink);
+}
+
+}  // namespace
+
+DriftReport check_drift(vgpu::Stream& stream, const DriftOptions& opt) {
+  check(opt.calib_ns[0] < opt.calib_ns[1] && opt.calib_ns[1] < opt.calib_ns[2],
+        "check_drift: calibration sizes must be strictly increasing");
+  check(opt.verify_n > opt.calib_ns[2],
+        "check_drift: verify_n must exceed the largest calibration size");
+
+  DriftReport report;
+  report.tolerance = opt.tolerance;
+  report.verify_n = opt.verify_n;
+
+  // Fixed histogram geometry across sizes: derive the bucket width from the
+  // verify-size dataset once, so every calibration launch computes the same
+  // statistic the verification launch does.
+  const PointsSoA ref =
+      uniform_box(static_cast<std::size_t>(opt.verify_n), 10.0f, /*seed=*/42);
+  const double width =
+      ref.max_possible_distance() / opt.buckets + 1e-4;
+
+  const kernels::KernelRegistry& registry = kernels::KernelRegistry::instance();
+  for (const kernels::ProblemType type :
+       {kernels::ProblemType::Sdh, kernels::ProblemType::Pcf}) {
+    const kernels::ProblemDesc desc =
+        type == kernels::ProblemType::Sdh
+            ? kernels::ProblemDesc::sdh(width, opt.buckets)
+            : kernels::ProblemDesc::pcf(opt.radius);
+    const auto variants = opt.plannable_only ? registry.plannable(type)
+                                             : registry.for_problem(type);
+    for (const kernels::KernelVariant* kernel : variants) {
+      if (!opt.only_variants.empty() &&
+          std::find(opt.only_variants.begin(), opt.only_variants.end(),
+                    kernel->name) == opt.only_variants.end())
+        continue;
+      if (kernel->shared_bytes(opt.block_size, desc.buckets) >
+          stream.device().spec().shared_mem_per_block_cap)
+        continue;  // not launchable at this block size on this device
+
+      Span span(Tracer::global(), "obs.drift_check", "obs");
+      span.attr("variant", kernel->name);
+
+      std::array<vgpu::KernelStats, 3> samples;
+      for (std::size_t i = 0; i < opt.calib_ns.size(); ++i)
+        samples[i] =
+            measure(stream, *kernel, desc, opt.block_size, opt.calib_ns[i]);
+      const perfmodel::StatsPoly poly(opt.calib_ns, samples);
+      const vgpu::KernelStats predicted = poly.predict(opt.verify_n);
+      const vgpu::KernelStats measured =
+          measure(stream, *kernel, desc, opt.block_size, opt.verify_n);
+
+      const auto pred_counters = drift_counters(predicted);
+      const auto meas_counters = drift_counters(measured);
+      for (std::size_t c = 0; c < pred_counters.size(); ++c) {
+        DriftRow row;
+        row.variant = kernel->name;
+        row.counter = pred_counters[c].first;
+        row.predicted = pred_counters[c].second;
+        row.measured = meas_counters[c].second;
+        row.rel_error = std::fabs(row.predicted - row.measured) /
+                        std::max(std::fabs(row.measured), 1.0);
+        report.rows.push_back(std::move(row));
+      }
+    }
+  }
+  check(!report.rows.empty(), "check_drift: no launchable variant matched");
+  return report;
+}
+
+}  // namespace tbs::obs

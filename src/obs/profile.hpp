@@ -1,0 +1,142 @@
+// Profiler hook + model-vs-measured drift reports.
+//
+// The paper validates its analytical access-count models (Eqs. 2–7)
+// against NVIDIA Visual Profiler counters; this file keeps that discipline
+// running continuously. Two tools:
+//
+// 1. Profiler — attaches to a vgpu::Device via its LaunchObserver hook,
+//    keeps the most recent per-launch KernelStats (plus a merged total),
+//    and emits a `vgpu.launch` span per launch so kernel work shows up in
+//    the trace timeline nested under whatever the caller had open.
+//
+// 2. check_drift() — for each registered kernel variant, calibrates
+//    perfmodel::StatsPoly at three small sizes, predicts the access
+//    counters at a held-out larger size, measures that size for real, and
+//    reports the per-counter relative error. The polynomial model is exact
+//    for a stationary input distribution (counts.hpp), so measured drift
+//    above kDriftTolerance means the model and the simulator have come
+//    apart — the report "fails loudly" via enforce(), and CI gates on it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/stream.hpp"
+
+namespace tbs::obs {
+
+/// Captures per-launch counters from one device; optionally traces each
+/// launch. Installs itself as the device's launch observer on construction
+/// and uninstalls on destruction — one profiler per device at a time
+/// (installing a second replaces the first's hook; don't).
+class Profiler {
+ public:
+  struct Sample {
+    vgpu::LaunchConfig cfg;
+    vgpu::KernelStats stats;
+    double wall_seconds = 0.0;
+    std::uint64_t launch_index = 0;
+    bool pooled = false;
+  };
+
+  /// `tracer` may be null (no spans, capture only); `keep` bounds the
+  /// retained per-launch ring (older samples fall off; totals keep
+  /// accumulating).
+  explicit Profiler(vgpu::Device& device, Tracer* tracer = nullptr,
+                    std::size_t keep = 512);
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Most recent `keep` launches, oldest first.
+  [[nodiscard]] std::vector<Sample> samples() const;
+
+  /// Counters merged over every launch observed (not just the ring).
+  [[nodiscard]] vgpu::KernelStats total() const;
+
+  [[nodiscard]] std::uint64_t launches() const;
+
+ private:
+  void on_launch(const vgpu::LaunchRecord& rec);
+
+  vgpu::Device* dev_;
+  Tracer* tracer_;
+  std::size_t keep_;
+  mutable std::mutex mu_;
+  std::deque<Sample> ring_;
+  vgpu::KernelStats total_;
+  std::uint64_t launches_ = 0;
+};
+
+/// Documented drift tolerance: every predicted-vs-measured access counter
+/// must be within 5% relative error. The StatsPoly fit is mathematically
+/// exact for counters polynomial in the block count; the residual budget
+/// covers data-dependent effects (cache hit mixes, atomic collision
+/// degrees) that vary slightly between the calibration and verify sizes.
+inline constexpr double kDriftTolerance = 0.05;
+
+/// One predicted-vs-measured comparison.
+struct DriftRow {
+  std::string variant;   ///< registry name, e.g. "Reg-ROC-Out"
+  std::string counter;   ///< KernelStats field name
+  double predicted = 0.0;
+  double measured = 0.0;
+  double rel_error = 0.0;  ///< |p - m| / max(|m|, 1)
+};
+
+struct DriftReport {
+  double tolerance = kDriftTolerance;
+  double verify_n = 0.0;  ///< held-out size the predictions were checked at
+  std::vector<DriftRow> rows;
+
+  [[nodiscard]] double max_rel_error() const;
+  [[nodiscard]] const DriftRow* worst() const;  ///< nullptr when empty
+  [[nodiscard]] bool within_tolerance() const;
+
+  /// Throw CheckError naming the worst row if any row exceeds tolerance —
+  /// the loud-failure entry point for tests and benches.
+  void enforce() const;
+
+  /// {"tolerance": ..., "verify_n": ..., "max_rel_error": ...,
+  ///  "within_tolerance": ..., "rows": [{...}]}
+  [[nodiscard]] std::string to_json() const;
+  bool write_json(const std::string& path) const;
+};
+
+/// Which variants and sizes check_drift() sweeps.
+struct DriftOptions {
+  /// Calibration sizes for the StatsPoly fit (strictly increasing).
+  std::array<double, 3> calib_ns = {512, 1024, 2048};
+  /// Held-out size predictions are verified against.
+  double verify_n = 4096;
+  int block_size = 256;
+  int buckets = 64;      ///< SDH histogram size
+  double radius = 2.0;   ///< PCF cutoff
+  double tolerance = kDriftTolerance;
+  /// Restrict to planner-eligible variants (the ones serving traffic);
+  /// false sweeps every registered variant.
+  bool plannable_only = true;
+  /// Optional name filter: when non-empty, only variants whose registry
+  /// name appears here are checked (e.g. the serving defaults).
+  std::vector<std::string> only_variants;
+};
+
+/// Run the drift sweep on `stream`'s device. Each row compares one access
+/// counter (global/shared/ROC loads+stores+atomics, shuffles, warp cycles)
+/// of one variant. Deterministic: fixed datagen seeds, fixed sizes.
+DriftReport check_drift(vgpu::Stream& stream, const DriftOptions& opt = {});
+
+/// The KernelStats counters the drift sweep compares, as (name, value)
+/// pairs — exposed so tests and the report stay in sync.
+std::vector<std::pair<std::string, double>> drift_counters(
+    const vgpu::KernelStats& s);
+
+}  // namespace tbs::obs

@@ -1,0 +1,157 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <unordered_map>
+
+#include "obs/json.hpp"
+
+namespace tbs::obs {
+
+namespace {
+
+/// Per-thread open-span count, per tracer (several tracers can be live in
+/// one process — tests use private instances alongside the global one).
+thread_local std::unordered_map<const Tracer*, int> t_open_depth;
+
+}  // namespace
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+std::size_t Tracer::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+void Tracer::record(SpanRecord rec) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(rec));
+}
+
+void Tracer::record_span(
+    std::string_view name, std::string_view cat, Clock::time_point start,
+    Clock::time_point end,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        attrs,
+    std::uint32_t tid) {
+  if (!enabled()) return;
+  SpanRecord rec;
+  rec.name = std::string(name);
+  rec.cat = std::string(cat);
+  rec.ts_us = to_us(start);
+  rec.dur_us = to_us(end) - rec.ts_us;
+  if (rec.dur_us < 0.0) rec.dur_us = 0.0;
+  rec.tid = tid == 0 ? thread_tid() : tid;
+  rec.depth = t_open_depth[this];  // nests under whatever is open here
+  for (const auto& [k, v] : attrs)
+    rec.attrs.emplace_back(std::string(k), std::string(v));
+  record(std::move(rec));
+}
+
+std::uint32_t Tracer::thread_tid() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] =
+      tids_.emplace(std::this_thread::get_id(),
+                    static_cast<std::uint32_t>(tids_.size() + 1));
+  return it->second;
+}
+
+std::uint32_t Tracer::track_tid(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = tracks_.emplace(
+      std::string(name),
+      kFirstTrackTid + static_cast<std::uint32_t>(tracks_.size()));
+  return it->second;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<SpanRecord> spans = snapshot();
+  std::string out;
+  out.reserve(128 + spans.size() * 160);
+  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    out += "  {\"name\": \"";
+    out += json::escape(s.name);
+    out += "\", \"cat\": \"";
+    out += json::escape(s.cat);
+    out += "\", \"ph\": \"X\", \"ts\": ";
+    out += json::number(s.ts_us);
+    out += ", \"dur\": ";
+    out += json::number(s.dur_us);
+    out += ", \"pid\": 1, \"tid\": ";
+    out += std::to_string(s.tid);
+    if (!s.attrs.empty()) {
+      out += ", \"args\": {";
+      for (std::size_t a = 0; a < s.attrs.size(); ++a) {
+        if (a != 0) out += ", ";
+        out += "\"";
+        out += json::escape(s.attrs[a].first);
+        out += "\": \"";
+        out += json::escape(s.attrs[a].second);
+        out += "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+    if (i + 1 < spans.size()) out += ",";
+    out += "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << chrome_trace_json();
+  return static_cast<bool>(os);
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Span::Span(Tracer& tracer, std::string_view name, std::string_view cat) {
+  if (!tracer.enabled()) return;  // tracer_ stays null: every member no-ops
+  tracer_ = &tracer;
+  start_ = Tracer::Clock::now();
+  rec_.name = std::string(name);
+  rec_.cat = std::string(cat);
+  rec_.tid = tracer.thread_tid();
+  rec_.depth = t_open_depth[&tracer]++;
+}
+
+Span::~Span() {
+  if (tracer_ == nullptr) return;
+  --t_open_depth[tracer_];
+  rec_.ts_us = tracer_->to_us(start_);
+  rec_.dur_us = tracer_->to_us(Tracer::Clock::now()) - rec_.ts_us;
+  tracer_->record(std::move(rec_));
+}
+
+void Span::attr(std::string_view key, std::string_view value) {
+  if (tracer_ == nullptr) return;
+  rec_.attrs.emplace_back(std::string(key), std::string(value));
+}
+
+void Span::attr(std::string_view key, double value) {
+  if (tracer_ == nullptr) return;
+  rec_.attrs.emplace_back(std::string(key), json::number(value));
+}
+
+void Span::attr(std::string_view key, std::uint64_t value) {
+  if (tracer_ == nullptr) return;
+  rec_.attrs.emplace_back(std::string(key),
+                          std::to_string(value));
+}
+
+}  // namespace tbs::obs

@@ -1,0 +1,159 @@
+// Tracing — RAII spans over a thread-safe collector with a Chrome
+// trace-event exporter.
+//
+// The paper argues from profiler timelines; tbs::serve argues from this
+// file. A Span marks one timed region (a query's submit path, a worker's
+// execute, a planner calibration, one kernel launch); the Tracer collects
+// completed spans and exports them in the Chrome trace-event format, so any
+// run's `trace.json` opens directly in Perfetto (https://ui.perfetto.dev)
+// or chrome://tracing and shows where a query's life went: queue wait vs
+// plan vs calibration vs kernel vs reduction.
+//
+// Overhead discipline: a disabled tracer costs one relaxed atomic load per
+// span — Span's constructor latches the enabled check and every other
+// member becomes a no-op. Enabled spans take one mutex acquisition at
+// destruction (record) and none during their lifetime. Span nesting is
+// tracked per thread; spans on one thread must strictly nest (RAII
+// guarantees this for stack-scoped spans).
+//
+// Span taxonomy (see DESIGN.md "Observability" for the full catalogue):
+//   serve.submit / serve.queue_wait / serve.execute      — engine path
+//   core.plan / core.plan.gate_wait / core.plan.calibrate — planner path
+//   vgpu.launch                                           — per kernel launch
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace tbs::obs {
+
+/// One completed span, timestamped in microseconds since the tracer epoch.
+struct SpanRecord {
+  std::string name;
+  std::string cat;
+  double ts_us = 0.0;   ///< start, µs since tracer epoch
+  double dur_us = 0.0;  ///< duration, µs
+  std::uint32_t tid = 0;  ///< small per-tracer thread id
+  int depth = 0;          ///< nesting depth on its thread at open time
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// Thread-safe span collector + Chrome trace-event exporter.
+class Tracer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Tracer() : epoch_(Clock::now()) {}
+
+  /// Collection is off by default; a disabled tracer makes every Span a
+  /// no-op. Flipping mid-run is safe (spans open across the flip resolve
+  /// with the state they latched at construction).
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drop every collected span (the epoch is preserved).
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+
+  /// Append a fully-formed record (the Span destructor's path; also how
+  /// retroactive spans like queue-wait are emitted).
+  void record(SpanRecord rec);
+
+  /// Record a span from explicit clock endpoints — for intervals measured
+  /// outside RAII scope (e.g. a job's queue wait, known only at pop time).
+  /// `tid` 0 means "the calling thread"; pass a track_tid() for spans that
+  /// may overlap the thread's RAII spans.
+  void record_span(
+      std::string_view name, std::string_view cat, Clock::time_point start,
+      Clock::time_point end,
+      std::initializer_list<std::pair<std::string_view, std::string_view>>
+          attrs = {},
+      std::uint32_t tid = 0);
+
+  /// Microseconds from the tracer epoch to `t`.
+  [[nodiscard]] double to_us(Clock::time_point t) const {
+    return std::chrono::duration<double, std::micro>(t - epoch_).count();
+  }
+
+  /// Small dense id for the calling thread (stable within this tracer).
+  /// Thread ids start at 1.
+  std::uint32_t thread_tid();
+
+  /// Stable id for a named synthetic track. Track ids start at
+  /// kFirstTrackTid, above any real thread id — retroactive spans that can
+  /// overlap a thread's RAII spans (e.g. a job's queue wait, which spans
+  /// the time a worker was busy executing the previous job) are recorded
+  /// on tracks so per-thread spans still strictly nest.
+  std::uint32_t track_tid(std::string_view name);
+
+  static constexpr std::uint32_t kFirstTrackTid = 1000;
+
+  /// The full trace as a Chrome trace-event JSON document ("X" complete
+  /// events, µs timestamps). Loads in Perfetto / chrome://tracing.
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// Write chrome_trace_json() to `path`; false if the file won't open.
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Process-wide default tracer (disabled until someone enables it); the
+  /// engine, planner, and benches default to this instance.
+  static Tracer& global();
+
+ private:
+  friend class Span;
+
+  std::atomic<bool> enabled_{false};
+  Clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::map<std::thread::id, std::uint32_t> tids_;
+  std::map<std::string, std::uint32_t, std::less<>> tracks_;
+};
+
+/// RAII timed region. Construct to open, destroy to record. Attributes are
+/// key/value strings attached to the Chrome event's `args`. Not copyable or
+/// movable: a span is a stack frame, and stack discipline is what makes the
+/// per-thread nesting invariant hold.
+class Span {
+ public:
+  /// Open a span on `tracer` (no-op if the tracer is disabled).
+  Span(Tracer& tracer, std::string_view name, std::string_view cat);
+
+  /// Open a span on the global tracer.
+  Span(std::string_view name, std::string_view cat)
+      : Span(Tracer::global(), name, cat) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span();
+
+  /// True when the tracer was enabled at construction (attrs will stick).
+  [[nodiscard]] bool active() const { return tracer_ != nullptr; }
+
+  void attr(std::string_view key, std::string_view value);
+  void attr(std::string_view key, double value);
+  void attr(std::string_view key, std::uint64_t value);
+
+ private:
+  Tracer* tracer_ = nullptr;  ///< null = disabled at construction
+  Tracer::Clock::time_point start_{};
+  SpanRecord rec_;
+};
+
+}  // namespace tbs::obs

@@ -10,13 +10,45 @@ namespace tbs::serve {
 QueryEngine::QueryEngine() : QueryEngine(Config{}) {}
 
 QueryEngine::QueryEngine(Config cfg)
-    : cfg_(cfg), queue_(cfg.queue_capacity), cache_(cfg.cache_capacity) {
+    : cfg_(cfg),
+      tracer_(cfg.tracer != nullptr ? cfg.tracer : &obs::Tracer::global()),
+      c_submitted_(metrics_.counter("serve.submitted")),
+      c_rejected_(metrics_.counter("serve.rejected")),
+      c_coalesced_(metrics_.counter("serve.coalesced")),
+      c_cache_hits_(metrics_.counter("serve.cache_hits")),
+      c_executed_(metrics_.counter("serve.executed")),
+      c_completed_(metrics_.counter("serve.completed")),
+      c_failed_(metrics_.counter("serve.failed")),
+      c_launches_(metrics_.counter("vgpu.launches")),
+      h_latency_(metrics_.histogram("serve.latency_seconds",
+                                    obs::default_latency_bounds())),
+      queue_(cfg.queue_capacity),
+      cache_(cfg.cache_capacity) {
   check(cfg_.devices >= 1, "QueryEngine: need at least one device");
   check(cfg_.streams_per_device >= 1,
         "QueryEngine: need at least one stream per device");
   slots_.reserve(cfg_.devices);
-  for (std::size_t d = 0; d < cfg_.devices; ++d)
+  for (std::size_t d = 0; d < cfg_.devices; ++d) {
     slots_.push_back(std::make_unique<DeviceSlot>(cfg_.spec));
+    // Per-launch hook: count into the engine registry and, when tracing,
+    // emit a vgpu.launch span. The callback runs on the worker thread that
+    // drains the launch, inside its serve.execute span, so the launch span
+    // nests under the execute span on the same timeline row.
+    slots_.back()->dev.set_launch_observer(
+        [this](const vgpu::LaunchRecord& rec) {
+          c_launches_.inc();
+          if (!tracer_->enabled()) return;
+          const auto now = obs::Tracer::Clock::now();
+          const auto start =
+              now - std::chrono::duration_cast<obs::Tracer::Clock::duration>(
+                        std::chrono::duration<double>(rec.wall_seconds));
+          tracer_->record_span(
+              "vgpu.launch", "vgpu", start, now,
+              {{"grid", std::to_string(rec.cfg.grid_dim)},
+               {"block", std::to_string(rec.cfg.block_dim)},
+               {"pooled", rec.pooled ? "true" : "false"}});
+        });
+  }
   if (cfg_.autostart) start();
 }
 
@@ -77,10 +109,9 @@ std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
     Query query, const PointsSoA& pts, bool block) {
   const Clock::time_point t0 = Clock::now();
   const std::string key = query_key(query, dataset_fingerprint(pts));
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    ++counters_.submitted;
-  }
+  obs::Span span(*tracer_, "serve.submit", "serve");
+  span.attr("key", key);
+  c_submitted_.inc();
 
   while (true) {
     {
@@ -88,18 +119,22 @@ std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
 
       // Fast path 1: already computed — serve from the LRU, zero launches.
       if (std::optional<QueryResult> hit = cache_.find(key)) {
-        ++counters_.cache_hits;
-        ++counters_.completed;
+        c_cache_hits_.inc();
+        c_completed_.inc();
         std::promise<QueryResult> ready;
         ready.set_value(*std::move(hit));
-        latency_.record(
-            std::chrono::duration<double>(Clock::now() - t0).count());
+        const double seconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        latency_.record(seconds);
+        h_latency_.observe(seconds);
+        span.attr("outcome", "cache_hit");
         return ready.get_future().share();
       }
 
       // Fast path 2: identical query in flight — coalesce onto it.
       if (const auto it = inflight_.find(key); it != inflight_.end()) {
-        ++counters_.coalesced;
+        c_coalesced_.inc();
+        span.attr("outcome", "coalesced");
         return it->second;
       }
 
@@ -113,10 +148,12 @@ std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
       ResultFuture fut = job->promise.get_future().share();
       if (queue_.try_push(job)) {
         inflight_.emplace(key, fut);
+        span.attr("outcome", "enqueued");
         return fut;
       }
       if (!block) {
-        ++counters_.rejected;
+        c_rejected_.inc();
+        span.attr("outcome", "rejected");
         return std::nullopt;
       }
     }
@@ -135,37 +172,51 @@ void QueryEngine::worker_loop(std::size_t worker_index) {
     const std::shared_ptr<Job>& job = *popped;
     const Clock::time_point t0 = Clock::now();
 
+    // The queue wait [submitted, popped] can overlap this worker's previous
+    // execute span, so it goes on a synthetic track, not the worker's row.
+    tracer_->record_span("serve.queue_wait", "serve", job->submitted, t0,
+                         {{"key", job->key}}, tracer_->track_tid("queue"));
+
     QueryResult result;
     std::exception_ptr error;
-    try {
-      const std::lock_guard<std::mutex> dev_lock(slot.mu);
-      result = execute(slot, stream, *job);
-    } catch (...) {
-      error = std::current_exception();
-    }
-    busy_ns_.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                           Clock::now() - t0)
-                           .count(),
-                       std::memory_order_relaxed);
-
-    // Order matters twice over. Publish to the cache before retiring the
-    // in-flight entry, so a racing submit always finds the result one way
-    // or the other. And fulfill the promise *last*: a client waking from
-    // .get() must observe the counters already bumped and (cache disabled)
-    // the in-flight entry already gone, so an immediate identical resubmit
-    // re-executes instead of coalescing onto this finished job.
-    if (!error) cache_.store(job->key, result);
     {
-      const std::lock_guard<std::mutex> lock(mu_);
-      inflight_.erase(job->key);
-      ++counters_.executed;
+      obs::Span span(*tracer_, "serve.execute", "serve");
+      span.attr("key", job->key);
+      try {
+        const std::lock_guard<std::mutex> dev_lock(slot.mu);
+        result = execute(slot, stream, *job);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      span.attr("outcome", error ? "error" : "ok");
+      busy_ns_.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             Clock::now() - t0)
+                             .count(),
+                         std::memory_order_relaxed);
+
+      // Order matters twice over. Publish to the cache before retiring the
+      // in-flight entry, so a racing submit always finds the result one way
+      // or the other. And fulfill the promise *last*: a client waking from
+      // .get() must observe the counters already bumped, (cache disabled)
+      // the in-flight entry already gone — so an immediate identical
+      // resubmit re-executes instead of coalescing onto this finished job —
+      // and the serve.execute span already recorded, so a trace snapshotted
+      // right after .get() covers the query end to end.
+      if (!error) cache_.store(job->key, result);
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        inflight_.erase(job->key);
+      }
+      c_executed_.inc();
       if (!error)
-        ++counters_.completed;
+        c_completed_.inc();
       else
-        ++counters_.failed;
-    }
-    latency_.record(
-        std::chrono::duration<double>(Clock::now() - job->submitted).count());
+        c_failed_.inc();
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - job->submitted).count();
+      latency_.record(seconds);
+      h_latency_.observe(seconds);
+    }  // serve.execute recorded here, before any client can wake
     if (!error)
       job->promise.set_value(std::move(result));
     else
@@ -216,10 +267,13 @@ QueryResult QueryEngine::execute(DeviceSlot& slot, vgpu::Stream& stream,
 
 EngineStats QueryEngine::stats() const {
   EngineStats out;
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    out.counters = counters_;
-  }
+  out.counters.submitted = c_submitted_.value();
+  out.counters.rejected = c_rejected_.value();
+  out.counters.coalesced = c_coalesced_.value();
+  out.counters.cache_hits = c_cache_hits_.value();
+  out.counters.executed = c_executed_.value();
+  out.counters.completed = c_completed_.value();
+  out.counters.failed = c_failed_.value();
   out.latency = latency_.summary();
   out.elapsed_seconds =
       std::chrono::duration<double>(Clock::now() - epoch_).count();
@@ -234,7 +288,26 @@ EngineStats QueryEngine::stats() const {
          1e-9) /
         (out.elapsed_seconds * static_cast<double>(out.workers));
   }
+  refresh_gauges(out);
   return out;
+}
+
+void QueryEngine::refresh_gauges(const EngineStats& s) const {
+  metrics_.gauge("serve.queue_depth").set(static_cast<double>(s.queue_depth));
+  metrics_.gauge("serve.occupancy").set(s.occupancy);
+  metrics_.gauge("serve.throughput_qps").set(s.throughput_qps);
+  metrics_.gauge("serve.workers").set(static_cast<double>(s.workers));
+  metrics_.gauge("serve.plan_cache.hits")
+      .set(static_cast<double>(plan_cache_.hits()));
+  metrics_.gauge("serve.plan_cache.misses")
+      .set(static_cast<double>(plan_cache_.misses()));
+  metrics_.gauge("serve.result_cache.entries")
+      .set(static_cast<double>(cache_.size()));
+}
+
+std::string QueryEngine::metrics_json() const {
+  (void)stats();  // refreshes the derived gauges
+  return metrics_.json_snapshot();
 }
 
 std::uint64_t QueryEngine::launch_count() const {

@@ -41,6 +41,8 @@
 #include <vector>
 
 #include "core/planner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/metrics.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
@@ -68,6 +70,10 @@ class QueryEngine {
     std::size_t plan_threshold = 2048;  ///< auto-plan SDH/PCF above this N
     bool autostart = true;              ///< spawn workers in the constructor
     vgpu::DeviceSpec spec{};            ///< spec shared by every device
+    /// Span sink for the engine's submit/queue/execute/launch spans.
+    /// nullptr means obs::Tracer::global() (disabled by default, so tracing
+    /// costs one atomic load per span until someone enables it).
+    obs::Tracer* tracer = nullptr;
   };
 
   using ResultFuture = std::shared_future<QueryResult>;
@@ -120,6 +126,21 @@ class QueryEngine {
     return plan_cache_;
   }
 
+  /// The engine's metric registry (per-engine, not the process global —
+  /// counters like `serve.submitted` are this engine's alone). Counter and
+  /// histogram names are catalogued in DESIGN.md "Observability".
+  [[nodiscard]] obs::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
+  /// JSON snapshot of the registry with the derived gauges (queue depth,
+  /// occupancy, throughput) refreshed first. What the serve bench writes
+  /// as `metrics.json`.
+  [[nodiscard]] std::string metrics_json() const;
+
+  /// The tracer spans are emitted to (Config::tracer, or the global one).
+  [[nodiscard]] obs::Tracer& tracer() const noexcept { return *tracer_; }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -153,15 +174,33 @@ class QueryEngine {
   /// Run one query on a device slot through the given stream.
   QueryResult execute(DeviceSlot& slot, vgpu::Stream& stream, const Job& job);
 
+  /// Refresh the derived gauges from a snapshot (stats() / metrics_json()).
+  void refresh_gauges(const EngineStats& s) const;
+
   Config cfg_;
+  obs::Tracer* tracer_;  ///< never null (Config::tracer or the global)
+
+  /// Per-engine registry; declared before the instrument references below
+  /// and before slots_ (device launch observers touch the counters, and
+  /// members destroy in reverse order).
+  mutable obs::MetricsRegistry metrics_;
+  obs::Counter& c_submitted_;
+  obs::Counter& c_rejected_;
+  obs::Counter& c_coalesced_;
+  obs::Counter& c_cache_hits_;
+  obs::Counter& c_executed_;
+  obs::Counter& c_completed_;
+  obs::Counter& c_failed_;
+  obs::Counter& c_launches_;
+  obs::FixedHistogram& h_latency_;
+
   std::vector<std::unique_ptr<DeviceSlot>> slots_;
   BoundedQueue<std::shared_ptr<Job>> queue_;
   ResultCache cache_;
   core::PlanCache plan_cache_;
 
-  mutable std::mutex mu_;  ///< guards inflight_, counters_, started_
+  mutable std::mutex mu_;  ///< guards inflight_, started_
   std::unordered_map<std::string, ResultFuture> inflight_;
-  EngineCounters counters_;
   bool started_ = false;
 
   LatencyRecorder latency_;

@@ -2,37 +2,65 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
+
+#include "common/error.hpp"
 
 namespace tbs::serve {
 
-void LatencyRecorder::record(double seconds) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  samples_.push_back(seconds);
+LatencyRecorder::LatencyRecorder(std::size_t reservoir_cap)
+    : cap_(reservoir_cap) {
+  check(cap_ >= 1, "LatencyRecorder: reservoir capacity must be >= 1");
+  reservoir_.reserve(std::min<std::size_t>(cap_, 4096));
 }
 
+void LatencyRecorder::record(double seconds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++count_;
+  sum_ += seconds;
+  max_ = count_ == 1 ? seconds : std::max(max_, seconds);
+  if (reservoir_.size() < cap_) {
+    reservoir_.push_back(seconds);
+    return;
+  }
+  // Algorithm R: replace a random slot with probability cap/count, keeping
+  // every sample seen so far equally likely to be in the reservoir.
+  const std::uint64_t j = rng_() % count_;
+  if (j < cap_) reservoir_[static_cast<std::size_t>(j)] = seconds;
+}
+
+std::size_t LatencyRecorder::reservoir_size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return reservoir_.size();
+}
+
+namespace {
+
+/// Type-7 quantile: linear interpolation between order statistics at rank
+/// q*(n-1). `sorted` must be non-empty and ascending.
+double quantile(const std::vector<double>& sorted, double q) {
+  const double h = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
 LatencySummary LatencyRecorder::summary() const {
+  LatencySummary out;
   std::vector<double> sorted;
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    sorted = samples_;
+    out.count = count_;
+    if (count_ == 0) return out;  // all zeros, by contract
+    out.mean = sum_ / static_cast<double>(count_);
+    out.max = max_;
+    sorted = reservoir_;
   }
-  LatencySummary out;
-  out.count = sorted.size();
-  if (sorted.empty()) return out;
   std::sort(sorted.begin(), sorted.end());
-
-  // Nearest-rank percentile: ceil(q * n) - 1, clamped.
-  const auto rank = [&](double q) {
-    const auto r = static_cast<std::size_t>(
-        std::ceil(q * static_cast<double>(sorted.size())));
-    return sorted[std::min(sorted.size() - 1, r > 0 ? r - 1 : 0)];
-  };
-  out.p50 = rank(0.50);
-  out.p99 = rank(0.99);
-  out.max = sorted.back();
-  out.mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
-             static_cast<double>(sorted.size());
+  out.p50 = quantile(sorted, 0.50);
+  out.p99 = quantile(sorted, 0.99);
   return out;
 }
 

@@ -1,35 +1,63 @@
 // Serving metrics: per-query latency percentiles and engine-level
 // throughput/occupancy counters, the numbers an ops dashboard (and the
 // serve bench) reports as p50/p99 and queries/sec.
+//
+// The counters themselves live in the engine's obs::MetricsRegistry (see
+// obs/metrics.hpp) — the structs here are the *snapshot* types stats()
+// hands back, plus the latency reservoir backing the percentile estimates.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <random>
 #include <vector>
 
 namespace tbs::serve {
 
 /// Summary of a latency distribution, in seconds.
 struct LatencySummary {
-  std::size_t count = 0;
+  std::size_t count = 0;  ///< total samples recorded (not reservoir size)
   double p50 = 0.0;
   double p99 = 0.0;
   double mean = 0.0;
   double max = 0.0;
 };
 
-/// Thread-safe reservoir of per-query latencies. Exact (stores every
-/// sample); serving benches run bounded query counts, so the memory is
-/// trivially bounded too.
+/// Thread-safe latency statistics in O(1) memory. Count/mean/max are exact
+/// streaming aggregates over every sample; percentiles come from a
+/// fixed-size uniform reservoir (Vitter's Algorithm R, deterministic seed):
+/// below the reservoir capacity they are exact order statistics, above it
+/// they are estimates over a uniform random sample of `capacity` latencies
+/// — each recorded sample has equal probability capacity/count of being
+/// retained, so the estimator is unbiased and its error shrinks as the
+/// tail quantile moves away from 1 - 1/capacity.
+///
+/// Percentile definition: linear interpolation between order statistics at
+/// rank q*(n-1) (the common "type 7" estimator), so a 1-sample summary has
+/// p50 == p99 == mean == max and a 2-sample p50 is the midpoint.
 class LatencyRecorder {
  public:
+  static constexpr std::size_t kDefaultReservoirCap = 4096;
+
+  explicit LatencyRecorder(std::size_t reservoir_cap = kDefaultReservoirCap);
+
   void record(double seconds);
+
+  /// Empty recorder summarizes to all zeros.
   [[nodiscard]] LatencySummary summary() const;
+
+  [[nodiscard]] std::size_t reservoir_capacity() const { return cap_; }
+  [[nodiscard]] std::size_t reservoir_size() const;
 
  private:
   mutable std::mutex mu_;
-  std::vector<double> samples_;
+  std::size_t cap_;
+  std::vector<double> reservoir_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  std::mt19937_64 rng_{0x2b0d5};  ///< fixed seed: deterministic summaries
 };
 
 /// Monotonic counters the engine maintains; one snapshot per stats() call.

@@ -23,6 +23,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <unordered_set>
@@ -593,6 +594,7 @@ Event Device::launch_async(Stream& stream, const LaunchConfig& cfg,
 KernelStats Device::execute_launch(const LaunchConfig& cfg,
                                    const KernelBody& body, bool pooled) {
   validate_launch(cfg);
+  const auto wall_start = std::chrono::steady_clock::now();
 
   const int grid = cfg.grid_dim;
   std::vector<KernelStats> block_stats(static_cast<std::size_t>(grid));
@@ -647,6 +649,17 @@ KernelStats Device::execute_launch(const LaunchConfig& cfg,
       if (atomic_union.insert(line).second) ++stats.atomic_distinct_lines;
   }
   ++launches_done_;
+  if (observer_) {
+    LaunchRecord rec;
+    rec.cfg = cfg;
+    rec.stats = &stats;
+    rec.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+    rec.launch_index = launches_done_;
+    rec.pooled = pooled;
+    observer_(rec);
+  }
   return stats;
 }
 

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "vgpu/cache.hpp"
 #include "vgpu/coro.hpp"
@@ -19,6 +20,23 @@ class Event;
 /// Factory invoked once per simulated thread; returns the lane's coroutine.
 /// Typical use: a lambda capturing the kernel's buffers by reference.
 using KernelBody = std::function<KernelTask(ThreadCtx&)>;
+
+/// What a launch observer learns about one executed launch — the profiler
+/// attachment point (obs::Profiler and the serve engine both hook it).
+/// `stats` points at the launch's counters and is valid only for the
+/// duration of the callback.
+struct LaunchRecord {
+  LaunchConfig cfg;
+  const KernelStats* stats = nullptr;
+  double wall_seconds = 0.0;      ///< host wall time spent simulating
+  std::uint64_t launch_index = 0; ///< launch_count() after this launch
+  bool pooled = false;            ///< ran via the async stream path
+};
+
+/// Per-launch callback. Invoked on the thread that drained the launch
+/// (inline for Device::launch, the waiting thread for stream launches),
+/// after the launch's counters are final and launch_count() is updated.
+using LaunchObserver = std::function<void(const LaunchRecord&)>;
 
 /// The simulated GPU. Launches are deterministic: every block executes
 /// against a private snapshot of the L2 state taken at launch entry, and
@@ -58,6 +76,17 @@ class Device {
     return launches_done_;
   }
 
+  /// Install (or, with nullptr, remove) the per-launch profiler hook. One
+  /// observer per device; installing replaces the previous one. The
+  /// observer runs with the same threading discipline as the launch itself
+  /// (a Device is driven from one host thread at a time).
+  void set_launch_observer(LaunchObserver observer) {
+    observer_ = std::move(observer);
+  }
+  [[nodiscard]] bool has_launch_observer() const noexcept {
+    return static_cast<bool>(observer_);
+  }
+
  private:
   friend class Stream;
 
@@ -68,6 +97,7 @@ class Device {
   DeviceSpec spec_;
   SetAssocCache l2_;
   std::uint64_t launches_done_ = 0;
+  LaunchObserver observer_;
 };
 
 }  // namespace tbs::vgpu

@@ -1,0 +1,81 @@
+// obs::json — the minimal JSON layer the exporters emit through and the
+// structural trace/metrics tests parse back with. Parsing its own output
+// is the property everything downstream leans on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace json = tbs::obs::json;
+using tbs::CheckError;
+
+TEST(JsonParse, ScalarsAndNesting) {
+  const json::Value v = json::parse(
+      R"({"a": 1, "b": [true, false, null], "c": {"d": "x\ny"}, "e": -2.5})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.at("a").number, 1.0);
+  const json::Value& b = v.at("b");
+  ASSERT_TRUE(b.is_array());
+  ASSERT_EQ(b.array.size(), 3u);
+  EXPECT_TRUE(b.array[0].is_bool());
+  EXPECT_TRUE(b.array[0].boolean);
+  EXPECT_FALSE(b.array[1].boolean);
+  EXPECT_TRUE(b.array[2].is_null());
+  EXPECT_EQ(v.at("c").at("d").string, "x\ny");
+  EXPECT_DOUBLE_EQ(v.at("e").number, -2.5);
+}
+
+TEST(JsonParse, FindMissesReturnNullAtThrows) {
+  const json::Value v = json::parse(R"({"present": 7})");
+  EXPECT_NE(v.find("present"), nullptr);
+  EXPECT_EQ(v.find("absent"), nullptr);
+  EXPECT_THROW((void)v.at("absent"), CheckError);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(json::parse(""), CheckError);
+  EXPECT_THROW(json::parse("{"), CheckError);
+  EXPECT_THROW(json::parse("[1,]"), CheckError);
+  EXPECT_THROW(json::parse("{\"a\" 1}"), CheckError);
+  EXPECT_THROW(json::parse("nul"), CheckError);
+  EXPECT_THROW(json::parse("{} trailing"), CheckError);
+  EXPECT_THROW(json::parse("\"unterminated"), CheckError);
+}
+
+TEST(JsonParse, ObjectsPreserveInsertionOrder) {
+  const json::Value v = json::parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(v.object.size(), 3u);
+  EXPECT_EQ(v.object[0].first, "z");
+  EXPECT_EQ(v.object[1].first, "a");
+  EXPECT_EQ(v.object[2].first, "m");
+}
+
+TEST(JsonEscape, ControlCharactersAndQuotes) {
+  EXPECT_EQ(json::escape("plain"), "plain");
+  EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json::escape("a\nb\tc"), "a\\nb\\tc");
+  // Round trip through the parser.
+  std::string quoted = "\"";
+  quoted += json::escape("q\"\\\n\t\r");
+  quoted += "\"";
+  EXPECT_EQ(json::parse(quoted).string, "q\"\\\n\t\r");
+}
+
+TEST(JsonNumber, IntegralValuesPrintPlain) {
+  EXPECT_EQ(json::number(0.0), "0");
+  EXPECT_EQ(json::number(42.0), "42");
+  EXPECT_EQ(json::number(-7.0), "-7");
+  // Non-integral and huge values stay parseable and round-trip.
+  EXPECT_DOUBLE_EQ(json::parse(json::number(0.25)).number, 0.25);
+  EXPECT_DOUBLE_EQ(json::parse(json::number(1e18)).number, 1e18);
+  EXPECT_DOUBLE_EQ(json::parse(json::number(1.0 / 3.0)).number, 1.0 / 3.0);
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json::number(std::nan("")), "null");
+  EXPECT_EQ(json::number(INFINITY), "null");
+}

@@ -1,0 +1,107 @@
+// obs::MetricsRegistry — counters, gauges, fixed-bucket histograms, and
+// the JSON snapshot the serve bench writes as metrics.json.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace obs = tbs::obs;
+namespace json = tbs::obs::json;
+using tbs::CheckError;
+
+TEST(MetricsRegistry, CounterNameIdentityAndConcurrentIncrements) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("hits");
+  obs::Counter& b = reg.counter("hits");
+  EXPECT_EQ(&a, &b);  // one instrument per name, references stay stable
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t)
+    pool.emplace_back([&a] {
+      for (int i = 0; i < 1000; ++i) a.inc();
+    });
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(a.value(), 4000u);
+  a.inc(10);
+  EXPECT_EQ(reg.counter("hits").value(), 4010u);
+}
+
+TEST(MetricsRegistry, GaugeHoldsLastSetValue) {
+  obs::MetricsRegistry reg;
+  obs::Gauge& g = reg.gauge("depth");
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(reg.gauge("depth").value(), -1.25);
+}
+
+TEST(FixedHistogram, BucketsByUpperBoundWithOverflow) {
+  obs::FixedHistogram h({1.0, 10.0});
+  h.observe(0.5);   // <= 1.0
+  h.observe(1.0);   // boundary counts into its bucket (le semantics)
+  h.observe(5.0);   // <= 10.0
+  h.observe(100.0); // +inf bucket
+  const obs::FixedHistogram::Snapshot s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 3u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 106.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 106.5 / 4.0);
+}
+
+TEST(FixedHistogram, RejectsNonIncreasingBounds) {
+  EXPECT_THROW(obs::FixedHistogram({1.0, 1.0}), CheckError);
+  EXPECT_THROW(obs::FixedHistogram({2.0, 1.0}), CheckError);
+}
+
+TEST(FixedHistogram, DefaultLatencyBoundsAreStrictlyIncreasing) {
+  const std::vector<double> bounds = obs::default_latency_bounds();
+  ASSERT_GE(bounds.size(), 2u);
+  for (std::size_t i = 1; i < bounds.size(); ++i)
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+}
+
+TEST(MetricsRegistry, JsonSnapshotParsesAndCarriesEveryInstrument) {
+  obs::MetricsRegistry reg;
+  reg.counter("serve.completed").inc(7);
+  reg.gauge("serve.occupancy").set(0.75);
+  obs::FixedHistogram& h =
+      reg.histogram("serve.latency_seconds", {0.001, 0.01});
+  h.observe(0.0005);
+  h.observe(0.5);
+
+  const json::Value doc = json::parse(reg.json_snapshot());
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("serve.completed").number, 7.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("serve.occupancy").number, 0.75);
+  const json::Value& hist = doc.at("histograms").at("serve.latency_seconds");
+  const json::Value& buckets = hist.at("buckets");
+  ASSERT_TRUE(buckets.is_array());
+  ASSERT_EQ(buckets.array.size(), 3u);  // two bounds + overflow
+  EXPECT_DOUBLE_EQ(buckets.array[0].at("count").number, 1.0);
+  EXPECT_EQ(buckets.array[2].at("le").string, "inf");
+  EXPECT_DOUBLE_EQ(buckets.array[2].at("count").number, 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("count").number, 2.0);
+}
+
+TEST(MetricsRegistry, EmptyRegistrySnapshotsToEmptyObjects) {
+  obs::MetricsRegistry reg;
+  const json::Value doc = json::parse(reg.json_snapshot());
+  EXPECT_TRUE(doc.at("counters").object.empty());
+  EXPECT_TRUE(doc.at("gauges").object.empty());
+  EXPECT_TRUE(doc.at("histograms").object.empty());
+}
+
+TEST(MetricsRegistry, CounterNamesListsEveryCounter) {
+  obs::MetricsRegistry reg;
+  reg.counter("a");
+  reg.counter("b");
+  const std::vector<std::string> names = reg.counter_names();
+  ASSERT_EQ(names.size(), 2u);
+}

@@ -1,0 +1,160 @@
+// obs::Tracer / obs::Span — collection semantics, nesting depth, the
+// disabled fast path, and the Chrome trace-event export.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace obs = tbs::obs;
+namespace json = tbs::obs::json;
+
+namespace {
+
+const obs::SpanRecord* find_span(const std::vector<obs::SpanRecord>& spans,
+                                 const std::string& name) {
+  for (const obs::SpanRecord& s : spans)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+}  // namespace
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  obs::Tracer tracer;  // disabled by default
+  {
+    obs::Span span(tracer, "work", "test");
+    EXPECT_FALSE(span.active());
+    span.attr("k", "v");  // must be a safe no-op
+  }
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(Tracer, SpanRecordsNameCategoryAndAttrs) {
+  obs::Tracer tracer;
+  tracer.enable();
+  {
+    obs::Span span(tracer, "work", "test");
+    EXPECT_TRUE(span.active());
+    span.attr("text", "value");
+    span.attr("count", std::uint64_t{42});
+    span.attr("ratio", 0.5);
+  }
+  const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  const obs::SpanRecord& s = spans[0];
+  EXPECT_EQ(s.name, "work");
+  EXPECT_EQ(s.cat, "test");
+  EXPECT_GE(s.dur_us, 0.0);
+  ASSERT_EQ(s.attrs.size(), 3u);
+  EXPECT_EQ(s.attrs[0], (std::pair<std::string, std::string>{"text", "value"}));
+  EXPECT_EQ(s.attrs[1].second, "42");
+  EXPECT_EQ(s.attrs[2].second, "0.5");
+}
+
+TEST(Tracer, NestedSpansCarryDepthAndContainment) {
+  obs::Tracer tracer;
+  tracer.enable();
+  {
+    obs::Span outer(tracer, "outer", "test");
+    {
+      obs::Span inner(tracer, "inner", "test");
+    }
+  }
+  const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const obs::SpanRecord* outer = find_span(spans, "outer");
+  const obs::SpanRecord* inner = find_span(spans, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(inner->depth, 1);
+  EXPECT_EQ(outer->tid, inner->tid);
+  // Timed containment: the inner interval lies within the outer one.
+  EXPECT_GE(inner->ts_us, outer->ts_us);
+  EXPECT_LE(inner->ts_us + inner->dur_us, outer->ts_us + outer->dur_us);
+}
+
+TEST(Tracer, ThreadsGetDistinctSmallTids) {
+  obs::Tracer tracer;
+  tracer.enable();
+  const std::uint32_t main_tid = tracer.thread_tid();
+  std::uint32_t worker_tid = 0;
+  std::thread worker([&] {
+    obs::Span span(tracer, "w", "test");
+    worker_tid = tracer.thread_tid();
+  });
+  worker.join();
+  EXPECT_NE(main_tid, worker_tid);
+  EXPECT_LT(main_tid, obs::Tracer::kFirstTrackTid);
+  EXPECT_LT(worker_tid, obs::Tracer::kFirstTrackTid);
+}
+
+TEST(Tracer, TrackTidsAreStableAndAboveThreadRange) {
+  obs::Tracer tracer;
+  const std::uint32_t queue = tracer.track_tid("queue");
+  const std::uint32_t other = tracer.track_tid("other");
+  EXPECT_GE(queue, obs::Tracer::kFirstTrackTid);
+  EXPECT_NE(queue, other);
+  EXPECT_EQ(tracer.track_tid("queue"), queue);  // stable per name
+}
+
+TEST(Tracer, RecordSpanUsesExplicitEndpointsAndTrack) {
+  obs::Tracer tracer;
+  tracer.enable();
+  const auto start = obs::Tracer::Clock::now();
+  const auto end = start + std::chrono::microseconds(1500);
+  tracer.record_span("wait", "test", start, end, {{"key", "k1"}},
+                     tracer.track_tid("queue"));
+  const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_NEAR(spans[0].dur_us, 1500.0, 1.0);
+  EXPECT_GE(spans[0].tid, obs::Tracer::kFirstTrackTid);
+  ASSERT_EQ(spans[0].attrs.size(), 1u);
+  EXPECT_EQ(spans[0].attrs[0].second, "k1");
+}
+
+TEST(Tracer, ClearDropsSpansAndDisableStopsCollection) {
+  obs::Tracer tracer;
+  tracer.enable();
+  { obs::Span s(tracer, "a", "test"); }
+  EXPECT_EQ(tracer.size(), 1u);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  tracer.disable();
+  { obs::Span s(tracer, "b", "test"); }
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(Tracer, ChromeExportParsesAndCarriesEveryField) {
+  obs::Tracer tracer;
+  tracer.enable();
+  {
+    obs::Span span(tracer, "outer \"quoted\"", "cat");
+    span.attr("key", "value with \"quotes\"");
+    obs::Span inner(tracer, "inner", "cat");
+  }
+  const json::Value doc = json::parse(tracer.chrome_trace_json());
+  ASSERT_TRUE(doc.is_object());
+  const json::Value& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.array.size(), 2u);
+  for (const json::Value& ev : events.array) {
+    EXPECT_EQ(ev.at("ph").string, "X");
+    EXPECT_TRUE(ev.at("ts").is_number());
+    EXPECT_TRUE(ev.at("dur").is_number());
+    EXPECT_TRUE(ev.at("pid").is_number());
+    EXPECT_TRUE(ev.at("tid").is_number());
+  }
+  // The quoted name and attr survived the escape/parse round trip.
+  bool found = false;
+  for (const json::Value& ev : events.array)
+    if (ev.at("name").string == "outer \"quoted\"") {
+      found = true;
+      EXPECT_EQ(ev.at("args").at("key").string, "value with \"quotes\"");
+    }
+  EXPECT_TRUE(found);
+}

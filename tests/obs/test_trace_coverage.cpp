@@ -1,0 +1,150 @@
+// Acceptance: a traced QueryEngine run produces a structurally valid
+// Chrome trace — the JSON parses, spans on any real thread strictly nest
+// (containment or disjointness, never partial overlap), and every
+// submitted query has submit-to-completion coverage: its serve.submit
+// span either completed inline (cache_hit / coalesced) or has a matching
+// serve.execute span for its key.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/datagen.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "serve/engine.hpp"
+
+namespace obs = tbs::obs;
+namespace json = tbs::obs::json;
+namespace serve = tbs::serve;
+using tbs::PointsSoA;
+using tbs::uniform_box;
+
+namespace {
+
+const std::string* attr_of(const obs::SpanRecord& s, const std::string& key) {
+  for (const auto& [k, v] : s.attrs)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+/// Either disjoint or one contains the other (equal endpoints allowed).
+bool nests(const obs::SpanRecord& a, const obs::SpanRecord& b) {
+  const double a0 = a.ts_us, a1 = a.ts_us + a.dur_us;
+  const double b0 = b.ts_us, b1 = b.ts_us + b.dur_us;
+  const bool disjoint = a1 <= b0 || b1 <= a0;
+  const bool a_in_b = b0 <= a0 && a1 <= b1;
+  const bool b_in_a = a0 <= b0 && b1 <= a1;
+  return disjoint || a_in_b || b_in_a;
+}
+
+}  // namespace
+
+TEST(TraceCoverage, EngineRunProducesAValidFullyCoveredTrace) {
+  obs::Tracer tracer;
+  tracer.enable();
+
+  serve::QueryEngine::Config cfg;
+  cfg.devices = 2;
+  cfg.streams_per_device = 2;
+  cfg.tracer = &tracer;
+  serve::QueryEngine engine(cfg);
+
+  const PointsSoA box_a = uniform_box(300, 10.0f, /*seed=*/7);
+  const PointsSoA box_b = uniform_box(300, 12.0f, /*seed=*/8);
+  const double width = box_a.max_possible_distance() / 32 + 1e-4;
+
+  // Four clients, heavy duplication: the trace must cover cache hits and
+  // coalesced submissions as first-class outcomes, not just executions.
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      for (int round = 0; round < 2; ++round) {
+        auto a = engine.sdh(box_a, width, 32);
+        auto b = engine.pcf(box_b, 1.5);
+        auto d = engine.knn(box_a, 4);
+        auto e = engine.join(box_b, 1.0);
+        a.get();
+        b.get();
+        d.get();
+        e.get();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+  ASSERT_FALSE(spans.empty());
+
+  // 1. The Chrome export is valid JSON carrying every span.
+  const json::Value doc = json::parse(tracer.chrome_trace_json());
+  ASSERT_TRUE(doc.at("traceEvents").is_array());
+  EXPECT_EQ(doc.at("traceEvents").array.size(), spans.size());
+
+  // 2. Spans on any real thread nest: no partial overlap. (Synthetic
+  //    tracks >= kFirstTrackTid hold retroactive queue-wait spans that may
+  //    legitimately overlap each other.)
+  std::map<std::uint32_t, std::vector<const obs::SpanRecord*>> by_tid;
+  for (const obs::SpanRecord& s : spans)
+    if (s.tid < obs::Tracer::kFirstTrackTid) by_tid[s.tid].push_back(&s);
+  for (const auto& [tid, list] : by_tid)
+    for (std::size_t i = 0; i < list.size(); ++i)
+      for (std::size_t j = i + 1; j < list.size(); ++j)
+        ASSERT_TRUE(nests(*list[i], *list[j]))
+            << "partial overlap on tid " << tid << ": " << list[i]->name
+            << " [" << list[i]->ts_us << ", "
+            << list[i]->ts_us + list[i]->dur_us << ") vs " << list[j]->name
+            << " [" << list[j]->ts_us << ", "
+            << list[j]->ts_us + list[j]->dur_us << ")";
+
+  // 3. Submit-to-completion coverage for every query.
+  std::set<std::string> executed_keys;
+  std::size_t executes = 0;
+  for (const obs::SpanRecord& s : spans)
+    if (s.name == "serve.execute") {
+      ++executes;
+      const std::string* key = attr_of(s, "key");
+      const std::string* outcome = attr_of(s, "outcome");
+      ASSERT_NE(key, nullptr);
+      ASSERT_NE(outcome, nullptr);
+      EXPECT_EQ(*outcome, "ok");
+      executed_keys.insert(*key);
+    }
+
+  std::size_t submits = 0;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.name != "serve.submit") continue;
+    ++submits;
+    const std::string* key = attr_of(s, "key");
+    const std::string* outcome = attr_of(s, "outcome");
+    ASSERT_NE(key, nullptr);
+    ASSERT_NE(outcome, nullptr);
+    if (*outcome == "cache_hit" || *outcome == "coalesced") continue;
+    ASSERT_EQ(*outcome, "enqueued");
+    EXPECT_TRUE(executed_keys.count(*key))
+        << "enqueued query " << *key << " has no serve.execute span";
+  }
+  // 4 clients x 2 rounds x 4 shapes, every one traced.
+  EXPECT_EQ(submits, 32u);
+  // 4 distinct shapes, each executed at least once and at most once (the
+  // engine's dedup story), and each with a queue-wait span on the track.
+  EXPECT_EQ(executes, executed_keys.size());
+  EXPECT_EQ(executed_keys.size(), 4u);
+
+  std::size_t queue_waits = 0;
+  for (const obs::SpanRecord& s : spans)
+    if (s.name == "serve.queue_wait") {
+      ++queue_waits;
+      EXPECT_GE(s.tid, obs::Tracer::kFirstTrackTid);
+    }
+  EXPECT_EQ(queue_waits, executes);
+
+  // Kernel launches were traced too, nested on worker threads.
+  std::size_t launches = 0;
+  for (const obs::SpanRecord& s : spans)
+    if (s.name == "vgpu.launch") ++launches;
+  EXPECT_GT(launches, 0u);
+}

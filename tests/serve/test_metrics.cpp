@@ -1,0 +1,109 @@
+// serve::LatencyRecorder — bounded-memory latency statistics: exact
+// streaming count/mean/max, reservoir-backed percentiles, and the
+// documented small-sample edge cases.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/metrics.hpp"
+
+using tbs::serve::LatencyRecorder;
+using tbs::serve::LatencySummary;
+
+TEST(LatencyRecorder, EmptySummaryIsAllZeros) {
+  const LatencyRecorder rec;
+  const LatencySummary s = rec.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(LatencyRecorder, SingleSampleAllStatisticsCoincide) {
+  LatencyRecorder rec;
+  rec.record(0.25);
+  const LatencySummary s = rec.summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.p50, 0.25);
+  EXPECT_DOUBLE_EQ(s.p99, 0.25);
+  EXPECT_DOUBLE_EQ(s.mean, 0.25);
+  EXPECT_DOUBLE_EQ(s.max, 0.25);
+}
+
+TEST(LatencyRecorder, TwoSamplesInterpolateConsistently) {
+  LatencyRecorder rec;
+  rec.record(1.0);
+  rec.record(3.0);
+  const LatencySummary s = rec.summary();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.p50, 2.0);  // type-7: midpoint of the two samples
+  EXPECT_DOUBLE_EQ(s.p99, 1.0 + 0.99 * 2.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_LE(s.p50, s.p99);
+}
+
+TEST(LatencyRecorder, ExactPercentilesBelowReservoirCapacity) {
+  LatencyRecorder rec;  // default cap 4096 >> 101 samples
+  for (int i = 0; i <= 100; ++i) rec.record(static_cast<double>(i));
+  const LatencySummary s = rec.summary();
+  EXPECT_EQ(s.count, 101u);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(LatencyRecorder, MemoryStaysBoundedPastCapacity) {
+  LatencyRecorder rec(/*reservoir_cap=*/64);
+  EXPECT_EQ(rec.reservoir_capacity(), 64u);
+  for (int i = 0; i < 10'000; ++i) rec.record(1.0);
+  EXPECT_EQ(rec.reservoir_size(), 64u);  // never grows past the cap
+  const LatencySummary s = rec.summary();
+  // Exact aggregates cover every sample, not just the reservoir.
+  EXPECT_EQ(s.count, 10'000u);
+  EXPECT_DOUBLE_EQ(s.mean, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1.0);
+  EXPECT_DOUBLE_EQ(s.p50, 1.0);
+  EXPECT_DOUBLE_EQ(s.p99, 1.0);
+}
+
+TEST(LatencyRecorder, EstimatedPercentilesTrackTheDistribution) {
+  LatencyRecorder rec(/*reservoir_cap=*/512);
+  // 20k samples uniform on [0, 1): p50 ~ 0.5 within sampling error.
+  for (int i = 0; i < 20'000; ++i)
+    rec.record(static_cast<double>(i % 1000) / 1000.0);
+  const LatencySummary s = rec.summary();
+  EXPECT_EQ(s.count, 20'000u);
+  EXPECT_NEAR(s.p50, 0.5, 0.1);
+  EXPECT_GT(s.p99, s.p50);
+  EXPECT_NEAR(s.mean, 0.4995, 1e-9);     // exact, not estimated
+  EXPECT_DOUBLE_EQ(s.max, 0.999);        // exact
+}
+
+TEST(LatencyRecorder, MaxIsExactEvenWhenTheSampleFellOutOfTheReservoir) {
+  LatencyRecorder rec(/*reservoir_cap=*/4);
+  rec.record(100.0);  // early outlier
+  for (int i = 0; i < 1000; ++i) rec.record(0.001);
+  const LatencySummary s = rec.summary();
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_EQ(s.count, 1001u);
+}
+
+TEST(LatencyRecorder, ZeroCapacityIsRejected) {
+  EXPECT_THROW(LatencyRecorder(0), tbs::CheckError);
+}
+
+TEST(LatencyRecorder, ConcurrentRecordsAllCounted) {
+  LatencyRecorder rec(/*reservoir_cap=*/32);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t)
+    pool.emplace_back([&rec] {
+      for (int i = 0; i < 2500; ++i) rec.record(0.5);
+    });
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(rec.summary().count, 10'000u);
+}

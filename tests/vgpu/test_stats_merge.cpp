@@ -1,0 +1,99 @@
+// KernelStats::merge — the accumulation semantics the profiler's running
+// totals and multi-launch kernels (main + reduction) rely on.
+#include <gtest/gtest.h>
+
+#include "vgpu/stats.hpp"
+
+using tbs::vgpu::KernelStats;
+
+TEST(KernelStatsMerge, CountersAccumulate) {
+  KernelStats a;
+  a.global_loads = 10;
+  a.shared_atomics = 5;
+  a.total_warp_cycles = 100.0;
+  a.launches = 1;
+  KernelStats b;
+  b.global_loads = 7;
+  b.shared_atomics = 3;
+  b.total_warp_cycles = 50.0;
+  b.launches = 2;
+
+  a.merge(b);
+  EXPECT_EQ(a.global_loads, 17u);
+  EXPECT_EQ(a.shared_atomics, 8u);
+  EXPECT_DOUBLE_EQ(a.total_warp_cycles, 150.0);
+  EXPECT_EQ(a.launches, 3u);
+}
+
+TEST(KernelStatsMerge, PhaseCyclesAccumulatePerPhase) {
+  KernelStats a;
+  a.phase_cycles[0] = 10.0;
+  a.phase_cycles[1] = 5.0;
+  KernelStats b;
+  b.phase_cycles[1] = 2.5;  // shared phase: adds
+  b.phase_cycles[2] = 7.0;  // new phase: appears
+
+  a.merge(b);
+  ASSERT_EQ(a.phase_cycles.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.phase_cycles[0], 10.0);
+  EXPECT_DOUBLE_EQ(a.phase_cycles[1], 7.5);
+  EXPECT_DOUBLE_EQ(a.phase_cycles[2], 7.0);
+}
+
+TEST(KernelStatsMerge, MaxBlockCyclesTakesTheMaxNotTheSum) {
+  KernelStats a;
+  a.max_block_cycles = 100.0;
+  KernelStats b;
+  b.max_block_cycles = 250.0;
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.max_block_cycles, 250.0);
+
+  // Merging a smaller value leaves the max unchanged.
+  KernelStats c;
+  c.max_block_cycles = 10.0;
+  a.merge(c);
+  EXPECT_DOUBLE_EQ(a.max_block_cycles, 250.0);
+}
+
+TEST(KernelStatsMerge, FirstNonEmptyLaunchConfigIsRetained) {
+  // An empty accumulator adopts the first merged config...
+  KernelStats total;
+  KernelStats main_kernel;
+  main_kernel.grid_dim = 8;
+  main_kernel.block_dim = 256;
+  main_kernel.shared_bytes_per_block = 1024;
+  main_kernel.regs_per_thread = 40;
+  total.merge(main_kernel);
+  EXPECT_EQ(total.grid_dim, 8);
+  EXPECT_EQ(total.block_dim, 256);
+  EXPECT_EQ(total.shared_bytes_per_block, 1024u);
+  EXPECT_EQ(total.regs_per_thread, 40);
+
+  // ...and keeps it when a later launch (e.g. the reduction) differs.
+  KernelStats reduction;
+  reduction.grid_dim = 1;
+  reduction.block_dim = 32;
+  reduction.shared_bytes_per_block = 0;
+  reduction.regs_per_thread = 16;
+  total.merge(reduction);
+  EXPECT_EQ(total.grid_dim, 8);
+  EXPECT_EQ(total.block_dim, 256);
+  EXPECT_EQ(total.shared_bytes_per_block, 1024u);
+  EXPECT_EQ(total.regs_per_thread, 40);
+}
+
+TEST(KernelStatsMerge, MergeIntoEmptyEqualsTheSource) {
+  KernelStats src;
+  src.global_loads = 3;
+  src.dram_bytes = 128;
+  src.arith_ops = 9.5;
+  src.max_block_cycles = 12.0;
+  src.phase_cycles[1] = 4.0;
+  src.grid_dim = 2;
+  src.block_dim = 64;
+  src.launches = 1;
+
+  KernelStats dst;
+  dst.merge(src);
+  EXPECT_EQ(dst, src);
+}
