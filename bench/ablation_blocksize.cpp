@@ -13,7 +13,7 @@
 #include "kernels/sdh.hpp"
 #include "perfmodel/occupancy.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tbs;
   using namespace tbs::bench;
   using kernels::SdhVariant;
@@ -28,6 +28,7 @@ int main() {
   const std::vector<int> block_sizes = {64, 128, 256, 512, 1024};
 
   TextTable t({"B", "occupancy", "limiter", "bottleneck", "time (model)"});
+  obs::BenchReport report("ablation_blocksize");
   std::vector<double> times;
   for (const int B : block_sizes) {
     const auto runner = [&, B](std::size_t nn) {
@@ -39,13 +40,19 @@ int main() {
     };
     // Calibration sizes must be multiples of B; use 8B, 16B, 32B.
     const std::array<double, 3> calib = {8.0 * B, 16.0 * B, 32.0 * B};
+    std::string variant = "B";
+    variant += std::to_string(B);
     const Sweep s =
-        sweep("B" + std::to_string(B), {target_n}, 32.0 * B, calib,
-              dev.spec(), runner);
+        sweep(variant, {target_n}, 32.0 * B, calib, dev.spec(), runner);
     const auto occ = perfmodel::occupancy(
         dev.spec(), B,
         kernels::sdh_shared_bytes(SdhVariant::RegShmOut, B, buckets), 32);
     times.push_back(s.seconds[0]);
+    obs::BenchEntry& e = report.entry(variant, target_n, "model");
+    e.metric("seconds", s.seconds[0], obs::Better::Lower);
+    e.metric("occupancy", occ.occupancy, obs::Better::Higher);
+    e.report = s.reports[0];
+    e.has_report = true;
     t.add_row({std::to_string(B),
                TextTable::num(100 * occ.occupancy, 0) + "%", occ.limiter,
                s.reports[0].bottleneck, fmt_time(s.seconds[0])});
@@ -68,5 +75,6 @@ int main() {
                 "optimum at B >= 128 (paper uses large blocks; measured "
                 "optimum B=" +
                     std::to_string(block_sizes[best_idx]) + ")");
+  write_report(report, obs::artifact_dir(argc, argv));
   return checks.finish();
 }

@@ -16,7 +16,7 @@
 #include "perfmodel/occupancy.hpp"
 #include "perfmodel/timemodel.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tbs;
   using namespace tbs::bench;
 
@@ -31,6 +31,7 @@ int main() {
 
   TextTable t({"copies", "shared/block", "occupancy", "atomic collisions",
                "time (model)"});
+  obs::BenchReport report("ablation_private_copies");
   std::vector<double> times;
   std::vector<std::uint64_t> collisions;
   for (const int copies : {1, 2, 4, 8}) {
@@ -43,6 +44,16 @@ int main() {
     const auto rep = perfmodel::model_time(dev.spec(), result.stats);
     times.push_back(rep.seconds);
     collisions.push_back(result.stats.atomic_collision_extra);
+    obs::BenchEntry& e = report.entry(
+        "copies" + std::to_string(copies), static_cast<double>(n), "sim");
+    e.metric("seconds", rep.seconds, obs::Better::Lower);
+    e.metric("atomic_collisions",
+             static_cast<double>(result.stats.atomic_collision_extra),
+             obs::Better::Lower);
+    e.report = rep;
+    e.has_report = true;
+    e.stats = result.stats;
+    e.has_stats = true;
     t.add_row({std::to_string(copies), std::to_string(shm) + " B",
                TextTable::num(100 * occ.occupancy, 0) + "%",
                std::to_string(result.stats.atomic_collision_extra),
@@ -64,5 +75,6 @@ int main() {
                 "one copy per block is within 15% of the best "
                 "configuration (paper: no overall advantage from more "
                 "copies)");
+  write_report(report, obs::artifact_dir(argc, argv));
   return checks.finish();
 }

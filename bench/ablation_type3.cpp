@@ -15,7 +15,7 @@
 #include "kernels/type3.hpp"
 #include "perfmodel/timemodel.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tbs;
   using namespace tbs::bench;
   using kernels::JoinVariant;
@@ -31,6 +31,7 @@ int main() {
 
   TextTable t({"radius", "matches", "sel(%)", "cursor", "two-phase",
                "cursor/two-phase"});
+  obs::BenchReport report("ablation_type3");
   std::vector<double> ratio;
   for (const double r : radii) {
     dev.flush_caches();
@@ -43,6 +44,15 @@ int main() {
     const double tc = perfmodel::model_time(dev.spec(), cur.stats).seconds;
     const double tt = perfmodel::model_time(dev.spec(), two.stats).seconds;
     ratio.push_back(tc / tt);
+    // One entry per strategy per radius; n carries the radius (the x-axis).
+    obs::BenchEntry& ec = report.entry("GlobalCursor", r, "sim");
+    ec.metric("seconds", tc, obs::Better::Lower);
+    ec.stats = cur.stats;
+    ec.has_stats = true;
+    obs::BenchEntry& et = report.entry("TwoPhase", r, "sim");
+    et.metric("seconds", tt, obs::Better::Lower);
+    et.stats = two.stats;
+    et.has_stats = true;
     const double pairs = static_cast<double>(n) * (n - 1) / 2.0;
     t.add_row({TextTable::num(r, 1), std::to_string(cur.pairs.size()),
                TextTable::num(100.0 * static_cast<double>(cur.pairs.size()) /
@@ -63,5 +73,6 @@ int main() {
   checks.expect(ratio.front() < 2.5,
                 "at near-zero selectivity the strategies are within ~2x "
                 "(two-phase's doubled pairwise stage)");
+  write_report(report, obs::artifact_dir(argc, argv));
   return checks.finish();
 }

@@ -15,7 +15,7 @@
 #include "harness.hpp"
 #include "kernels/pcf.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tbs;
   using namespace tbs::bench;
 
@@ -28,6 +28,7 @@ int main() {
 
   TextTable t({"N", "stores/thread", "stores/warp", "per-thread time",
                "warp-sum time", "ratio"});
+  obs::BenchReport report("ablation_warpsum");
   std::vector<double> ratios;
   for (const std::size_t n : {512u, 2048u, 4096u}) {
     const auto pts = uniform_box(n, 10.0f, 99);
@@ -45,6 +46,16 @@ int main() {
     const double ws =
         perfmodel::model_time(dev.spec(), warp_out.stats).seconds;
     ratios.push_back(ts / ws);
+    obs::BenchEntry& ep =
+        report.entry("per-thread", static_cast<double>(n), "sim");
+    ep.metric("seconds", ts, obs::Better::Lower);
+    ep.stats = thread_out.stats;
+    ep.has_stats = true;
+    obs::BenchEntry& ew =
+        report.entry("warp-sum", static_cast<double>(n), "sim");
+    ew.metric("seconds", ws, obs::Better::Lower);
+    ew.stats = warp_out.stats;
+    ew.has_stats = true;
     t.add_row({std::to_string(n),
                std::to_string(thread_out.stats.global_stores),
                std::to_string(warp_out.stats.global_stores), fmt_time(ts),
@@ -59,5 +70,6 @@ int main() {
                 "of quadratic work; measured ratio " +
                     TextTable::num(ratios.back(), 3) + ")");
   checks.expect(true, "results identical across strategies (checked)");
+  write_report(report, obs::artifact_dir(argc, argv));
   return checks.finish();
 }

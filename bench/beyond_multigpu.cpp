@@ -10,7 +10,7 @@
 #include "harness.hpp"
 #include "kernels/multi.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tbs;
   using namespace tbs::bench;
 
@@ -23,6 +23,7 @@ int main() {
 
   TextTable t({"devices", "kernel (model)", "transfer", "end-to-end",
                "kernel scaling", "pairs device0 / total"});
+  obs::BenchReport report("beyond_multigpu");
   std::vector<double> kernel_times;
   double t1 = 0.0;
   for (const int d : {1, 2, 4, 8}) {
@@ -35,6 +36,10 @@ int main() {
     }
     if (d == 1) t1 = r.kernel_seconds;
     kernel_times.push_back(r.kernel_seconds);
+    // Entry per device count; n carries the device count (the x-axis).
+    obs::BenchEntry& e = report.entry("RegShmOut-multi", d, "sim");
+    e.metric("kernel_seconds", r.kernel_seconds, obs::Better::Lower);
+    e.metric("transfer_seconds", r.transfer_seconds, obs::Better::Lower);
     const double share =
         static_cast<double>(r.per_device[0].shared_atomics) /
         (static_cast<double>(n) * (n - 1) / 2);
@@ -59,5 +64,6 @@ int main() {
   checks.expect(kernel_times[3] <= kernel_times[2] * 1.05,
                 "8 devices never slower than 4 (diminishing returns at "
                 "this N are acceptable)");
+  write_report(report, obs::artifact_dir(argc, argv));
   return checks.finish();
 }

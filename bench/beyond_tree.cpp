@@ -14,7 +14,7 @@
 #include "cpubase/tree_sdh.hpp"
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tbs;
   using namespace tbs::bench;
 
@@ -26,6 +26,7 @@ int main() {
 
   TextTable t({"N", "brute (wall)", "tree (wall)", "speedup",
                "bulk-resolved", "work ratio vs N^2"});
+  obs::BenchReport report("beyond_tree");
   std::vector<double> speedups;
   for (const std::size_t n : {4000u, 8000u, 16000u, 32000u}) {
     const auto pts = uniform_box(n, 20.0f, 777);
@@ -48,6 +49,14 @@ int main() {
     const double work =
         static_cast<double>(stats.node_pair_visits + stats.brute_pairs);
     speedups.push_back(brute_s / tree_s);
+    // Everything here is wall-clock on this host: ledger-only (gate=false).
+    const double dn = static_cast<double>(n);
+    report.entry("brute", dn, "wall")
+        .metric("seconds", brute_s, obs::Better::Lower, /*gate=*/false);
+    obs::BenchEntry& et = report.entry("tree", dn, "wall");
+    et.metric("seconds", tree_s, obs::Better::Lower, /*gate=*/false);
+    // The work ratio is deterministic (tree geometry, not timing): gate it.
+    et.metric("work_ratio", work / total, obs::Better::Lower);
     t.add_row({std::to_string(n), fmt_time(brute_s), fmt_time(tree_s),
                TextTable::num(brute_s / tree_s, 2) + "x",
                TextTable::num(100.0 * static_cast<double>(
@@ -68,5 +77,6 @@ int main() {
   checks.expect(speedups.back() > speedups.front(),
                 "the tree's advantage grows with N (subquadratic total "
                 "work)");
+  write_report(report, obs::artifact_dir(argc, argv));
   return checks.finish();
 }

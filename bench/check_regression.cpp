@@ -1,0 +1,249 @@
+// check_regression — the CLI gate over obs::ledger.
+//
+// Usage:
+//   check_regression [options] BENCH_<name>.json ...
+//
+//   --baseline <file>        committed baseline (default
+//                            bench/baselines/perf_baseline.json)
+//   --ledger <file>          JSONL run store to append to (default
+//                            <out>/perf_ledger.jsonl)
+//   --out <dir>              where the regression report goes (also
+//                            honours TBS_ARTIFACT_DIR; default ".")
+//   --tol <float>            override the baseline's default tolerance
+//   --update-baseline        bless improvements + new metrics back into
+//                            the baseline file (creates it when absent)
+//   --require-complete       fail when a gated baseline metric is missing
+//                            from the run (full-suite CI mode)
+//   --inject-slowdown <f>    self-test: scale every gated metric worse by
+//                            factor f before comparing (CI uses this to
+//                            prove the gate actually fails)
+//   --top <k>                rows to print in the delta table (default 20)
+//
+// Exit codes: 0 clean, 1 regression (or missing metrics under
+// --require-complete), 2 usage/parse errors. Every BENCH file is parsed
+// with the strict obs::json parser and validated structurally by
+// ledger::from_bench_report, so this tool doubles as the artifact
+// validator.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/ledger.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+using tbs::obs::Better;
+using tbs::obs::RunMeta;
+namespace json = tbs::obs::json;
+namespace ledger = tbs::obs::ledger;
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  tbs::check(static_cast<bool>(is), "cannot open '" + path + "'");
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+double parse_double(const std::string& s, const char* what) {
+  try {
+    return std::stod(s);
+  } catch (const std::exception&) {
+    tbs::fail(std::string(what) + ": not a number: '" + s + "'");
+  }
+}
+
+/// Self-test knob: make every gated metric worse by `factor` (seconds go
+/// up, qps goes down), so CI can prove a real slowdown trips the gate.
+void inject_slowdown(ledger::MetricMap& metrics, double factor) {
+  for (auto& [name, sample] : metrics) {
+    if (!sample.gate) continue;
+    if (sample.better == Better::Lower)
+      sample.value *= factor;
+    else
+      sample.value /= factor;
+  }
+}
+
+std::string pct(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.2f%%", x * 100.0);
+  return buf;
+}
+
+void print_report(const ledger::RegressionReport& report, std::size_t top) {
+  std::printf("%-58s %14s %14s %10s  %s\n", "metric", "baseline", "current",
+              "delta", "status");
+  std::size_t shown = 0;
+  for (const ledger::Delta& d : report.deltas) {
+    if (shown++ >= top) {
+      std::printf("  ... %zu more deltas (see regression_report.json)\n",
+                  report.deltas.size() - top);
+      break;
+    }
+    const char* status = d.regressed    ? "REGRESSED"
+                         : d.improved   ? "improved"
+                         : d.gated      ? "ok"
+                                        : "info";
+    std::printf("%-58s %14.6g %14.6g %10s  %s\n", d.name.c_str(), d.baseline,
+                d.current, pct(d.regression).c_str(), status);
+  }
+  for (const std::string& name : report.missing)
+    std::printf("missing from run: %s\n", name.c_str());
+  if (!report.added.empty())
+    std::printf("%zu new metric(s) not in baseline%s\n", report.added.size(),
+                report.added.size() > 0 ? " (bless with --update-baseline)"
+                                        : "");
+}
+
+int run(int argc, char** argv) {
+  std::string baseline_path = "bench/baselines/perf_baseline.json";
+  std::string ledger_path;
+  std::string out_dir = tbs::obs::artifact_dir(argc, argv);
+  double tol = 0.0;
+  double slowdown = 0.0;
+  bool update = false;
+  bool require_complete = false;
+  std::size_t top = 20;
+  std::vector<std::string> bench_files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      tbs::check(i + 1 < argc, arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--baseline") {
+      baseline_path = value();
+    } else if (arg == "--ledger") {
+      ledger_path = value();
+    } else if (arg == "--out") {
+      (void)value();  // consumed by artifact_dir already
+    } else if (arg == "--tol") {
+      tol = parse_double(value(), "--tol");
+      tbs::check(tol > 0.0, "--tol must be positive");
+    } else if (arg == "--inject-slowdown") {
+      slowdown = parse_double(value(), "--inject-slowdown");
+      tbs::check(slowdown >= 1.0, "--inject-slowdown must be >= 1");
+    } else if (arg == "--update-baseline") {
+      update = true;
+    } else if (arg == "--require-complete") {
+      require_complete = true;
+    } else if (arg == "--top") {
+      top = static_cast<std::size_t>(
+          parse_double(value(), "--top"));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: check_regression [--baseline f] [--ledger f] [--out d]\n"
+          "                        [--tol x] [--update-baseline]\n"
+          "                        [--require-complete]\n"
+          "                        [--inject-slowdown f] [--top k]\n"
+          "                        BENCH_<name>.json ...\n");
+      return 0;
+    } else {
+      tbs::check(arg.rfind("--", 0) != 0, "unknown flag: " + arg);
+      bench_files.push_back(arg);
+    }
+  }
+  tbs::check(!bench_files.empty(), "no BENCH_*.json files given");
+  if (ledger_path.empty())
+    ledger_path = tbs::obs::artifact_path(out_dir, "perf_ledger.jsonl");
+
+  // Parse + validate every bench artifact, append each to the ledger, and
+  // merge all runs into one flat metric map for the comparison.
+  ledger::MetricMap current;
+  RunMeta meta;
+  for (const std::string& path : bench_files) {
+    const ledger::Run run = ledger::from_bench_report(json::parse(slurp(path)));
+    tbs::check(ledger::append(ledger_path, run),
+               "cannot append to ledger '" + ledger_path + "'");
+    std::printf("validated %-32s %4zu metric(s)  [%s]\n", run.bench.c_str(),
+                run.metrics.size(), path.c_str());
+    meta = run.meta;
+    for (const auto& [name, sample] : run.metrics) {
+      tbs::check(current.emplace(name, sample).second,
+                 "duplicate metric across bench files: " + name);
+    }
+  }
+  if (slowdown > 0.0) {
+    std::printf("self-test: injecting %gx slowdown into gated metrics\n",
+                slowdown);
+    inject_slowdown(current, slowdown);
+  }
+
+  // No baseline yet: seed one from this run when blessing is requested.
+  std::ifstream probe(baseline_path);
+  if (!probe) {
+    tbs::check(update, "baseline '" + baseline_path +
+                           "' does not exist (seed it with --update-baseline)");
+    ledger::Baseline fresh;
+    fresh.tolerance = tol > 0.0 ? tol : ledger::kDefaultTolerance;
+    fresh.meta = meta;
+    fresh.metrics = current;
+    tbs::check(fresh.save(baseline_path),
+               "cannot write baseline '" + baseline_path + "'");
+    std::printf("seeded baseline '%s' with %zu metric(s) (tolerance %g)\n",
+                baseline_path.c_str(), fresh.metrics.size(), fresh.tolerance);
+    return 0;
+  }
+  probe.close();
+
+  ledger::Baseline baseline = ledger::Baseline::load(baseline_path);
+  if (tol > 0.0) baseline.tolerance = tol;
+  const ledger::RegressionReport report =
+      ledger::compare(baseline, current);
+  print_report(report, top);
+
+  const std::string report_path =
+      tbs::obs::artifact_path(out_dir, "regression_report.json");
+  if (!report.write_json(report_path))
+    std::fprintf(stderr, "warning: cannot write %s\n", report_path.c_str());
+
+  if (update) {
+    const std::size_t changed =
+        ledger::update_baseline(baseline, current, report);
+    if (changed > 0) {
+      tbs::check(baseline.save(baseline_path),
+                 "cannot write baseline '" + baseline_path + "'");
+      std::printf("blessed %zu metric(s) into '%s'\n", changed,
+                  baseline_path.c_str());
+    } else {
+      std::printf("nothing to bless (no improvements, no new metrics)\n");
+    }
+  }
+
+  bool failed = false;
+  if (report.any_regression()) {
+    const ledger::Delta* worst = report.worst();
+    std::printf("FAIL: regression detected (worst: %s, %s > tol %g)\n",
+                worst->name.c_str(), pct(worst->regression).c_str(),
+                worst->tolerance);
+    failed = true;
+  }
+  if (require_complete && !report.missing.empty()) {
+    std::printf("FAIL: %zu gated baseline metric(s) missing from the run\n",
+                report.missing.size());
+    failed = true;
+  }
+  if (!failed)
+    std::printf("OK: %zu metric(s) within tolerance of baseline %s\n",
+                report.deltas.size(), baseline.meta.git_sha.c_str());
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "check_regression: %s\n", e.what());
+    return 2;
+  }
+}

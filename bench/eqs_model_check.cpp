@@ -14,7 +14,7 @@
 #include "kernels/sdh.hpp"
 #include "perfmodel/counts.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tbs;
   using namespace tbs::bench;
   using namespace tbs::perfmodel;
@@ -104,5 +104,21 @@ int main() {
   checks.expect(e4 < 0.10,
                 "cycle totals extrapolate within 10% (data-dependent "
                 "atomic collisions)");
+
+  // Model-fidelity residuals are exact simulator outputs: gate them so a
+  // change that degrades the analytical match trips the regression gate.
+  obs::BenchReport report("eqs_model_check");
+  obs::BenchEntry& eq = report.entry("paper_eqs", static_cast<double>(n),
+                                     "sim");
+  eq.metric("eq2_rel_diff", d1, obs::Better::Lower);
+  eq.metric("eq3_rel_diff", d2, obs::Better::Lower);
+  eq.metric("eq4_rel_diff", d3, obs::Better::Lower);
+  eq.metric("eq5_rel_diff", d4, obs::Better::Lower);
+  obs::BenchEntry& ex = report.entry("extrapolation", 4096, "model");
+  ex.metric("global_loads_rel_diff", e1, obs::Better::Lower);
+  ex.metric("roc_loads_rel_diff", e2, obs::Better::Lower);
+  ex.metric("shared_atomics_rel_diff", e3, obs::Better::Lower);
+  ex.metric("warp_cycles_rel_diff", e4, obs::Better::Lower);
+  write_report(report, obs::artifact_dir(argc, argv));
   return checks.finish();
 }

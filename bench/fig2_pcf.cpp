@@ -14,7 +14,7 @@
 #include "harness.hpp"
 #include "kernels/pcf.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tbs;
   using namespace tbs::bench;
   using kernels::PcfVariant;
@@ -82,5 +82,10 @@ int main() {
   checks.expect(growth > 4.0 && growth < 9.0,
                 "quadratic growth in N (2M/800k ratio ~6.25; measured " +
                     TextTable::num(growth, 2) + ")");
+
+  obs::BenchReport report("fig2_pcf");
+  for (const Sweep* s : {&naive, &shm, &reg, &roc})
+    add_sweep(report, *s, ns);
+  write_report(report, obs::artifact_dir(argc, argv));
   return checks.finish();
 }

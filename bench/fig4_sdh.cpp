@@ -18,7 +18,7 @@
 #include "harness.hpp"
 #include "kernels/sdh.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tbs;
   using namespace tbs::bench;
   using kernels::SdhVariant;
@@ -102,5 +102,14 @@ int main() {
   checks.expect(naive_out.seconds[last] > shm_out.seconds[last],
                 "tiled pairwise stage still helps once output is "
                 "privatized (Naive-Out slower than Reg-SHM-Out)");
+
+  obs::BenchReport report("fig4_sdh");
+  for (const Sweep* s : {&direct, &naive_out, &shm_out, &roc_out})
+    add_sweep(report, *s, ns);
+  // CPU rows come from a wall-clock calibration on this host: ledger-only.
+  for (std::size_t i = 0; i < ns.size(); ++i)
+    report.entry("CPU-8core", ns[i], "wall")
+        .metric("seconds", cpu_times[i], obs::Better::Lower, /*gate=*/false);
+  write_report(report, obs::artifact_dir(argc, argv));
   return checks.finish();
 }

@@ -15,7 +15,7 @@
 #include "kernels/sdh.hpp"
 #include "perfmodel/occupancy.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tbs;
   using namespace tbs::bench;
 
@@ -31,6 +31,7 @@ int main() {
 
   TextTable t({"buckets", "shared/block", "occupancy", "blocks/SM",
                "limiter", "time (model)"});
+  obs::BenchReport report("fig5_buckets");
   std::vector<double> xs, times, occs;
   for (const int buckets : bucket_counts) {
     const auto runner = [&, buckets](std::size_t n) {
@@ -47,6 +48,12 @@ int main() {
     xs.push_back(buckets);
     times.push_back(s.seconds[0]);
     occs.push_back(occ.occupancy * 100);
+    // Entry per bucket count; n carries the x-axis (the bucket count).
+    obs::BenchEntry& e = report.entry("RegRocOut", buckets, "model");
+    e.metric("seconds", s.seconds[0], obs::Better::Lower);
+    e.metric("occupancy", occ.occupancy, obs::Better::Higher);
+    e.report = s.reports[0];
+    e.has_report = true;
     t.add_row({std::to_string(buckets),
                std::to_string(buckets * 4) + " B",
                TextTable::num(100 * occ.occupancy, 0) + "%",
@@ -87,5 +94,6 @@ int main() {
                 "degraded performance when output is too small); "
                 "t(16 buckets) = " +
                     fmt_time(times[0]) + " vs t(250) = " + fmt_time(times[2]));
+  write_report(report, obs::artifact_dir(argc, argv));
   return checks.finish();
 }

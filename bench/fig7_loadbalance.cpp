@@ -16,7 +16,7 @@
 #include "kernels/sdh.hpp"
 #include "perfmodel/counts.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tbs;
   using namespace tbs::bench;
   using kernels::SdhVariant;
@@ -53,6 +53,7 @@ int main() {
 
   TextTable t({"N", "src", "intra plain", "intra LB", "intra spd",
                "total plain", "total LB", "total spd"});
+  obs::BenchReport report("fig7_loadbalance");
   std::vector<double> total_spd, intra_spd;
   for (const double n : ns) {
     const bool extrap = n > kSimLimit;
@@ -84,6 +85,17 @@ int main() {
                            std::max(1.0, lb.total_warp_cycles);
     intra_spd.push_back(intra_p / intra_l);
     total_spd.push_back(rp.seconds / rl.seconds);
+    const char* src = extrap ? "model" : "sim";
+    obs::BenchEntry& ep = report.entry("RegShmOut", n, src);
+    ep.metric("seconds", rp.seconds, obs::Better::Lower);
+    ep.metric("intra_seconds", intra_p, obs::Better::Lower);
+    ep.report = rp;
+    ep.has_report = true;
+    obs::BenchEntry& el = report.entry("RegShmLb", n, src);
+    el.metric("seconds", rl.seconds, obs::Better::Lower);
+    el.metric("intra_seconds", intra_l, obs::Better::Lower);
+    el.report = rl;
+    el.has_report = true;
     t.add_row({TextTable::num(n / 1000.0, 0) + "k", extrap ? "model" : "sim",
                fmt_time(intra_p), fmt_time(intra_l),
                TextTable::num(intra_p / intra_l, 2) + "x",
@@ -116,5 +128,6 @@ int main() {
     if (s < 0.995) never_slower = false;
   checks.expect(never_slower,
                 "load balancing never makes the kernel slower");
+  write_report(report, obs::artifact_dir(argc, argv));
   return checks.finish();
 }

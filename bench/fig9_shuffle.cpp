@@ -12,7 +12,7 @@
 #include "harness.hpp"
 #include "kernels/sdh.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tbs;
   using namespace tbs::bench;
   using kernels::SdhVariant;
@@ -80,5 +80,12 @@ int main() {
   checks.expect(cpu_times[last] / shuffle.seconds[last] > 10.0,
                 "shuffle kernel keeps the >10x advantage over the CPU "
                 "(paper Fig. 9 right: 40-50x)");
+
+  obs::BenchReport report("fig9_shuffle");
+  for (const Sweep* s : {&shm, &roc, &shuffle}) add_sweep(report, *s, ns);
+  for (std::size_t i = 0; i < ns.size(); ++i)
+    report.entry("CPU-8core", ns[i], "wall")
+        .metric("seconds", cpu_times[i], obs::Better::Lower, /*gate=*/false);
+  write_report(report, obs::artifact_dir(argc, argv));
   return checks.finish();
 }

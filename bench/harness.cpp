@@ -44,6 +44,28 @@ Sweep sweep(const std::string& name, const std::vector<double>& ns,
   return out;
 }
 
+void add_sweep(obs::BenchReport& report, const Sweep& s,
+               const std::vector<double>& ns) {
+  for (std::size_t i = 0; i < ns.size() && i < s.seconds.size(); ++i) {
+    obs::BenchEntry& e =
+        report.entry(s.name, ns[i], s.extrapolated[i] ? "model" : "sim");
+    e.metric("seconds", s.seconds[i], obs::Better::Lower);
+    e.report = s.reports[i];
+    e.has_report = true;
+  }
+}
+
+bool write_report(const obs::BenchReport& report, const std::string& dir) {
+  const std::string path =
+      obs::artifact_path(dir, "BENCH_" + report.name() + ".json");
+  const bool ok = report.write_json(path);
+  if (ok)
+    std::printf("\nwrote %s\n", path.c_str());
+  else
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+  return ok;
+}
+
 std::vector<double> paper_sizes() {
   return {1024, 4096, 100'000, 400'000, 800'000, 1'200'000, 1'600'000,
           2'000'000};

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/points.hpp"
+#include "obs/report.hpp"
 #include "perfmodel/cpumodel.hpp"
 #include "perfmodel/timemodel.hpp"
 #include "vgpu/device.hpp"
@@ -49,6 +50,17 @@ std::vector<double> paper_sizes();
 /// Default calibration sizes / direct-simulation limit.
 inline constexpr std::array<double, 3> kCalibSizes = {1024, 2048, 4096};
 inline constexpr double kSimLimit = 4096;
+
+/// Append one BenchReport entry per size of the sweep: the modeled seconds
+/// (gated, lower-is-better) plus the full utilization/bandwidth report,
+/// tagged "sim" or "model" to match the printed table's provenance column.
+void add_sweep(obs::BenchReport& report, const Sweep& s,
+               const std::vector<double>& ns);
+
+/// Write `BENCH_<name>.json` into `dir` (see obs::artifact_dir) and print
+/// the path. Failure is reported but non-fatal — the printed table is
+/// still the bench's primary output.
+bool write_report(const obs::BenchReport& report, const std::string& dir);
 
 /// Simulate at the three calibration sizes, extrapolate the counters to
 /// target_n, and return the profiler-style report at that scale. Used by

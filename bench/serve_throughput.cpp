@@ -7,15 +7,20 @@
 // fresh QueryEngine (2 devices x 2 streams), hammers it with a mixed
 // SDH/PCF/kNN/join workload from C client threads, and records
 // queries/sec, p50/p99 latency, and how many jobs actually reached a
-// device. Results go to stdout as a table and to BENCH_serve.json (path
-// overridable via argv[1]) for CI artifact upload.
+// device. Results go to stdout as a table and, in the shared BenchReport
+// schema, to BENCH_serve_throughput.json. All artifacts land in the
+// directory given by `--out <dir>` (or TBS_ARTIFACT_DIR; default "."):
+//   trace.json           — Chrome trace of the final (8-client, cache-off)
+//                          run; open at https://ui.perfetto.dev
+//   metrics.json         — that run's engine MetricsRegistry snapshot
+//   drift.json           — model-vs-measured drift report for the
+//                          serving-default kernels (CI gates on
+//                          max_rel_error <= `--drift-tol`, default 0.05)
+//   flight_recorder.json — the traced run's per-query event ring
 //
-// Observability artifacts (paths overridable via argv[2..4]):
-//   trace.json   — Chrome trace of the final (8-client, cache-off) run;
-//                  open at https://ui.perfetto.dev or chrome://tracing
-//   metrics.json — that run's engine MetricsRegistry snapshot
-//   drift.json   — model-vs-measured drift report for the serving-default
-//                  kernels (CI gates on max_rel_error <= tolerance)
+// Every serve-layer number here is wall-clock on a shared host, so the
+// BenchReport metrics carry gate=false: they ride the perf ledger for
+// trend analysis but never fail the regression gate.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -52,7 +57,8 @@ struct RunResult {
 };
 
 RunResult run_config(const std::vector<Shape>& shapes, std::size_t clients,
-                     bool cache_on, int rounds, bool traced = false) {
+                     bool cache_on, int rounds, bool traced = false,
+                     const std::string& flight_path = "") {
   if (traced) {
     tbs::obs::Tracer::global().clear();
     tbs::obs::Tracer::global().enable();
@@ -62,6 +68,7 @@ RunResult run_config(const std::vector<Shape>& shapes, std::size_t clients,
   cfg.streams_per_device = 2;
   cfg.queue_capacity = 64;
   cfg.cache_capacity = cache_on ? 128 : 0;
+  cfg.flight_capacity = 1024;
   serve::QueryEngine engine(cfg);
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -98,31 +105,42 @@ RunResult run_config(const std::vector<Shape>& shapes, std::size_t clients,
   out.qps = wall > 0.0 ? static_cast<double>(out.queries) / wall : 0.0;
   out.stats = engine.stats();
   out.metrics_json = engine.metrics_json();
+  if (!flight_path.empty() && engine.dump_flight(flight_path))
+    std::printf("wrote %s (%llu events recorded, %llu dropped)\n",
+                flight_path.c_str(),
+                static_cast<unsigned long long>(
+                    engine.flight_recorder().total_recorded()),
+                static_cast<unsigned long long>(
+                    engine.flight_recorder().dropped()));
   if (traced) tbs::obs::Tracer::global().disable();
   return out;
 }
 
-void write_json(const std::string& path, const std::vector<RunResult>& runs) {
-  std::ofstream os(path);
-  os << "{\n  \"bench\": \"serve_throughput\",\n  \"results\": [\n";
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const RunResult& r = runs[i];
+/// Serve runs are wall-clock: everything rides the ledger ungated. The
+/// entry's n carries the client count; cache on/off is the kernel label.
+void add_runs(tbs::obs::BenchReport& report,
+              const std::vector<RunResult>& runs) {
+  using tbs::obs::Better;
+  for (const RunResult& r : runs) {
+    tbs::obs::BenchEntry& e =
+        report.entry(r.cache_on ? "cache_on" : "cache_off",
+                     static_cast<double>(r.clients), "wall");
     const serve::EngineCounters& c = r.stats.counters;
-    os << "    {\"clients\": " << r.clients
-       << ", \"cache\": " << (r.cache_on ? "true" : "false")
-       << ", \"queries\": " << r.queries
-       << ", \"wall_seconds\": " << r.wall_seconds
-       << ", \"qps\": " << r.qps
-       << ", \"p50_ms\": " << r.stats.latency.p50 * 1e3
-       << ", \"p99_ms\": " << r.stats.latency.p99 * 1e3
-       << ", \"executed\": " << c.executed
-       << ", \"cache_hits\": " << c.cache_hits
-       << ", \"coalesced\": " << c.coalesced
-       << ", \"kernel_launches\": " << r.stats.kernel_launches
-       << ", \"occupancy\": " << r.stats.occupancy << "}"
-       << (i + 1 < runs.size() ? "," : "") << "\n";
+    e.metric("qps", r.qps, Better::Higher, /*gate=*/false);
+    e.metric("p50_seconds", r.stats.latency.p50, Better::Lower,
+             /*gate=*/false);
+    e.metric("p99_seconds", r.stats.latency.p99, Better::Lower,
+             /*gate=*/false);
+    e.metric("executed", static_cast<double>(c.executed), Better::Lower,
+             /*gate=*/false);
+    e.metric("cache_hits", static_cast<double>(c.cache_hits), Better::Higher,
+             /*gate=*/false);
+    e.metric("coalesced", static_cast<double>(c.coalesced), Better::Higher,
+             /*gate=*/false);
+    e.metric("kernel_launches", static_cast<double>(r.stats.kernel_launches),
+             Better::Lower, /*gate=*/false);
+    e.metric("occupancy", r.stats.occupancy, Better::Higher, /*gate=*/false);
   }
-  os << "  ]\n}\n";
 }
 
 }  // namespace
@@ -131,10 +149,15 @@ int main(int argc, char** argv) {
   using namespace tbs;
   using namespace tbs::bench;
 
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
-  const std::string trace_path = argc > 2 ? argv[2] : "trace.json";
-  const std::string metrics_path = argc > 3 ? argv[3] : "metrics.json";
-  const std::string drift_path = argc > 4 ? argv[4] : "drift.json";
+  const std::string out_dir = obs::artifact_dir(argc, argv);
+  const std::string trace_path = obs::artifact_path(out_dir, "trace.json");
+  const std::string metrics_path =
+      obs::artifact_path(out_dir, "metrics.json");
+  const std::string drift_path = obs::artifact_path(out_dir, "drift.json");
+  const std::string flight_path =
+      obs::artifact_path(out_dir, "flight_recorder.json");
+  const double drift_tol =
+      std::stod(obs::arg_value(argc, argv, "--drift-tol", "0.05"));
   std::printf("=== Serving throughput: QueryEngine, 2 devices x 2 streams "
               "===\n\n");
 
@@ -168,7 +191,7 @@ int main(int argc, char** argv) {
       // engine's story (the busiest one: 8 clients, cache off).
       const bool traced = !cache_on && clients == 8;
       const RunResult r = run_config(shapes, clients, cache_on, rounds,
-                                     traced);
+                                     traced, traced ? flight_path : "");
       runs.push_back(r);
       t.add_row({std::to_string(r.clients), cache_on ? "on" : "off",
                  std::to_string(r.queries), TextTable::num(r.qps, 0),
@@ -180,8 +203,9 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
 
-  write_json(out_path, runs);
-  std::printf("\nwrote %s\n", out_path.c_str());
+  obs::BenchReport report("serve_throughput");
+  add_runs(report, runs);
+  write_report(report, out_dir);
 
   // Observability artifacts: the traced run's timeline + metrics snapshot.
   obs::Tracer::global().write_chrome_trace(trace_path);
@@ -200,6 +224,7 @@ int main(int argc, char** argv) {
   vgpu::Stream drift_stream(drift_dev);
   obs::DriftOptions drift_opt;
   drift_opt.only_variants = {"Reg-ROC-Out", "Register-SHM"};
+  drift_opt.tolerance = drift_tol;
   const obs::DriftReport drift = obs::check_drift(drift_stream, drift_opt);
   TextTable dt({"variant", "counter", "predicted", "measured", "rel_err"});
   for (const obs::DriftRow& row : drift.rows)

@@ -17,7 +17,7 @@
 #include "harness.hpp"
 #include "kernels/registry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tbs;
   using namespace tbs::bench;
 
@@ -98,5 +98,15 @@ int main() {
   checks.expect(shmshm.util_shared() > regshm.util_shared(),
                 "SHM-SHM stresses shared memory more than Reg-SHM "
                 "(Eq. 4 = 2 x Eq. 5)");
+
+  obs::BenchReport report("tab2_pcf_util");
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    obs::BenchEntry& e = report.entry(rows[i].name, target_n, "model");
+    e.metric("seconds", reports[i].seconds, obs::Better::Lower);
+    e.metric("util_arith", reports[i].util_arith(), obs::Better::Higher);
+    e.report = reports[i];
+    e.has_report = true;
+  }
+  write_report(report, obs::artifact_dir(argc, argv));
   return checks.finish();
 }

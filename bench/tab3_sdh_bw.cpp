@@ -27,8 +27,11 @@ int main(int argc, char** argv) {
   using namespace tbs::bench;
   using kernels::SdhVariant;
 
-  const std::string trace_path = argc > 1 ? argv[1] : "tab3_trace.json";
-  const std::string metrics_path = argc > 2 ? argv[2] : "tab3_metrics.json";
+  const std::string out_dir = obs::artifact_dir(argc, argv);
+  const std::string trace_path =
+      obs::artifact_path(out_dir, "tab3_trace.json");
+  const std::string metrics_path =
+      obs::artifact_path(out_dir, "tab3_metrics.json");
 
   std::printf("=== Table III: SDH achieved memory bandwidth ===\n\n");
 
@@ -117,5 +120,21 @@ int main(int argc, char** argv) {
                 "conclusion)");
   checks.expect(prof.launches() > 0 && obs::Tracer::global().size() > 0,
                 "profiler observed launches and the trace has spans");
+
+  // Same numbers as the table and the tab3.* gauges, in the shared
+  // BenchReport schema (modeled bandwidths are deterministic: gated).
+  obs::BenchReport report("tab3_sdh_bw");
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    obs::BenchEntry& e =
+        report.entry(kernels::to_string(variants[i]), target_n, "model");
+    e.metric("seconds", reports[i].seconds, obs::Better::Lower);
+    e.metric("bw_shared", reports[i].bw_shared, obs::Better::Higher);
+    e.metric("bw_l2", reports[i].bw_l2, obs::Better::Higher);
+    e.metric("bw_roc", reports[i].bw_roc, obs::Better::Higher);
+    e.metric("bw_dram", reports[i].bw_dram, obs::Better::Higher);
+    e.report = reports[i];
+    e.has_report = true;
+  }
+  write_report(report, out_dir);
   return checks.finish();
 }

@@ -16,7 +16,7 @@
 #include "harness.hpp"
 #include "kernels/registry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tbs;
   using namespace tbs::bench;
 
@@ -99,5 +99,15 @@ int main() {
                     roc_out.bottleneck != "arithmetic",
                 "SDH never becomes compute-bound, unlike 2-PCF "
                 "(paper contrast between Tables II and IV)");
+
+  obs::BenchReport report("tab4_sdh_util");
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    obs::BenchEntry& e = report.entry(rows[i].name, target_n, "model");
+    e.metric("seconds", reports[i].seconds, obs::Better::Lower);
+    e.metric("util_arith", reports[i].util_arith(), obs::Better::Higher);
+    e.report = reports[i];
+    e.has_report = true;
+  }
+  write_report(report, obs::artifact_dir(argc, argv));
   return checks.finish();
 }

@@ -12,17 +12,22 @@
 //   ./build/examples/serve_demo
 //
 // Also writes serve_demo_trace.json — a Chrome trace of every query's
-// submit / queue wait / execute / kernel launch. Open it at
-// https://ui.perfetto.dev (or chrome://tracing) to see the timeline.
+// submit / queue wait / execute / kernel launch — and
+// serve_demo_flight.json, the engine's flight-recorder ring of recent
+// per-query events. Open the trace at https://ui.perfetto.dev (or
+// chrome://tracing) to see the timeline. Pass --out <dir> (or set
+// TBS_ARTIFACT_DIR) to redirect both artifacts.
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/datagen.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "serve/engine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tbs;
 
   const PointsSoA gas = uniform_box(2000, 15.0f, /*seed=*/3);
@@ -77,10 +82,20 @@ int main() {
   std::printf("  throughput           : %.0f answers/sec\n",
               stats.throughput_qps);
 
-  obs::Tracer::global().write_chrome_trace("serve_demo_trace.json");
-  std::printf("  trace                : serve_demo_trace.json (%zu spans; "
+  const std::string out_dir = obs::artifact_dir(argc, argv);
+  const std::string trace_path =
+      obs::artifact_path(out_dir, "serve_demo_trace.json");
+  obs::Tracer::global().write_chrome_trace(trace_path);
+  std::printf("  trace                : %s (%zu spans; "
               "open at https://ui.perfetto.dev)\n",
-              obs::Tracer::global().size());
+              trace_path.c_str(), obs::Tracer::global().size());
+  const std::string flight_path =
+      obs::artifact_path(out_dir, "serve_demo_flight.json");
+  if (engine.dump_flight(flight_path))
+    std::printf("  flight recorder      : %s (%llu events)\n",
+                flight_path.c_str(),
+                static_cast<unsigned long long>(
+                    engine.flight_recorder().total_recorded()));
 
   // The dedup story in one line: 37 submissions, 3 distinct shapes.
   const bool deduped = stats.counters.executed <= 3;

@@ -254,6 +254,12 @@ std::string escape(std::string_view s) {
   return out;
 }
 
+std::string finite_number(double v, bool* clamped) {
+  if (std::isfinite(v)) return number(v);
+  if (clamped != nullptr) *clamped = true;
+  return "0";
+}
+
 std::string number(double v) {
   if (v == 0.0) return "0";
   if (!std::isfinite(v)) return "null";  // JSON has no inf/nan

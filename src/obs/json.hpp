@@ -53,4 +53,10 @@ std::string escape(std::string_view s);
 /// "0" for zero, enough digits to round-trip counters exactly.
 std::string number(double v);
 
+/// Like number(), but clamps non-finite values (NaN/Inf qps on a
+/// zero-duration run, an empty histogram's mean) to "0" and reports the
+/// clamp through `*clamped` so the emitter can attach an explicit
+/// `"invalid": true` flag. Finite values leave `*clamped` untouched.
+std::string finite_number(double v, bool* clamped = nullptr);
+
 }  // namespace tbs::obs::json

@@ -1,0 +1,320 @@
+#include "obs/ledger.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tbs::obs::ledger {
+
+namespace {
+
+std::string sample_json(const MetricSample& s) {
+  std::string out = "{\"value\": " + json::number(s.value) +
+                    ", \"better\": \"" +
+                    (s.better == Better::Lower ? "lower" : "higher") +
+                    "\", \"gate\": " + (s.gate ? "true" : "false");
+  if (s.invalid) out += ", \"invalid\": true";
+  if (s.tolerance > 0.0)
+    out += ", \"tolerance\": " + json::number(s.tolerance);
+  out += "}";
+  return out;
+}
+
+MetricSample parse_sample(const json::Value& v, const std::string& where) {
+  check(v.is_object(), "ledger: metric sample at " + where +
+                           " is not an object");
+  MetricSample s;
+  s.value = v.at("value").number;
+  const std::string& better = v.at("better").string;
+  check(better == "lower" || better == "higher",
+        "ledger: bad 'better' value '" + better + "' at " + where);
+  s.better = better == "lower" ? Better::Lower : Better::Higher;
+  s.gate = v.at("gate").boolean;
+  if (const json::Value* inv = v.find("invalid")) s.invalid = inv->boolean;
+  if (const json::Value* tol = v.find("tolerance")) s.tolerance = tol->number;
+  return s;
+}
+
+std::string metrics_json(const MetricMap& metrics) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, sample] : metrics) {
+    out += first ? "" : ", ";
+    first = false;
+    out += "\"";
+    out += json::escape(name);
+    out += "\": ";
+    out += sample_json(sample);
+  }
+  out += "}";
+  return out;
+}
+
+MetricMap parse_metrics(const json::Value& v, const std::string& where) {
+  check(v.is_object(), "ledger: 'metrics' at " + where + " is not an object");
+  MetricMap out;
+  for (const auto& [name, sample] : v.object)
+    out.emplace(name, parse_sample(sample, where + "/" + name));
+  return out;
+}
+
+RunMeta parse_meta(const json::Value& v) {
+  check(v.is_object(), "ledger: 'meta' is not an object");
+  RunMeta m;
+  m.git_sha = v.at("git_sha").string;
+  m.build_type = v.at("build_type").string;
+  m.build_flags = v.at("build_flags").string;
+  m.compiler = v.at("compiler").string;
+  m.timestamp = v.at("timestamp").string;
+  m.host = v.at("host").string;
+  m.hw_threads = static_cast<int>(v.at("hw_threads").number);
+  return m;
+}
+
+/// Format the size component of a flattened metric name ("n=400000";
+/// json::number keeps integers plain).
+std::string n_part(double n) { return "n=" + json::number(n); }
+
+}  // namespace
+
+std::string metric_key(const std::string& bench, const std::string& kernel,
+                       double n, const std::string& metric) {
+  return bench + "/" + kernel + "/" + n_part(n) + "/" + metric;
+}
+
+Run from_bench_report(const json::Value& doc) {
+  check(doc.is_object(), "bench report: document is not an object");
+  const std::string& schema = doc.at("schema").string;
+  check(schema == kBenchReportSchema,
+        "bench report: unknown schema '" + schema + "' (expected " +
+            kBenchReportSchema + ")");
+  Run run;
+  run.bench = doc.at("bench").string;
+  check(!run.bench.empty(), "bench report: empty bench name");
+  run.meta = parse_meta(doc.at("meta"));
+
+  const json::Value& entries = doc.at("entries");
+  check(entries.is_array(), "bench report: 'entries' is not an array");
+  for (const json::Value& e : entries.array) {
+    check(e.is_object(), "bench report: entry is not an object");
+    const std::string& kernel = e.at("kernel").string;
+    const double n = e.at("n").number;
+    const std::string& source = e.at("source").string;
+    check(source == "sim" || source == "model" || source == "wall",
+          "bench report: bad entry source '" + source + "'");
+    const json::Value& metrics = e.at("metrics");
+    check(metrics.is_array(), "bench report: entry 'metrics' is not an array");
+    for (const json::Value& m : metrics.array) {
+      check(m.is_object(), "bench report: metric is not an object");
+      MetricSample s;
+      s.value = m.at("value").number;
+      const std::string& better = m.at("better").string;
+      check(better == "lower" || better == "higher",
+            "bench report: bad metric direction '" + better + "'");
+      s.better = better == "lower" ? Better::Lower : Better::Higher;
+      s.gate = m.at("gate").boolean;
+      if (const json::Value* inv = m.find("invalid")) s.invalid = inv->boolean;
+      run.metrics.emplace(
+          metric_key(run.bench, kernel, n, m.at("name").string), s);
+    }
+  }
+  return run;
+}
+
+std::string to_jsonl_line(const Run& run) {
+  return "{\"schema\": \"" + std::string(kLedgerSchema) + "\", \"bench\": \"" +
+         json::escape(run.bench) + "\", \"meta\": " + run.meta.to_json() +
+         ", \"metrics\": " + metrics_json(run.metrics) + "}";
+}
+
+Run from_jsonl_line(const json::Value& doc) {
+  check(doc.is_object(), "ledger: line is not an object");
+  const std::string& schema = doc.at("schema").string;
+  check(schema == kLedgerSchema,
+        "ledger: unknown schema '" + schema + "'");
+  Run run;
+  run.bench = doc.at("bench").string;
+  run.meta = parse_meta(doc.at("meta"));
+  run.metrics = parse_metrics(doc.at("metrics"), run.bench);
+  return run;
+}
+
+bool append(const std::string& path, const Run& run) {
+  std::ofstream os(path, std::ios::app);
+  if (!os) return false;
+  os << to_jsonl_line(run) << "\n";
+  return static_cast<bool>(os);
+}
+
+std::vector<Run> read(const std::string& path) {
+  std::ifstream is(path);
+  std::vector<Run> out;
+  if (!is) return out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    out.push_back(from_jsonl_line(json::parse(line)));
+  }
+  return out;
+}
+
+std::string Baseline::to_json() const {
+  std::string out = "{\n  \"schema\": \"" + std::string(kBaselineSchema) +
+                    "\",\n  \"tolerance\": " + json::number(tolerance) +
+                    ",\n  \"meta\": " + meta.to_json() +
+                    ",\n  \"metrics\": {";
+  bool first = true;
+  for (const auto& [name, sample] : metrics) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json::escape(name) + "\": " + sample_json(sample);
+  }
+  out += metrics.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool Baseline::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << to_json();
+  return static_cast<bool>(os);
+}
+
+Baseline Baseline::parse(const json::Value& doc) {
+  check(doc.is_object(), "baseline: document is not an object");
+  const std::string& schema = doc.at("schema").string;
+  check(schema == kBaselineSchema,
+        "baseline: unknown schema '" + schema + "'");
+  Baseline b;
+  b.tolerance = doc.at("tolerance").number;
+  check(b.tolerance > 0.0, "baseline: tolerance must be positive");
+  b.meta = parse_meta(doc.at("meta"));
+  b.metrics = parse_metrics(doc.at("metrics"), "baseline");
+  return b;
+}
+
+Baseline Baseline::load(const std::string& path) {
+  std::ifstream is(path);
+  check(static_cast<bool>(is), "baseline: cannot open '" + path + "'");
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return parse(json::parse(ss.str()));
+}
+
+bool RegressionReport::any_regression() const {
+  return std::any_of(deltas.begin(), deltas.end(),
+                     [](const Delta& d) { return d.regressed; });
+}
+
+const Delta* RegressionReport::worst() const {
+  return deltas.empty() ? nullptr : &deltas.front();
+}
+
+std::string RegressionReport::to_json() const {
+  std::string out = "{\n  \"any_regression\": ";
+  out += any_regression() ? "true" : "false";
+  out += ",\n  \"deltas\": [";
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const Delta& d = deltas[i];
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    {\"name\": \"" + json::escape(d.name) +
+           "\", \"baseline\": " + json::number(d.baseline) +
+           ", \"current\": " + json::number(d.current) +
+           ", \"regression\": " + json::number(d.regression) +
+           ", \"tolerance\": " + json::number(d.tolerance) +
+           ", \"better\": \"" +
+           (d.better == Better::Lower ? "lower" : "higher") +
+           "\", \"gated\": " + (d.gated ? "true" : "false") +
+           ", \"regressed\": " + (d.regressed ? "true" : "false") +
+           ", \"improved\": " + (d.improved ? "true" : "false") + "}";
+  }
+  out += deltas.empty() ? "],\n" : "\n  ],\n";
+  const auto names = [](const std::vector<std::string>& v) {
+    std::string s = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i != 0) s += ", ";
+      s += "\"";
+      s += json::escape(v[i]);
+      s += "\"";
+    }
+    s += "]";
+    return s;
+  };
+  out += "  \"missing\": " + names(missing) + ",\n";
+  out += "  \"added\": " + names(added) + "\n}\n";
+  return out;
+}
+
+bool RegressionReport::write_json(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << to_json();
+  return static_cast<bool>(os);
+}
+
+RegressionReport compare(const Baseline& baseline, const MetricMap& current) {
+  RegressionReport report;
+  for (const auto& [name, base] : baseline.metrics) {
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      if (base.gate) report.missing.push_back(name);
+      continue;
+    }
+    const MetricSample& cur = it->second;
+    Delta d;
+    d.name = name;
+    d.baseline = base.value;
+    d.current = cur.value;
+    d.better = base.better;
+    d.gated = base.gate;
+    d.tolerance =
+        base.tolerance > 0.0 ? base.tolerance : baseline.tolerance;
+    // Relative change in the bad direction, against the baseline magnitude.
+    // A zero baseline can't scale a relative delta; any nonzero current
+    // value in the bad direction counts as a full (1.0) regression.
+    const double denom = std::fabs(base.value);
+    const double worse = base.better == Better::Lower
+                             ? cur.value - base.value
+                             : base.value - cur.value;
+    d.regression = denom > 0.0 ? worse / denom : (worse > 0.0 ? 1.0 : 0.0);
+    if (!base.invalid && !cur.invalid) {
+      d.regressed = d.gated && d.regression > d.tolerance;
+      d.improved = d.regression < -d.tolerance;
+    }
+    report.deltas.push_back(std::move(d));
+  }
+  for (const auto& [name, cur] : current)
+    if (baseline.metrics.find(name) == baseline.metrics.end())
+      report.added.push_back(name);
+  std::sort(report.deltas.begin(), report.deltas.end(),
+            [](const Delta& a, const Delta& b) {
+              if (a.regressed != b.regressed) return a.regressed;
+              return a.regression > b.regression;
+            });
+  return report;
+}
+
+std::size_t update_baseline(Baseline& baseline, const MetricMap& current,
+                            const RegressionReport& report) {
+  std::size_t changed = 0;
+  for (const Delta& d : report.deltas) {
+    if (!d.improved) continue;
+    MetricSample& slot = baseline.metrics[d.name];
+    slot.value = d.current;
+    slot.invalid = false;
+    ++changed;
+  }
+  for (const std::string& name : report.added) {
+    const auto it = current.find(name);
+    if (it == current.end()) continue;
+    baseline.metrics[name] = it->second;
+    ++changed;
+  }
+  return changed;
+}
+
+}  // namespace tbs::obs::ledger

@@ -1,0 +1,141 @@
+// Performance ledger — the run-over-run store behind the regression gate.
+//
+// Every bench emits a BenchReport (report.hpp); this file turns those
+// artifacts into a time series and a gate:
+//
+//   BENCH_*.json ──▶ ledger::from_bench_report() ──▶ Run (flat metric map)
+//   Run ──▶ append() ──▶ ledger.jsonl            (one JSON object per line)
+//   Run × Baseline ──▶ compare() ──▶ RegressionReport (ranked deltas)
+//
+// Metric names are flattened to `<bench>/<kernel>/n=<n>/<metric>` so a
+// baseline covers every bench with one flat map. The comparison is
+// direction-aware: a gated lower-is-better metric (modeled seconds) fails
+// when it rises by more than the tolerance, a higher-is-better one (qps)
+// fails when it falls — improvements never fail and can be folded back
+// into the baseline ("blessed") via update_baseline(). Per-metric
+// tolerance overrides in the baseline let noisy metrics carry a wider band
+// than the default without loosening the gate for everything else.
+//
+// bench/check_regression is the CLI over this library; ROADMAP's "as fast
+// as the hardware allows" is enforced by CI running it against the
+// committed baseline in bench/baselines/.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace tbs::obs::ledger {
+
+inline constexpr const char* kLedgerSchema = "tbs.perf_ledger.v1";
+inline constexpr const char* kBaselineSchema = "tbs.perf_baseline.v1";
+inline constexpr double kDefaultTolerance = 0.05;
+
+/// One metric's value + gate semantics, as stored in ledger lines and
+/// baselines.
+struct MetricSample {
+  double value = 0.0;
+  Better better = Better::Lower;
+  bool gate = true;
+  bool invalid = false;
+  /// Per-metric relative tolerance override; 0 means "use the default".
+  double tolerance = 0.0;
+};
+
+/// Flat metric map: flattened name -> sample (sorted, so serialization is
+/// deterministic).
+using MetricMap = std::map<std::string, MetricSample>;
+
+/// One bench run: provenance + its flattened metrics.
+struct Run {
+  std::string bench;
+  RunMeta meta;
+  MetricMap metrics;
+};
+
+/// Flattened metric name: `<bench>/<kernel>/n=<n>/<metric>`.
+std::string metric_key(const std::string& bench, const std::string& kernel,
+                       double n, const std::string& metric);
+
+/// Extract a Run from a parsed BENCH_<name>.json document. Throws
+/// CheckError when the document is not a schema-valid bench report
+/// (missing schema/bench/meta/entries, malformed metrics) — this doubles
+/// as the structural validator for bench artifacts.
+Run from_bench_report(const json::Value& doc);
+
+/// One ledger line (no trailing newline).
+std::string to_jsonl_line(const Run& run);
+
+/// Parse one ledger line back into a Run (throws CheckError on schema
+/// violations).
+Run from_jsonl_line(const json::Value& doc);
+
+/// Append `run` to the JSONL ledger at `path` (created if missing); false
+/// if the file won't open.
+bool append(const std::string& path, const Run& run);
+
+/// Read every run in the ledger, oldest first. Missing file -> empty.
+/// Throws CheckError on a malformed line.
+std::vector<Run> read(const std::string& path);
+
+/// The committed reference a run is gated against.
+struct Baseline {
+  double tolerance = kDefaultTolerance;  ///< default relative tolerance
+  RunMeta meta;                          ///< provenance of the blessing run
+  MetricMap metrics;
+
+  [[nodiscard]] std::string to_json() const;
+  bool save(const std::string& path) const;
+
+  /// Parse a baseline document (throws CheckError when malformed).
+  static Baseline parse(const json::Value& doc);
+  /// Load from disk (throws CheckError on missing/malformed file).
+  static Baseline load(const std::string& path);
+};
+
+/// One baseline-vs-current comparison.
+struct Delta {
+  std::string name;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// Signed relative change in the *bad* direction: positive means worse
+  /// (slower / lower-qps), negative means better, whatever `better` says.
+  double regression = 0.0;
+  double tolerance = 0.0;  ///< the tolerance this metric was judged with
+  Better better = Better::Lower;
+  bool gated = true;
+  bool regressed = false;  ///< gated && regression > tolerance
+  bool improved = false;   ///< regression < -tolerance (any gate state)
+};
+
+/// The ranked comparison of one run (or several merged runs) against the
+/// baseline.
+struct RegressionReport {
+  std::vector<Delta> deltas;         ///< worst regression first
+  std::vector<std::string> missing;  ///< in baseline, absent from the run
+  std::vector<std::string> added;    ///< in the run, absent from baseline
+
+  [[nodiscard]] bool any_regression() const;
+  [[nodiscard]] const Delta* worst() const;  ///< nullptr when empty
+  [[nodiscard]] std::string to_json() const;
+  bool write_json(const std::string& path) const;
+};
+
+/// Compare `current` metrics against the baseline. Gated baseline metrics
+/// missing from `current` are reported in `missing` (a disappeared metric
+/// is suspicious but not a perf regression). `invalid` samples on either
+/// side are never regressions — a clamped 0 would otherwise read as an
+/// infinite speedup or slowdown.
+RegressionReport compare(const Baseline& baseline, const MetricMap& current);
+
+/// Bless improvements: fold improved values and brand-new metrics from
+/// `current` into `baseline`. Regressed/unchanged entries are left alone
+/// (blessing a regression requires rebuilding the baseline from scratch).
+/// Returns the number of entries updated or added.
+std::size_t update_baseline(Baseline& baseline, const MetricMap& current,
+                            const RegressionReport& report);
+
+}  // namespace tbs::obs::ledger

@@ -105,8 +105,14 @@ std::string MetricsRegistry::json_snapshot() const {
   out += "  \"gauges\": {";
   for (std::size_t i = 0; i < gauges.size(); ++i) {
     out += (i == 0 ? "\n" : ",\n");
-    out += "    \"" + json::escape(gauges[i].first) +
-           "\": " + json::number(gauges[i].second->value());
+    // A non-finite gauge (Inf qps from a zero-duration run) serializes as
+    // an object carrying 0 plus an explicit invalid flag, so the document
+    // stays parseable and the reader can tell the 0 is not a measurement.
+    bool clamped = false;
+    const std::string value =
+        json::finite_number(gauges[i].second->value(), &clamped);
+    out += "    \"" + json::escape(gauges[i].first) + "\": ";
+    out += clamped ? "{\"value\": 0, \"invalid\": true}" : value;
   }
   out += gauges.empty() ? "},\n" : "\n  },\n";
 
@@ -122,11 +128,14 @@ std::string MetricsRegistry::json_snapshot() const {
       out += "{\"le\": " + le + ", \"count\": " +
              std::to_string(snap.counts[b]) + "}";
     }
+    bool clamped = false;
     out += "], \"count\": " + std::to_string(snap.count) +
-           ", \"sum\": " + json::number(snap.sum) +
-           ", \"mean\": " + json::number(snap.mean()) +
-           ", \"min\": " + json::number(snap.min) +
-           ", \"max\": " + json::number(snap.max) + "}";
+           ", \"sum\": " + json::finite_number(snap.sum, &clamped) +
+           ", \"mean\": " + json::finite_number(snap.mean(), &clamped) +
+           ", \"min\": " + json::finite_number(snap.min, &clamped) +
+           ", \"max\": " + json::finite_number(snap.max, &clamped);
+    if (clamped) out += ", \"invalid\": true";
+    out += "}";
   }
   out += histograms.empty() ? "}\n" : "\n  }\n";
   out += "}\n";

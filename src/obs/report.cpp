@@ -1,0 +1,210 @@
+#include "obs/report.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "obs/json.hpp"
+
+// Build facts are stamped in by CMake (src/obs/CMakeLists.txt); the
+// fallbacks keep non-CMake builds (and IDE tooling) compiling.
+#ifndef TBS_GIT_SHA
+#define TBS_GIT_SHA "unknown"
+#endif
+#ifndef TBS_BUILD_TYPE
+#define TBS_BUILD_TYPE "unknown"
+#endif
+#ifndef TBS_BUILD_FLAGS
+#define TBS_BUILD_FLAGS ""
+#endif
+#ifndef TBS_COMPILER
+#define TBS_COMPILER "unknown"
+#endif
+
+namespace tbs::obs {
+
+RunMeta RunMeta::collect() {
+  RunMeta m;
+  m.git_sha = TBS_GIT_SHA;
+  m.build_type = TBS_BUILD_TYPE;
+  m.build_flags = TBS_BUILD_FLAGS;
+  m.compiler = TBS_COMPILER;
+
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  m.timestamp = stamp;
+
+  char host[256] = "unknown";
+  if (gethostname(host, sizeof(host) - 1) != 0) host[0] = '\0';
+  m.host = host[0] != '\0' ? host : "unknown";
+  m.hw_threads = static_cast<int>(std::thread::hardware_concurrency());
+  return m;
+}
+
+std::string RunMeta::to_json() const {
+  std::string out = "{";
+  out += "\"git_sha\": \"" + json::escape(git_sha) + "\"";
+  out += ", \"build_type\": \"" + json::escape(build_type) + "\"";
+  out += ", \"build_flags\": \"" + json::escape(build_flags) + "\"";
+  out += ", \"compiler\": \"" + json::escape(compiler) + "\"";
+  out += ", \"timestamp\": \"" + json::escape(timestamp) + "\"";
+  out += ", \"host\": \"" + json::escape(host) + "\"";
+  out += ", \"hw_threads\": " + std::to_string(hw_threads);
+  out += "}";
+  return out;
+}
+
+Metric::Metric(std::string n, double v, Better b, bool g)
+    : name(std::move(n)), better(b), gate(g) {
+  if (std::isfinite(v)) {
+    value = v;
+  } else {
+    value = 0.0;
+    invalid = true;
+  }
+}
+
+Metric& BenchEntry::metric(std::string name, double value, Better better,
+                          bool gate) {
+  metrics.emplace_back(std::move(name), value, better, gate);
+  return metrics.back();
+}
+
+BenchReport::BenchReport(std::string bench_name)
+    : name_(std::move(bench_name)), meta_(RunMeta::collect()) {}
+
+BenchEntry& BenchReport::entry(std::string kernel, double n,
+                               std::string source) {
+  BenchEntry e;
+  e.kernel = std::move(kernel);
+  e.n = n;
+  e.source = std::move(source);
+  entries_.push_back(std::move(e));
+  return entries_.back();
+}
+
+namespace {
+
+std::string metric_json(const Metric& m) {
+  std::string out = "{\"name\": \"" + json::escape(m.name) +
+                    "\", \"value\": " + json::number(m.value) +
+                    ", \"better\": \"" +
+                    (m.better == Better::Lower ? "lower" : "higher") +
+                    "\", \"gate\": " + (m.gate ? "true" : "false");
+  if (m.invalid) out += ", \"invalid\": true";
+  out += "}";
+  return out;
+}
+
+std::string time_report_json(const perfmodel::TimeReport& r) {
+  std::string out = "{\"seconds\": " + json::number(r.seconds) +
+                    ", \"bottleneck\": \"" + json::escape(r.bottleneck) + "\"";
+  out += ", \"util\": {\"arith\": " + json::number(r.util_arith()) +
+         ", \"control\": " + json::number(r.util_control()) +
+         ", \"dram\": " + json::number(r.util_dram()) +
+         ", \"l2\": " + json::number(r.util_l2()) +
+         ", \"roc\": " + json::number(r.util_roc()) +
+         ", \"shared\": " + json::number(r.util_shared()) + "}";
+  out += ", \"bw\": {\"dram\": " + json::number(r.bw_dram) +
+         ", \"l2\": " + json::number(r.bw_l2) +
+         ", \"roc\": " + json::number(r.bw_roc) +
+         ", \"shared\": " + json::number(r.bw_shared) + "}";
+  out += ", \"occupancy\": " + json::number(r.occ.occupancy) + "}";
+  return out;
+}
+
+std::string stats_json(const vgpu::KernelStats& s) {
+  const auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+  std::string out = "{";
+  out += "\"global_loads\": " + u64(s.global_loads);
+  out += ", \"global_stores\": " + u64(s.global_stores);
+  out += ", \"global_atomics\": " + u64(s.global_atomics);
+  out += ", \"roc_loads\": " + u64(s.roc_loads);
+  out += ", \"shared_loads\": " + u64(s.shared_loads);
+  out += ", \"shared_stores\": " + u64(s.shared_stores);
+  out += ", \"shared_atomics\": " + u64(s.shared_atomics);
+  out += ", \"shuffles\": " + u64(s.shuffles);
+  out += ", \"barriers\": " + u64(s.barriers);
+  out += ", \"dram_bytes\": " + u64(s.dram_bytes);
+  out += ", \"l2_bytes\": " + u64(s.l2_bytes);
+  out += ", \"roc_hit_bytes\": " + u64(s.roc_hit_bytes);
+  out += ", \"shared_bytes\": " + u64(s.shared_bytes);
+  out += ", \"total_warp_cycles\": " + json::number(s.total_warp_cycles);
+  out += ", \"grid_dim\": " + std::to_string(s.grid_dim);
+  out += ", \"block_dim\": " + std::to_string(s.block_dim);
+  out += ", \"launches\": " + u64(s.launches);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string BenchReport::to_json() const {
+  std::string out = "{\n";
+  out += "  \"schema\": \"" + std::string(kBenchReportSchema) + "\",\n";
+  out += "  \"bench\": \"" + json::escape(name_) + "\",\n";
+  out += "  \"meta\": " + meta_.to_json() + ",\n";
+  out += "  \"entries\": [";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const BenchEntry& e = entries_[i];
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    {\"kernel\": \"" + json::escape(e.kernel) +
+           "\", \"n\": " + json::number(e.n) + ", \"source\": \"" +
+           json::escape(e.source) + "\",\n     \"metrics\": [";
+    for (std::size_t m = 0; m < e.metrics.size(); ++m) {
+      if (m != 0) out += ", ";
+      out += metric_json(e.metrics[m]);
+    }
+    out += "]";
+    if (e.has_report) out += ",\n     \"report\": " + time_report_json(e.report);
+    if (e.has_stats) out += ",\n     \"counters\": " + stats_json(e.stats);
+    out += "}";
+  }
+  out += entries_.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool BenchReport::write_json(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << to_json();
+  return static_cast<bool>(os);
+}
+
+std::string artifact_dir(int argc, char** argv) {
+  std::string dir = arg_value(argc, argv, "--out", "");
+  if (dir.empty()) {
+    const char* env = std::getenv("TBS_ARTIFACT_DIR");
+    if (env != nullptr && env[0] != '\0') dir = env;
+  }
+  if (dir.empty()) return ".";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort; write errors
+  return dir;                                    // surface at open time
+}
+
+std::string artifact_path(const std::string& dir, const std::string& name) {
+  if (dir.empty() || dir == ".") return name;
+  return dir.back() == '/' ? dir + name : dir + "/" + name;
+}
+
+std::string arg_value(int argc, char** argv, const std::string& flag,
+                      const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (argv[i] == flag) return argv[i + 1];
+  return fallback;
+}
+
+}  // namespace tbs::obs

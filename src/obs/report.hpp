@@ -1,0 +1,140 @@
+// BenchReport — the unified, schema-versioned bench emission protocol.
+//
+// The paper's core claims are quantitative (which kernel wins, by what
+// factor, at what modeled bandwidth); the benches reproduce them but until
+// now printed human-only ASCII tables. BenchReport gives every bench one
+// machine-readable artifact: `BENCH_<name>.json` carrying run metadata
+// (git sha, build flags, timestamp, host), plus one entry per kernel/size
+// with the modeled seconds, utilization/bandwidth breakdown, raw
+// KernelStats counters, and sim-vs-model provenance. `obs::ledger` appends
+// these runs to a JSONL time series and `bench/check_regression` gates new
+// runs against a committed baseline — see ledger.hpp.
+//
+// Metric semantics: every metric carries a direction (lower- or
+// higher-is-better) and a `gate` flag. Gated metrics are deterministic
+// simulator/model outputs (modeled seconds, bandwidths, counter ratios)
+// that the regression gate fails on; wall-clock metrics (qps, p99 on a
+// shared host) are recorded with gate=false so they ride the ledger and
+// the delta report without flaking CI.
+//
+// Non-finite hardening: a zero-duration run divides into an Inf qps and an
+// empty histogram means into NaN. Those values serialize as 0 with an
+// explicit `"invalid": true` flag rather than as JSON-illegal tokens (or a
+// silently lying 0), so downstream consumers can both parse the document
+// and see that the number is not real.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "perfmodel/timemodel.hpp"
+#include "vgpu/stats.hpp"
+
+namespace tbs::obs {
+
+/// Schema identifier stamped into every report (bump on layout changes).
+inline constexpr const char* kBenchReportSchema = "tbs.bench_report.v1";
+
+/// Metadata identifying one build+host+moment — the provenance block every
+/// bench report and ledger line carries.
+struct RunMeta {
+  std::string git_sha;      ///< configure-time `git rev-parse` (or "unknown")
+  std::string build_type;   ///< CMAKE_BUILD_TYPE
+  std::string build_flags;  ///< CMAKE_CXX_FLAGS as configured
+  std::string compiler;     ///< id + version
+  std::string timestamp;    ///< UTC ISO-8601, collected at runtime
+  std::string host;         ///< gethostname()
+  int hw_threads = 0;       ///< std::thread::hardware_concurrency()
+
+  /// Compiled-in build facts + runtime host facts.
+  static RunMeta collect();
+
+  [[nodiscard]] std::string to_json() const;  ///< one JSON object
+};
+
+/// Regression-gate direction of one metric.
+enum class Better { Lower, Higher };
+
+/// One named scalar a bench reports. `gate` marks metrics the regression
+/// gate enforces (deterministic model outputs); wall-clock measurements set
+/// it false. `invalid` records that the raw value was non-finite and was
+/// clamped to 0 for serialization.
+struct Metric {
+  std::string name;
+  double value = 0.0;
+  Better better = Better::Lower;
+  bool gate = true;
+  bool invalid = false;
+
+  Metric() = default;
+  Metric(std::string n, double v, Better b, bool g = true);
+};
+
+/// One kernel × size data point.
+struct BenchEntry {
+  std::string kernel;  ///< kernel/config label ("Reg-ROC-Out", "clients=8")
+  double n = 0.0;      ///< problem size (or the bench's x-axis value)
+  std::string source;  ///< "sim" (direct), "model" (extrapolated), "wall"
+  std::vector<Metric> metrics;
+
+  bool has_report = false;
+  perfmodel::TimeReport report;  ///< util/bw breakdown when available
+
+  bool has_stats = false;
+  vgpu::KernelStats stats;  ///< raw access counters when available
+
+  /// Append a metric (non-finite values are clamped + flagged).
+  Metric& metric(std::string name, double value, Better better,
+                 bool gate = true);
+};
+
+/// The per-bench artifact builder. Typical use (see bench/harness.hpp for
+/// the Sweep-level convenience wrappers):
+///
+///   obs::BenchReport report("fig4_sdh");
+///   auto& e = report.entry("Reg-ROC-Out", 2e6, "model");
+///   e.metric("seconds", t, obs::Better::Lower);
+///   e.report = time_report; e.has_report = true;
+///   report.write_json(dir + "/BENCH_fig4_sdh.json");
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const RunMeta& meta() const { return meta_; }
+  [[nodiscard]] const std::vector<BenchEntry>& entries() const {
+    return entries_;
+  }
+
+  /// Add one kernel × size entry.
+  BenchEntry& entry(std::string kernel, double n, std::string source);
+
+  /// The full document (parseable by obs::json; see EXPERIMENTS.md for the
+  /// schema walk-through).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to_json() to `path`; false if the file won't open.
+  bool write_json(const std::string& path) const;
+
+ private:
+  std::string name_;
+  RunMeta meta_;
+  std::vector<BenchEntry> entries_;
+};
+
+/// Resolve where artifacts go: `--out <dir>` in argv, else the
+/// TBS_ARTIFACT_DIR environment variable, else ".". The directory is
+/// created if missing. Every artifact-writing bench/example funnels its
+/// output paths through this, so CI redirects a whole run with one flag.
+std::string artifact_dir(int argc, char** argv);
+
+/// `dir + "/" + name` (no-op prefix when dir is ".").
+std::string artifact_path(const std::string& dir, const std::string& name);
+
+/// Tiny argv helper: the value following `flag`, or `fallback` when the
+/// flag is absent (or has no following value).
+std::string arg_value(int argc, char** argv, const std::string& flag,
+                      const std::string& fallback);
+
+}  // namespace tbs::obs

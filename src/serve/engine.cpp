@@ -12,6 +12,7 @@ QueryEngine::QueryEngine() : QueryEngine(Config{}) {}
 QueryEngine::QueryEngine(Config cfg)
     : cfg_(cfg),
       tracer_(cfg.tracer != nullptr ? cfg.tracer : &obs::Tracer::global()),
+      flight_(cfg.flight_capacity, cfg.flight),
       c_submitted_(metrics_.counter("serve.submitted")),
       c_rejected_(metrics_.counter("serve.rejected")),
       c_coalesced_(metrics_.counter("serve.coalesced")),
@@ -112,6 +113,7 @@ std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
   obs::Span span(*tracer_, "serve.submit", "serve");
   span.attr("key", key);
   c_submitted_.inc();
+  flight_.record(FlightRecorder::Event::Submit, key);
 
   while (true) {
     {
@@ -128,6 +130,7 @@ std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
         latency_.record(seconds);
         h_latency_.observe(seconds);
         span.attr("outcome", "cache_hit");
+        flight_.record(FlightRecorder::Event::CacheHit, key, 0, seconds);
         return ready.get_future().share();
       }
 
@@ -135,6 +138,7 @@ std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
       if (const auto it = inflight_.find(key); it != inflight_.end()) {
         c_coalesced_.inc();
         span.attr("outcome", "coalesced");
+        flight_.record(FlightRecorder::Event::Coalesce, key);
         return it->second;
       }
 
@@ -149,11 +153,14 @@ std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
       if (queue_.try_push(job)) {
         inflight_.emplace(key, fut);
         span.attr("outcome", "enqueued");
+        flight_.record(FlightRecorder::Event::Enqueue, key);
         return fut;
       }
       if (!block) {
         c_rejected_.inc();
         span.attr("outcome", "rejected");
+        flight_.record(FlightRecorder::Event::Shed, key);
+        flight_.maybe_dump_on_shed();
         return std::nullopt;
       }
     }
@@ -182,6 +189,8 @@ void QueryEngine::worker_loop(std::size_t worker_index) {
     {
       obs::Span span(*tracer_, "serve.execute", "serve");
       span.attr("key", job->key);
+      flight_.record(FlightRecorder::Event::ExecuteBegin, job->key,
+                     static_cast<std::uint32_t>(worker_index));
       try {
         const std::lock_guard<std::mutex> dev_lock(slot.mu);
         result = execute(slot, stream, *job);
@@ -216,6 +225,14 @@ void QueryEngine::worker_loop(std::size_t worker_index) {
           std::chrono::duration<double>(Clock::now() - job->submitted).count();
       latency_.record(seconds);
       h_latency_.observe(seconds);
+      flight_.record(error ? FlightRecorder::Event::Fail
+                           : FlightRecorder::Event::Complete,
+                     job->key, static_cast<std::uint32_t>(worker_index),
+                     seconds);
+      // SLO gate: check the engine-wide p99 after each completion; the
+      // recorder rate-limits to one dump per breach window.
+      if (flight_.policy().p99_threshold_seconds > 0.0)
+        flight_.maybe_dump_slo_breach(latency_.summary().p99);
     }  // serve.execute recorded here, before any client can wake
     if (!error)
       job->promise.set_value(std::move(result));
@@ -303,6 +320,11 @@ void QueryEngine::refresh_gauges(const EngineStats& s) const {
       .set(static_cast<double>(plan_cache_.misses()));
   metrics_.gauge("serve.result_cache.entries")
       .set(static_cast<double>(cache_.size()));
+}
+
+bool QueryEngine::dump_flight(const std::string& path) const {
+  return flight_.dump(path, "manual", latency_.summary().p99,
+                      flight_.policy().p99_threshold_seconds);
 }
 
 std::string QueryEngine::metrics_json() const {

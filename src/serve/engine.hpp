@@ -43,6 +43,7 @@
 #include "core/planner.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/flight_recorder.hpp"
 #include "serve/metrics.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
@@ -74,6 +75,12 @@ class QueryEngine {
     /// nullptr means obs::Tracer::global() (disabled by default, so tracing
     /// costs one atomic load per span until someone enables it).
     obs::Tracer* tracer = nullptr;
+    /// Flight-recorder ring size (rounded up to a power of two; 0 disables
+    /// event recording entirely).
+    std::size_t flight_capacity = 1024;
+    /// When and where the recorder dumps on its own (p99 SLO breach /
+    /// shed). Disabled by default — see FlightRecorder::SloPolicy.
+    FlightRecorder::SloPolicy flight{};
   };
 
   using ResultFuture = std::shared_future<QueryResult>;
@@ -141,6 +148,16 @@ class QueryEngine {
   /// The tracer spans are emitted to (Config::tracer, or the global one).
   [[nodiscard]] obs::Tracer& tracer() const noexcept { return *tracer_; }
 
+  /// The per-query event ring (capacity Config::flight_capacity). Mutable
+  /// access so callers can trigger policy dumps; recording is internal.
+  [[nodiscard]] FlightRecorder& flight_recorder() const noexcept {
+    return flight_;
+  }
+
+  /// Dump the flight recorder to `path` (reason "manual", current p99
+  /// attached). False if the file won't open.
+  bool dump_flight(const std::string& path) const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -179,6 +196,7 @@ class QueryEngine {
 
   Config cfg_;
   obs::Tracer* tracer_;  ///< never null (Config::tracer or the global)
+  mutable FlightRecorder flight_;
 
   /// Per-engine registry; declared before the instrument references below
   /// and before slots_ (device launch observers touch the counters, and

@@ -79,3 +79,23 @@ TEST(JsonNumber, NonFiniteBecomesNull) {
   EXPECT_EQ(json::number(std::nan("")), "null");
   EXPECT_EQ(json::number(INFINITY), "null");
 }
+
+TEST(JsonNumber, FiniteNumberClampsAndReportsNonFiniteValues) {
+  bool clamped = false;
+  EXPECT_EQ(json::finite_number(2.5, &clamped), "2.5");
+  EXPECT_FALSE(clamped);  // finite values leave the flag untouched
+
+  EXPECT_EQ(json::finite_number(std::nan(""), &clamped), "0");
+  EXPECT_TRUE(clamped);
+
+  clamped = false;
+  EXPECT_EQ(json::finite_number(INFINITY, &clamped), "0");
+  EXPECT_TRUE(clamped);
+  EXPECT_EQ(json::finite_number(-INFINITY), "0");  // null flag is allowed
+
+  // A prior clamp is never reset by a later finite value — callers
+  // accumulate "did anything in this block clamp?" across several fields.
+  clamped = true;
+  EXPECT_EQ(json::finite_number(1.0, &clamped), "1");
+  EXPECT_TRUE(clamped);
+}

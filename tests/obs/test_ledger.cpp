@@ -1,0 +1,253 @@
+// obs::ledger — the run store and direction-aware regression gate. The
+// behaviours CI leans on: JSONL lines round-trip exactly, a slower gated
+// lower-is-better metric (or a lower gated higher-is-better one) beyond
+// tolerance regresses, wall-clock (gate=false) metrics never fail the
+// gate, invalid samples never produce phantom regressions, and blessing
+// folds improvements — never regressions — back into the baseline.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/ledger.hpp"
+#include "obs/report.hpp"
+
+namespace obs = tbs::obs;
+namespace json = tbs::obs::json;
+namespace ledger = tbs::obs::ledger;
+using ledger::Baseline;
+using ledger::MetricMap;
+using ledger::MetricSample;
+using ledger::RegressionReport;
+
+using tbs::CheckError;
+
+namespace {
+
+MetricSample sample(double value, obs::Better better = obs::Better::Lower,
+                    bool gate = true) {
+  MetricSample s;
+  s.value = value;
+  s.better = better;
+  s.gate = gate;
+  return s;
+}
+
+Baseline baseline_of(MetricMap metrics, double tolerance = 0.05) {
+  Baseline b;
+  b.tolerance = tolerance;
+  b.meta = obs::RunMeta::collect();
+  b.metrics = std::move(metrics);
+  return b;
+}
+
+const ledger::Delta& delta_named(const RegressionReport& r,
+                                 const std::string& name) {
+  for (const auto& d : r.deltas)
+    if (d.name == name) return d;
+  ADD_FAILURE() << "no delta named " << name;
+  static ledger::Delta none;
+  return none;
+}
+
+}  // namespace
+
+TEST(Ledger, MetricKeyFlattensBenchKernelSizeMetric) {
+  EXPECT_EQ(ledger::metric_key("fig4_sdh", "Reg-ROC-Out", 400000, "seconds"),
+            "fig4_sdh/Reg-ROC-Out/n=400000/seconds");
+}
+
+TEST(Ledger, JsonlLineRoundTripsARunExactly) {
+  ledger::Run run;
+  run.bench = "fig2_pcf";
+  run.meta = obs::RunMeta::collect();
+  run.metrics["fig2_pcf/Naive/n=1024/seconds"] = sample(0.125);
+  run.metrics["fig2_pcf/Naive/n=1024/qps"] =
+      sample(100.0, obs::Better::Higher, /*gate=*/false);
+  MetricSample inv = sample(0.0);
+  inv.invalid = true;
+  inv.tolerance = 0.2;
+  run.metrics["fig2_pcf/Naive/n=1024/mean"] = inv;
+
+  const ledger::Run back = ledger::from_jsonl_line(
+      json::parse(ledger::to_jsonl_line(run)));
+  EXPECT_EQ(back.bench, run.bench);
+  EXPECT_EQ(back.meta.git_sha, run.meta.git_sha);
+  ASSERT_EQ(back.metrics.size(), 3u);
+  const MetricSample& s = back.metrics.at("fig2_pcf/Naive/n=1024/seconds");
+  EXPECT_DOUBLE_EQ(s.value, 0.125);
+  EXPECT_TRUE(s.gate);
+  const MetricSample& q = back.metrics.at("fig2_pcf/Naive/n=1024/qps");
+  EXPECT_EQ(q.better, obs::Better::Higher);
+  EXPECT_FALSE(q.gate);
+  const MetricSample& i = back.metrics.at("fig2_pcf/Naive/n=1024/mean");
+  EXPECT_TRUE(i.invalid);
+  EXPECT_DOUBLE_EQ(i.tolerance, 0.2);
+}
+
+TEST(Ledger, AppendAndReadPreserveRunOrder) {
+  const std::string path = ::testing::TempDir() + "tbs_test_ledger.jsonl";
+  std::remove(path.c_str());
+  EXPECT_TRUE(ledger::read(path).empty());  // missing file is empty, not fatal
+
+  ledger::Run a;
+  a.bench = "first";
+  a.meta = obs::RunMeta::collect();
+  a.metrics["first/k/n=1/seconds"] = sample(1.0);
+  ledger::Run b = a;
+  b.bench = "second";
+  ASSERT_TRUE(ledger::append(path, a));
+  ASSERT_TRUE(ledger::append(path, b));
+
+  const auto runs = ledger::read(path);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].bench, "first");
+  EXPECT_EQ(runs[1].bench, "second");
+  std::remove(path.c_str());
+}
+
+TEST(Ledger, SlowerLowerIsBetterMetricRegresses) {
+  const Baseline base = baseline_of({{"b/k/n=1/seconds", sample(1.0)}});
+  MetricMap cur{{"b/k/n=1/seconds", sample(1.10)}};  // 10% slower, tol 5%
+  const RegressionReport r = ledger::compare(base, cur);
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_TRUE(r.deltas[0].regressed);
+  EXPECT_NEAR(r.deltas[0].regression, 0.10, 1e-12);
+  EXPECT_TRUE(r.any_regression());
+  ASSERT_NE(r.worst(), nullptr);
+  EXPECT_EQ(r.worst()->name, "b/k/n=1/seconds");
+}
+
+TEST(Ledger, LowerQpsOnHigherIsBetterMetricRegresses) {
+  const Baseline base = baseline_of(
+      {{"b/k/n=1/qps", sample(1000.0, obs::Better::Higher)}});
+  MetricMap cur{{"b/k/n=1/qps", sample(900.0, obs::Better::Higher)}};
+  const RegressionReport r = ledger::compare(base, cur);
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_TRUE(r.deltas[0].regressed);  // qps fell 10% against a 5% band
+  EXPECT_NEAR(r.deltas[0].regression, 0.10, 1e-12);
+
+  // And a higher qps is an improvement, not a regression.
+  MetricMap faster{{"b/k/n=1/qps", sample(1200.0, obs::Better::Higher)}};
+  const RegressionReport r2 = ledger::compare(base, faster);
+  EXPECT_FALSE(r2.any_regression());
+  EXPECT_TRUE(r2.deltas[0].improved);
+}
+
+TEST(Ledger, ToleranceIsAStrictBoundary) {
+  // 105/100 lands exactly on the 0.05 tolerance literal (1.05 - 1.0 would
+  // not): at the boundary is not a regression (strictly-greater-than gate).
+  const Baseline base = baseline_of({{"b/k/n=1/seconds", sample(100.0)}});
+  const RegressionReport at =
+      ledger::compare(base, {{"b/k/n=1/seconds", sample(105.0)}});
+  EXPECT_FALSE(at.any_regression());
+  const RegressionReport over =
+      ledger::compare(base, {{"b/k/n=1/seconds", sample(105.001)}});
+  EXPECT_TRUE(over.any_regression());
+}
+
+TEST(Ledger, PerMetricToleranceOverridesTheDefault) {
+  MetricSample noisy = sample(1.0);
+  noisy.tolerance = 0.5;  // this one metric gets a wide band
+  const Baseline base = baseline_of(
+      {{"b/k/n=1/noisy", noisy}, {"b/k/n=1/tight", sample(1.0)}});
+  MetricMap cur{{"b/k/n=1/noisy", sample(1.4)},
+                {"b/k/n=1/tight", sample(1.4)}};
+  const RegressionReport r = ledger::compare(base, cur);
+  EXPECT_FALSE(delta_named(r, "b/k/n=1/noisy").regressed);
+  EXPECT_TRUE(delta_named(r, "b/k/n=1/tight").regressed);
+}
+
+TEST(Ledger, UngatedMetricsInformButNeverFail) {
+  const Baseline base = baseline_of(
+      {{"b/k/n=1/p99", sample(0.010, obs::Better::Lower, /*gate=*/false)}});
+  MetricMap cur{
+      {"b/k/n=1/p99", sample(0.100, obs::Better::Lower, /*gate=*/false)}};
+  const RegressionReport r = ledger::compare(base, cur);
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_FALSE(r.deltas[0].regressed);  // 10x worse but wall-clock: ungated
+  EXPECT_GT(r.deltas[0].regression, 1.0);
+  EXPECT_FALSE(r.any_regression());
+}
+
+TEST(Ledger, InvalidSamplesNeverRegressOrImprove) {
+  MetricSample invalid_base = sample(0.0);
+  invalid_base.invalid = true;  // clamped NaN in the baseline
+  const Baseline base = baseline_of(
+      {{"b/k/n=1/a", invalid_base}, {"b/k/n=1/b", sample(1.0)}});
+  MetricSample invalid_cur = sample(0.0);
+  invalid_cur.invalid = true;  // clamped NaN in the run
+  MetricMap cur{{"b/k/n=1/a", sample(5.0)}, {"b/k/n=1/b", invalid_cur}};
+  const RegressionReport r = ledger::compare(base, cur);
+  EXPECT_FALSE(r.any_regression());
+  EXPECT_FALSE(delta_named(r, "b/k/n=1/a").regressed);
+  EXPECT_FALSE(delta_named(r, "b/k/n=1/b").improved);
+}
+
+TEST(Ledger, ZeroBaselineCountsAnyWorseningAsFullRegression) {
+  const Baseline base = baseline_of({{"b/k/n=1/collisions", sample(0.0)}});
+  const RegressionReport worse =
+      ledger::compare(base, {{"b/k/n=1/collisions", sample(3.0)}});
+  EXPECT_TRUE(worse.any_regression());
+  EXPECT_DOUBLE_EQ(worse.deltas[0].regression, 1.0);
+  const RegressionReport same =
+      ledger::compare(base, {{"b/k/n=1/collisions", sample(0.0)}});
+  EXPECT_FALSE(same.any_regression());
+}
+
+TEST(Ledger, MissingAndAddedMetricsAreReportedNotFailed) {
+  const Baseline base = baseline_of(
+      {{"b/k/n=1/gone", sample(1.0)},
+       {"b/k/n=1/gone_ungated", sample(1.0, obs::Better::Lower, false)}});
+  MetricMap cur{{"b/k/n=1/new", sample(2.0)}};
+  const RegressionReport r = ledger::compare(base, cur);
+  ASSERT_EQ(r.missing.size(), 1u);  // only the gated disappearance is listed
+  EXPECT_EQ(r.missing[0], "b/k/n=1/gone");
+  ASSERT_EQ(r.added.size(), 1u);
+  EXPECT_EQ(r.added[0], "b/k/n=1/new");
+  EXPECT_FALSE(r.any_regression());
+}
+
+TEST(Ledger, BlessFoldsImprovementsAndNewMetricsOnly) {
+  Baseline base = baseline_of({{"b/k/n=1/fast", sample(1.0)},
+                               {"b/k/n=1/slow", sample(1.0)},
+                               {"b/k/n=1/flat", sample(1.0)}});
+  MetricMap cur{{"b/k/n=1/fast", sample(0.5)},   // improved
+                {"b/k/n=1/slow", sample(2.0)},   // regressed
+                {"b/k/n=1/flat", sample(1.01)},  // within tolerance
+                {"b/k/n=1/new", sample(7.0)}};   // brand new
+  const RegressionReport r = ledger::compare(base, cur);
+  const std::size_t changed = ledger::update_baseline(base, cur, r);
+  EXPECT_EQ(changed, 2u);  // fast + new
+  EXPECT_DOUBLE_EQ(base.metrics.at("b/k/n=1/fast").value, 0.5);
+  EXPECT_DOUBLE_EQ(base.metrics.at("b/k/n=1/slow").value, 1.0);  // untouched
+  EXPECT_DOUBLE_EQ(base.metrics.at("b/k/n=1/flat").value, 1.0);
+  EXPECT_DOUBLE_EQ(base.metrics.at("b/k/n=1/new").value, 7.0);
+}
+
+TEST(Ledger, BaselineSavesAndLoadsThroughDisk) {
+  Baseline base = baseline_of({{"b/k/n=1/seconds", sample(0.25)}}, 0.08);
+  const std::string path = ::testing::TempDir() + "tbs_test_baseline.json";
+  ASSERT_TRUE(base.save(path));
+  const Baseline back = Baseline::load(path);
+  EXPECT_DOUBLE_EQ(back.tolerance, 0.08);
+  ASSERT_EQ(back.metrics.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.metrics.at("b/k/n=1/seconds").value, 0.25);
+  std::remove(path.c_str());
+  EXPECT_THROW(Baseline::load(path), CheckError);  // missing file is loud
+}
+
+TEST(Ledger, MalformedLinesAndBaselinesThrow) {
+  EXPECT_THROW(ledger::from_jsonl_line(json::parse("{\"schema\": \"x\"}")),
+               CheckError);
+  EXPECT_THROW(Baseline::parse(json::parse("{\"schema\": \"x\"}")),
+               CheckError);
+  // Non-positive tolerance is rejected — it would gate everything.
+  EXPECT_THROW(
+      Baseline::parse(json::parse(
+          R"({"schema": "tbs.perf_baseline.v1", "tolerance": 0,
+              "meta": {}, "metrics": {}})")),
+      CheckError);
+}

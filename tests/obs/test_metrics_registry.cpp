@@ -2,6 +2,8 @@
 // the JSON snapshot the serve bench writes as metrics.json.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -96,6 +98,43 @@ TEST(MetricsRegistry, EmptyRegistrySnapshotsToEmptyObjects) {
   EXPECT_TRUE(doc.at("counters").object.empty());
   EXPECT_TRUE(doc.at("gauges").object.empty());
   EXPECT_TRUE(doc.at("histograms").object.empty());
+}
+
+TEST(MetricsRegistry, NonFiniteGaugeSerializesAsZeroWithInvalidFlag) {
+  obs::MetricsRegistry reg;
+  reg.gauge("qps").set(std::numeric_limits<double>::infinity());
+  reg.gauge("mean").set(std::nan(""));
+  reg.gauge("fine").set(42.0);
+
+  // The document must still parse — a bare `inf`/`nan` token would kill
+  // every downstream consumer — and the clamped gauges carry the flag.
+  const json::Value doc = json::parse(reg.json_snapshot());
+  const json::Value& qps = doc.at("gauges").at("qps");
+  ASSERT_TRUE(qps.is_object());
+  EXPECT_DOUBLE_EQ(qps.at("value").number, 0.0);
+  EXPECT_TRUE(qps.at("invalid").boolean);
+  EXPECT_TRUE(doc.at("gauges").at("mean").at("invalid").boolean);
+  // Finite gauges keep the plain-number form (no wrapper object).
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("fine").number, 42.0);
+}
+
+TEST(MetricsRegistry, NonFiniteHistogramStatsAreClampedAndFlagged) {
+  obs::MetricsRegistry reg;
+  obs::FixedHistogram& h = reg.histogram("lat", {1.0});
+  h.observe(std::numeric_limits<double>::infinity());  // poisons sum/mean/max
+
+  const json::Value doc = json::parse(reg.json_snapshot());
+  const json::Value& hist = doc.at("histograms").at("lat");
+  EXPECT_DOUBLE_EQ(hist.at("sum").number, 0.0);
+  EXPECT_DOUBLE_EQ(hist.at("mean").number, 0.0);
+  EXPECT_TRUE(hist.at("invalid").boolean);
+  EXPECT_DOUBLE_EQ(hist.at("count").number, 1.0);  // the observe did count
+
+  // A clean histogram carries no invalid flag at all.
+  obs::MetricsRegistry clean;
+  clean.histogram("ok", {1.0}).observe(0.5);
+  const json::Value doc2 = json::parse(clean.json_snapshot());
+  EXPECT_EQ(doc2.at("histograms").at("ok").find("invalid"), nullptr);
 }
 
 TEST(MetricsRegistry, CounterNamesListsEveryCounter) {

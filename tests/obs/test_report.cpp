@@ -1,0 +1,155 @@
+// obs::BenchReport — the unified bench emission protocol. The contract
+// under test: every report serializes to a document obs::json can parse
+// and obs::ledger::from_bench_report accepts as schema-valid; non-finite
+// metric values are clamped to 0 with an explicit invalid flag; the
+// artifact-dir resolution honours --out over the environment over ".".
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/ledger.hpp"
+#include "obs/report.hpp"
+
+namespace obs = tbs::obs;
+namespace json = tbs::obs::json;
+namespace ledger = tbs::obs::ledger;
+using tbs::CheckError;
+
+TEST(BenchReport, SerializesSchemaValidDocumentTheLedgerAccepts) {
+  obs::BenchReport report("unit_bench");
+  obs::BenchEntry& e = report.entry("Reg-ROC-Out", 400000, "model");
+  e.metric("seconds", 0.125, obs::Better::Lower);
+  e.metric("qps", 800.0, obs::Better::Higher, /*gate=*/false);
+
+  const json::Value doc = json::parse(report.to_json());
+  EXPECT_EQ(doc.at("schema").string, obs::kBenchReportSchema);
+  EXPECT_EQ(doc.at("bench").string, "unit_bench");
+  EXPECT_FALSE(doc.at("meta").at("git_sha").string.empty());
+  EXPECT_FALSE(doc.at("meta").at("timestamp").string.empty());
+
+  const ledger::Run run = ledger::from_bench_report(doc);
+  EXPECT_EQ(run.bench, "unit_bench");
+  const std::string key =
+      ledger::metric_key("unit_bench", "Reg-ROC-Out", 400000, "seconds");
+  ASSERT_EQ(run.metrics.count(key), 1u);
+  const ledger::MetricSample& s = run.metrics.at(key);
+  EXPECT_DOUBLE_EQ(s.value, 0.125);
+  EXPECT_EQ(s.better, obs::Better::Lower);
+  EXPECT_TRUE(s.gate);
+  const ledger::MetricSample& q = run.metrics.at(
+      ledger::metric_key("unit_bench", "Reg-ROC-Out", 400000, "qps"));
+  EXPECT_EQ(q.better, obs::Better::Higher);
+  EXPECT_FALSE(q.gate);  // wall-clock metric rides the ledger ungated
+}
+
+TEST(BenchReport, NonFiniteMetricsClampToZeroWithInvalidFlag) {
+  obs::BenchReport report("nan_bench");
+  obs::BenchEntry& e = report.entry("k", 16, "sim");
+  // Copies, not references — each metric() call may regrow the vector.
+  const obs::Metric nan_m =
+      e.metric("mean", std::nan(""), obs::Better::Lower);
+  const obs::Metric inf_m =
+      e.metric("qps", INFINITY, obs::Better::Higher, /*gate=*/false);
+  const obs::Metric ok = e.metric("seconds", 1.5, obs::Better::Lower);
+  EXPECT_TRUE(nan_m.invalid);
+  EXPECT_DOUBLE_EQ(nan_m.value, 0.0);
+  EXPECT_TRUE(inf_m.invalid);
+  EXPECT_DOUBLE_EQ(inf_m.value, 0.0);
+  EXPECT_FALSE(ok.invalid);
+
+  // The document still parses (no bare `nan`/`inf` tokens) and the flag
+  // survives the round trip into a ledger Run.
+  const ledger::Run run =
+      ledger::from_bench_report(json::parse(report.to_json()));
+  EXPECT_TRUE(
+      run.metrics.at(ledger::metric_key("nan_bench", "k", 16, "mean"))
+          .invalid);
+  EXPECT_FALSE(
+      run.metrics.at(ledger::metric_key("nan_bench", "k", 16, "seconds"))
+          .invalid);
+}
+
+TEST(BenchReport, ReportAndCountersBlocksAreEmittedWhenPresent) {
+  obs::BenchReport report("blocks");
+  obs::BenchEntry& e = report.entry("k", 1024, "sim");
+  e.metric("seconds", 0.5, obs::Better::Lower);
+  e.has_report = true;
+  e.report.seconds = 0.5;
+  e.report.bottleneck = "shared";
+  e.has_stats = true;
+  e.stats.global_loads = 7;
+  e.stats.launches = 2;
+
+  const json::Value doc = json::parse(report.to_json());
+  const json::Value& entry = doc.at("entries").array.at(0);
+  EXPECT_EQ(entry.at("report").at("bottleneck").string, "shared");
+  EXPECT_DOUBLE_EQ(entry.at("counters").at("global_loads").number, 7.0);
+  EXPECT_DOUBLE_EQ(entry.at("counters").at("launches").number, 2.0);
+}
+
+TEST(BenchReport, WriteJsonRoundTripsThroughDisk) {
+  obs::BenchReport report("disk");
+  report.entry("k", 2, "sim").metric("seconds", 0.25, obs::Better::Lower);
+  const std::string path = ::testing::TempDir() + "tbs_bench_report.json";
+  ASSERT_TRUE(report.write_json(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(ledger::from_bench_report(json::parse(buf.str())).bench, "disk");
+  std::remove(path.c_str());
+}
+
+TEST(BenchReport, LedgerRejectsMalformedDocuments) {
+  EXPECT_THROW(ledger::from_bench_report(json::parse("[1, 2]")), CheckError);
+  EXPECT_THROW(ledger::from_bench_report(
+                   json::parse(R"({"schema": "wrong.schema"})")),
+               CheckError);
+  // Right schema, missing meta/entries.
+  EXPECT_THROW(
+      ledger::from_bench_report(json::parse(
+          R"({"schema": "tbs.bench_report.v1", "bench": "x"})")),
+      CheckError);
+}
+
+TEST(ArtifactDir, FlagBeatsEnvironmentBeatsDefault) {
+  const std::string dir = ::testing::TempDir() + "tbs_artifacts_flag";
+  std::string prog = "bench";
+  std::string flag = "--out";
+  std::string value = dir;
+  char* argv_with[] = {prog.data(), flag.data(), value.data()};
+  ::setenv("TBS_ARTIFACT_DIR", "/nonexistent-env-dir-ignored", 1);
+  EXPECT_EQ(obs::artifact_dir(3, argv_with), dir);
+
+  // No flag: the environment variable wins...
+  const std::string env_dir = ::testing::TempDir() + "tbs_artifacts_env";
+  ::setenv("TBS_ARTIFACT_DIR", env_dir.c_str(), 1);
+  char* argv_plain[] = {prog.data()};
+  EXPECT_EQ(obs::artifact_dir(1, argv_plain), env_dir);
+
+  // ...and with neither, artifacts land in the working directory.
+  ::unsetenv("TBS_ARTIFACT_DIR");
+  EXPECT_EQ(obs::artifact_dir(1, argv_plain), ".");
+}
+
+TEST(ArtifactDir, PathJoinsAndArgLookup) {
+  EXPECT_EQ(obs::artifact_path(".", "a.json"), "a.json");
+  EXPECT_EQ(obs::artifact_path("out", "a.json"), "out/a.json");
+  EXPECT_EQ(obs::artifact_path("out/", "a.json"), "out/a.json");
+
+  std::string prog = "bench";
+  std::string flag = "--drift-tol";
+  std::string value = "0.10";
+  char* argv[] = {prog.data(), flag.data(), value.data()};
+  EXPECT_EQ(obs::arg_value(3, argv, "--drift-tol", "0.05"), "0.10");
+  EXPECT_EQ(obs::arg_value(3, argv, "--missing", "fallback"), "fallback");
+  // A trailing flag with no value falls back rather than reading past argv.
+  char* argv_trail[] = {prog.data(), flag.data()};
+  EXPECT_EQ(obs::arg_value(2, argv_trail, "--drift-tol", "0.05"), "0.05");
+}

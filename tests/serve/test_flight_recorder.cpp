@@ -1,0 +1,249 @@
+// FlightRecorder — the serve engine's bounded ring of recent per-query
+// events. The properties under test are the ones the dump relies on:
+// wrap-around keeps exactly the newest events, concurrent writers never
+// corrupt a snapshot (torn slots are skipped, not misread), the SLO
+// limiter dumps once per breach window no matter how many workers race it,
+// and the dump file is a schema-valid document obs::json can parse.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/datagen.hpp"
+#include "obs/json.hpp"
+#include "serve/engine.hpp"
+#include "serve/flight_recorder.hpp"
+
+namespace tbs::serve {
+namespace {
+
+namespace json = tbs::obs::json;
+using Event = FlightRecorder::Event;
+
+TEST(FlightRecorder, ZeroCapacityDisablesRecording) {
+  FlightRecorder rec(0);
+  EXPECT_FALSE(rec.enabled());
+  rec.record(Event::Submit, "k");  // must be a harmless no-op
+  EXPECT_TRUE(rec.snapshot().empty());
+  EXPECT_EQ(rec.total_recorded(), 0u);
+}
+
+TEST(FlightRecorder, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(FlightRecorder(3).capacity(), 4u);
+  EXPECT_EQ(FlightRecorder(8).capacity(), 8u);
+  EXPECT_EQ(FlightRecorder(9).capacity(), 16u);
+}
+
+TEST(FlightRecorder, WrapAroundKeepsNewestEventsOldestFirst) {
+  FlightRecorder rec(8);
+  for (int i = 0; i < 20; ++i)
+    rec.record(Event::Submit, "key" + std::to_string(i));
+  EXPECT_EQ(rec.total_recorded(), 20u);
+  EXPECT_EQ(rec.dropped(), 12u);
+
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ticket, 12u + i);  // only the newest 8 survive
+    EXPECT_EQ(events[i].key, "key" + std::to_string(12 + i));
+  }
+  // Timestamps are monotone within a single-writer history.
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_GE(events[i].t_us, events[i - 1].t_us);
+}
+
+TEST(FlightRecorder, KeysTruncateToTheRingSlotWidth) {
+  FlightRecorder rec(4);
+  const std::string long_key(FlightRecorder::kKeyBytes + 32, 'x');
+  rec.record(Event::Enqueue, long_key);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].key, long_key.substr(0, FlightRecorder::kKeyBytes));
+}
+
+TEST(FlightRecorder, CompleteCarriesWorkerAndLatency) {
+  FlightRecorder rec(4);
+  rec.record(Event::Complete, "job", /*worker=*/3, /*latency_seconds=*/0.25);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].event, Event::Complete);
+  EXPECT_EQ(events[0].worker, 3u);
+  EXPECT_DOUBLE_EQ(events[0].latency_seconds, 0.25);
+}
+
+// Concurrent writers on a small ring: the scan must only ever return
+// records whose payload is consistent with their ticket (the seqlock's
+// whole job). Every writer tags its events with its thread id, and every
+// snapshotted record must carry the key its ticket's writer wrote.
+TEST(FlightRecorder, ConcurrentWritersNeverYieldTornRecords) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  FlightRecorder rec(64);
+
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<FlightRecorder::Record>> scans;
+  std::thread reader([&] {
+    while (!go.load()) {}
+    while (!stop.load()) scans.push_back(rec.snapshot());
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&rec, t, &go] {
+      while (!go.load()) {}
+      const std::string key = "writer" + std::to_string(t);
+      for (int i = 0; i < kPerThread; ++i)
+        rec.record(Event::Submit, key, static_cast<std::uint32_t>(t));
+    });
+  go.store(true);
+  for (std::thread& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(rec.total_recorded(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  scans.push_back(rec.snapshot());  // one quiescent scan always present
+  for (const auto& scan : scans) {
+    std::set<std::uint64_t> tickets;
+    for (const auto& r : scan) {
+      EXPECT_TRUE(tickets.insert(r.ticket).second)
+          << "duplicate ticket " << r.ticket;
+      // Payload consistency: the key must match the worker id written
+      // alongside it — a torn slot would pair one writer's key with
+      // another's worker field.
+      EXPECT_EQ(r.key, "writer" + std::to_string(r.worker));
+    }
+  }
+}
+
+TEST(FlightRecorder, SloBreachDumpsExactlyOncePerWindow) {
+  FlightRecorder::SloPolicy policy;
+  policy.p99_threshold_seconds = 0.010;
+  policy.window_seconds = 3600.0;  // one dump for the whole test
+  policy.dump_path = "";           // count the breach, skip the file
+  FlightRecorder rec(16, policy);
+  rec.record(Event::Submit, "q");
+
+  EXPECT_FALSE(rec.maybe_dump_slo_breach(0.005));  // below threshold
+  EXPECT_EQ(rec.auto_dumps(), 0u);
+
+  // Many workers observe the breach at once; exactly one wins the CAS.
+  std::atomic<int> wins{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t)
+    workers.emplace_back([&] {
+      for (int i = 0; i < 100; ++i)
+        if (rec.maybe_dump_slo_breach(0.050)) wins.fetch_add(1);
+    });
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(wins.load(), 1);
+  EXPECT_EQ(rec.auto_dumps(), 1u);
+  EXPECT_FALSE(rec.maybe_dump_slo_breach(0.050));  // window still open
+}
+
+TEST(FlightRecorder, ZeroThresholdDisablesTheSloGate) {
+  FlightRecorder rec(16);  // default policy: threshold 0
+  EXPECT_FALSE(rec.maybe_dump_slo_breach(1e9));
+  EXPECT_EQ(rec.auto_dumps(), 0u);
+}
+
+TEST(FlightRecorder, ShedDumpHonoursPolicyAndWindow) {
+  FlightRecorder off(16);  // dump_on_shed defaults to false
+  EXPECT_FALSE(off.maybe_dump_on_shed());
+
+  FlightRecorder::SloPolicy policy;
+  policy.dump_on_shed = true;
+  policy.window_seconds = 3600.0;
+  policy.dump_path = "";
+  FlightRecorder rec(16, policy);
+  EXPECT_TRUE(rec.maybe_dump_on_shed());
+  EXPECT_FALSE(rec.maybe_dump_on_shed());  // rate-limited by the window
+  EXPECT_EQ(rec.auto_dumps(), 1u);
+}
+
+TEST(FlightRecorder, DumpFileIsSchemaValidJson) {
+  FlightRecorder rec(8);
+  rec.record(Event::Submit, "sdh|n=2000");
+  rec.record(Event::Enqueue, "sdh|n=2000");
+  rec.record(Event::ExecuteBegin, "sdh|n=2000", /*worker=*/1);
+  rec.record(Event::Complete, "sdh|n=2000", /*worker=*/1, /*latency=*/0.002);
+
+  const std::string path = ::testing::TempDir() + "tbs_flight_dump.json";
+  ASSERT_TRUE(rec.dump(path, "manual", /*p99=*/0.002, /*threshold=*/0.010));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const json::Value doc = json::parse(buf.str());
+
+  EXPECT_EQ(doc.at("schema").string, "tbs.flight_recorder.v1");
+  EXPECT_EQ(doc.at("reason").string, "manual");
+  EXPECT_DOUBLE_EQ(doc.at("p99_seconds").number, 0.002);
+  EXPECT_DOUBLE_EQ(doc.at("threshold_seconds").number, 0.010);
+  EXPECT_DOUBLE_EQ(doc.at("total_recorded").number, 4.0);
+  EXPECT_DOUBLE_EQ(doc.at("dropped").number, 0.0);
+
+  const json::Value& events = doc.at("events");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.array.size(), 4u);
+  for (const json::Value& e : events.array) {
+    EXPECT_TRUE(e.at("ticket").is_number());
+    EXPECT_TRUE(e.at("t_us").is_number());
+    EXPECT_TRUE(e.at("event").is_string());
+    EXPECT_EQ(e.at("key").string, "sdh|n=2000");
+  }
+  EXPECT_EQ(events.array[0].at("event").string, "submit");
+  // Latency rides only completion events.
+  EXPECT_EQ(events.array[0].find("latency_seconds"), nullptr);
+  const json::Value& done = events.array[3];
+  EXPECT_EQ(done.at("event").string, "complete");
+  EXPECT_DOUBLE_EQ(done.at("worker").number, 1.0);
+  EXPECT_DOUBLE_EQ(done.at("latency_seconds").number, 0.002);
+  std::remove(path.c_str());
+}
+
+// End-to-end through the engine: queries leave a coherent event trail and
+// dump_flight() produces a parseable document.
+TEST(FlightRecorder, EngineRecordsQueryLifecycleAndDumps) {
+  QueryEngine::Config cfg;
+  cfg.devices = 1;
+  cfg.streams_per_device = 1;
+  cfg.flight_capacity = 64;
+  QueryEngine engine(cfg);
+
+  const auto pts = uniform_box(500, 10.0f, 7);
+  (void)engine.pcf(pts, 1.5).get();
+  (void)engine.pcf(pts, 1.5).get();  // second ask: cache hit, no execute
+
+  const auto events = engine.flight_recorder().snapshot();
+  ASSERT_FALSE(events.empty());
+  auto count = [&](Event e) {
+    std::size_t c = 0;
+    for (const auto& r : events) c += (r.event == e) ? 1 : 0;
+    return c;
+  };
+  EXPECT_EQ(count(Event::Submit), 2u);
+  EXPECT_EQ(count(Event::ExecuteBegin), 1u);
+  EXPECT_EQ(count(Event::Complete), 1u);
+  EXPECT_EQ(count(Event::CacheHit), 1u);
+
+  const std::string path = ::testing::TempDir() + "tbs_engine_flight.json";
+  ASSERT_TRUE(engine.dump_flight(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const json::Value doc = json::parse(buf.str());
+  EXPECT_EQ(doc.at("schema").string, "tbs.flight_recorder.v1");
+  EXPECT_GE(doc.at("events").array.size(), 4u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tbs::serve
