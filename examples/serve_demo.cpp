@@ -10,6 +10,14 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/serve_demo
+//   ./build/examples/serve_demo --chaos   # same workload under injected
+//                                         # device faults: transients,
+//                                         # stragglers, ECC trips, and one
+//                                         # permanently dead device
+//
+// Under --chaos the demo also prints the resilience counters (faults,
+// retries, breaker trips, degraded answers) — the quick-start for the
+// fault model described in DESIGN.md "Fault model & resilience".
 //
 // Also writes serve_demo_trace.json — a Chrome trace of every query's
 // submit / queue wait / execute / kernel launch — and
@@ -18,6 +26,7 @@
 // chrome://tracing) to see the timeline. Pass --out <dir> (or set
 // TBS_ARTIFACT_DIR) to redirect both artifacts.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +39,10 @@
 int main(int argc, char** argv) {
   using namespace tbs;
 
+  bool chaos = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
+
   const PointsSoA gas = uniform_box(2000, 15.0f, /*seed=*/3);
   const int buckets = 64;
   const double width = gas.max_possible_distance() / buckets + 1e-4;
@@ -39,6 +52,23 @@ int main(int argc, char** argv) {
   serve::QueryEngine::Config cfg;
   cfg.devices = 2;
   cfg.streams_per_device = 2;
+  if (chaos) {
+    // One flaky device, one dead device; the retry ladder, breaker, and
+    // degraded baseline must still answer every query correctly.
+    cfg.devices = 3;
+    cfg.retry.max_attempts = 4;
+    cfg.retry.max_dispatches = 16;
+    cfg.breaker.failure_threshold = 3;
+    cfg.breaker.cooldown_seconds = 0.05;
+    cfg.flight.dump_on_breaker = false;  // the demo dumps at exit anyway
+    cfg.faults.resize(3);
+    cfg.faults[0].transient_rate = 0.05;  // 5% spurious launch failures
+    cfg.faults[0].fail_first_n = 2;       // plus a deterministic opener
+    cfg.faults[1].stall_rate = 0.05;      // stragglers
+    cfg.faults[1].stall_seconds = 0.002;
+    cfg.faults[1].corrupt_rate = 0.02;    // occasional ECC trips
+    cfg.faults[2].device_lost = true;     // a permanently failing device
+  }
   serve::QueryEngine engine(cfg);
 
   // Four clients, each asking the same three questions a few times over —
@@ -62,12 +92,14 @@ int main(int argc, char** argv) {
   // (Copy out of .get() — the temporary future owns the shared state.)
   const auto sdh =
       std::get<kernels::SdhResult>(engine.sdh(gas, width, buckets).get());
-  std::printf("SDH of %zu points: %llu pairs in %d buckets\n", gas.size(),
-              static_cast<unsigned long long>(sdh.hist.total()), buckets);
+  std::printf("SDH of %zu points: %llu pairs in %d buckets%s\n", gas.size(),
+              static_cast<unsigned long long>(sdh.hist.total()), buckets,
+              sdh.degraded ? " (degraded baseline)" : "");
 
   const serve::EngineStats stats = engine.stats();
-  std::printf("\n%llu queries submitted by 4 clients (+1 main):\n",
-              static_cast<unsigned long long>(stats.counters.submitted));
+  std::printf("\n%llu queries submitted by 4 clients (+1 main)%s:\n",
+              static_cast<unsigned long long>(stats.counters.submitted),
+              chaos ? " under chaos" : "");
   std::printf("  executed on a device : %llu\n",
               static_cast<unsigned long long>(stats.counters.executed));
   std::printf("  served from the cache: %llu\n",
@@ -81,6 +113,22 @@ int main(int argc, char** argv) {
               stats.latency.p50 * 1e3, stats.latency.p99 * 1e3);
   std::printf("  throughput           : %.0f answers/sec\n",
               stats.throughput_qps);
+  if (chaos) {
+    std::printf("  device faults        : %llu (%llu retries)\n",
+                static_cast<unsigned long long>(stats.counters.faults),
+                static_cast<unsigned long long>(stats.counters.retries));
+    std::printf("  breaker trips        : %llu",
+                static_cast<unsigned long long>(stats.counters.breaker_opens));
+    for (std::size_t w = 0; w < stats.workers; ++w)
+      std::printf("%s worker%zu=%s", w == 0 ? " —" : ",", w,
+                  serve::CircuitBreaker::to_string(engine.breaker(w).state()));
+    std::printf("\n");
+    std::printf("  degraded answers     : %llu (baseline variant, uncached)\n",
+                static_cast<unsigned long long>(stats.counters.degraded));
+    std::printf("  requeued / abandoned : %llu / %llu\n",
+                static_cast<unsigned long long>(stats.counters.requeued),
+                static_cast<unsigned long long>(stats.counters.abandoned));
+  }
 
   const std::string out_dir = obs::artifact_dir(argc, argv);
   const std::string trace_path =
@@ -97,11 +145,25 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     engine.flight_recorder().total_recorded()));
 
-  // The dedup story in one line: 37 submissions, 3 distinct shapes.
-  const bool deduped = stats.counters.executed <= 3;
-  std::printf("\n%s: %llu submissions collapsed to %llu executions\n",
-              deduped ? "OK" : "UNEXPECTED",
-              static_cast<unsigned long long>(stats.counters.submitted),
-              static_cast<unsigned long long>(stats.counters.executed));
-  return deduped ? 0 : 1;
+  // The exit check. Fault-free: 37 submissions, 3 distinct shapes — dedup
+  // must collapse them to at most 3 executions. Under chaos, degraded
+  // answers are deliberately not cached, so shapes can re-execute; the
+  // check becomes "every query was answered and none was dropped".
+  bool ok;
+  if (chaos) {
+    ok = stats.counters.failed == 0 && stats.counters.abandoned == 0 &&
+         stats.counters.completed > 0;
+    std::printf("\n%s: %llu submissions all answered under chaos "
+                "(%llu faults absorbed)\n",
+                ok ? "OK" : "UNEXPECTED",
+                static_cast<unsigned long long>(stats.counters.submitted),
+                static_cast<unsigned long long>(stats.counters.faults));
+  } else {
+    ok = stats.counters.executed <= 3;
+    std::printf("\n%s: %llu submissions collapsed to %llu executions\n",
+                ok ? "OK" : "UNEXPECTED",
+                static_cast<unsigned long long>(stats.counters.submitted),
+                static_cast<unsigned long long>(stats.counters.executed));
+  }
+  return ok ? 0 : 1;
 }

@@ -30,6 +30,9 @@ std::size_t pcf_shared_bytes(PcfVariant v, int block_size);
 struct PcfResult {
   std::uint64_t pairs_within = 0;  ///< unordered pairs with dist < radius
   vgpu::KernelStats stats;
+  /// Set by the serving layer when this answer came from the degraded
+  /// baseline fallback (planner bypassed) rather than the planned variant.
+  bool degraded = false;
 };
 
 /// Count pairs of `pts` within `radius` on the simulated device.

@@ -48,6 +48,9 @@ std::size_t sdh_shared_bytes(SdhVariant v, int block_size, int buckets);
 struct SdhResult {
   Histogram hist;
   vgpu::KernelStats stats;  ///< main kernel (+ reduction kernel if any)
+  /// Set by the serving layer when this answer came from the degraded
+  /// baseline fallback (planner bypassed) rather than the planned variant.
+  bool degraded = false;
 };
 
 /// Compute the SDH of `pts` on the simulated device.

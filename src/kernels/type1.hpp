@@ -20,6 +20,9 @@ struct KnnResult {
   /// result[i] = distances to the k nearest neighbours of point i, ascending.
   std::vector<std::vector<float>> neighbours;
   vgpu::KernelStats stats;
+  /// Set by the serving layer when this answer came from the degraded
+  /// fallback path rather than the first-choice execution.
+  bool degraded = false;
 };
 
 /// All-point kNN distances with a register-resident candidate list

@@ -27,6 +27,9 @@ struct JoinResult {
   /// Unordered matching pairs (i < j); order unspecified.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
   vgpu::KernelStats stats;
+  /// Set by the serving layer when this answer came from the degraded
+  /// fallback path rather than the first-choice execution.
+  bool degraded = false;
 };
 
 /// Distance join: emit all pairs with dist < radius into global memory.

@@ -1,9 +1,11 @@
 #include "serve/engine.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <utility>
 
 #include "common/error.hpp"
+#include "kernels/registry.hpp"
 
 namespace tbs::serve {
 
@@ -21,6 +23,13 @@ QueryEngine::QueryEngine(Config cfg)
       c_completed_(metrics_.counter("serve.completed")),
       c_failed_(metrics_.counter("serve.failed")),
       c_launches_(metrics_.counter("vgpu.launches")),
+      c_faults_(metrics_.counter("serve.faults")),
+      c_retries_(metrics_.counter("serve.retries")),
+      c_breaker_open_(metrics_.counter("serve.breaker_opens")),
+      c_degraded_(metrics_.counter("serve.degraded")),
+      c_expired_(metrics_.counter("serve.expired")),
+      c_requeued_(metrics_.counter("serve.requeued")),
+      c_abandoned_(metrics_.counter("serve.abandoned")),
       h_latency_(metrics_.histogram("serve.latency_seconds",
                                     obs::default_latency_bounds())),
       queue_(cfg.queue_capacity),
@@ -31,6 +40,9 @@ QueryEngine::QueryEngine(Config cfg)
   slots_.reserve(cfg_.devices);
   for (std::size_t d = 0; d < cfg_.devices; ++d) {
     slots_.push_back(std::make_unique<DeviceSlot>(cfg_.spec));
+    // Chaos: arm the device's fault injector when a plan was configured.
+    if (d < cfg_.faults.size())
+      slots_.back()->dev.set_fault_plan(cfg_.faults[d]);
     // Per-launch hook: count into the engine registry and, when tracing,
     // emit a vgpu.launch span. The callback runs on the worker thread that
     // drains the launch, inside its serve.execute span, so the launch span
@@ -50,15 +62,30 @@ QueryEngine::QueryEngine(Config cfg)
                {"pooled", rec.pooled ? "true" : "false"}});
         });
   }
+  breakers_.reserve(worker_count());
+  for (std::size_t w = 0; w < worker_count(); ++w)
+    breakers_.push_back(std::make_unique<CircuitBreaker>(cfg_.breaker));
   if (cfg_.autostart) start();
 }
 
-QueryEngine::~QueryEngine() {
+QueryEngine::~QueryEngine() { shutdown(); }
+
+void QueryEngine::shutdown() {
   queue_.close();
-  for (std::thread& t : workers_) t.join();
-  // Anything still queued had no worker to run it (never-started engine):
-  // fail those futures rather than leaving them broken-promise.
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+  workers_.clear();
+  // Anything still queued had no worker to run it (never-started engine, or
+  // jobs requeued into a closing queue): fail those futures rather than
+  // leaving them broken-promise — and leave an audit trail, so shutdown can
+  // never drop work silently.
   while (std::optional<std::shared_ptr<Job>> job = queue_.pop()) {
+    c_abandoned_.inc();
+    flight_.record(FlightRecorder::Event::Abandon, (*job)->key);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase((*job)->key);
+    }
     (*job)->promise.set_exception(std::make_exception_ptr(
         ServeError("QueryEngine: shut down with the query still queued")));
   }
@@ -74,41 +101,54 @@ void QueryEngine::start() {
 }
 
 QueryEngine::ResultFuture QueryEngine::sdh(const PointsSoA& pts,
-                                           double bucket_width, int buckets) {
-  return submit(SdhQuery{bucket_width, buckets}, pts);
+                                           double bucket_width, int buckets,
+                                           const SubmitOptions& opts) {
+  return submit(SdhQuery{bucket_width, buckets}, pts, opts);
 }
 
-QueryEngine::ResultFuture QueryEngine::pcf(const PointsSoA& pts,
-                                           double radius) {
-  return submit(PcfQuery{radius}, pts);
+QueryEngine::ResultFuture QueryEngine::pcf(const PointsSoA& pts, double radius,
+                                           const SubmitOptions& opts) {
+  return submit(PcfQuery{radius}, pts, opts);
 }
 
-QueryEngine::ResultFuture QueryEngine::knn(const PointsSoA& pts, int k) {
-  return submit(KnnQuery{k}, pts);
+QueryEngine::ResultFuture QueryEngine::knn(const PointsSoA& pts, int k,
+                                           const SubmitOptions& opts) {
+  return submit(KnnQuery{k}, pts, opts);
 }
 
 QueryEngine::ResultFuture QueryEngine::join(const PointsSoA& pts,
                                             double radius,
-                                            kernels::JoinVariant variant) {
-  return submit(JoinQuery{radius, variant}, pts);
+                                            kernels::JoinVariant variant,
+                                            const SubmitOptions& opts) {
+  return submit(JoinQuery{radius, variant}, pts, opts);
 }
 
-QueryEngine::ResultFuture QueryEngine::submit(Query query,
-                                              const PointsSoA& pts) {
+QueryEngine::ResultFuture QueryEngine::submit(Query query, const PointsSoA& pts,
+                                              const SubmitOptions& opts) {
   std::optional<ResultFuture> fut =
-      submit_impl(std::move(query), pts, /*block=*/true);
+      submit_impl(std::move(query), pts, /*block=*/true, opts);
   check(fut.has_value(), "QueryEngine::submit: blocking submit returned empty");
   return *std::move(fut);
 }
 
 std::optional<QueryEngine::ResultFuture> QueryEngine::try_submit(
-    Query query, const PointsSoA& pts) {
-  return submit_impl(std::move(query), pts, /*block=*/false);
+    Query query, const PointsSoA& pts, const SubmitOptions& opts) {
+  return submit_impl(std::move(query), pts, /*block=*/false, opts);
+}
+
+QueryEngine::Clock::time_point QueryEngine::deadline_from(
+    const SubmitOptions& opts, Clock::time_point now) const {
+  double seconds = opts.deadline_seconds;
+  if (seconds == 0.0) seconds = cfg_.default_deadline_seconds;
+  if (seconds <= 0.0) return Clock::time_point::max();
+  return now + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(seconds));
 }
 
 std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
-    Query query, const PointsSoA& pts, bool block) {
+    Query query, const PointsSoA& pts, bool block, const SubmitOptions& opts) {
   const Clock::time_point t0 = Clock::now();
+  const Clock::time_point deadline = deadline_from(opts, t0);
   const std::string key = query_key(query, dataset_fingerprint(pts));
   obs::Span span(*tracer_, "serve.submit", "serve");
   span.attr("key", key);
@@ -149,6 +189,7 @@ std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
       job->query = query;
       job->pts = std::make_shared<const PointsSoA>(pts);
       job->submitted = t0;
+      job->deadline = deadline;
       ResultFuture fut = job->promise.get_future().share();
       if (queue_.try_push(job)) {
         inflight_.emplace(key, fut);
@@ -166,79 +207,292 @@ std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
     }
     // Queue full in blocking mode: wait for a worker to free a slot, then
     // re-run the fast paths (the query may complete or coalesce meanwhile).
-    if (!queue_.wait_not_full())
-      throw ServeError("QueryEngine: submit after shutdown");
+    // With a deadline, give up when it passes while we wait — the query
+    // never entered the system, so this is an expiry, not a shed.
+    if (deadline == Clock::time_point::max()) {
+      if (!queue_.wait_not_full())
+        throw ServeError("QueryEngine: submit after shutdown");
+    } else {
+      const bool slot_free = queue_.wait_not_full_until(deadline);
+      if (!slot_free && queue_.closed())
+        throw ServeError("QueryEngine: submit after shutdown");
+      if (!slot_free && Clock::now() >= deadline) {
+        c_expired_.inc();
+        span.attr("outcome", "expired");
+        flight_.record(FlightRecorder::Event::Expire, key);
+        std::promise<QueryResult> expired;
+        expired.set_exception(std::make_exception_ptr(DeadlineExceeded(
+            "QueryEngine: deadline expired waiting for a queue slot")));
+        return expired.get_future().share();
+      }
+    }
   }
 }
 
 void QueryEngine::worker_loop(std::size_t worker_index) {
   DeviceSlot& slot = *slots_[worker_index / cfg_.streams_per_device];
   vgpu::Stream stream(slot.dev);  // this worker's lane onto the device
+  CircuitBreaker& breaker = *breakers_[worker_index];
+  // Jitter RNG, salted per worker so backoffs decorrelate across the pool.
+  Rng rng(cfg_.retry.seed ^
+          (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(worker_index + 1)));
 
   while (std::optional<std::shared_ptr<Job>> popped = queue_.pop()) {
-    const std::shared_ptr<Job>& job = *popped;
-    const Clock::time_point t0 = Clock::now();
-
-    // The queue wait [submitted, popped] can overlap this worker's previous
-    // execute span, so it goes on a synthetic track, not the worker's row.
-    tracer_->record_span("serve.queue_wait", "serve", job->submitted, t0,
-                         {{"key", job->key}}, tracer_->track_tid("queue"));
-
-    QueryResult result;
-    std::exception_ptr error;
-    {
-      obs::Span span(*tracer_, "serve.execute", "serve");
-      span.attr("key", job->key);
-      flight_.record(FlightRecorder::Event::ExecuteBegin, job->key,
-                     static_cast<std::uint32_t>(worker_index));
+    try {
+      process_job(worker_index, slot, stream, breaker, rng, *popped);
+    } catch (...) {
+      // Satellite guarantee: nothing a kernel body (or our own bookkeeping)
+      // throws may kill the worker — fail only this job's future. If the
+      // promise was already satisfied, swallow; the result was delivered.
       try {
-        const std::lock_guard<std::mutex> dev_lock(slot.mu);
-        result = execute(slot, stream, *job);
-      } catch (...) {
-        error = std::current_exception();
+        (*popped)->promise.set_exception(std::current_exception());
+      } catch (const std::future_error&) {
       }
-      span.attr("outcome", error ? "error" : "ok");
-      busy_ns_.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                             Clock::now() - t0)
-                             .count(),
-                         std::memory_order_relaxed);
-
-      // Order matters twice over. Publish to the cache before retiring the
-      // in-flight entry, so a racing submit always finds the result one way
-      // or the other. And fulfill the promise *last*: a client waking from
-      // .get() must observe the counters already bumped, (cache disabled)
-      // the in-flight entry already gone — so an immediate identical
-      // resubmit re-executes instead of coalescing onto this finished job —
-      // and the serve.execute span already recorded, so a trace snapshotted
-      // right after .get() covers the query end to end.
-      if (!error) cache_.store(job->key, result);
-      {
-        const std::lock_guard<std::mutex> lock(mu_);
-        inflight_.erase(job->key);
-      }
-      c_executed_.inc();
-      if (!error)
-        c_completed_.inc();
-      else
-        c_failed_.inc();
-      const double seconds =
-          std::chrono::duration<double>(Clock::now() - job->submitted).count();
-      latency_.record(seconds);
-      h_latency_.observe(seconds);
-      flight_.record(error ? FlightRecorder::Event::Fail
-                           : FlightRecorder::Event::Complete,
-                     job->key, static_cast<std::uint32_t>(worker_index),
-                     seconds);
-      // SLO gate: check the engine-wide p99 after each completion; the
-      // recorder rate-limits to one dump per breach window.
-      if (flight_.policy().p99_threshold_seconds > 0.0)
-        flight_.maybe_dump_slo_breach(latency_.summary().p99);
-    }  // serve.execute recorded here, before any client can wake
-    if (!error)
-      job->promise.set_value(std::move(result));
-    else
-      job->promise.set_exception(error);
+    }
   }
+}
+
+void QueryEngine::finish_expired(std::size_t worker_index,
+                                 const std::shared_ptr<Job>& job) {
+  c_expired_.inc();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(job->key);
+  }
+  flight_.record(FlightRecorder::Event::Expire, job->key,
+                 static_cast<std::uint32_t>(worker_index));
+  job->promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
+      "QueryEngine: deadline expired before execution (query " + job->key +
+      ")")));
+}
+
+void QueryEngine::note_fault(std::size_t worker_index, CircuitBreaker& breaker,
+                             const std::string& key) {
+  c_faults_.inc();
+  flight_.record(FlightRecorder::Event::Fault, key,
+                 static_cast<std::uint32_t>(worker_index));
+  if (breaker.record_failure()) {
+    c_breaker_open_.inc();
+    flight_.record(FlightRecorder::Event::BreakerOpen, key,
+                   static_cast<std::uint32_t>(worker_index));
+    flight_.maybe_dump_on_breaker();
+  }
+}
+
+void QueryEngine::process_job(std::size_t worker_index, DeviceSlot& slot,
+                              vgpu::Stream& stream, CircuitBreaker& breaker,
+                              Rng& rng, const std::shared_ptr<Job>& job) {
+  const Clock::time_point t0 = Clock::now();
+
+  // The queue wait [submitted, popped] can overlap this worker's previous
+  // execute span, so it goes on a synthetic track, not the worker's row.
+  tracer_->record_span("serve.queue_wait", "serve", job->submitted, t0,
+                       {{"key", job->key}}, tracer_->track_tid("queue"));
+
+  // Cancel before any work: an expired query is never executed.
+  if (t0 >= job->deadline) {
+    finish_expired(worker_index, job);
+    return;
+  }
+
+  // Anti-affinity: a rung-3 requeue means this job already failed its full
+  // ladder *here* — the hand-off is only worth anything on a different
+  // worker. Bounce it back (pure scheduling: no dispatch consumed, no
+  // audit event) whenever peers exist to take it; with max-dispatch
+  // accounting left intact this cannot loop forever, and it stops a sick
+  // worker's half-open probes from burning the job's whole dispatch budget
+  // before a healthy worker ever sees it.
+  if (job->last_worker == worker_index && worker_count() > 1 &&
+      queue_.try_push(job)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return;
+  }
+
+  // Breaker gate: while open, this worker's device is presumed sick — hand
+  // the job to a healthier worker instead of black-holing it. A bounce is
+  // not a ladder hand-off, so it doesn't consume a dispatch; the short
+  // sleep stops a lone open worker spinning on its own requeue.
+  if (!breaker.allow()) {
+    if (queue_.try_push(job)) {
+      c_requeued_.inc();
+      flight_.record(FlightRecorder::Event::Requeue, job->key,
+                     static_cast<std::uint32_t>(worker_index));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return;
+    }
+    // Queue full or closing: run it here anyway as a forced probe — worse
+    // for the breaker's cooldown, far better than dropping the query.
+  }
+
+  QueryResult result;
+  std::exception_ptr error;
+  bool degraded = false;
+  Outcome outcome;
+  {
+    obs::Span span(*tracer_, "serve.execute", "serve");
+    span.attr("key", job->key);
+    flight_.record(FlightRecorder::Event::ExecuteBegin, job->key,
+                   static_cast<std::uint32_t>(worker_index));
+    int attempts = 0;
+    outcome = run_ladder(worker_index, slot, stream, breaker, rng, job, result,
+                         error, degraded, attempts);
+    span.attr("attempts", std::to_string(attempts));
+    if (degraded) span.attr("degraded", "true");
+    span.attr("outcome", outcome == Outcome::Success ? "ok"
+              : outcome == Outcome::Requeue          ? "requeue"
+                                                     : "error");
+    busy_ns_.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           Clock::now() - t0)
+                           .count(),
+                       std::memory_order_relaxed);
+    if (outcome == Outcome::Requeue) return;
+
+    // Order matters twice over. Publish to the cache before retiring the
+    // in-flight entry, so a racing submit always finds the result one way
+    // or the other. And fulfill the promise *last*: a client waking from
+    // .get() must observe the counters already bumped, (cache disabled)
+    // the in-flight entry already gone — so an immediate identical
+    // resubmit re-executes instead of coalescing onto this finished job —
+    // and the serve.execute span already recorded, so a trace snapshotted
+    // right after .get() covers the query end to end.
+    //
+    // Degraded answers are deliberately *not* cached: they are correct but
+    // second-choice, and caching one would pin it past the fault's
+    // recovery. A later identical query re-executes on a healthy ladder.
+    if (!error && !degraded) cache_.store(job->key, result);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(job->key);
+    }
+    c_executed_.inc();
+    if (!error) {
+      c_completed_.inc();
+      if (degraded) {
+        c_degraded_.inc();
+        flight_.record(FlightRecorder::Event::Degraded, job->key,
+                       static_cast<std::uint32_t>(worker_index));
+      }
+    } else {
+      c_failed_.inc();
+    }
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - job->submitted).count();
+    latency_.record(seconds);
+    h_latency_.observe(seconds);
+    flight_.record(error ? FlightRecorder::Event::Fail
+                         : FlightRecorder::Event::Complete,
+                   job->key, static_cast<std::uint32_t>(worker_index), seconds);
+    // SLO gate: check the engine-wide p99 after each completion; the
+    // recorder rate-limits to one dump per breach window.
+    if (flight_.policy().p99_threshold_seconds > 0.0)
+      flight_.maybe_dump_slo_breach(latency_.summary().p99);
+  }  // serve.execute recorded here, before any client can wake
+  if (!error)
+    job->promise.set_value(std::move(result));
+  else
+    job->promise.set_exception(error);
+}
+
+QueryEngine::Outcome QueryEngine::run_ladder(
+    std::size_t worker_index, DeviceSlot& slot, vgpu::Stream& stream,
+    CircuitBreaker& breaker, Rng& rng, const std::shared_ptr<Job>& job,
+    QueryResult& result, std::exception_ptr& error, bool& degraded,
+    int& attempts) {
+  const int max_attempts = std::max(1, cfg_.retry.max_attempts);
+  std::string device_msg;  // last device error, for the RetriesExhausted wrap
+
+  // Rung 1: the planned execution, retried on transient device faults.
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (Clock::now() >= job->deadline) {
+      c_expired_.inc();
+      flight_.record(FlightRecorder::Event::Expire, job->key,
+                     static_cast<std::uint32_t>(worker_index));
+      error = std::make_exception_ptr(DeadlineExceeded(
+          "QueryEngine: deadline expired mid-retry (query " + job->key + ")"));
+      return Outcome::Fail;
+    }
+    ++attempts;
+    try {
+      const std::lock_guard<std::mutex> dev_lock(slot.mu);
+      result = execute(slot, stream, *job);
+      breaker.record_success();
+      error = nullptr;  // a successful retry supersedes earlier attempts
+      return Outcome::Success;
+    } catch (const vgpu::DeviceError& e) {
+      note_fault(worker_index, breaker, job->key);
+      error = std::current_exception();
+      device_msg = e.what();
+      if (!e.transient()) break;  // a dead device won't heal under retry
+      if (attempt == max_attempts) break;
+      // Backoff outside the device lock, capped so it can't sleep through
+      // the deadline.
+      double wait = backoff_seconds(cfg_.retry, attempt + 1, rng);
+      if (job->deadline != Clock::time_point::max()) {
+        const double remaining = std::chrono::duration<double>(
+                                     job->deadline - Clock::now())
+                                     .count();
+        wait = std::min(wait, std::max(0.0, remaining));
+      }
+      c_retries_.inc();
+      flight_.record(FlightRecorder::Event::Retry, job->key,
+                     static_cast<std::uint32_t>(worker_index));
+      obs::Span backoff_span(*tracer_, "serve.retry_backoff", "serve");
+      backoff_span.attr("key", job->key);
+      backoff_span.attr("attempt", std::to_string(attempt + 1));
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+    } catch (...) {
+      // Deterministic application error (bad arguments): no retry, no
+      // breaker impact — re-running a wrong query cannot make it right.
+      error = std::current_exception();
+      return Outcome::Fail;
+    }
+  }
+
+  // Rung 2: the degraded baseline — a fixed, planner-free registry variant.
+  // Only meaningful for queries whose normal path is planned (SDH/PCF).
+  if (cfg_.degrade && has_baseline(job->query)) {
+    try {
+      const std::lock_guard<std::mutex> dev_lock(slot.mu);
+      result = execute_degraded(slot, stream, *job);
+      breaker.record_success();
+      degraded = true;
+      error = nullptr;
+      return Outcome::Success;
+    } catch (const vgpu::DeviceError& e) {
+      note_fault(worker_index, breaker, job->key);
+      error = std::current_exception();
+      device_msg = e.what();
+    } catch (...) {
+      error = std::current_exception();
+      return Outcome::Fail;
+    }
+  }
+
+  // Rung 3: hand the job back for another worker (bounded, deadline-aware).
+  if (job->dispatches + 1 < std::max(1, cfg_.retry.max_dispatches) &&
+      Clock::now() < job->deadline) {
+    ++job->dispatches;
+    job->last_worker = worker_index;
+    if (queue_.try_push(job)) {
+      c_requeued_.inc();
+      flight_.record(FlightRecorder::Event::Requeue, job->key,
+                     static_cast<std::uint32_t>(worker_index));
+      return Outcome::Requeue;
+    }
+  }
+
+  // Ladder exhausted: deliver a typed serving error carrying the final
+  // device error's message.
+  error = std::make_exception_ptr(RetriesExhausted(
+      "QueryEngine: degradation ladder exhausted for query " + job->key +
+      " (dispatches=" + std::to_string(job->dispatches + 1) +
+      ", last device error: " + device_msg + ")"));
+  return Outcome::Fail;
+}
+
+bool QueryEngine::has_baseline(const Query& query) {
+  return std::holds_alternative<SdhQuery>(query) ||
+         std::holds_alternative<PcfQuery>(query);
 }
 
 QueryResult QueryEngine::execute(DeviceSlot& slot, vgpu::Stream& stream,
@@ -282,6 +536,47 @@ QueryResult QueryEngine::execute(DeviceSlot& slot, vgpu::Stream& stream,
       job.query);
 }
 
+QueryResult QueryEngine::execute_degraded(DeviceSlot& slot,
+                                          vgpu::Stream& stream,
+                                          const Job& job) {
+  (void)slot;  // the device lock is held by the caller; kernels go via stream
+  const PointsSoA& pts = *job.pts;
+  // Baselines come from the registry (the "known-safe variant" contract):
+  // the planner is bypassed entirely — no calibration launches, one fixed
+  // block size — so the fallback runs the minimum possible device work.
+  constexpr int kBaselineBlock = 256;
+  return std::visit(
+      [&](const auto& q) -> QueryResult {
+        using Q = std::decay_t<decltype(q)>;
+        if constexpr (std::is_same_v<Q, SdhQuery>) {
+          const auto baseline = kernels::SdhVariant::RegRocOut;
+          check(kernels::KernelRegistry::instance().find_by_id(
+                    kernels::ProblemType::Sdh, static_cast<int>(baseline)) !=
+                    nullptr,
+                "QueryEngine: SDH baseline variant missing from registry");
+          auto r = kernels::run_sdh(stream, pts, q.bucket_width, q.buckets,
+                                    baseline, kBaselineBlock);
+          r.degraded = true;
+          return r;
+        } else if constexpr (std::is_same_v<Q, PcfQuery>) {
+          const auto baseline = kernels::PcfVariant::RegShm;
+          check(kernels::KernelRegistry::instance().find_by_id(
+                    kernels::ProblemType::Pcf, static_cast<int>(baseline)) !=
+                    nullptr,
+                "QueryEngine: PCF baseline variant missing from registry");
+          auto r = kernels::run_pcf(stream, pts, q.radius, baseline,
+                                    kBaselineBlock);
+          r.degraded = true;
+          return r;
+        } else {
+          check(false,
+                "QueryEngine: no degraded baseline for this query type");
+          throw ServeError("unreachable");
+        }
+      },
+      job.query);
+}
+
 EngineStats QueryEngine::stats() const {
   EngineStats out;
   out.counters.submitted = c_submitted_.value();
@@ -291,6 +586,13 @@ EngineStats QueryEngine::stats() const {
   out.counters.executed = c_executed_.value();
   out.counters.completed = c_completed_.value();
   out.counters.failed = c_failed_.value();
+  out.counters.faults = c_faults_.value();
+  out.counters.retries = c_retries_.value();
+  out.counters.breaker_opens = c_breaker_open_.value();
+  out.counters.degraded = c_degraded_.value();
+  out.counters.expired = c_expired_.value();
+  out.counters.requeued = c_requeued_.value();
+  out.counters.abandoned = c_abandoned_.value();
   out.latency = latency_.summary();
   out.elapsed_seconds =
       std::chrono::duration<double>(Clock::now() - epoch_).count();
@@ -320,6 +622,10 @@ void QueryEngine::refresh_gauges(const EngineStats& s) const {
       .set(static_cast<double>(plan_cache_.misses()));
   metrics_.gauge("serve.result_cache.entries")
       .set(static_cast<double>(cache_.size()));
+  std::size_t open = 0;
+  for (const std::unique_ptr<CircuitBreaker>& b : breakers_)
+    if (b->state() != CircuitBreaker::State::Closed) ++open;
+  metrics_.gauge("serve.breaker.open_workers").set(static_cast<double>(open));
 }
 
 bool QueryEngine::dump_flight(const std::string& path) const {

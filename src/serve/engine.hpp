@@ -24,6 +24,25 @@
 //
 // Latency (submit → completion) is recorded per query and occupancy and
 // throughput per engine, so benches can report p50/p99 and queries/sec.
+//
+// Resilience (see resilience.hpp for the primitives): every query may carry
+// a deadline (expired work is cancelled, not executed); device failures are
+// retried with exponential backoff + jitter; each worker has a circuit
+// breaker that stops it consuming work while its device looks dead; and
+// planned SDH/PCF queries that keep failing fall back to a known-safe
+// baseline variant from the registry, tagged `degraded` on the result.
+// The full degradation ladder, per dispatch of a job onto a worker:
+//
+//   planned execute ──(transient DeviceError)──▶ retry w/ backoff (bounded)
+//     └─▶ degraded execute (baseline variant, no planner)
+//           └─▶ requeue for another worker (bounded hand-offs)
+//                 └─▶ typed failure delivered to the client
+//
+// Deterministic application errors (CheckError from bad arguments) skip the
+// ladder entirely — re-running a wrong query cannot make it right — and
+// never trip the breaker. Degraded answers are functionally correct (every
+// registered variant computes the same statistic) but are not stored in
+// the result cache, so a later healthy execution replaces them.
 #pragma once
 
 #include <atomic>
@@ -47,18 +66,24 @@
 #include "serve/metrics.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
+#include "serve/resilience.hpp"
 #include "serve/result_cache.hpp"
+#include "common/rng.hpp"
 #include "vgpu/device.hpp"
+#include "vgpu/fault.hpp"
 #include "vgpu/spec.hpp"
 #include "vgpu/stream.hpp"
 
 namespace tbs::serve {
 
-/// Thrown into futures whose work was abandoned (engine shut down with the
-/// job still queued and no worker to run it).
-class ServeError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
+/// Per-submission knobs (today: just the deadline).
+struct SubmitOptions {
+  /// Seconds from submission until the query is cancelled. 0 means "use
+  /// Config::default_deadline_seconds"; negative means "no deadline" even
+  /// when the config sets a default. An expired query is never executed:
+  /// its future carries DeadlineExceeded, and blocked submits give up when
+  /// the deadline passes while waiting for a queue slot.
+  double deadline_seconds = 0.0;
 };
 
 class QueryEngine {
@@ -79,8 +104,23 @@ class QueryEngine {
     /// event recording entirely).
     std::size_t flight_capacity = 1024;
     /// When and where the recorder dumps on its own (p99 SLO breach /
-    /// shed). Disabled by default — see FlightRecorder::SloPolicy.
+    /// shed / breaker trip). Disabled by default — see
+    /// FlightRecorder::SloPolicy.
     FlightRecorder::SloPolicy flight{};
+    /// Retry schedule for transient device faults (attempts per dispatch,
+    /// backoff shape, and the bound on cross-worker hand-offs).
+    RetryPolicy retry{};
+    /// Per-worker circuit-breaker tuning; failure_threshold 0 disables.
+    BreakerPolicy breaker{};
+    /// Allow the degraded-baseline rung of the ladder (planned SDH/PCF
+    /// queries fall back to a fixed registry variant when retries run out).
+    bool degrade = true;
+    /// Deadline applied to submissions that don't choose their own
+    /// (SubmitOptions::deadline_seconds == 0). <= 0 means no default.
+    double default_deadline_seconds = 0.0;
+    /// Fault-injection plans, one per device (index = device id; shorter
+    /// vectors leave the remaining devices healthy). Empty = no chaos.
+    std::vector<vgpu::FaultPlan> faults{};
   };
 
   using ResultFuture = std::shared_future<QueryResult>;
@@ -88,30 +128,41 @@ class QueryEngine {
   QueryEngine();  ///< default Config (delegating; GCC rejects `= {}` here)
   explicit QueryEngine(Config cfg);
 
-  /// Drains: closes the queue, lets workers finish everything already
-  /// admitted, then fails still-queued jobs (only possible with 0 workers)
-  /// with ServeError.
+  /// Calls shutdown() — see below.
   ~QueryEngine();
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
   // --- typed submission (blocking: backpressure when the queue is full) ---
-  ResultFuture sdh(const PointsSoA& pts, double bucket_width, int buckets);
-  ResultFuture pcf(const PointsSoA& pts, double radius);
-  ResultFuture knn(const PointsSoA& pts, int k);
+  ResultFuture sdh(const PointsSoA& pts, double bucket_width, int buckets,
+                   const SubmitOptions& opts = {});
+  ResultFuture pcf(const PointsSoA& pts, double radius,
+                   const SubmitOptions& opts = {});
+  ResultFuture knn(const PointsSoA& pts, int k,
+                   const SubmitOptions& opts = {});
   ResultFuture join(const PointsSoA& pts, double radius,
                     kernels::JoinVariant variant =
-                        kernels::JoinVariant::TwoPhase);
+                        kernels::JoinVariant::TwoPhase,
+                    const SubmitOptions& opts = {});
 
   /// Generic blocking submit. Copies the points once per *job*; coalesced
   /// and cached submissions of the same query never copy again.
-  ResultFuture submit(Query query, const PointsSoA& pts);
+  ResultFuture submit(Query query, const PointsSoA& pts,
+                      const SubmitOptions& opts = {});
 
   /// Admission-controlled submit: std::nullopt when the queue is full
   /// (the query is shed, not queued). Cache hits and coalesced queries are
   /// always admitted — they add no work.
-  std::optional<ResultFuture> try_submit(Query query, const PointsSoA& pts);
+  std::optional<ResultFuture> try_submit(Query query, const PointsSoA& pts,
+                                         const SubmitOptions& opts = {});
+
+  /// Drain and stop: closes the queue, lets workers finish everything
+  /// already admitted, then fails jobs still queued with no worker left to
+  /// run them (ServeError; recorded as Abandon + `serve.abandoned` so a
+  /// shutdown can never drop work silently). Idempotent; the destructor
+  /// calls it.
+  void shutdown();
 
   /// Spawn the worker pool (idempotent; called by the constructor unless
   /// Config::autostart is false — tests use the stopped state to fill the
@@ -131,6 +182,12 @@ class QueryEngine {
   [[nodiscard]] const ResultCache& cache() const noexcept { return cache_; }
   [[nodiscard]] const core::PlanCache& plan_cache() const noexcept {
     return plan_cache_;
+  }
+
+  /// The circuit breaker guarding worker `worker` (tests and dashboards
+  /// inspect state / opened_count).
+  [[nodiscard]] const CircuitBreaker& breaker(std::size_t worker) const {
+    return *breakers_.at(worker);
   }
 
   /// The engine's metric registry (per-engine, not the process global —
@@ -168,6 +225,14 @@ class QueryEngine {
     std::shared_ptr<const PointsSoA> pts;
     std::promise<QueryResult> promise;
     Clock::time_point submitted{};
+    /// Cancel-after point; time_point::max() means no deadline.
+    Clock::time_point deadline = Clock::time_point::max();
+    /// Times this job has been handed back to the queue (breaker bounces
+    /// don't count; ladder requeues do, bounded by RetryPolicy).
+    int dispatches = 0;
+    /// Worker whose ladder last requeued this job; a re-pop by the same
+    /// worker bounces so another worker gets the hand-off.
+    std::size_t last_worker = static_cast<std::size_t>(-1);
   };
 
   /// One simulated device plus the host lock serializing launches on it
@@ -179,17 +244,62 @@ class QueryEngine {
     std::mutex mu;
   };
 
+  /// How a dispatch of a job onto a worker ended.
+  enum class Outcome { Success, Fail, Requeue };
+
   /// Fast paths + enqueue, shared by submit/try_submit. Returns a future
   /// when served/admitted; nullopt when the queue is full and `block` is
-  /// false. Blocks for a free slot when `block` is true.
+  /// false. Blocks for a free slot (up to the deadline) when `block` is
+  /// true.
   std::optional<ResultFuture> submit_impl(Query query, const PointsSoA& pts,
-                                          bool block);
+                                          bool block,
+                                          const SubmitOptions& opts);
 
-  /// Worker body: pop, execute on this worker's device slot, fulfill.
+  /// Worker body: pop, run the job through the ladder, fulfill. Wrapped in
+  /// a catch-all so no exception — not even a broken promise — can kill
+  /// the worker thread.
   void worker_loop(std::size_t worker_index);
+
+  /// One dispatch of `job` on this worker: deadline check, breaker gate,
+  /// then the degradation ladder. Delivers the result/error itself except
+  /// on Requeue.
+  void process_job(std::size_t worker_index, DeviceSlot& slot,
+                   vgpu::Stream& stream, CircuitBreaker& breaker,
+                   Rng& rng, const std::shared_ptr<Job>& job);
+
+  /// The retry → degrade → requeue ladder (everything below the breaker
+  /// gate). On Success fills `result` (+ `degraded`); on Fail fills
+  /// `error`; on Requeue the job is already back in the queue.
+  Outcome run_ladder(std::size_t worker_index, DeviceSlot& slot,
+                     vgpu::Stream& stream, CircuitBreaker& breaker,
+                     Rng& rng, const std::shared_ptr<Job>& job,
+                     QueryResult& result, std::exception_ptr& error,
+                     bool& degraded, int& attempts);
+
+  /// Record a device fault against worker/breaker state (fault counter,
+  /// flight event, breaker bookkeeping + trip dump).
+  void note_fault(std::size_t worker_index, CircuitBreaker& breaker,
+                  const std::string& key);
+
+  /// Cancel an expired job: Expire event, `serve.expired`, and a
+  /// DeadlineExceeded delivered through the future.
+  void finish_expired(std::size_t worker_index, const std::shared_ptr<Job>& job);
 
   /// Run one query on a device slot through the given stream.
   QueryResult execute(DeviceSlot& slot, vgpu::Stream& stream, const Job& job);
+
+  /// Known-safe fallback: fixed registry baseline (planner bypassed) for
+  /// SDH/PCF. Precondition: has_baseline(job.query).
+  QueryResult execute_degraded(DeviceSlot& slot, vgpu::Stream& stream,
+                               const Job& job);
+
+  /// True when the query has a degraded rung distinct from its normal path
+  /// (planned SDH/PCF; kNN and join already run their only variant).
+  static bool has_baseline(const Query& query);
+
+  /// Resolve a submission's deadline (options override config default).
+  Clock::time_point deadline_from(const SubmitOptions& opts,
+                                  Clock::time_point now) const;
 
   /// Refresh the derived gauges from a snapshot (stats() / metrics_json()).
   void refresh_gauges(const EngineStats& s) const;
@@ -210,9 +320,17 @@ class QueryEngine {
   obs::Counter& c_completed_;
   obs::Counter& c_failed_;
   obs::Counter& c_launches_;
+  obs::Counter& c_faults_;
+  obs::Counter& c_retries_;
+  obs::Counter& c_breaker_open_;
+  obs::Counter& c_degraded_;
+  obs::Counter& c_expired_;
+  obs::Counter& c_requeued_;
+  obs::Counter& c_abandoned_;
   obs::FixedHistogram& h_latency_;
 
   std::vector<std::unique_ptr<DeviceSlot>> slots_;
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;  ///< per worker
   BoundedQueue<std::shared_ptr<Job>> queue_;
   ResultCache cache_;
   core::PlanCache plan_cache_;

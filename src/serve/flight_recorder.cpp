@@ -29,6 +29,13 @@ const char* FlightRecorder::to_string(Event e) {
     case Event::ExecuteBegin: return "execute_begin";
     case Event::Complete: return "complete";
     case Event::Fail: return "fail";
+    case Event::Fault: return "fault";
+    case Event::Retry: return "retry";
+    case Event::BreakerOpen: return "breaker_open";
+    case Event::Degraded: return "degraded";
+    case Event::Expire: return "expire";
+    case Event::Requeue: return "requeue";
+    case Event::Abandon: return "abandon";
   }
   return "unknown";
 }
@@ -182,6 +189,14 @@ bool FlightRecorder::maybe_dump_on_shed() {
   if (!acquire_dump_slot()) return false;
   auto_dumps_.fetch_add(1, std::memory_order_relaxed);
   if (!policy_.dump_path.empty()) dump(policy_.dump_path, "shed");
+  return true;
+}
+
+bool FlightRecorder::maybe_dump_on_breaker() {
+  if (!policy_.dump_on_breaker) return false;
+  if (!acquire_dump_slot()) return false;
+  auto_dumps_.fetch_add(1, std::memory_order_relaxed);
+  if (!policy_.dump_path.empty()) dump(policy_.dump_path, "breaker_open");
   return true;
 }
 

@@ -39,7 +39,8 @@ namespace tbs::serve {
 
 class FlightRecorder {
  public:
-  /// Event kinds mirror the engine's submit/execute outcomes.
+  /// Event kinds mirror the engine's submit/execute outcomes, plus the
+  /// failure path (faults, retries, breaker trips, degradation).
   enum class Event : std::uint8_t {
     Submit = 0,    ///< a client entered submit/try_submit
     CacheHit,      ///< served from the result cache
@@ -49,6 +50,13 @@ class FlightRecorder {
     ExecuteBegin,  ///< a worker started running the job
     Complete,      ///< the job's promise was fulfilled
     Fail,          ///< the job delivered an exception
+    Fault,         ///< an execution attempt hit a device error
+    Retry,         ///< the worker is re-attempting after a backoff
+    BreakerOpen,   ///< a worker's circuit breaker tripped open
+    Degraded,      ///< served by the degraded baseline fallback
+    Expire,        ///< deadline expired before execution (cancelled)
+    Requeue,       ///< handed back to the queue for another worker
+    Abandon,       ///< shut down with the query still queued
   };
   static const char* to_string(Event e);
 
@@ -75,6 +83,10 @@ class FlightRecorder {
     double window_seconds = 5.0;
     /// Also dump (rate-limited by the same window) when a query is shed.
     bool dump_on_shed = false;
+    /// Also dump (same window limiter) when a worker's circuit breaker
+    /// trips open — the ring then holds the fault/retry trail that
+    /// tripped it.
+    bool dump_on_breaker = false;
     /// Where automatic dumps go ("" suppresses the file write; the breach
     /// is still counted, which is what the tests assert on).
     std::string dump_path = "flight_recorder.json";
@@ -127,6 +139,10 @@ class FlightRecorder {
   /// Shed gate: when the policy enables it, dump (same window limiter,
   /// reason "shed") and return true.
   bool maybe_dump_on_shed();
+
+  /// Breaker gate: when the policy enables it, dump (same window limiter,
+  /// reason "breaker_open") and return true.
+  bool maybe_dump_on_breaker();
 
   /// Automatic dumps so far (SLO breaches + sheds that actually dumped).
   [[nodiscard]] std::uint64_t auto_dumps() const {

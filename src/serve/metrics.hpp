@@ -72,6 +72,15 @@ struct EngineCounters {
   /// their job's single increment.
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;      ///< jobs that delivered an exception
+
+  // --- failure path (faults, retries, breaker, degradation) ---------------
+  std::uint64_t faults = 0;         ///< execution attempts that hit a DeviceError
+  std::uint64_t retries = 0;        ///< backoff-then-retry attempts taken
+  std::uint64_t breaker_opens = 0;  ///< circuit-breaker trips to open
+  std::uint64_t degraded = 0;       ///< answers served by the baseline fallback
+  std::uint64_t expired = 0;        ///< deadlines expired before execution
+  std::uint64_t requeued = 0;       ///< jobs handed back for another worker
+  std::uint64_t abandoned = 0;      ///< failed at shutdown, still queued
 };
 
 /// One consistent snapshot of engine health.

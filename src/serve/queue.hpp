@@ -10,6 +10,7 @@
 // drain, not an abort.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -49,6 +50,18 @@ class BoundedQueue {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock, [&] { return closed_ || items_.size() < cap_; });
     return !closed_;
+  }
+
+  /// wait_not_full with a deadline: returns once a slot frees, the queue
+  /// closes, or `deadline` passes — whichever first. True only when a slot
+  /// was available at wake-up on an open queue (on timeout or close it is
+  /// false; distinguish via closed()). Deadline-carrying submits use this
+  /// so a full queue cannot block a client past its own deadline.
+  bool wait_not_full_until(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait_until(lock, deadline,
+                         [&] { return closed_ || items_.size() < cap_; });
+    return !closed_ && items_.size() < cap_;
   }
 
   /// Block until an item is available or the queue is closed *and* empty.

@@ -1,0 +1,95 @@
+#include "serve/resilience.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tbs::serve {
+
+double backoff_seconds(const RetryPolicy& policy, int attempt, Rng& rng) {
+  if (attempt <= 1) return 0.0;
+  double backoff = policy.base_backoff_seconds;
+  for (int k = 2; k < attempt; ++k) backoff *= 2.0;
+  backoff = std::min(backoff, policy.max_backoff_seconds);
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  // Full backoff minus a random slice of the jitter fraction: stays
+  // positive, stays below the cap, decorrelates concurrent retriers.
+  return backoff * (1.0 - jitter * rng.uniform());
+}
+
+const char* CircuitBreaker::to_string(State s) {
+  switch (s) {
+    case State::Closed: return "closed";
+    case State::Open: return "open";
+    case State::HalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerPolicy policy) : policy_(policy) {
+  check(policy_.failure_threshold >= 0,
+        "CircuitBreaker: failure_threshold must be >= 0");
+  check(policy_.half_open_probes >= 1,
+        "CircuitBreaker: need at least one half-open probe");
+}
+
+bool CircuitBreaker::allow() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (policy_.failure_threshold == 0) return true;  // breaker disabled
+  switch (state_) {
+    case State::Closed:
+      return true;
+    case State::Open: {
+      const double cooled = std::chrono::duration<double>(
+                                Clock::now() - opened_at_)
+                                .count();
+      if (cooled < policy_.cooldown_seconds) return false;
+      state_ = State::HalfOpen;
+      probes_left_ = policy_.half_open_probes;
+      [[fallthrough]];
+    }
+    case State::HalfOpen:
+      if (probes_left_ <= 0) return false;
+      --probes_left_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  state_ = State::Closed;
+  streak_ = 0;
+  probes_left_ = 0;
+}
+
+bool CircuitBreaker::record_failure() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (policy_.failure_threshold == 0) return false;
+  ++streak_;
+  const bool should_open =
+      state_ == State::HalfOpen || streak_ >= policy_.failure_threshold;
+  if (!should_open || state_ == State::Open) return false;
+  state_ = State::Open;
+  opened_at_ = Clock::now();
+  probes_left_ = 0;
+  ++opened_;
+  return true;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int CircuitBreaker::failure_streak() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return streak_;
+}
+
+std::uint64_t CircuitBreaker::opened_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return opened_;
+}
+
+}  // namespace tbs::serve

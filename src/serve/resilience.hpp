@@ -1,0 +1,125 @@
+// Resilience primitives for the serve layer: typed serving errors, bounded
+// retry with exponential backoff + jitter, and a per-worker circuit
+// breaker.
+//
+// The engine composes these into a degradation ladder (see engine.hpp):
+//
+//   planned execution ──retry w/ backoff──▶ still failing?
+//     └─▶ degraded execution (known-safe baseline variant, no planner)
+//           └─▶ requeue for another worker (bounded hand-offs)
+//                 └─▶ typed failure delivered to the client
+//
+// Retry applies only to vgpu::DeviceError (transient by contract);
+// deterministic application errors (bad arguments, CheckError) fail
+// immediately — re-running a wrong query cannot make it right. The breaker
+// watches *device* health per worker: consecutive device failures open it,
+// an open breaker stops the worker from consuming work until a cooldown
+// expires, and a half-open probe decides between closing and re-opening.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace tbs::serve {
+
+/// Thrown into futures whose work was abandoned (engine shut down with the
+/// job still queued and no worker to run it).
+class ServeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown into futures whose deadline expired before an answer was
+/// produced (cancelled in the queue, or out of retry time).
+class DeadlineExceeded : public ServeError {
+ public:
+  using ServeError::ServeError;
+};
+
+/// Thrown into futures that exhausted the whole degradation ladder.
+/// `what()` carries the final device error's message.
+class RetriesExhausted : public ServeError {
+ public:
+  using ServeError::ServeError;
+};
+
+/// Bounded retry with exponential backoff and jitter, applied per dispatch
+/// of a job onto a worker.
+struct RetryPolicy {
+  /// Total attempts per dispatch (1 = no retry). Applies to transient
+  /// device errors only.
+  int max_attempts = 3;
+  /// Backoff before attempt k (k >= 2) is base * 2^(k-2), capped at max,
+  /// with up to `jitter` of it randomized away (decorrelates workers
+  /// hammering a recovering device).
+  double base_backoff_seconds = 0.0005;
+  double max_backoff_seconds = 0.05;
+  double jitter = 0.5;  ///< fraction of the backoff randomized, in [0, 1]
+  /// Times a job may be handed back to the queue for another worker after
+  /// one worker's ladder (retries + degraded attempt) is exhausted.
+  int max_dispatches = 3;
+  std::uint64_t seed = 0x5EED5ULL;  ///< jitter RNG seed (per-worker salted)
+};
+
+/// Backoff before attempt `attempt` (2-based; attempt 1 has none), with
+/// jitter drawn from `rng`. Deterministic given the rng state.
+double backoff_seconds(const RetryPolicy& policy, int attempt, Rng& rng);
+
+/// Circuit-breaker tuning. `failure_threshold == 0` disables the breaker
+/// entirely (allow() is always true).
+struct BreakerPolicy {
+  int failure_threshold = 5;      ///< consecutive failures to open
+  double cooldown_seconds = 0.1;  ///< open -> half-open delay
+  int half_open_probes = 1;       ///< trial executions allowed half-open
+};
+
+/// Per-worker circuit breaker: closed -> open on consecutive device
+/// failures, open -> half-open after a cooldown, half-open -> closed on a
+/// successful probe (or back to open on a failed one). Thread-safe —
+/// stats() readers race the owning worker.
+class CircuitBreaker {
+ public:
+  enum class State { Closed, Open, HalfOpen };
+  static const char* to_string(State s);
+
+  explicit CircuitBreaker(BreakerPolicy policy = BreakerPolicy{});
+
+  /// May this worker execute work right now? Open transitions to half-open
+  /// here once the cooldown has elapsed; half-open admits a bounded number
+  /// of probes.
+  [[nodiscard]] bool allow();
+
+  /// Note a successful execution: closes the breaker and resets the
+  /// failure streak.
+  void record_success();
+
+  /// Note a device failure. Returns true when this failure *transitioned*
+  /// the breaker to Open (the caller records the trip exactly once).
+  [[nodiscard]] bool record_failure();
+
+  [[nodiscard]] State state() const;
+  /// Consecutive device failures since the last success.
+  [[nodiscard]] int failure_streak() const;
+  /// Closed -> Open (or HalfOpen -> Open) transitions so far.
+  [[nodiscard]] std::uint64_t opened_count() const;
+  [[nodiscard]] const BreakerPolicy& policy() const noexcept {
+    return policy_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  mutable std::mutex mu_;
+  BreakerPolicy policy_;
+  State state_ = State::Closed;
+  int streak_ = 0;
+  int probes_left_ = 0;
+  std::uint64_t opened_ = 0;
+  Clock::time_point opened_at_{};
+};
+
+}  // namespace tbs::serve

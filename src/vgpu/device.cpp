@@ -594,6 +594,9 @@ Event Device::launch_async(Stream& stream, const LaunchConfig& cfg,
 KernelStats Device::execute_launch(const LaunchConfig& cfg,
                                    const KernelBody& body, bool pooled) {
   validate_launch(cfg);
+  // Chaos hook: may stall the launch or throw a typed DeviceError before
+  // anything executes — the device is left exactly as it was.
+  if (fault_) fault_->on_launch_begin();
   const auto wall_start = std::chrono::steady_clock::now();
 
   const int grid = cfg.grid_dim;
@@ -644,10 +647,18 @@ KernelStats Device::execute_launch(const LaunchConfig& cfg,
   for (int b = 0; b < grid; ++b) {
     const auto i = static_cast<std::size_t>(b);
     stats.merge(block_stats[i]);
-    for (const std::uintptr_t line : ledgers[i].l2_lines) l2_.access(line);
     for (const std::uintptr_t line : ledgers[i].atomic_lines)
       if (atomic_union.insert(line).second) ++stats.atomic_distinct_lines;
   }
+  // Chaos hook: ECC-style corruption throws here, before the ledgers are
+  // replayed into the device L2 — a failed launch must leave the device
+  // bit-identical to never having launched, so a retry reproduces the
+  // fault-free counters exactly.
+  if (fault_) fault_->on_launch_stats(stats);
+  for (int b = 0; b < grid; ++b)
+    for (const std::uintptr_t line :
+         ledgers[static_cast<std::size_t>(b)].l2_lines)
+      l2_.access(line);
   ++launches_done_;
   if (observer_) {
     LaunchRecord rec;

@@ -4,11 +4,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <utility>
 
 #include "vgpu/cache.hpp"
 #include "vgpu/coro.hpp"
 #include "vgpu/ctx.hpp"
+#include "vgpu/fault.hpp"
 #include "vgpu/spec.hpp"
 #include "vgpu/stats.hpp"
 
@@ -87,6 +89,21 @@ class Device {
     return static_cast<bool>(observer_);
   }
 
+  /// Install a chaos schedule on this device: every subsequent launch
+  /// (inline or async) runs through a FaultInjector executing `plan`.
+  /// A plan with no knobs enabled removes injection. Injected failures
+  /// leave the device bit-identical to never having launched (no L2
+  /// replay, no launch_count() bump, no observer callback).
+  void set_fault_plan(const FaultPlan& plan) {
+    fault_ = plan.enabled() ? std::make_unique<FaultInjector>(plan) : nullptr;
+  }
+
+  /// The active injector (nullptr when no faults are configured) — tests
+  /// and chaos harnesses read its FaultStats.
+  [[nodiscard]] const FaultInjector* fault_injector() const noexcept {
+    return fault_.get();
+  }
+
  private:
   friend class Stream;
 
@@ -98,6 +115,7 @@ class Device {
   SetAssocCache l2_;
   std::uint64_t launches_done_ = 0;
   LaunchObserver observer_;
+  std::unique_ptr<FaultInjector> fault_;  ///< nullptr = no chaos
 };
 
 }  // namespace tbs::vgpu

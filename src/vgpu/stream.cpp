@@ -25,8 +25,13 @@ void Stream::drain_until(const detail::EventState* target) {
     Record rec = std::move(queue_.front());
     queue_.pop_front();
     try {
+      // Stream-scoped chaos runs around the device execution: the begin
+      // hook may stall or fail the launch, the stats hook may corrupt it —
+      // either lands in this stream's error path like an organic failure.
+      if (fault_) fault_->on_launch_begin();
       rec.state->stats = dev_->execute_launch(rec.cfg, rec.body,
                                               /*pooled=*/true);
+      if (fault_) fault_->on_launch_stats(rec.state->stats);
     } catch (...) {
       rec.state->error = std::current_exception();
     }

@@ -76,6 +76,20 @@ class Stream {
   /// Launches enqueued but not yet executed.
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
 
+  /// Install a chaos schedule scoped to this stream: launches draining
+  /// through it run the injector's hooks in addition to any device-level
+  /// plan. A stream fault poisons the rest of the queue exactly like an
+  /// organic launch failure (in-order semantics). A plan with no knobs
+  /// enabled removes injection.
+  void set_fault_plan(const FaultPlan& plan) {
+    fault_ = plan.enabled() ? std::make_unique<FaultInjector>(plan) : nullptr;
+  }
+
+  /// The stream-scoped injector (nullptr when none is configured).
+  [[nodiscard]] const FaultInjector* fault_injector() const noexcept {
+    return fault_.get();
+  }
+
   /// Execute every pending launch in order. Returns the merged counters of
   /// all launches completed on this stream since the previous synchronize()
   /// call (including ones already drained through Event::wait). Rethrows
@@ -99,6 +113,7 @@ class Stream {
   Device* dev_;
   std::deque<Record> queue_;
   KernelStats accumulated_;  ///< merged stats since last synchronize()
+  std::unique_ptr<FaultInjector> fault_;  ///< stream-scoped chaos (or null)
 };
 
 /// Set how many pool workers execute the blocks of draining async launches

@@ -161,6 +161,82 @@ TEST(PlanCache, ConcurrentMissesCalibrateExactlyOnce) {
   EXPECT_EQ(plans[0].block_size, plans[1].block_size);
 }
 
+TEST(PlanCache, FailedCalibrationReleasesTheGateAndCachesNothing) {
+  const auto sample = uniform_box(2048, 10.0f, 3);
+  const auto desc = ProblemDesc::pcf(2.0);
+
+  // A device whose first launch attempt fails mid-calibration: the plan
+  // must propagate the error, cache nothing (no poisoned entry), and drop
+  // the single-flight gate so a retry can calibrate.
+  vgpu::Device dev;
+  vgpu::FaultPlan chaos;
+  chaos.fail_first_n = 1;
+  dev.set_fault_plan(chaos);
+  vgpu::Stream stream(dev);
+  PlanCache cache;
+
+  EXPECT_THROW(plan(stream, sample, desc, 50'000.0, &cache),
+               vgpu::DeviceError);
+  EXPECT_EQ(cache.size(), 0u);  // a failed calibration must not be cached
+
+  // Schedule spent: the retry calibrates under the released gate.
+  const Plan retried = plan(stream, sample, desc, 50'000.0, &cache);
+  ASSERT_NE(retried.kernel, nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // And the cached plan equals a fault-free calibration's.
+  vgpu::Device healthy;
+  vgpu::Stream healthy_stream(healthy);
+  const Plan want = plan(healthy_stream, sample, desc, 50'000.0);
+  EXPECT_EQ(retried.kernel, want.kernel);
+  EXPECT_EQ(retried.block_size, want.block_size);
+}
+
+TEST(PlanCache, ConcurrentFailureDoesNotWedgeTheSingleFlightGate) {
+  const auto sample = uniform_box(2048, 10.0f, 3);
+  const auto desc = ProblemDesc::pcf(2.0);
+
+  // One permanently failing device and one healthy device race on the same
+  // key. Whichever wins the gate, the gate must come back out: either the
+  // faulty thread fails and the healthy one recalibrates, or the healthy
+  // one wins and the faulty thread is served from the cache with zero
+  // launches. Both endings leave exactly one good cached plan.
+  PlanCache cache;
+  vgpu::Device faulty;
+  vgpu::FaultPlan chaos;
+  chaos.device_lost = true;
+  faulty.set_fault_plan(chaos);
+  vgpu::Device healthy;
+
+  std::atomic<int> ready{0};
+  std::atomic<int> exceptions{0};
+  std::atomic<int> planned{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      vgpu::Device& dev = (t == 0) ? faulty : healthy;
+      vgpu::Stream stream(dev);
+      ready.fetch_add(1);
+      while (ready.load() < 2) std::this_thread::yield();
+      for (int round = 0; round < 2; ++round) {
+        try {
+          const Plan p = plan(stream, sample, desc, 50'000.0, &cache);
+          if (p.kernel != nullptr) planned.fetch_add(1);
+        } catch (const vgpu::DeviceError&) {
+          exceptions.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();  // no deadlock = gate released
+
+  // The healthy thread always ends up with a plan (directly or via cache);
+  // every outcome is accounted for, nothing hung or vanished.
+  EXPECT_EQ(planned.load() + exceptions.load(), 4);
+  EXPECT_GE(planned.load(), 2);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
 TEST(Framework, RepeatedQueryReusesThePlanWithZeroCalibration) {
   const auto pts = uniform_box(4096, 10.0f, 11);
   TwoBodyFramework fw;

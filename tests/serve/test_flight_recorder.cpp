@@ -245,5 +245,44 @@ TEST(FlightRecorder, EngineRecordsQueryLifecycleAndDumps) {
   std::remove(path.c_str());
 }
 
+TEST(FlightRecorder, ResilienceEventKindsSerializeByName) {
+  FlightRecorder rec(16);
+  rec.record(Event::Fault, "q", 1);
+  rec.record(Event::Retry, "q", 1);
+  rec.record(Event::BreakerOpen, "q", 1);
+  rec.record(Event::Degraded, "q", 1);
+  rec.record(Event::Expire, "q", 1);
+  rec.record(Event::Requeue, "q", 1);
+  rec.record(Event::Abandon, "q");
+
+  const std::string path = ::testing::TempDir() + "tbs_resilience_events.json";
+  ASSERT_TRUE(rec.dump(path, "manual", 0.0, 0.0));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const json::Value doc = json::parse(buf.str());
+  const json::Value& events = doc.at("events");
+  ASSERT_EQ(events.array.size(), 7u);
+  const char* want[] = {"fault",  "retry",   "breaker_open", "degraded",
+                        "expire", "requeue", "abandon"};
+  for (std::size_t i = 0; i < events.array.size(); ++i)
+    EXPECT_EQ(events.array[i].at("event").string, want[i]) << "event " << i;
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, BreakerDumpHonoursPolicyAndWindow) {
+  FlightRecorder off(16);  // dump_on_breaker defaults to false
+  EXPECT_FALSE(off.maybe_dump_on_breaker());
+
+  FlightRecorder::SloPolicy policy;
+  policy.dump_on_breaker = true;
+  policy.window_seconds = 3600.0;
+  policy.dump_path = "";
+  FlightRecorder rec(16, policy);
+  EXPECT_TRUE(rec.maybe_dump_on_breaker());
+  EXPECT_FALSE(rec.maybe_dump_on_breaker());  // rate-limited by the window
+  EXPECT_EQ(rec.auto_dumps(), 1u);
+}
+
 }  // namespace
 }  // namespace tbs::serve

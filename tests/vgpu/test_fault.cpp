@@ -1,0 +1,215 @@
+// Fault-injection layer: deterministic chaos schedules, typed errors, and
+// the retry-safety contract — a failed launch leaves the device bit-identical
+// to never having launched, so a retry reproduces the fault-free result.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "vgpu/buffer.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/fault.hpp"
+#include "vgpu/stream.hpp"
+
+namespace tbs::vgpu {
+namespace {
+
+KernelBody store_body(DeviceBuffer<int>& out, int value) {
+  return [&out, value](ThreadCtx& ctx) -> KernelTask {
+    co_await out.store(ctx, static_cast<std::size_t>(ctx.global_thread_id()),
+                       value);
+  };
+}
+
+// An atomic-heavy body so the L2 / contention counters depend on device
+// state — the sharpest probe of "a failed launch mutated nothing".
+KernelBody atomic_body(DeviceBuffer<std::uint32_t>& hist) {
+  return [&hist](ThreadCtx& ctx) -> KernelTask {
+    const auto bucket =
+        static_cast<std::size_t>(ctx.global_thread_id()) % hist.size();
+    co_await hist.atomic_add(ctx, bucket, 1u);
+  };
+}
+
+TEST(FaultPlan, DefaultPlanIsDisabled) {
+  EXPECT_FALSE(FaultPlan{}.enabled());
+  Device dev;
+  dev.set_fault_plan(FaultPlan{});  // disabled plan clears the injector
+  EXPECT_EQ(dev.fault_injector(), nullptr);
+
+  FaultPlan armed;
+  armed.fail_first_n = 1;
+  EXPECT_TRUE(armed.enabled());
+  dev.set_fault_plan(armed);
+  EXPECT_NE(dev.fault_injector(), nullptr);
+}
+
+TEST(FaultInjection, FailFirstNThenSucceeds) {
+  Device dev;
+  FaultPlan plan;
+  plan.fail_first_n = 2;
+  dev.set_fault_plan(plan);
+
+  DeviceBuffer<int> out(64, -1);
+  EXPECT_THROW(dev.launch(LaunchConfig{1, 64, 0}, store_body(out, 7)),
+               TransientLaunchError);
+  EXPECT_THROW(dev.launch(LaunchConfig{1, 64, 0}, store_body(out, 7)),
+               TransientLaunchError);
+  EXPECT_EQ(out.host()[0], -1);  // the failed attempts never executed
+  EXPECT_NO_THROW(dev.launch(LaunchConfig{1, 64, 0}, store_body(out, 7)));
+  EXPECT_EQ(out.host()[0], 7);
+
+  const FaultStats fs = dev.fault_injector()->stats();
+  EXPECT_EQ(fs.attempts, 3u);
+  EXPECT_EQ(fs.scheduled, 2u);
+  EXPECT_EQ(fs.faults(), 2u);
+}
+
+TEST(FaultInjection, FailedLaunchLeavesDeviceBitIdentical) {
+  const LaunchConfig cfg{4, 128, 0};
+
+  // Ground truth: a healthy device.
+  Device healthy;
+  DeviceBuffer<std::uint32_t> hist_ok(16, 0);
+  const KernelStats want = healthy.launch(cfg, atomic_body(hist_ok));
+
+  // Faulty device: one scheduled failure, then the retry must reproduce
+  // the fault-free launch exactly — counters and memory both.
+  Device faulty;
+  FaultPlan plan;
+  plan.fail_first_n = 1;
+  faulty.set_fault_plan(plan);
+  DeviceBuffer<std::uint32_t> hist_faulty(16, 0);
+  EXPECT_THROW(faulty.launch(cfg, atomic_body(hist_faulty)),
+               TransientLaunchError);
+  EXPECT_EQ(faulty.launch_count(), 0u);  // the failure never counted
+  const KernelStats got = faulty.launch(cfg, atomic_body(hist_faulty));
+
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(faulty.launch_count(), 1u);
+  for (std::size_t i = 0; i < hist_ok.size(); ++i)
+    EXPECT_EQ(hist_ok.host()[i], hist_faulty.host()[i]) << "bucket " << i;
+}
+
+TEST(FaultInjection, TransientSequenceIsAPureFunctionOfTheSeed) {
+  const auto run_sequence = [](std::uint64_t seed) {
+    Device dev;
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.transient_rate = 0.5;
+    dev.set_fault_plan(plan);
+    DeviceBuffer<int> out(32, 0);
+    std::vector<bool> failed;
+    for (int i = 0; i < 32; ++i) {
+      try {
+        dev.launch(LaunchConfig{1, 32, 0}, store_body(out, i));
+        failed.push_back(false);
+      } catch (const TransientLaunchError&) {
+        failed.push_back(true);
+      }
+    }
+    return failed;
+  };
+
+  const auto a = run_sequence(42);
+  const auto b = run_sequence(42);
+  EXPECT_EQ(a, b);  // same seed, same fault sequence — reproducible chaos
+  // And the rate knob actually fires both ways at 50%.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+
+  const auto c = run_sequence(43);
+  EXPECT_NE(a, c);  // different seed, different schedule
+}
+
+TEST(FaultInjection, EccCorruptionThrowsBeforeDeviceStateReplays) {
+  Device dev;
+  FaultPlan plan;
+  plan.corrupt_rate = 1.0;
+  dev.set_fault_plan(plan);
+
+  DeviceBuffer<std::uint32_t> hist(16, 0);
+  EXPECT_THROW(dev.launch(LaunchConfig{2, 64, 0}, atomic_body(hist)),
+               EccError);
+  EXPECT_EQ(dev.launch_count(), 0u);
+  EXPECT_EQ(dev.fault_injector()->stats().corruptions, 1u);
+
+  // Disarm and re-run: the device state must equal a fresh device's — the
+  // corrupted launch replayed nothing into the L2.
+  dev.set_fault_plan(FaultPlan{});
+  DeviceBuffer<std::uint32_t> hist2(16, 0);
+  const KernelStats after = dev.launch(LaunchConfig{2, 64, 0},
+                                       atomic_body(hist2));
+  Device fresh;
+  DeviceBuffer<std::uint32_t> hist3(16, 0);
+  const KernelStats want = fresh.launch(LaunchConfig{2, 64, 0},
+                                        atomic_body(hist3));
+  EXPECT_EQ(after, want);
+}
+
+TEST(FaultInjection, DeviceLostIsPermanentAndNotTransient) {
+  Device dev;
+  FaultPlan plan;
+  plan.device_lost = true;
+  dev.set_fault_plan(plan);
+  DeviceBuffer<int> out(32, 0);
+
+  for (int i = 0; i < 3; ++i) {
+    try {
+      dev.launch(LaunchConfig{1, 32, 0}, store_body(out, 1));
+      FAIL() << "a lost device must not execute";
+    } catch (const DeviceError& e) {
+      EXPECT_FALSE(e.transient());
+    }
+  }
+  EXPECT_EQ(dev.fault_injector()->stats().lost, 3u);
+}
+
+TEST(FaultInjection, StallDelaysTheLaunchButItStillSucceeds) {
+  Device dev;
+  FaultPlan plan;
+  plan.stall_rate = 1.0;
+  plan.stall_seconds = 0.005;
+  dev.set_fault_plan(plan);
+
+  DeviceBuffer<int> out(32, -1);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_NO_THROW(dev.launch(LaunchConfig{1, 32, 0}, store_body(out, 9)));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(out.host()[0], 9);  // a straggler, not a failure
+  EXPECT_GE(elapsed, 0.004);
+  EXPECT_EQ(dev.fault_injector()->stats().stalls, 1u);
+}
+
+TEST(FaultInjection, StreamFaultPoisonsTheQueueAndTheStreamRecovers) {
+  Device dev;
+  Stream stream(dev);
+  FaultPlan plan;
+  plan.fail_first_n = 1;
+  stream.set_fault_plan(plan);
+
+  DeviceBuffer<int> out(64, -1);
+  Event bad = dev.launch_async(stream, LaunchConfig{1, 64, 0},
+                               store_body(out, 1));
+  Event behind = dev.launch_async(stream, LaunchConfig{1, 64, 0},
+                                  store_body(out, 2));
+  // In-order semantics: the injected failure poisons the queued successor,
+  // exactly like an organic kernel failure.
+  EXPECT_THROW(bad.wait(), TransientLaunchError);
+  EXPECT_THROW(behind.wait(), TransientLaunchError);
+  EXPECT_EQ(out.host()[0], -1);
+
+  // The schedule is spent; the stream is serviceable again.
+  Event ok = dev.launch_async(stream, LaunchConfig{1, 64, 0},
+                              store_body(out, 3));
+  EXPECT_NO_THROW(ok.wait());
+  EXPECT_EQ(out.host()[0], 3);
+  EXPECT_EQ(stream.fault_injector()->stats().scheduled, 1u);
+}
+
+}  // namespace
+}  // namespace tbs::vgpu
