@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
                "bulk-resolved", "work ratio vs N^2"});
   obs::BenchReport report("beyond_tree");
   std::vector<double> speedups;
+  std::vector<double> work_ratios;
   for (const std::size_t n : {4000u, 8000u, 16000u, 32000u}) {
     const auto pts = uniform_box(n, 20.0f, 777);
     const double w = pts.max_possible_distance() / buckets + 1e-4;
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
     const double work =
         static_cast<double>(stats.node_pair_visits + stats.brute_pairs);
     speedups.push_back(brute_s / tree_s);
+    work_ratios.push_back(work / total);
     // Everything here is wall-clock on this host: ledger-only (gate=false).
     const double dn = static_cast<double>(n);
     report.entry("brute", dn, "wall")
@@ -70,13 +72,22 @@ int main(int argc, char** argv) {
 
   std::printf("\nshape checks:\n");
   ShapeChecks checks;
-  checks.expect(speedups.back() > 1.5,
-                "tree algorithm beats brute force at 32k points "
+  // Shape-check the deterministic work counters, not the wall clock: on a
+  // shared host the brute/tree timing ratio swings far more than the 1.5x
+  // margin the old check used, while the tree geometry is exactly
+  // reproducible (the wall numbers still ride the ledger above,
+  // gate=false).
+  checks.expect(work_ratios.back() < 0.3,
+                "tree does under 30% of the brute-force work at 32k points "
                 "(measured " +
-                    TextTable::num(speedups.back(), 2) + "x)");
-  checks.expect(speedups.back() > speedups.front(),
+                    TextTable::num(work_ratios.back(), 3) + ")");
+  checks.expect(work_ratios.back() < work_ratios.front(),
                 "the tree's advantage grows with N (subquadratic total "
                 "work)");
+  checks.expect(speedups.back() > 1.0,
+                "the work saving survives tree overheads in wall clock "
+                "(measured " +
+                    TextTable::num(speedups.back(), 2) + "x)");
   write_report(report, obs::artifact_dir(argc, argv));
   return checks.finish();
 }

@@ -1,9 +1,11 @@
 #include "harness.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/datagen.hpp"
+#include "common/error.hpp"
 #include "common/timer.hpp"
 #include "cpubase/cpu_stats.hpp"
 #include "perfmodel/counts.hpp"
@@ -95,6 +97,19 @@ perfmodel::CpuModel calibrate_cpu(std::size_t n) {
   }
   const double pairs = static_cast<double>(n) * (n - 1) / 2.0;
   return perfmodel::CpuModel(pairs, best, pool.size());
+}
+
+std::string backend_choice(int argc, char** argv,
+                           const std::string& fallback) {
+  std::string choice = fallback;
+  if (const char* env = std::getenv("TBS_BACKEND");
+      env != nullptr && *env != '\0')
+    choice = env;
+  const std::string flag = obs::arg_value(argc, argv, "--backend", choice);
+  check(flag == "vgpu" || flag == "cpu" || flag == "auto",
+        "backend_choice: --backend/TBS_BACKEND must be vgpu, cpu, or auto "
+        "(got \"" + flag + "\")");
+  return flag;
 }
 
 void ShapeChecks::expect(bool ok, const std::string& what) {

@@ -75,6 +75,13 @@ perfmodel::TimeReport report_at(const vgpu::DeviceSpec& spec,
 /// cpubase SDH implementation on this host.
 perfmodel::CpuModel calibrate_cpu(std::size_t n = 3000);
 
+/// Resolve the requested execution substrate for a bench run:
+/// `--backend {vgpu,cpu,auto}` in argv wins, else the TBS_BACKEND env
+/// override, else `fallback`. Anything else fails loudly (CheckError) so a
+/// typo'd CI matrix entry can't silently bench the wrong substrate.
+std::string backend_choice(int argc, char** argv,
+                           const std::string& fallback = "vgpu");
+
 /// Shape-check registry: records pass/fail, prints, and provides the
 /// process exit code (0 iff all passed).
 class ShapeChecks {

@@ -14,6 +14,12 @@
 //                                         # device faults: transients,
 //                                         # stragglers, ECC trips, and one
 //                                         # permanently dead device
+//   ./build/examples/serve_demo --backend cpu    # CPU-only worker pool
+//   ./build/examples/serve_demo --backend auto   # mixed vgpu+CPU pool;
+//                                                # with --chaos, vgpu
+//                                                # faults fail over to the
+//                                                # CPU backend
+// (TBS_BACKEND=cpu|vgpu|auto sets the default; the flag wins.)
 //
 // Under --chaos the demo also prints the resilience counters (faults,
 // retries, breaker trips, degraded answers) — the quick-start for the
@@ -26,6 +32,7 @@
 // chrome://tracing) to see the timeline. Pass --out <dir> (or set
 // TBS_ARTIFACT_DIR) to redirect both artifacts.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -42,6 +49,16 @@ int main(int argc, char** argv) {
   bool chaos = false;
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
+  std::string backend = "vgpu";
+  if (const char* env = std::getenv("TBS_BACKEND");
+      env != nullptr && *env != '\0')
+    backend = env;
+  backend = obs::arg_value(argc, argv, "--backend", backend);
+  if (backend != "vgpu" && backend != "cpu" && backend != "auto") {
+    std::fprintf(stderr, "unknown --backend \"%s\" (vgpu|cpu|auto)\n",
+                 backend.c_str());
+    return 2;
+  }
 
   const PointsSoA gas = uniform_box(2000, 15.0f, /*seed=*/3);
   const int buckets = 64;
@@ -52,7 +69,13 @@ int main(int argc, char** argv) {
   serve::QueryEngine::Config cfg;
   cfg.devices = 2;
   cfg.streams_per_device = 2;
-  if (chaos) {
+  if (backend == "cpu") {
+    cfg.devices = 0;  // CPU-only pool: every query type still served
+    cfg.cpu_workers = 2;
+  } else if (backend == "auto") {
+    cfg.cpu_workers = 2;  // mixed pool alongside the 2x2 vgpu workers
+  }
+  if (chaos && backend != "cpu") {
     // One flaky device, one dead device; the retry ladder, breaker, and
     // degraded baseline must still answer every query correctly.
     cfg.devices = 3;
@@ -68,6 +91,9 @@ int main(int argc, char** argv) {
     cfg.faults[1].stall_seconds = 0.002;
     cfg.faults[1].corrupt_rate = 0.02;    // occasional ECC trips
     cfg.faults[2].device_lost = true;     // a permanently failing device
+    // Heterogeneous pool under chaos: let vgpu workers whose retries run
+    // out fail over to the shared CPU backend before degrading.
+    if (backend == "auto") cfg.backend_failover = true;
   }
   serve::QueryEngine engine(cfg);
 
@@ -97,9 +123,10 @@ int main(int argc, char** argv) {
               sdh.degraded ? " (degraded baseline)" : "");
 
   const serve::EngineStats stats = engine.stats();
-  std::printf("\n%llu queries submitted by 4 clients (+1 main)%s:\n",
+  std::printf("\n%llu queries submitted by 4 clients (+1 main)%s "
+              "[backend=%s]:\n",
               static_cast<unsigned long long>(stats.counters.submitted),
-              chaos ? " under chaos" : "");
+              chaos ? " under chaos" : "", backend.c_str());
   std::printf("  executed on a device : %llu\n",
               static_cast<unsigned long long>(stats.counters.executed));
   std::printf("  served from the cache: %llu\n",
@@ -125,6 +152,9 @@ int main(int argc, char** argv) {
     std::printf("\n");
     std::printf("  degraded answers     : %llu (baseline variant, uncached)\n",
                 static_cast<unsigned long long>(stats.counters.degraded));
+    if (cfg.backend_failover)
+      std::printf("  cross-backend failovers: %llu (served on cpu)\n",
+                  static_cast<unsigned long long>(stats.counters.failovers));
     std::printf("  requeued / abandoned : %llu / %llu\n",
                 static_cast<unsigned long long>(stats.counters.requeued),
                 static_cast<unsigned long long>(stats.counters.abandoned));

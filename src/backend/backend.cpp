@@ -1,0 +1,13 @@
+#include "backend/backend.hpp"
+
+namespace tbs::backend {
+
+const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::Vgpu: return "vgpu";
+    case Kind::Cpu: return "cpu";
+  }
+  return "?";
+}
+
+}  // namespace tbs::backend

@@ -1,0 +1,156 @@
+#include "backend/cpu_backend.hpp"
+
+#include <array>
+#include <chrono>
+#include <cmath>
+
+#include "common/datagen.hpp"
+#include "common/error.hpp"
+#include "cpubase/tree_sdh.hpp"
+
+namespace tbs::backend {
+
+namespace {
+
+/// Same calibration grid as the vgpu side, so the two models extrapolate
+/// from comparable regimes.
+constexpr std::array<double, 3> kCalibN = {512, 1024, 2048};
+
+/// Timed-calibration size: big enough (~8.4M pairs) that pool fan-out
+/// overhead is amortized out of the measured per-pair cost.
+constexpr std::size_t kPairCalibN = 4096;
+
+/// One node-pair visit costs roughly this many pair evaluations (AABB
+/// min/max distance + two bucket probes).
+constexpr double kNodeVisitWeight = 4.0;
+
+PointsSoA take(const PointsSoA& sample, std::size_t n) {
+  check(!sample.empty(), "CpuBackend::estimate: empty sample");
+  PointsSoA out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(sample[i % sample.size()]);
+  return out;
+}
+
+double pairs_of(double n) { return n * (n - 1.0) / 2.0; }
+
+}  // namespace
+
+CpuBackend::CpuBackend() : CpuBackend(Config{}) {}
+
+CpuBackend::CpuBackend(Config cfg)
+    : cfg_(cfg), pool_(cfg.threads), pair_cost_(cfg.pair_cost_seconds) {
+  caps_.kind = Kind::Cpu;
+  caps_.name = "cpu:" + std::to_string(pool_.size()) + "w";
+  caps_.registry_mask = kernels::kBackendCpu;
+  caps_.parallel_units = static_cast<int>(pool_.size());
+  caps_.shared_mem_per_block_cap = 0;  // not applicable
+}
+
+bool CpuBackend::can_launch(const kernels::KernelVariant& v,
+                            const kernels::ProblemDesc& /*desc*/,
+                            int /*block_size*/) const {
+  return v.supports(kernels::kBackendCpu);
+}
+
+std::size_t CpuBackend::stage(const PointsSoA& pts) {
+  // Host data is already where the loops read it; the "upload" is a cache
+  // warm over the three lanes, accounted like a transfer.
+  const std::size_t bytes = 3 * pts.size() * sizeof(float);
+  float sink = 0.0f;
+  for (const float v : pts.x()) sink += v;
+  for (const float v : pts.y()) sink += v;
+  for (const float v : pts.z()) sink += v;
+  // The sum only exists to keep the walk from being optimized away.
+  if (std::isnan(sink)) check(false, "CpuBackend::stage: NaN coordinates");
+  bytes_staged_.fetch_add(bytes, std::memory_order_relaxed);
+  return bytes;
+}
+
+vgpu::KernelStats CpuBackend::launch(const kernels::KernelVariant& v,
+                                     const PointsSoA& pts,
+                                     const kernels::ProblemDesc& desc,
+                                     int block_size,
+                                     kernels::KernelOutput& out) {
+  check(v.launch_cpu != nullptr,
+        "CpuBackend: variant has no CPU launch functor");
+  vgpu::KernelStats stats =
+      v.launch_cpu(pool_, cfg_.cpu, pts, desc, block_size, out);
+  launches_.fetch_add(1, std::memory_order_relaxed);
+  return stats;
+}
+
+double CpuBackend::pair_cost() {
+  const std::lock_guard<std::mutex> lock(calib_mu_);
+  if (pair_cost_ > 0.0) return pair_cost_;
+  // One timed run of the tiled SDH loop on synthetic data; the histogram
+  // geometry is irrelevant to the per-pair cost.
+  const PointsSoA pts = uniform_box(kPairCalibN, 10.0f, /*seed=*/42);
+  const double width = pts.max_possible_distance() / 64 + 1e-4;
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)cpubase::cpu_sdh_tiled(pool_, pts, width, 64, cfg_.cpu);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  pair_cost_ = seconds * static_cast<double>(pool_.size()) /
+               pairs_of(static_cast<double>(kPairCalibN));
+  return pair_cost_;
+}
+
+Estimate CpuBackend::estimate(const kernels::KernelVariant& v,
+                              const PointsSoA& sample,
+                              const kernels::ProblemDesc& desc,
+                              int /*block_size*/, double target_n) {
+  const double cost = pair_cost();
+
+  if (v.name == "Tree-SDH") {
+    // The tree's work is deterministic for a given point set: count it at
+    // the calibration sizes and fit work ≈ a·N^b in log-log space, then
+    // price the extrapolated work at per-pair cost, single-threaded.
+    std::array<double, 3> log_n{};
+    std::array<double, 3> log_w{};
+    for (std::size_t i = 0; i < kCalibN.size(); ++i) {
+      const PointsSoA pts =
+          take(sample, static_cast<std::size_t>(kCalibN[i]));
+      cpubase::TreeSdhStats stats;
+      (void)cpubase::tree_sdh(pts, desc.bucket_width,
+                              static_cast<std::size_t>(desc.buckets),
+                              /*leaf_size=*/32, &stats);
+      const double work =
+          static_cast<double>(stats.brute_pairs) +
+          kNodeVisitWeight * static_cast<double>(stats.node_pair_visits);
+      log_n[i] = std::log(kCalibN[i]);
+      log_w[i] = std::log(std::max(1.0, work));
+    }
+    // Least-squares line through three points.
+    const double mean_n = (log_n[0] + log_n[1] + log_n[2]) / 3.0;
+    const double mean_w = (log_w[0] + log_w[1] + log_w[2]) / 3.0;
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      num += (log_n[i] - mean_n) * (log_w[i] - mean_w);
+      den += (log_n[i] - mean_n) * (log_n[i] - mean_n);
+    }
+    const double b = den > 0.0 ? num / den : 2.0;
+    const double log_a = mean_w - b * mean_n;
+    const double work = std::exp(log_a + b * std::log(target_n));
+    return Estimate{work * cost + cfg_.launch_overhead_seconds, "cpu-tree"};
+  }
+
+  // Quadratic variants: every CPU pair loop has the same shape, so one
+  // model covers them all.
+  const double seconds =
+      pairs_of(target_n) * cost / static_cast<double>(pool_.size()) +
+      cfg_.launch_overhead_seconds;
+  return Estimate{seconds, "cpu-pairs"};
+}
+
+Counters CpuBackend::counters() const {
+  Counters c;
+  c.launches = launches_.load(std::memory_order_relaxed);
+  c.bytes_staged = bytes_staged_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace tbs::backend

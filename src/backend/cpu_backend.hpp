@@ -1,0 +1,81 @@
+// CpuBackend — the multi-core host substrate behind the IBackend seam.
+//
+// Promotes src/cpubase from "test oracle" to first-class execution peer:
+// launches run the tiled SDH/PCF loops (or the sub-quadratic tree path)
+// over an owned thread pool, bit-identical to the vgpu kernels because
+// every implementation buckets through the same double-precision division.
+//
+// Cost model (estimate()): the backend calibrates a per-pair cost from one
+// timed run of the tiled SDH loop, then prices
+//   * quadratic variants as  pairs(N) · pair_cost / threads + overhead
+//   * Tree-SDH by fitting a power law to the tree's deterministic work
+//     counters (brute pairs + weighted node-pair visits) at the standard
+//     calibration sizes, priced single-threaded (the tree walk is
+//     sequential) + overhead.
+// vgpu estimates are simulated-device seconds while CPU estimates are
+// host-clock seconds; the planner compares them directly, which is exactly
+// the paper's GPU-vs-CPU framing (model time vs measured baseline).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+#include "backend/backend.hpp"
+#include "cpubase/cpu_stats.hpp"
+#include "cpubase/thread_pool.hpp"
+
+namespace tbs::backend {
+
+class CpuBackend final : public IBackend {
+ public:
+  struct Config {
+    /// Worker threads; 0 = std::thread::hardware_concurrency().
+    unsigned threads = 0;
+    cpubase::CpuConfig cpu{};
+    /// Fixed per-launch overhead floor (pool fan-out, tree build) added to
+    /// every estimate so tiny-N placements don't flip on noise.
+    double launch_overhead_seconds = 50e-6;
+    /// Per-pair seconds for estimate(); 0 = calibrate from a timed run on
+    /// first use. Tests pin this for deterministic placement regimes.
+    double pair_cost_seconds = 0.0;
+  };
+
+  CpuBackend();  ///< default Config (delegating; GCC rejects `= {}` here)
+  explicit CpuBackend(Config cfg);
+
+  [[nodiscard]] const Capabilities& caps() const override { return caps_; }
+
+  [[nodiscard]] bool can_launch(const kernels::KernelVariant& v,
+                                const kernels::ProblemDesc& desc,
+                                int block_size) const override;
+
+  std::size_t stage(const PointsSoA& pts) override;
+
+  vgpu::KernelStats launch(const kernels::KernelVariant& v,
+                           const PointsSoA& pts,
+                           const kernels::ProblemDesc& desc, int block_size,
+                           kernels::KernelOutput& out) override;
+
+  [[nodiscard]] Estimate estimate(const kernels::KernelVariant& v,
+                                  const PointsSoA& sample,
+                                  const kernels::ProblemDesc& desc,
+                                  int block_size, double target_n) override;
+
+  [[nodiscard]] Counters counters() const override;
+
+  [[nodiscard]] cpubase::ThreadPool& pool() noexcept { return pool_; }
+
+ private:
+  /// Calibrated (or configured) per-pair cost, in seconds per core.
+  double pair_cost();
+
+  Config cfg_;
+  cpubase::ThreadPool pool_;
+  Capabilities caps_;
+  std::mutex calib_mu_;      ///< guards pair_cost_ first-use calibration
+  double pair_cost_ = 0.0;   ///< 0 until calibrated
+  std::atomic<std::uint64_t> launches_{0};
+  std::atomic<std::uint64_t> bytes_staged_{0};
+};
+
+}  // namespace tbs::backend

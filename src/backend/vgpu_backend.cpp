@@ -1,0 +1,110 @@
+#include "backend/vgpu_backend.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+#include "perfmodel/counts.hpp"
+#include "perfmodel/timemodel.hpp"
+#include "vgpu/buffer.hpp"
+#include "vgpu/fault.hpp"
+
+namespace tbs::backend {
+
+namespace {
+
+Capabilities caps_for(const vgpu::DeviceSpec& spec) {
+  Capabilities c;
+  c.kind = Kind::Vgpu;
+  c.name = std::string("vgpu:") + spec.name;
+  c.registry_mask = kernels::kBackendVgpu;
+  c.parallel_units = spec.sm_count;
+  c.shared_mem_per_block_cap = spec.shared_mem_per_block_cap;
+  return c;
+}
+
+/// Calibration sizes: multiples of every candidate block size, matching
+/// the planner's historical grid so cached plans stay comparable.
+constexpr std::array<double, 3> kCalibN = {512, 1024, 2048};
+
+/// Truncate the sample to n points (cycling if the sample is smaller).
+PointsSoA take(const PointsSoA& sample, std::size_t n) {
+  check(!sample.empty(), "VgpuBackend::estimate: empty sample");
+  PointsSoA out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(sample[i % sample.size()]);
+  return out;
+}
+
+}  // namespace
+
+VgpuBackend::VgpuBackend(vgpu::Device& dev)
+    : owned_(std::in_place, dev),
+      stream_(&*owned_),
+      caps_(caps_for(dev.spec())) {}
+
+VgpuBackend::VgpuBackend(vgpu::Stream& stream)
+    : stream_(&stream), caps_(caps_for(stream.device().spec())) {}
+
+bool VgpuBackend::can_launch(const kernels::KernelVariant& v,
+                             const kernels::ProblemDesc& desc,
+                             int block_size) const {
+  if (!v.supports(kernels::kBackendVgpu)) return false;
+  return v.shared_bytes(block_size, desc.buckets) <=
+         caps_.shared_mem_per_block_cap;
+}
+
+std::size_t VgpuBackend::stage(const PointsSoA& pts) {
+  // The kernels own their working-set staging; this round-trip allocates a
+  // device buffer per coordinate lane so the transfer is accounted (and the
+  // allocator's alignment path exercised) without double-owning the data.
+  const std::size_t bytes = 3 * pts.size() * sizeof(float);
+  vgpu::DeviceBuffer<float> x(pts.x());
+  vgpu::DeviceBuffer<float> y(pts.y());
+  vgpu::DeviceBuffer<float> z(pts.z());
+  bytes_staged_.fetch_add(bytes, std::memory_order_relaxed);
+  return bytes;
+}
+
+vgpu::KernelStats VgpuBackend::launch(const kernels::KernelVariant& v,
+                                      const PointsSoA& pts,
+                                      const kernels::ProblemDesc& desc,
+                                      int block_size,
+                                      kernels::KernelOutput& out) {
+  check(v.launch != nullptr,
+        "VgpuBackend: variant has no vgpu launch functor");
+  try {
+    vgpu::KernelStats stats = v.launch(*stream_, pts, desc, block_size, out);
+    launches_.fetch_add(1, std::memory_order_relaxed);
+    return stats;
+  } catch (const vgpu::DeviceError&) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
+}
+
+Estimate VgpuBackend::estimate(const kernels::KernelVariant& v,
+                               const PointsSoA& sample,
+                               const kernels::ProblemDesc& desc,
+                               int block_size, double target_n) {
+  std::array<vgpu::KernelStats, 3> stats;
+  for (std::size_t i = 0; i < kCalibN.size(); ++i) {
+    const PointsSoA pts = take(sample, static_cast<std::size_t>(kCalibN[i]));
+    kernels::KernelOutput sink;  // calibration discards outputs
+    stats[i] = launch(v, pts, desc, block_size, sink);
+  }
+  const perfmodel::StatsPoly poly(kCalibN, stats);
+  const auto report =
+      perfmodel::model_time(stream_->device().spec(), poly.predict(target_n));
+  return Estimate{report.seconds, report.bottleneck};
+}
+
+Counters VgpuBackend::counters() const {
+  Counters c;
+  c.launches = launches_.load(std::memory_order_relaxed);
+  c.faults = faults_.load(std::memory_order_relaxed);
+  c.bytes_staged = bytes_staged_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace tbs::backend

@@ -1,0 +1,62 @@
+// VgpuBackend — the simulated-GPU substrate behind the IBackend seam.
+//
+// A thin adapter: launches go through a vgpu::Stream exactly as before the
+// seam existed, so everything attached to the Device — fault injection
+// plans, launch observers, the launch counter — keeps working untouched.
+// Two construction modes:
+//   * VgpuBackend(Device&): the backend owns a private stream on the
+//     device (a serve worker's lane).
+//   * VgpuBackend(Stream&): borrow the caller's stream — used by the
+//     planner's legacy Stream-based entry point so calibration launches
+//     stay on the caller's lane.
+#pragma once
+
+#include <atomic>
+#include <optional>
+
+#include "backend/backend.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/stream.hpp"
+
+namespace tbs::backend {
+
+class VgpuBackend final : public IBackend {
+ public:
+  explicit VgpuBackend(vgpu::Device& dev);
+  explicit VgpuBackend(vgpu::Stream& stream);
+
+  [[nodiscard]] const Capabilities& caps() const override { return caps_; }
+
+  [[nodiscard]] bool can_launch(const kernels::KernelVariant& v,
+                                const kernels::ProblemDesc& desc,
+                                int block_size) const override;
+
+  std::size_t stage(const PointsSoA& pts) override;
+
+  vgpu::KernelStats launch(const kernels::KernelVariant& v,
+                           const PointsSoA& pts,
+                           const kernels::ProblemDesc& desc, int block_size,
+                           kernels::KernelOutput& out) override;
+
+  /// Eqs. 2–7 pricing: three calibration launches, StatsPoly counter
+  /// extrapolation, perfmodel::model_time on the device spec.
+  [[nodiscard]] Estimate estimate(const kernels::KernelVariant& v,
+                                  const PointsSoA& sample,
+                                  const kernels::ProblemDesc& desc,
+                                  int block_size, double target_n) override;
+
+  [[nodiscard]] Counters counters() const override;
+
+  [[nodiscard]] vgpu::Device& device() noexcept { return stream_->device(); }
+  [[nodiscard]] vgpu::Stream& stream() noexcept { return *stream_; }
+
+ private:
+  std::optional<vgpu::Stream> owned_;  ///< set only for the Device ctor
+  vgpu::Stream* stream_;               ///< never null
+  Capabilities caps_;
+  std::atomic<std::uint64_t> launches_{0};
+  std::atomic<std::uint64_t> faults_{0};
+  std::atomic<std::uint64_t> bytes_staged_{0};
+};
+
+}  // namespace tbs::backend

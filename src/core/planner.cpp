@@ -5,49 +5,32 @@
 #include <limits>
 #include <utility>
 
+#include "backend/vgpu_backend.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "perfmodel/counts.hpp"
-#include "perfmodel/timemodel.hpp"
 
 namespace tbs::core {
 
 namespace {
 
-/// Calibration sizes (multiples of every candidate block size).
-constexpr std::array<double, 3> kCalibN = {512, 1024, 2048};
-
+/// Block sizes explored per vgpu candidate. CPU launches have no block
+/// geometry, so CPU candidates are priced once at the conventional 256.
 constexpr std::array<int, 3> kBlockSizes = {128, 256, 512};
+constexpr std::array<int, 1> kCpuBlockSizes = {256};
 
-/// Truncate the sample to n points (cycling if the sample is smaller).
-PointsSoA take(const PointsSoA& sample, std::size_t n) {
-  check(!sample.empty(), "planner: empty sample");
-  PointsSoA out;
-  out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    out.push_back(sample[i % sample.size()]);
-  return out;
-}
-
-/// Simulate at the three calibration sizes and price at target_n.
-Candidate price(vgpu::Stream& stream, const PointsSoA& sample,
+/// Price one (backend, variant, block) candidate through the backend's own
+/// cost model.
+Candidate price(backend::IBackend& be, const PointsSoA& sample,
                 const kernels::KernelVariant& kernel,
                 const kernels::ProblemDesc& desc, int block_size,
                 double target_n) {
-  std::array<vgpu::KernelStats, 3> stats;
-  for (std::size_t i = 0; i < kCalibN.size(); ++i) {
-    const PointsSoA pts =
-        take(sample, static_cast<std::size_t>(kCalibN[i]));
-    kernels::KernelOutput sink;  // calibration discards outputs
-    stats[i] = kernel.launch(stream, pts, desc, block_size, sink);
-  }
-  const perfmodel::StatsPoly poly(kCalibN, stats);
-  const auto report =
-      perfmodel::model_time(stream.device().spec(), poly.predict(target_n));
+  check(!sample.empty(), "planner: empty sample");
+  const backend::Estimate est =
+      be.estimate(kernel, sample, desc, block_size, target_n);
   const std::string name =
       kernel.name + "/B" + std::to_string(block_size);
-  return Candidate{name, report.seconds, report.bottleneck};
+  return Candidate{name, est.seconds, est.bottleneck, be.caps().name};
 }
 
 }  // namespace
@@ -64,6 +47,35 @@ std::string plan_cache_key(const vgpu::DeviceSpec& spec,
   key += std::to_string(spec.sm_count);
   key += '|';
   key += std::to_string(spec.shared_mem_per_block_cap);
+  key += '|';
+  key += kernels::to_string(desc.type);
+  key += '|';
+  key += std::to_string(desc.bucket_width);
+  key += '|';
+  key += std::to_string(desc.buckets);
+  key += '|';
+  key += std::to_string(desc.radius);
+  key += "|N";
+  key += std::to_string(n_bucket);
+  return key;
+}
+
+std::string plan_cache_key(std::span<backend::IBackend* const> backends,
+                           const kernels::ProblemDesc& desc,
+                           double target_n) {
+  std::uint64_t n_bucket = 1;
+  while (static_cast<double>(n_bucket) < target_n) n_bucket <<= 1;
+
+  std::string key;
+  for (const backend::IBackend* be : backends) {
+    const backend::Capabilities& caps = be->caps();
+    key += caps.name;
+    key += '/';
+    key += std::to_string(caps.parallel_units);
+    key += '/';
+    key += std::to_string(caps.shared_mem_per_block_cap);
+    key += '+';
+  }
   key += '|';
   key += kernels::to_string(desc.type);
   key += '|';
@@ -123,69 +135,77 @@ std::size_t PlanCache::size() const {
 
 namespace {
 
-/// The calibration round itself: enumerate the registry, price every
-/// launchable (variant, block size) pair, pick the cheapest.
-Plan calibrate_plan(vgpu::Stream& stream, const PointsSoA& sample,
+/// The calibration round itself: for every backend in the set, enumerate
+/// the registry variants it supports, price every launchable (backend,
+/// variant, block size) triple through the backend's own cost model, pick
+/// the cheapest.
+Plan calibrate_plan(std::span<backend::IBackend* const> backends,
+                    const PointsSoA& sample,
                     const kernels::ProblemDesc& desc, double target_n) {
+  check(!backends.empty(), "plan: empty backend set");
   Plan out;
   out.predicted_seconds = std::numeric_limits<double>::infinity();
 
-  const auto candidates =
-      kernels::KernelRegistry::instance().plannable(desc.type);
-  for (const kernels::KernelVariant* kernel : candidates) {
-    for (const int b : kBlockSizes) {
-      // Skip configurations whose shared demand cannot launch.
-      if (kernel->shared_bytes(b, desc.buckets) >
-          stream.device().spec().shared_mem_per_block_cap)
-        continue;
-      Candidate c = price(stream, sample, *kernel, desc, b, target_n);
-      if (c.predicted_seconds < out.predicted_seconds) {
-        out.predicted_seconds = c.predicted_seconds;
-        out.kernel = kernel;
-        out.block_size = b;
+  for (backend::IBackend* be : backends) {
+    const auto candidates = kernels::KernelRegistry::instance().plannable(
+        desc.type, be->caps().registry_mask);
+    const std::span<const int> blocks =
+        be->caps().kind == backend::Kind::Vgpu
+            ? std::span<const int>(kBlockSizes)
+            : std::span<const int>(kCpuBlockSizes);
+    for (const kernels::KernelVariant* kernel : candidates) {
+      for (const int b : blocks) {
+        // Skip configurations the backend cannot launch (shared-memory
+        // demand over the device cap, unsupported substrate).
+        if (!be->can_launch(*kernel, desc, b)) continue;
+        Candidate c = price(*be, sample, *kernel, desc, b, target_n);
+        if (c.predicted_seconds < out.predicted_seconds) {
+          out.predicted_seconds = c.predicted_seconds;
+          out.kernel = kernel;
+          out.block_size = b;
+          out.backend = be->caps().kind;
+          out.backend_name = be->caps().name;
+        }
+        out.considered.push_back(std::move(c));
       }
-      out.considered.push_back(std::move(c));
     }
   }
   check(!out.considered.empty(), "plan: no launchable candidate");
   return out;
 }
 
-}  // namespace
-
-namespace {
-
 /// Calibrate with a span + counter around the round (planner counters live
 /// in the process-wide registry: the planner is a free function shared by
 /// every engine, framework, and bench in the process).
-Plan traced_calibrate(vgpu::Stream& stream, const PointsSoA& sample,
+Plan traced_calibrate(std::span<backend::IBackend* const> backends,
+                      const PointsSoA& sample,
                       const kernels::ProblemDesc& desc, double target_n,
                       const std::string& key) {
   obs::MetricsRegistry::global().counter("core.plan.calibrations").inc();
   obs::Span span("core.plan.calibrate", "core");
   if (!key.empty()) span.attr("key", key);
-  Plan out = calibrate_plan(stream, sample, desc, target_n);
+  Plan out = calibrate_plan(backends, sample, desc, target_n);
   span.attr("candidates", static_cast<std::uint64_t>(out.considered.size()));
   span.attr("winner", out.kernel->name);
+  span.attr("backend", out.backend_name);
   span.attr("predicted_seconds", out.predicted_seconds);
   return out;
 }
 
-}  // namespace
-
-Plan plan(vgpu::Stream& stream, const PointsSoA& sample,
-          const kernels::ProblemDesc& desc, double target_n,
-          PlanCache* cache) {
+/// Shared cache + single-flight wrapper around traced_calibrate. The key
+/// is supplied by the caller so the legacy Stream path keeps its
+/// spec-based key scheme.
+Plan plan_impl(std::span<backend::IBackend* const> backends,
+               const PointsSoA& sample, const kernels::ProblemDesc& desc,
+               double target_n, PlanCache* cache, const std::string& key) {
   obs::MetricsRegistry::global().counter("core.plan.calls").inc();
   obs::Span span("core.plan", "core");
 
   if (cache == nullptr) {
     span.attr("outcome", "calibrated");
-    return traced_calibrate(stream, sample, desc, target_n, std::string());
+    return traced_calibrate(backends, sample, desc, target_n, std::string());
   }
 
-  const std::string key =
-      plan_cache_key(stream.device().spec(), desc, target_n);
   span.attr("key", key);
   if (std::optional<Plan> hit = cache->find(key)) {
     obs::MetricsRegistry::global().counter("core.plan.cache_hits").inc();
@@ -212,9 +232,32 @@ Plan plan(vgpu::Stream& stream, const PointsSoA& sample,
   }
 
   span.attr("outcome", "calibrated");
-  Plan out = traced_calibrate(stream, sample, desc, target_n, key);
+  Plan out = traced_calibrate(backends, sample, desc, target_n, key);
   cache->store(key, out);
   return out;
+}
+
+}  // namespace
+
+Plan plan(std::span<backend::IBackend* const> backends,
+          const PointsSoA& sample, const kernels::ProblemDesc& desc,
+          double target_n, PlanCache* cache) {
+  const std::string key =
+      cache != nullptr ? plan_cache_key(backends, desc, target_n)
+                       : std::string();
+  return plan_impl(backends, sample, desc, target_n, cache, key);
+}
+
+Plan plan(vgpu::Stream& stream, const PointsSoA& sample,
+          const kernels::ProblemDesc& desc, double target_n,
+          PlanCache* cache) {
+  backend::VgpuBackend view(stream);
+  backend::IBackend* one[] = {&view};
+  const std::string key =
+      cache != nullptr
+          ? plan_cache_key(stream.device().spec(), desc, target_n)
+          : std::string();
+  return plan_impl(one, sample, desc, target_n, cache, key);
 }
 
 SdhPlan plan_sdh(vgpu::Device& dev, const PointsSoA& sample,

@@ -23,6 +23,9 @@
 #include <string>
 #include <vector>
 
+#include <span>
+
+#include "backend/backend.hpp"
 #include "common/points.hpp"
 #include "kernels/pcf.hpp"
 #include "kernels/registry.hpp"
@@ -37,13 +40,19 @@ struct Candidate {
   std::string name;
   double predicted_seconds = 0.0;
   std::string bottleneck;
+  std::string backend;  ///< Capabilities::name of the pricing backend
 };
 
-/// A generic plan: the winning registry variant and block size.
+/// A generic plan: the winning (backend, registry variant, block size).
+/// The backend is identified by kind + capability name, never by pointer —
+/// plans outlive the backends that priced them (PlanCache), and a consumer
+/// re-binds by matching backend_name against its own backend set.
 struct Plan {
   const kernels::KernelVariant* kernel = nullptr;
   int block_size = 256;
   double predicted_seconds = 0.0;
+  backend::Kind backend = backend::Kind::Vgpu;
+  std::string backend_name;  ///< e.g. "vgpu:sim-titan-x", "cpu:8w"
   std::vector<Candidate> considered;  ///< all candidates, priced
 };
 
@@ -65,6 +74,13 @@ struct PcfPlan {
 /// descriptor, and the target size rounded up to a power of two (the time
 /// model is smooth in N, so nearby sizes share a plan).
 std::string plan_cache_key(const vgpu::DeviceSpec& spec,
+                           const kernels::ProblemDesc& desc, double target_n);
+
+/// Backend-set key: the identity of every backend in the set (capability
+/// name + parallel units + shared budget, order-sensitive) plus the same
+/// problem/size bucketing. Two engines planning over equivalent pools
+/// share entries; a different pool composition never aliases.
+std::string plan_cache_key(std::span<backend::IBackend* const> backends,
                            const kernels::ProblemDesc& desc, double target_n);
 
 /// Thread-safe plan memo. Keyed by plan_cache_key(); hit/miss counters are
@@ -102,12 +118,23 @@ class PlanCache {
   mutable std::atomic<std::uint64_t> misses_{0};
 };
 
-/// Plan a run of `target_n` points of the described problem. `sample`
-/// supplies the data distribution for calibration (a subset is used; it may
-/// be much smaller than target_n). Candidates whose shared-memory demand
-/// exceeds the device's per-block cap are skipped; throws CheckError if no
-/// candidate is launchable. With a cache, a repeat request returns the
-/// memoized plan without a single calibration launch.
+/// Plan a run of `target_n` points of the described problem over a set of
+/// backends: every (backend × supported variant × block size) candidate is
+/// priced through the backend's own cost model (Eqs. 2–7 for vgpu, the
+/// calibrated throughput model for CPU) and the cheapest wins. `sample`
+/// supplies the data distribution for calibration (a subset is used; it
+/// may be much smaller than target_n). Candidates a backend cannot launch
+/// (shared-memory demand over the device cap, missing substrate support)
+/// are skipped; throws CheckError if no candidate is launchable anywhere.
+/// With a cache, a repeat request returns the memoized plan without a
+/// single calibration launch.
+Plan plan(std::span<backend::IBackend* const> backends,
+          const PointsSoA& sample, const kernels::ProblemDesc& desc,
+          double target_n, PlanCache* cache = nullptr);
+
+/// Legacy single-substrate entry point: plans over a VgpuBackend view of
+/// `stream` (calibration launches stay on the caller's lane). Behaviour,
+/// candidate set, and winners are unchanged from before the backend seam.
 Plan plan(vgpu::Stream& stream, const PointsSoA& sample,
           const kernels::ProblemDesc& desc, double target_n,
           PlanCache* cache = nullptr);

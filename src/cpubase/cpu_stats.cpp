@@ -69,6 +69,61 @@ Histogram cpu_sdh(ThreadPool& pool, const PointsSoA& pts,
   return result;
 }
 
+Histogram cpu_sdh_tiled(ThreadPool& pool, const PointsSoA& pts,
+                        double bucket_width, std::size_t buckets,
+                        const CpuConfig& cfg) {
+  check(!pts.empty(), "cpu_sdh_tiled: empty point set");
+  const std::size_t n = pts.size();
+  const double w = bucket_width;
+  const std::span<const float> xs = pts.x();
+  const std::span<const float> ys = pts.y();
+  const std::span<const float> zs = pts.z();
+
+  std::vector<std::vector<std::uint64_t>> priv(
+      pool.size(), std::vector<std::uint64_t>(buckets, 0));
+  const int nb = static_cast<int>(buckets);
+
+  parallel_for(
+      pool, 0, n, cfg.schedule,
+      [&](unsigned id, std::size_t lo, std::size_t hi) {
+        apply_affinity(cfg, pool, id);
+        std::uint64_t* mine = priv[id].data();
+        // The distance lane is separated from the histogram update so the
+        // compiler can vectorize it: each tile first fills a contiguous
+        // distance buffer (pure float arithmetic over contiguous loads),
+        // then a scalar pass buckets it.
+        float d_tile[kCpuTile];
+        for (std::size_t i = lo; i < hi; ++i) {
+          const float xi = xs[i];
+          const float yi = ys[i];
+          const float zi = zs[i];
+          for (std::size_t j0 = i + 1; j0 < n; j0 += kCpuTile) {
+            const std::size_t m = std::min(kCpuTile, n - j0);
+            for (std::size_t t = 0; t < m; ++t) {
+              const float dx = xi - xs[j0 + t];
+              const float dy = yi - ys[j0 + t];
+              const float dz = zi - zs[j0 + t];
+              d_tile[t] = std::sqrt(dx * dx + dy * dy + dz * dz);
+            }
+            for (std::size_t t = 0; t < m; ++t)
+              ++mine[static_cast<std::size_t>(std::min(
+                  static_cast<int>(static_cast<double>(d_tile[t]) / w),
+                  nb - 1))];
+          }
+        }
+      },
+      cfg.chunk);
+
+  for (std::size_t stride = 1; stride < priv.size(); stride *= 2)
+    for (std::size_t i = 0; i + stride < priv.size(); i += 2 * stride)
+      for (std::size_t b = 0; b < buckets; ++b)
+        priv[i][b] += priv[i + stride][b];
+
+  Histogram result(bucket_width, buckets);
+  for (std::size_t b = 0; b < buckets; ++b) result.set_count(b, priv[0][b]);
+  return result;
+}
+
 std::uint64_t cpu_pcf(ThreadPool& pool, const PointsSoA& pts, double radius,
                       const CpuConfig& cfg) {
   check(!pts.empty(), "cpu_pcf: empty point set");
@@ -93,6 +148,48 @@ std::uint64_t cpu_pcf(ThreadPool& pool, const PointsSoA& pts, double radius,
             const float dy = yi - ys[j];
             const float dz = zi - zs[j];
             if (dx * dx + dy * dy + dz * dz < r2) ++count;
+          }
+        }
+        partial[id] += count;
+      },
+      cfg.chunk);
+
+  std::uint64_t total = 0;
+  for (const auto c : partial) total += c;
+  return total;
+}
+
+std::uint64_t cpu_pcf_tiled(ThreadPool& pool, const PointsSoA& pts,
+                            double radius, const CpuConfig& cfg) {
+  check(!pts.empty(), "cpu_pcf_tiled: empty point set");
+  const std::size_t n = pts.size();
+  const auto r2 = static_cast<float>(radius * radius);
+  const std::span<const float> xs = pts.x();
+  const std::span<const float> ys = pts.y();
+  const std::span<const float> zs = pts.z();
+
+  std::vector<std::uint64_t> partial(pool.size(), 0);
+  parallel_for(
+      pool, 0, n, cfg.schedule,
+      [&](unsigned id, std::size_t lo, std::size_t hi) {
+        apply_affinity(cfg, pool, id);
+        std::uint64_t count = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const float xi = xs[i];
+          const float yi = ys[i];
+          const float zi = zs[i];
+          for (std::size_t j0 = i + 1; j0 < n; j0 += kCpuTile) {
+            const std::size_t m = std::min(kCpuTile, n - j0);
+            // Branch-free tile body: the comparison result folds into an
+            // integer accumulator, so every lane vectorizes.
+            std::uint64_t hits = 0;
+            for (std::size_t t = 0; t < m; ++t) {
+              const float dx = xi - xs[j0 + t];
+              const float dy = yi - ys[j0 + t];
+              const float dz = zi - zs[j0 + t];
+              hits += (dx * dx + dy * dy + dz * dz < r2) ? 1u : 0u;
+            }
+            count += hits;
           }
         }
         partial[id] += count;

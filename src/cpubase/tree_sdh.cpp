@@ -16,8 +16,14 @@ struct Node {
   Point3 lo, hi;       // AABB
   std::uint32_t begin = 0, end = 0;  // index range [begin, end)
   int children[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+  // Set at build time when any octant is populated. Inferring leaf-ness
+  // from children[0] alone misclassifies nodes whose first octant happens
+  // to be empty (common on clustered data) and silently brute-forces the
+  // whole subtree; scanning all eight children on every resolve call is
+  // too hot, so the flag is precomputed.
+  bool leaf = true;
   [[nodiscard]] std::uint32_t count() const { return end - begin; }
-  [[nodiscard]] bool is_leaf() const { return children[0] < 0; }
+  [[nodiscard]] bool is_leaf() const { return leaf; }
 };
 
 struct Builder {
@@ -92,6 +98,7 @@ struct Builder {
       if (e - b == end - begin) return id;  // no split progress: leaf
       const int child = build(b, e);
       nodes[id].children[o] = child;
+      nodes[id].leaf = false;
     }
     return id;
   }

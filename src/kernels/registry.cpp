@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "cpubase/cpu_stats.hpp"
+#include "cpubase/tree_sdh.hpp"
 #include "kernels/pcf.hpp"
 #include "kernels/sdh.hpp"
 #include "vgpu/buffer.hpp"
@@ -18,12 +20,45 @@ const char* to_string(ProblemType t) {
 
 namespace {
 
+/// Host-side stats for a CPU launch: only launch-configuration facts are
+/// real (launches, block_dim echo). Every simulated-access counter stays
+/// zero — obs::check_drift keys its "no device counters, skip" rule on
+/// exactly that shape.
+vgpu::KernelStats cpu_stats(int block_size) {
+  vgpu::KernelStats s;
+  s.launches = 1;
+  s.block_dim = block_size;
+  return s;
+}
+
+/// Run the tiled CPU SDH and report host-side stats.
+vgpu::KernelStats cpu_launch_sdh(cpubase::ThreadPool& pool,
+                                 const cpubase::CpuConfig& cfg,
+                                 const PointsSoA& pts, const ProblemDesc& d,
+                                 int block_size, KernelOutput& out) {
+  Histogram h = cpubase::cpu_sdh_tiled(
+      pool, pts, d.bucket_width, static_cast<std::size_t>(d.buckets), cfg);
+  if (out.hist != nullptr) *out.hist = std::move(h);
+  return cpu_stats(block_size);
+}
+
+/// Run the tiled CPU PCF and report host-side stats.
+vgpu::KernelStats cpu_launch_pcf(cpubase::ThreadPool& pool,
+                                 const cpubase::CpuConfig& cfg,
+                                 const PointsSoA& pts, const ProblemDesc& d,
+                                 int block_size, KernelOutput& out) {
+  const std::uint64_t pairs = cpubase::cpu_pcf_tiled(pool, pts, d.radius, cfg);
+  if (out.pairs != nullptr) *out.pairs = pairs;
+  return cpu_stats(block_size);
+}
+
 KernelVariant make_sdh(SdhVariant v, bool plannable) {
   KernelVariant kv;
   kv.name = to_string(v);
   kv.problem = ProblemType::Sdh;
   kv.variant_id = static_cast<int>(v);
   kv.plannable = plannable;
+  kv.backends = kBackendAny;
   kv.shared_bytes = [v](int block_size, int buckets) {
     return sdh_shared_bytes(v, block_size, buckets);
   };
@@ -34,6 +69,9 @@ KernelVariant make_sdh(SdhVariant v, bool plannable) {
     if (out.hist != nullptr) *out.hist = std::move(r.hist);
     return r.stats;
   };
+  // Every SDH variant computes the same statistic, so they all share one
+  // CPU peer; the variant distinction only matters on the vgpu side.
+  kv.launch_cpu = cpu_launch_sdh;
   return kv;
 }
 
@@ -43,6 +81,7 @@ KernelVariant make_pcf(PcfVariant v, bool plannable) {
   kv.problem = ProblemType::Pcf;
   kv.variant_id = static_cast<int>(v);
   kv.plannable = plannable;
+  kv.backends = kBackendAny;
   kv.shared_bytes = [v](int block_size, int /*buckets*/) {
     return pcf_shared_bytes(v, block_size);
   };
@@ -52,6 +91,7 @@ KernelVariant make_pcf(PcfVariant v, bool plannable) {
     if (out.pairs != nullptr) *out.pairs = r.pairs_within;
     return r.stats;
   };
+  kv.launch_cpu = cpu_launch_pcf;
   return kv;
 }
 
@@ -74,6 +114,34 @@ KernelVariant make_pcf_warpsum() {
     PcfResult r = run_pcf_warpsum(stream, pts, d.radius, block_size);
     if (out.pairs != nullptr) *out.pairs = r.pairs_within;
     return r.stats;
+  };
+  kv.backends = kBackendAny;
+  kv.launch_cpu = cpu_launch_pcf;
+  return kv;
+}
+
+/// The sub-quadratic tree SDH is CPU-only: its recursion has no vgpu
+/// kernel, but it is exact (bit-identical bucketing via the same
+/// double-precision division) and planner-eligible, so large-N SDH can be
+/// placed on the CpuBackend when the tree's ~O(N^1.5) work beats the
+/// quadratic kernels on the simulated device.
+KernelVariant make_tree_sdh() {
+  KernelVariant kv;
+  kv.name = "Tree-SDH";
+  kv.problem = ProblemType::Sdh;
+  kv.variant_id = -1;
+  kv.plannable = true;
+  kv.backends = kBackendCpu;
+  kv.shared_bytes = [](int /*block_size*/, int /*buckets*/) {
+    return std::size_t{0};
+  };
+  kv.launch_cpu = [](cpubase::ThreadPool& /*pool*/,
+                     const cpubase::CpuConfig& /*cfg*/, const PointsSoA& pts,
+                     const ProblemDesc& d, int block_size, KernelOutput& out) {
+    Histogram h = cpubase::tree_sdh(pts, d.bucket_width,
+                                    static_cast<std::size_t>(d.buckets));
+    if (out.hist != nullptr) *out.hist = std::move(h);
+    return cpu_stats(block_size);
   };
   return kv;
 }
@@ -101,6 +169,9 @@ KernelRegistry::KernelRegistry() {
   variants_.push_back(make_pcf(PcfVariant::RegRoc, /*plannable=*/true));
 
   variants_.push_back(make_pcf_warpsum());
+
+  // Extension variants outside the paper's enum space register last.
+  variants_.push_back(make_tree_sdh());
 }
 
 const KernelRegistry& KernelRegistry::instance() {
@@ -109,18 +180,19 @@ const KernelRegistry& KernelRegistry::instance() {
 }
 
 std::vector<const KernelVariant*> KernelRegistry::for_problem(
-    ProblemType t) const {
+    ProblemType t, unsigned mask) const {
   std::vector<const KernelVariant*> out;
   for (const KernelVariant& v : variants_)
-    if (v.problem == t) out.push_back(&v);
+    if (v.problem == t && (v.backends & mask) != 0) out.push_back(&v);
   return out;
 }
 
 std::vector<const KernelVariant*> KernelRegistry::plannable(
-    ProblemType t) const {
+    ProblemType t, unsigned mask) const {
   std::vector<const KernelVariant*> out;
   for (const KernelVariant& v : variants_)
-    if (v.problem == t && v.plannable) out.push_back(&v);
+    if (v.problem == t && v.plannable && (v.backends & mask) != 0)
+      out.push_back(&v);
   return out;
 }
 

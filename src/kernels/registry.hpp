@@ -22,6 +22,11 @@
 #include "vgpu/stats.hpp"
 #include "vgpu/stream.hpp"
 
+namespace tbs::cpubase {
+class ThreadPool;
+struct CpuConfig;
+}  // namespace tbs::cpubase
+
 namespace tbs::kernels {
 
 /// Which 2-body statistic a kernel computes (paper Sec. III taxonomy:
@@ -63,27 +68,57 @@ struct KernelOutput {
   std::uint64_t* pairs = nullptr;
 };
 
+/// Execution substrates a variant can launch on, as a bitmask. The seam is
+/// deliberately coarse — a variant either has a vgpu launch functor, a CPU
+/// launch functor, or both; backend::IBackend implementations dispatch to
+/// the matching one.
+inline constexpr unsigned kBackendVgpu = 1u;
+inline constexpr unsigned kBackendCpu = 2u;
+inline constexpr unsigned kBackendAny = kBackendVgpu | kBackendCpu;
+
 /// One registered kernel variant.
 struct KernelVariant {
   /// Paper-figure name, e.g. "Reg-SHM-Out" — matches to_string(SdhVariant).
   std::string name;
   ProblemType problem = ProblemType::Sdh;
   /// The underlying enum value (static_cast of SdhVariant / PcfVariant);
-  /// -1 for variants outside those enums (e.g. the warpsum extension).
+  /// -1 for variants outside those enums (e.g. the warpsum extension or
+  /// the CPU-only tree path).
   int variant_id = -1;
   /// Whether the autotuning planner should consider this variant. Mirrors
   /// the paper's evaluation: naive baselines exist for figures, not for
   /// serving real queries.
   bool plannable = false;
+  /// Which backends this variant can execute on (kBackendVgpu/kBackendCpu
+  /// bits). A variant only ever launches through a backend whose bit it
+  /// declares; the matching launch functor below must be set.
+  unsigned backends = kBackendVgpu;
 
-  /// Dynamic shared-memory bytes per block (buckets ignored for Type-I).
+  /// Dynamic shared-memory bytes per block (buckets ignored for Type-I and
+  /// for CPU-only variants, which report 0).
   std::function<std::size_t(int block_size, int buckets)> shared_bytes;
 
   /// Launch on `stream` and fill `out`; returns the merged kernel stats.
+  /// Null when the variant does not declare kBackendVgpu.
   std::function<vgpu::KernelStats(vgpu::Stream&, const PointsSoA&,
                                   const ProblemDesc&, int block_size,
                                   KernelOutput&)>
       launch;
+
+  /// CPU peer: run the same statistic on the thread pool and fill `out`.
+  /// Counters are host-side facts only (launches, block_dim echo) — the
+  /// simulated-access fields stay zero, which is what obs::check_drift
+  /// keys its "no simulated counters, skip" rule on. Null when the variant
+  /// does not declare kBackendCpu.
+  std::function<vgpu::KernelStats(cpubase::ThreadPool&,
+                                  const cpubase::CpuConfig&, const PointsSoA&,
+                                  const ProblemDesc&, int block_size,
+                                  KernelOutput&)>
+      launch_cpu;
+
+  [[nodiscard]] bool supports(unsigned backend_bit) const {
+    return (backends & backend_bit) != 0;
+  }
 };
 
 /// Process-wide catalogue of kernel variants. Populated once at first use;
@@ -97,13 +132,17 @@ class KernelRegistry {
     return variants_;
   }
 
-  /// Variants computing the given problem type (registration order).
+  /// Variants computing the given problem type (registration order) that
+  /// support at least one backend in `mask`. The default keeps historical
+  /// behaviour: callers that predate the backend seam see the vgpu
+  /// catalogue only (CPU-only variants like Tree-SDH stay invisible).
   [[nodiscard]] std::vector<const KernelVariant*> for_problem(
-      ProblemType t) const;
+      ProblemType t, unsigned mask = kBackendVgpu) const;
 
-  /// Planner-eligible variants for the given problem type.
+  /// Planner-eligible variants for the given problem type, filtered by the
+  /// same backend mask rule as for_problem().
   [[nodiscard]] std::vector<const KernelVariant*> plannable(
-      ProblemType t) const;
+      ProblemType t, unsigned mask = kBackendVgpu) const;
 
   /// Look up a variant by problem type and name; nullptr if absent.
   [[nodiscard]] const KernelVariant* find(ProblemType t,

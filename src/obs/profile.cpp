@@ -4,7 +4,9 @@
 #include <chrono>
 #include <cmath>
 #include <fstream>
+#include <functional>
 
+#include "backend/backend.hpp"
 #include "common/datagen.hpp"
 #include "common/error.hpp"
 #include "kernels/registry.hpp"
@@ -111,10 +113,16 @@ void DriftReport::enforce() const {
 std::string DriftReport::to_json() const {
   std::string out = "{\n  \"tolerance\": " + json::number(tolerance) +
                     ",\n  \"verify_n\": " + json::number(verify_n) +
+                    ",\n  \"backend\": \"" + json::escape(backend) + "\"" +
                     ",\n  \"max_rel_error\": " + json::number(max_rel_error()) +
                     ",\n  \"within_tolerance\": " +
                     (within_tolerance() ? "true" : "false") +
-                    ",\n  \"rows\": [\n";
+                    ",\n  \"skipped\": [";
+  for (std::size_t i = 0; i < skipped.size(); ++i) {
+    out += "\"" + json::escape(skipped[i]) + "\"";
+    if (i + 1 < skipped.size()) out += ", ";
+  }
+  out += "],\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const DriftRow& r = rows[i];
     out += "    {\"variant\": \"" + json::escape(r.variant) +
@@ -136,23 +144,24 @@ bool DriftReport::write_json(const std::string& path) const {
   return static_cast<bool>(os);
 }
 
-namespace {
-
-/// Measure one variant's counters at size n (fresh deterministic dataset,
-/// outputs discarded — calibration style).
-vgpu::KernelStats measure(vgpu::Stream& stream,
-                          const kernels::KernelVariant& kernel,
-                          const kernels::ProblemDesc& desc, int block_size,
-                          double n) {
-  const PointsSoA pts =
-      uniform_box(static_cast<std::size_t>(n), 10.0f, /*seed=*/42);
-  kernels::KernelOutput sink;
-  return kernel.launch(stream, pts, desc, block_size, sink);
+bool has_simulated_counters(const vgpu::KernelStats& s) {
+  for (const auto& [name, value] : drift_counters(s))
+    if (value != 0.0) return true;
+  return false;
 }
 
-}  // namespace
+namespace {
 
-DriftReport check_drift(vgpu::Stream& stream, const DriftOptions& opt) {
+/// The launch-agnostic sweep body shared by both check_drift overloads.
+/// `can_launch` filters candidates; `measure` runs one variant at size n
+/// (fresh deterministic dataset, outputs discarded — calibration style).
+DriftReport drift_sweep(
+    const DriftOptions& opt, unsigned mask, std::string backend_name,
+    const std::function<bool(const kernels::KernelVariant&,
+                             const kernels::ProblemDesc&)>& can_launch,
+    const std::function<vgpu::KernelStats(const kernels::KernelVariant&,
+                                          const kernels::ProblemDesc&,
+                                          double)>& measure) {
   check(opt.calib_ns[0] < opt.calib_ns[1] && opt.calib_ns[1] < opt.calib_ns[2],
         "check_drift: calibration sizes must be strictly increasing");
   check(opt.verify_n > opt.calib_ns[2],
@@ -161,6 +170,7 @@ DriftReport check_drift(vgpu::Stream& stream, const DriftOptions& opt) {
   DriftReport report;
   report.tolerance = opt.tolerance;
   report.verify_n = opt.verify_n;
+  report.backend = std::move(backend_name);
 
   // Fixed histogram geometry across sizes: derive the bucket width from the
   // verify-size dataset once, so every calibration launch computes the same
@@ -177,28 +187,37 @@ DriftReport check_drift(vgpu::Stream& stream, const DriftOptions& opt) {
         type == kernels::ProblemType::Sdh
             ? kernels::ProblemDesc::sdh(width, opt.buckets)
             : kernels::ProblemDesc::pcf(opt.radius);
-    const auto variants = opt.plannable_only ? registry.plannable(type)
-                                             : registry.for_problem(type);
+    const auto variants = opt.plannable_only
+                              ? registry.plannable(type, mask)
+                              : registry.for_problem(type, mask);
     for (const kernels::KernelVariant* kernel : variants) {
       if (!opt.only_variants.empty() &&
           std::find(opt.only_variants.begin(), opt.only_variants.end(),
                     kernel->name) == opt.only_variants.end())
         continue;
-      if (kernel->shared_bytes(opt.block_size, desc.buckets) >
-          stream.device().spec().shared_mem_per_block_cap)
-        continue;  // not launchable at this block size on this device
+      if (!can_launch(*kernel, desc))
+        continue;  // not launchable at this block size on this substrate
 
       Span span(Tracer::global(), "obs.drift_check", "obs");
       span.attr("variant", kernel->name);
+      span.attr("backend", report.backend);
 
       std::array<vgpu::KernelStats, 3> samples;
       for (std::size_t i = 0; i < opt.calib_ns.size(); ++i)
-        samples[i] =
-            measure(stream, *kernel, desc, opt.block_size, opt.calib_ns[i]);
+        samples[i] = measure(*kernel, desc, opt.calib_ns[i]);
+      // Skip rule: a run with no simulated device counters (a CPU launch)
+      // has nothing for the Eqs. 2–7 polynomial to predict — every counter
+      // is identically zero on the host substrate. Comparing would either
+      // pass vacuously or, mixed with nonzero rows, report spurious 100%
+      // drift. Record the skip so the report stays auditable.
+      if (!has_simulated_counters(samples[0])) {
+        report.skipped.push_back(kernel->name);
+        span.attr("skipped", "no_simulated_counters");
+        continue;
+      }
       const perfmodel::StatsPoly poly(opt.calib_ns, samples);
       const vgpu::KernelStats predicted = poly.predict(opt.verify_n);
-      const vgpu::KernelStats measured =
-          measure(stream, *kernel, desc, opt.block_size, opt.verify_n);
+      const vgpu::KernelStats measured = measure(*kernel, desc, opt.verify_n);
 
       const auto pred_counters = drift_counters(predicted);
       const auto meas_counters = drift_counters(measured);
@@ -214,8 +233,44 @@ DriftReport check_drift(vgpu::Stream& stream, const DriftOptions& opt) {
       }
     }
   }
-  check(!report.rows.empty(), "check_drift: no launchable variant matched");
+  check(!report.rows.empty() || !report.skipped.empty(),
+        "check_drift: no launchable variant matched");
   return report;
+}
+
+}  // namespace
+
+DriftReport check_drift(vgpu::Stream& stream, const DriftOptions& opt) {
+  return drift_sweep(
+      opt, kernels::kBackendVgpu, "vgpu:" + stream.device().spec().name,
+      [&](const kernels::KernelVariant& kernel,
+          const kernels::ProblemDesc& desc) {
+        return kernel.shared_bytes(opt.block_size, desc.buckets) <=
+               stream.device().spec().shared_mem_per_block_cap;
+      },
+      [&](const kernels::KernelVariant& kernel,
+          const kernels::ProblemDesc& desc, double n) {
+        const PointsSoA pts =
+            uniform_box(static_cast<std::size_t>(n), 10.0f, /*seed=*/42);
+        kernels::KernelOutput sink;
+        return kernel.launch(stream, pts, desc, opt.block_size, sink);
+      });
+}
+
+DriftReport check_drift(backend::IBackend& be, const DriftOptions& opt) {
+  return drift_sweep(
+      opt, be.caps().registry_mask, be.caps().name,
+      [&](const kernels::KernelVariant& kernel,
+          const kernels::ProblemDesc& desc) {
+        return be.can_launch(kernel, desc, opt.block_size);
+      },
+      [&](const kernels::KernelVariant& kernel,
+          const kernels::ProblemDesc& desc, double n) {
+        const PointsSoA pts =
+            uniform_box(static_cast<std::size_t>(n), 10.0f, /*seed=*/42);
+        kernels::KernelOutput sink;
+        return be.launch(kernel, pts, desc, opt.block_size, sink);
+      });
 }
 
 }  // namespace tbs::obs

@@ -30,6 +30,10 @@
 #include "vgpu/device.hpp"
 #include "vgpu/stream.hpp"
 
+namespace tbs::backend {
+class IBackend;
+}  // namespace tbs::backend
+
 namespace tbs::obs {
 
 /// Captures per-launch counters from one device; optionally traces each
@@ -95,7 +99,13 @@ struct DriftRow {
 struct DriftReport {
   double tolerance = kDriftTolerance;
   double verify_n = 0.0;  ///< held-out size the predictions were checked at
+  /// Which substrate the sweep launched through ("vgpu:<spec>"/"cpu:<N>w").
+  std::string backend = "vgpu";
   std::vector<DriftRow> rows;
+  /// Variants skipped because their runs carried no simulated device
+  /// counters (CPU launches): Eqs. 2–7 model nothing there, so comparing
+  /// would report spurious 100% drift instead of a meaningful residual.
+  std::vector<std::string> skipped;
 
   [[nodiscard]] double max_rel_error() const;
   [[nodiscard]] const DriftRow* worst() const;  ///< nullptr when empty
@@ -133,6 +143,18 @@ struct DriftOptions {
 /// counter (global/shared/ROC loads+stores+atomics, shuffles, warp cycles)
 /// of one variant. Deterministic: fixed datagen seeds, fixed sizes.
 DriftReport check_drift(vgpu::Stream& stream, const DriftOptions& opt = {});
+
+/// Backend-seam overload: the sweep launches through `be`, prices only the
+/// variants its registry mask admits, and *skips* (records in
+/// DriftReport::skipped) any variant whose measured run has no simulated
+/// device counters — a CPU launch has nothing for Eqs. 2–7 to predict, so
+/// the CI drift gate passes cleanly instead of failing with 100% error.
+DriftReport check_drift(backend::IBackend& be, const DriftOptions& opt = {});
+
+/// True when the stats carry at least one simulated-device access counter
+/// (the fields drift_counters() compares). CPU launches report host-side
+/// facts only, so this is the drift sweep's skip predicate.
+bool has_simulated_counters(const vgpu::KernelStats& s);
 
 /// The KernelStats counters the drift sweep compares, as (name, value)
 /// pairs — exposed so tests and the report stay in sync.

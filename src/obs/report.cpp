@@ -49,6 +49,8 @@ RunMeta RunMeta::collect() {
   if (gethostname(host, sizeof(host) - 1) != 0) host[0] = '\0';
   m.host = host[0] != '\0' ? host : "unknown";
   m.hw_threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (const char* be = std::getenv("TBS_BACKEND"); be != nullptr && *be != '\0')
+    m.backend = be;
   return m;
 }
 
@@ -61,6 +63,7 @@ std::string RunMeta::to_json() const {
   out += ", \"timestamp\": \"" + json::escape(timestamp) + "\"";
   out += ", \"host\": \"" + json::escape(host) + "\"";
   out += ", \"hw_threads\": " + std::to_string(hw_threads);
+  out += ", \"backend\": \"" + json::escape(backend) + "\"";
   out += "}";
   return out;
 }

@@ -46,6 +46,9 @@ struct RunMeta {
   std::string timestamp;    ///< UTC ISO-8601, collected at runtime
   std::string host;         ///< gethostname()
   int hw_threads = 0;       ///< std::thread::hardware_concurrency()
+  /// Execution substrate the run targeted: "vgpu", "cpu", or "auto"
+  /// (planner-placed). collect() seeds it from TBS_BACKEND when set.
+  std::string backend = "vgpu";
 
   /// Compiled-in build facts + runtime host facts.
   static RunMeta collect();
@@ -103,6 +106,9 @@ class BenchReport {
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const RunMeta& meta() const { return meta_; }
+  /// Mutable metadata access — benches stamp the substrate they actually
+  /// ran on (e.g. from --backend) before writing the report.
+  [[nodiscard]] RunMeta& meta() { return meta_; }
   [[nodiscard]] const std::vector<BenchEntry>& entries() const {
     return entries_;
   }

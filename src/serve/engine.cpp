@@ -27,6 +27,7 @@ QueryEngine::QueryEngine(Config cfg)
       c_retries_(metrics_.counter("serve.retries")),
       c_breaker_open_(metrics_.counter("serve.breaker_opens")),
       c_degraded_(metrics_.counter("serve.degraded")),
+      c_failovers_(metrics_.counter("serve.failovers")),
       c_expired_(metrics_.counter("serve.expired")),
       c_requeued_(metrics_.counter("serve.requeued")),
       c_abandoned_(metrics_.counter("serve.abandoned")),
@@ -34,7 +35,8 @@ QueryEngine::QueryEngine(Config cfg)
                                     obs::default_latency_bounds())),
       queue_(cfg.queue_capacity),
       cache_(cfg.cache_capacity) {
-  check(cfg_.devices >= 1, "QueryEngine: need at least one device");
+  check(cfg_.devices >= 1 || cfg_.cpu_workers >= 1,
+        "QueryEngine: need at least one device or CPU worker");
   check(cfg_.streams_per_device >= 1,
         "QueryEngine: need at least one stream per device");
   slots_.reserve(cfg_.devices);
@@ -61,6 +63,12 @@ QueryEngine::QueryEngine(Config cfg)
                {"block", std::to_string(rec.cfg.block_dim)},
                {"pooled", rec.pooled ? "true" : "false"}});
         });
+  }
+  cpu_slots_.reserve(cfg_.cpu_workers);
+  for (std::size_t w = 0; w < cfg_.cpu_workers; ++w) {
+    backend::CpuBackend::Config bc;
+    bc.threads = cfg_.cpu_threads;
+    cpu_slots_.push_back(std::make_unique<CpuSlot>(bc));
   }
   breakers_.reserve(worker_count());
   for (std::size_t w = 0; w < worker_count(); ++w)
@@ -230,16 +238,28 @@ std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
 }
 
 void QueryEngine::worker_loop(std::size_t worker_index) {
-  DeviceSlot& slot = *slots_[worker_index / cfg_.streams_per_device];
-  vgpu::Stream stream(slot.dev);  // this worker's lane onto the device
-  CircuitBreaker& breaker = *breakers_[worker_index];
+  // Bind this worker's substrate: vgpu workers own a stream-lane onto
+  // their device (and borrow the device's launch lock); CPU workers bind
+  // the engine-owned CpuBackend at their index.
+  std::optional<backend::VgpuBackend> vgpu_be;
+  WorkerCtx ctx = [&]() -> WorkerCtx {
+    if (worker_index < gpu_worker_count()) {
+      DeviceSlot& slot = *slots_[worker_index / cfg_.streams_per_device];
+      vgpu_be.emplace(slot.dev);  // this worker's lane onto the device
+      return WorkerCtx{worker_index, *vgpu_be, slot.mu,
+                       *breakers_[worker_index]};
+    }
+    CpuSlot& slot = *cpu_slots_[worker_index - gpu_worker_count()];
+    return WorkerCtx{worker_index, slot.be, slot.mu,
+                     *breakers_[worker_index]};
+  }();
   // Jitter RNG, salted per worker so backoffs decorrelate across the pool.
   Rng rng(cfg_.retry.seed ^
           (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(worker_index + 1)));
 
   while (std::optional<std::shared_ptr<Job>> popped = queue_.pop()) {
     try {
-      process_job(worker_index, slot, stream, breaker, rng, *popped);
+      process_job(ctx, rng, *popped);
     } catch (...) {
       // Satellite guarantee: nothing a kernel body (or our own bookkeeping)
       // throws may kill the worker — fail only this job's future. If the
@@ -279,9 +299,10 @@ void QueryEngine::note_fault(std::size_t worker_index, CircuitBreaker& breaker,
   }
 }
 
-void QueryEngine::process_job(std::size_t worker_index, DeviceSlot& slot,
-                              vgpu::Stream& stream, CircuitBreaker& breaker,
-                              Rng& rng, const std::shared_ptr<Job>& job) {
+void QueryEngine::process_job(WorkerCtx& ctx, Rng& rng,
+                              const std::shared_ptr<Job>& job) {
+  const std::size_t worker_index = ctx.index;
+  CircuitBreaker& breaker = ctx.breaker;
   const Clock::time_point t0 = Clock::now();
 
   // The queue wait [submitted, popped] can overlap this worker's previous
@@ -331,11 +352,11 @@ void QueryEngine::process_job(std::size_t worker_index, DeviceSlot& slot,
   {
     obs::Span span(*tracer_, "serve.execute", "serve");
     span.attr("key", job->key);
+    span.attr("backend", ctx.be.caps().name);
     flight_.record(FlightRecorder::Event::ExecuteBegin, job->key,
                    static_cast<std::uint32_t>(worker_index));
     int attempts = 0;
-    outcome = run_ladder(worker_index, slot, stream, breaker, rng, job, result,
-                         error, degraded, attempts);
+    outcome = run_ladder(ctx, rng, job, result, error, degraded, attempts);
     span.attr("attempts", std::to_string(attempts));
     if (degraded) span.attr("degraded", "true");
     span.attr("outcome", outcome == Outcome::Success ? "ok"
@@ -394,10 +415,11 @@ void QueryEngine::process_job(std::size_t worker_index, DeviceSlot& slot,
 }
 
 QueryEngine::Outcome QueryEngine::run_ladder(
-    std::size_t worker_index, DeviceSlot& slot, vgpu::Stream& stream,
-    CircuitBreaker& breaker, Rng& rng, const std::shared_ptr<Job>& job,
+    WorkerCtx& ctx, Rng& rng, const std::shared_ptr<Job>& job,
     QueryResult& result, std::exception_ptr& error, bool& degraded,
     int& attempts) {
+  const std::size_t worker_index = ctx.index;
+  CircuitBreaker& breaker = ctx.breaker;
   const int max_attempts = std::max(1, cfg_.retry.max_attempts);
   std::string device_msg;  // last device error, for the RetriesExhausted wrap
 
@@ -413,8 +435,8 @@ QueryEngine::Outcome QueryEngine::run_ladder(
     }
     ++attempts;
     try {
-      const std::lock_guard<std::mutex> dev_lock(slot.mu);
-      result = execute(slot, stream, *job);
+      const std::lock_guard<std::mutex> dev_lock(ctx.mu);
+      result = execute(ctx.be, *job);
       breaker.record_success();
       error = nullptr;  // a successful retry supersedes earlier attempts
       return Outcome::Success;
@@ -448,12 +470,33 @@ QueryEngine::Outcome QueryEngine::run_ladder(
     }
   }
 
-  // Rung 2: the degraded baseline — a fixed, planner-free registry variant.
+  // Rung 2: cross-backend failover — this worker's device looks sick, so
+  // run the query on the engine's shared CPU backend instead. The answer is
+  // a full planned execution on a healthy substrate, so it is *not* tagged
+  // degraded and is cacheable. The breaker deliberately records nothing:
+  // the success happened elsewhere, and the device is still suspect.
+  if (cfg_.backend_failover && ctx.be.caps().kind == backend::Kind::Vgpu) {
+    try {
+      const std::lock_guard<std::mutex> failover_lock(failover_mu_);
+      result = execute(failover_backend(), *job);
+      c_failovers_.inc();
+      flight_.record(FlightRecorder::Event::Failover, job->key,
+                     static_cast<std::uint32_t>(worker_index));
+      error = nullptr;
+      return Outcome::Success;
+    } catch (...) {
+      // CPU launches only throw on precondition violations; keep the error
+      // and fall through to the degraded rung rather than giving up here.
+      error = std::current_exception();
+    }
+  }
+
+  // Rung 3: the degraded baseline — a fixed, planner-free registry variant.
   // Only meaningful for queries whose normal path is planned (SDH/PCF).
   if (cfg_.degrade && has_baseline(job->query)) {
     try {
-      const std::lock_guard<std::mutex> dev_lock(slot.mu);
-      result = execute_degraded(slot, stream, *job);
+      const std::lock_guard<std::mutex> dev_lock(ctx.mu);
+      result = execute_degraded(ctx.be, *job);
       breaker.record_success();
       degraded = true;
       error = nullptr;
@@ -468,7 +511,7 @@ QueryEngine::Outcome QueryEngine::run_ladder(
     }
   }
 
-  // Rung 3: hand the job back for another worker (bounded, deadline-aware).
+  // Rung 4: hand the job back for another worker (bounded, deadline-aware).
   if (job->dispatches + 1 < std::max(1, cfg_.retry.max_dispatches) &&
       Clock::now() < job->deadline) {
     ++job->dispatches;
@@ -495,77 +538,139 @@ bool QueryEngine::has_baseline(const Query& query) {
          std::holds_alternative<PcfQuery>(query);
 }
 
-QueryResult QueryEngine::execute(DeviceSlot& slot, vgpu::Stream& stream,
-                                 const Job& job) {
+namespace {
+
+/// Host-side stats for CPU executions that bypass the registry seam (kNN
+/// and join have no registry entry yet): one launch, no simulated-device
+/// counters — the shape obs::check_drift's skip rule expects.
+vgpu::KernelStats host_stats() {
+  vgpu::KernelStats s;
+  s.launches = 1;
+  s.grid_dim = 1;
+  s.block_dim = 1;
+  return s;
+}
+
+}  // namespace
+
+QueryResult QueryEngine::execute(backend::IBackend& be, const Job& job) {
   const PointsSoA& pts = *job.pts;
+  const auto& registry = kernels::KernelRegistry::instance();
+  // Planned problems (SDH/PCF) pick their variant per backend: the default
+  // is the registry baseline; above the plan threshold the planner prices
+  // this worker's backend's own catalogue (so a CPU worker can win with
+  // Tree-SDH while a vgpu worker picks a shared-memory variant).
+  const auto planned = [&](const kernels::ProblemDesc& desc,
+                           int default_id) -> std::pair<const kernels::KernelVariant*, int> {
+    const kernels::KernelVariant* kernel =
+        registry.find_by_id(desc.type, default_id);
+    int block = 256;
+    if (pts.size() > cfg_.plan_threshold) {
+      backend::IBackend* one[] = {&be};
+      const core::Plan p = core::plan(one, pts, desc,
+                                      static_cast<double>(pts.size()),
+                                      &plan_cache_);
+      kernel = p.kernel;
+      block = p.block_size;
+    } else if (kernel != nullptr && !be.can_launch(*kernel, desc, block)) {
+      // Small-N fast path on a backend that can't run the vgpu baseline
+      // (a CPU worker): fall back to its first launchable variant.
+      for (const kernels::KernelVariant* v :
+           registry.for_problem(desc.type, be.caps().registry_mask)) {
+        if (be.can_launch(*v, desc, block)) {
+          kernel = v;
+          break;
+        }
+      }
+    }
+    check(kernel != nullptr && be.can_launch(*kernel, desc, block),
+          "QueryEngine: no launchable variant for this backend");
+    return {kernel, block};
+  };
   return std::visit(
       [&](const auto& q) -> QueryResult {
         using Q = std::decay_t<decltype(q)>;
         if constexpr (std::is_same_v<Q, SdhQuery>) {
-          auto variant = kernels::SdhVariant::RegRocOut;
-          int block = 256;
-          if (pts.size() > cfg_.plan_threshold) {
-            const core::Plan p = core::plan(
-                stream, pts,
-                kernels::ProblemDesc::sdh(q.bucket_width, q.buckets),
-                static_cast<double>(pts.size()), &plan_cache_);
-            variant = static_cast<kernels::SdhVariant>(p.kernel->variant_id);
-            block = p.block_size;
-          }
-          return kernels::run_sdh(stream, pts, q.bucket_width, q.buckets,
-                                  variant, block);
+          const kernels::ProblemDesc desc =
+              kernels::ProblemDesc::sdh(q.bucket_width, q.buckets);
+          const auto [kernel, block] = planned(
+              desc, static_cast<int>(kernels::SdhVariant::RegRocOut));
+          kernels::SdhResult r;
+          kernels::KernelOutput out;
+          out.hist = &r.hist;
+          r.stats = be.launch(*kernel, pts, desc, block, out);
+          return r;
         } else if constexpr (std::is_same_v<Q, PcfQuery>) {
-          auto variant = kernels::PcfVariant::RegShm;
-          int block = 256;
-          if (pts.size() > cfg_.plan_threshold) {
-            const core::Plan p =
-                core::plan(stream, pts, kernels::ProblemDesc::pcf(q.radius),
-                           static_cast<double>(pts.size()), &plan_cache_);
-            variant = static_cast<kernels::PcfVariant>(p.kernel->variant_id);
-            block = p.block_size;
-          }
-          return kernels::run_pcf(stream, pts, q.radius, variant, block);
+          const kernels::ProblemDesc desc = kernels::ProblemDesc::pcf(q.radius);
+          const auto [kernel, block] =
+              planned(desc, static_cast<int>(kernels::PcfVariant::RegShm));
+          kernels::PcfResult r;
+          kernels::KernelOutput out;
+          out.pairs = &r.pairs_within;
+          r.stats = be.launch(*kernel, pts, desc, block, out);
+          return r;
         } else if constexpr (std::is_same_v<Q, KnnQuery>) {
-          return kernels::run_knn(slot.dev, pts, q.k, /*block_size=*/256);
+          if (auto* vb = dynamic_cast<backend::VgpuBackend*>(&be))
+            return kernels::run_knn(vb->device(), pts, q.k, /*block_size=*/256);
+          auto* cb = dynamic_cast<backend::CpuBackend*>(&be);
+          check(cb != nullptr, "QueryEngine: unknown backend kind for kNN");
+          kernels::KnnResult r;
+          r.neighbours = cpubase::cpu_knn(cb->pool(), pts, q.k);
+          r.stats = host_stats();
+          return r;
         } else {
           static_assert(std::is_same_v<Q, JoinQuery>);
-          return kernels::run_distance_join(stream, pts, q.radius, q.variant,
-                                            /*block_size=*/256);
+          if (auto* vb = dynamic_cast<backend::VgpuBackend*>(&be))
+            return kernels::run_distance_join(vb->stream(), pts, q.radius,
+                                              q.variant, /*block_size=*/256);
+          auto* cb = dynamic_cast<backend::CpuBackend*>(&be);
+          check(cb != nullptr, "QueryEngine: unknown backend kind for join");
+          kernels::JoinResult r;
+          r.pairs = cpubase::cpu_distance_join(cb->pool(), pts, q.radius);
+          r.stats = host_stats();
+          return r;
         }
       },
       job.query);
 }
 
-QueryResult QueryEngine::execute_degraded(DeviceSlot& slot,
-                                          vgpu::Stream& stream,
+QueryResult QueryEngine::execute_degraded(backend::IBackend& be,
                                           const Job& job) {
-  (void)slot;  // the device lock is held by the caller; kernels go via stream
   const PointsSoA& pts = *job.pts;
   // Baselines come from the registry (the "known-safe variant" contract):
   // the planner is bypassed entirely — no calibration launches, one fixed
   // block size — so the fallback runs the minimum possible device work.
   constexpr int kBaselineBlock = 256;
+  const auto& registry = kernels::KernelRegistry::instance();
   return std::visit(
       [&](const auto& q) -> QueryResult {
         using Q = std::decay_t<decltype(q)>;
         if constexpr (std::is_same_v<Q, SdhQuery>) {
-          const auto baseline = kernels::SdhVariant::RegRocOut;
-          check(kernels::KernelRegistry::instance().find_by_id(
-                    kernels::ProblemType::Sdh, static_cast<int>(baseline)) !=
-                    nullptr,
+          const kernels::ProblemDesc desc =
+              kernels::ProblemDesc::sdh(q.bucket_width, q.buckets);
+          const kernels::KernelVariant* baseline = registry.find_by_id(
+              kernels::ProblemType::Sdh,
+              static_cast<int>(kernels::SdhVariant::RegRocOut));
+          check(baseline != nullptr,
                 "QueryEngine: SDH baseline variant missing from registry");
-          auto r = kernels::run_sdh(stream, pts, q.bucket_width, q.buckets,
-                                    baseline, kBaselineBlock);
+          kernels::SdhResult r;
+          kernels::KernelOutput out;
+          out.hist = &r.hist;
+          r.stats = be.launch(*baseline, pts, desc, kBaselineBlock, out);
           r.degraded = true;
           return r;
         } else if constexpr (std::is_same_v<Q, PcfQuery>) {
-          const auto baseline = kernels::PcfVariant::RegShm;
-          check(kernels::KernelRegistry::instance().find_by_id(
-                    kernels::ProblemType::Pcf, static_cast<int>(baseline)) !=
-                    nullptr,
+          const kernels::ProblemDesc desc =
+              kernels::ProblemDesc::pcf(q.radius);
+          const kernels::KernelVariant* baseline = registry.find_by_id(
+              kernels::ProblemType::Pcf,
+              static_cast<int>(kernels::PcfVariant::RegShm));
+          check(baseline != nullptr,
                 "QueryEngine: PCF baseline variant missing from registry");
-          auto r = kernels::run_pcf(stream, pts, q.radius, baseline,
-                                    kBaselineBlock);
+          kernels::PcfResult r;
+          kernels::KernelOutput out;
+          out.pairs = &r.pairs_within;
+          r.stats = be.launch(*baseline, pts, desc, kBaselineBlock, out);
           r.degraded = true;
           return r;
         } else {
@@ -575,6 +680,15 @@ QueryResult QueryEngine::execute_degraded(DeviceSlot& slot,
         }
       },
       job.query);
+}
+
+backend::CpuBackend& QueryEngine::failover_backend() {
+  if (!failover_cpu_) {
+    backend::CpuBackend::Config bc;
+    bc.threads = cfg_.cpu_threads;
+    failover_cpu_ = std::make_unique<backend::CpuBackend>(bc);
+  }
+  return *failover_cpu_;
 }
 
 EngineStats QueryEngine::stats() const {
@@ -590,6 +704,7 @@ EngineStats QueryEngine::stats() const {
   out.counters.retries = c_retries_.value();
   out.counters.breaker_opens = c_breaker_open_.value();
   out.counters.degraded = c_degraded_.value();
+  out.counters.failovers = c_failovers_.value();
   out.counters.expired = c_expired_.value();
   out.counters.requeued = c_requeued_.value();
   out.counters.abandoned = c_abandoned_.value();
@@ -643,6 +758,14 @@ std::uint64_t QueryEngine::launch_count() const {
   for (const std::unique_ptr<DeviceSlot>& slot : slots_) {
     const std::lock_guard<std::mutex> lock(slot->mu);
     total += slot->dev.launch_count();
+  }
+  for (const std::unique_ptr<CpuSlot>& slot : cpu_slots_) {
+    const std::lock_guard<std::mutex> lock(slot->mu);
+    total += slot->be.counters().launches;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(failover_mu_);
+    if (failover_cpu_) total += failover_cpu_->counters().launches;
   }
   return total;
 }

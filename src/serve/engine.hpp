@@ -59,6 +59,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "backend/backend.hpp"
+#include "backend/cpu_backend.hpp"
+#include "backend/vgpu_backend.hpp"
 #include "core/planner.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -90,7 +93,19 @@ class QueryEngine {
  public:
   struct Config {
     std::size_t devices = 2;            ///< simulated devices in the pool
-    std::size_t streams_per_device = 2; ///< workers = devices * streams
+    std::size_t streams_per_device = 2; ///< vgpu workers = devices * streams
+    /// CPU workers appended after the vgpu workers in worker index space;
+    /// each owns a CpuBackend (its own thread pool). devices may be 0 when
+    /// cpu_workers >= 1 — a CPU-only pool serves every query type.
+    std::size_t cpu_workers = 0;
+    /// Threads per CPU worker's pool (0 = hardware concurrency).
+    unsigned cpu_threads = 0;
+    /// Cross-backend failover rung: when a vgpu worker exhausts its retry
+    /// schedule, run the query on a shared CPU backend (full planned
+    /// execution, not tagged degraded) before falling to the registry
+    /// baseline. Off by default so single-substrate ladders keep their
+    /// historical shape; chaos deployments opt in.
+    bool backend_failover = false;
     std::size_t queue_capacity = 64;    ///< admission-control bound
     std::size_t cache_capacity = 128;   ///< LRU entries; 0 disables caching
     std::size_t plan_threshold = 2048;  ///< auto-plan SDH/PCF above this N
@@ -172,11 +187,15 @@ class QueryEngine {
   /// One consistent health snapshot.
   [[nodiscard]] EngineStats stats() const;
 
-  /// Kernel launches summed over the device pool (the "zero new launches
-  /// on a cache hit" assertions key off this).
+  /// Kernel launches summed over every backend in the pool — devices plus
+  /// CPU workers plus the failover backend (the "zero new launches on a
+  /// cache hit" assertions key off this).
   [[nodiscard]] std::uint64_t launch_count() const;
 
   [[nodiscard]] std::size_t worker_count() const noexcept {
+    return gpu_worker_count() + cfg_.cpu_workers;
+  }
+  [[nodiscard]] std::size_t gpu_worker_count() const noexcept {
     return cfg_.devices * cfg_.streams_per_device;
   }
   [[nodiscard]] const ResultCache& cache() const noexcept { return cache_; }
@@ -244,6 +263,18 @@ class QueryEngine {
     std::mutex mu;
   };
 
+  /// Everything a worker binds once and threads through the ladder: its
+  /// backend handle, the lock serializing launches on that substrate, and
+  /// its breaker. vgpu workers borrow their DeviceSlot's mutex; CPU
+  /// workers own a per-worker mutex (one thread each, so it never
+  /// contends, but the ladder code stays substrate-agnostic).
+  struct WorkerCtx {
+    std::size_t index;
+    backend::IBackend& be;
+    std::mutex& mu;
+    CircuitBreaker& breaker;
+  };
+
   /// How a dispatch of a job onto a worker ended.
   enum class Outcome { Success, Fail, Requeue };
 
@@ -263,16 +294,12 @@ class QueryEngine {
   /// One dispatch of `job` on this worker: deadline check, breaker gate,
   /// then the degradation ladder. Delivers the result/error itself except
   /// on Requeue.
-  void process_job(std::size_t worker_index, DeviceSlot& slot,
-                   vgpu::Stream& stream, CircuitBreaker& breaker,
-                   Rng& rng, const std::shared_ptr<Job>& job);
+  void process_job(WorkerCtx& ctx, Rng& rng, const std::shared_ptr<Job>& job);
 
-  /// The retry → degrade → requeue ladder (everything below the breaker
-  /// gate). On Success fills `result` (+ `degraded`); on Fail fills
-  /// `error`; on Requeue the job is already back in the queue.
-  Outcome run_ladder(std::size_t worker_index, DeviceSlot& slot,
-                     vgpu::Stream& stream, CircuitBreaker& breaker,
-                     Rng& rng, const std::shared_ptr<Job>& job,
+  /// The retry → failover → degrade → requeue ladder (everything below the
+  /// breaker gate). On Success fills `result` (+ `degraded`); on Fail
+  /// fills `error`; on Requeue the job is already back in the queue.
+  Outcome run_ladder(WorkerCtx& ctx, Rng& rng, const std::shared_ptr<Job>& job,
                      QueryResult& result, std::exception_ptr& error,
                      bool& degraded, int& attempts);
 
@@ -285,13 +312,20 @@ class QueryEngine {
   /// DeadlineExceeded delivered through the future.
   void finish_expired(std::size_t worker_index, const std::shared_ptr<Job>& job);
 
-  /// Run one query on a device slot through the given stream.
-  QueryResult execute(DeviceSlot& slot, vgpu::Stream& stream, const Job& job);
+  /// Run one query through a backend handle: planned SDH/PCF launch the
+  /// winning registry variant (Tree-SDH included on CPU backends) via
+  /// IBackend::launch; kNN and join dispatch on the substrate kind. The
+  /// caller holds the backend's launch lock.
+  QueryResult execute(backend::IBackend& be, const Job& job);
 
   /// Known-safe fallback: fixed registry baseline (planner bypassed) for
-  /// SDH/PCF. Precondition: has_baseline(job.query).
-  QueryResult execute_degraded(DeviceSlot& slot, vgpu::Stream& stream,
-                               const Job& job);
+  /// SDH/PCF, launched through the same backend seam. Precondition:
+  /// has_baseline(job.query).
+  QueryResult execute_degraded(backend::IBackend& be, const Job& job);
+
+  /// The shared CPU backend behind the failover rung, created on first
+  /// use. Caller must hold failover_mu_.
+  backend::CpuBackend& failover_backend();
 
   /// True when the query has a degraded rung distinct from its normal path
   /// (planned SDH/PCF; kNN and join already run their only variant).
@@ -324,12 +358,26 @@ class QueryEngine {
   obs::Counter& c_retries_;
   obs::Counter& c_breaker_open_;
   obs::Counter& c_degraded_;
+  obs::Counter& c_failovers_;
   obs::Counter& c_expired_;
   obs::Counter& c_requeued_;
   obs::Counter& c_abandoned_;
   obs::FixedHistogram& h_latency_;
 
   std::vector<std::unique_ptr<DeviceSlot>> slots_;
+  /// CPU workers' backends, index = worker_index - gpu_worker_count().
+  /// Owned by the engine (not the worker thread) so launch_count() and
+  /// stats() can read their counters at any time.
+  struct CpuSlot {
+    explicit CpuSlot(const backend::CpuBackend::Config& cfg) : be(cfg) {}
+    backend::CpuBackend be;
+    std::mutex mu;
+  };
+  std::vector<std::unique_ptr<CpuSlot>> cpu_slots_;
+  /// Cross-backend failover target (lazy; guarded by failover_mu_, which
+  /// is mutable so launch_count() can read the counters).
+  mutable std::mutex failover_mu_;
+  std::unique_ptr<backend::CpuBackend> failover_cpu_;
   std::vector<std::unique_ptr<CircuitBreaker>> breakers_;  ///< per worker
   BoundedQueue<std::shared_ptr<Job>> queue_;
   ResultCache cache_;

@@ -36,6 +36,7 @@ const char* FlightRecorder::to_string(Event e) {
     case Event::Expire: return "expire";
     case Event::Requeue: return "requeue";
     case Event::Abandon: return "abandon";
+    case Event::Failover: return "failover";
   }
   return "unknown";
 }

@@ -57,6 +57,7 @@ class FlightRecorder {
     Expire,        ///< deadline expired before execution (cancelled)
     Requeue,       ///< handed back to the queue for another worker
     Abandon,       ///< shut down with the query still queued
+    Failover,      ///< served by the cross-backend failover rung
   };
   static const char* to_string(Event e);
 

@@ -78,6 +78,7 @@ struct EngineCounters {
   std::uint64_t retries = 0;        ///< backoff-then-retry attempts taken
   std::uint64_t breaker_opens = 0;  ///< circuit-breaker trips to open
   std::uint64_t degraded = 0;       ///< answers served by the baseline fallback
+  std::uint64_t failovers = 0;      ///< answers served by the other backend
   std::uint64_t expired = 0;        ///< deadlines expired before execution
   std::uint64_t requeued = 0;       ///< jobs handed back for another worker
   std::uint64_t abandoned = 0;      ///< failed at shutdown, still queued

@@ -1,0 +1,174 @@
+// Capability negotiation and heterogeneous planner placement.
+//
+// The placement regimes test is the acceptance criterion of the backend
+// seam: with a pinned (deterministic) CPU cost model, core::plan() over
+// {cpu, vgpu} must put small SDH problems on the simulated GPU and large
+// clustered ones on the CPU's sub-quadratic tree path — same planner, same
+// registry, only the backend set in the call changes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "backend/cpu_backend.hpp"
+#include "backend/vgpu_backend.hpp"
+#include "common/datagen.hpp"
+#include "core/planner.hpp"
+#include "kernels/registry.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/stream.hpp"
+
+namespace tbs {
+namespace {
+
+backend::CpuBackend::Config pinned_cpu_config() {
+  backend::CpuBackend::Config c;
+  c.threads = 8;  // fixed, so estimates don't depend on the host
+  c.pair_cost_seconds = 1e-9;  // pinned: no wall-clock calibration
+  return c;
+}
+
+class BackendPlacement : public ::testing::Test {
+ protected:
+  BackendPlacement()
+      : stream_(dev_), vgpu_be_(stream_), cpu_be_(pinned_cpu_config()) {}
+
+  vgpu::Device dev_;
+  vgpu::Stream stream_;
+  backend::VgpuBackend vgpu_be_;
+  backend::CpuBackend cpu_be_;
+};
+
+TEST_F(BackendPlacement, CapabilitiesIdentifyTheSubstrate) {
+  const backend::Capabilities& vc = vgpu_be_.caps();
+  EXPECT_EQ(vc.kind, backend::Kind::Vgpu);
+  EXPECT_EQ(vc.registry_mask, kernels::kBackendVgpu);
+  EXPECT_EQ(vc.name.rfind("vgpu:", 0), 0u) << vc.name;
+  EXPECT_GT(vc.parallel_units, 0);
+  EXPECT_GT(vc.shared_mem_per_block_cap, 0u);
+
+  const backend::Capabilities& cc = cpu_be_.caps();
+  EXPECT_EQ(cc.kind, backend::Kind::Cpu);
+  EXPECT_EQ(cc.registry_mask, kernels::kBackendCpu);
+  EXPECT_EQ(cc.name.rfind("cpu:", 0), 0u) << cc.name;
+  EXPECT_EQ(cc.parallel_units, 8);
+}
+
+TEST_F(BackendPlacement, CanLaunchFollowsTheRegistryMask) {
+  const auto desc = kernels::ProblemDesc::sdh(0.5, 32);
+  for (const kernels::KernelVariant& v :
+       kernels::KernelRegistry::instance().variants()) {
+    if (v.problem != kernels::ProblemType::Sdh) continue;
+    // A backend never launches a variant outside its mask; within the mask
+    // only resource limits (vgpu shared memory) may refuse.
+    if (!v.supports(kernels::kBackendCpu)) {
+      EXPECT_FALSE(cpu_be_.can_launch(v, desc, 128)) << v.name;
+    } else {
+      EXPECT_TRUE(cpu_be_.can_launch(v, desc, 128)) << v.name;
+    }
+    if (!v.supports(kernels::kBackendVgpu)) {
+      EXPECT_FALSE(vgpu_be_.can_launch(v, desc, 128)) << v.name;
+    }
+  }
+}
+
+TEST_F(BackendPlacement, StageMovesTheCoordinateBytes) {
+  const PointsSoA pts = uniform_box(1000, 10.0f, 1);
+  const std::size_t bytes = cpu_be_.stage(pts);
+  EXPECT_EQ(bytes, pts.size() * 3 * sizeof(float));
+  EXPECT_EQ(cpu_be_.counters().bytes_staged, bytes);
+  EXPECT_EQ(vgpu_be_.stage(pts), bytes);
+}
+
+TEST_F(BackendPlacement, LaunchCountersAreMonotonic) {
+  const PointsSoA pts = uniform_box(300, 10.0f, 2);
+  const double width = pts.max_possible_distance() / 16 + 1e-4;
+  const auto desc = kernels::ProblemDesc::sdh(width, 16);
+  const kernels::KernelVariant* v = kernels::KernelRegistry::instance().find(
+      kernels::ProblemType::Sdh, "Reg-ROC-Out");
+  ASSERT_NE(v, nullptr);
+
+  const std::uint64_t before = cpu_be_.counters().launches;
+  Histogram h(width, 16);
+  kernels::KernelOutput out;
+  out.hist = &h;
+  (void)cpu_be_.launch(*v, pts, desc, 128, out);
+  EXPECT_EQ(cpu_be_.counters().launches, before + 1);
+}
+
+// The acceptance criterion: one planner, two regimes. Small N lands on the
+// vgpu; large clustered N lands on the CPU tree path. The CPU cost model is
+// pinned and the vgpu model is simulator-deterministic, so this placement
+// is exact, not a flaky timing comparison.
+TEST_F(BackendPlacement, SdhPlacementSplitsAcrossSizeRegimes) {
+  const PointsSoA sample = gaussian_clusters(4096, 8, 10.0f, 0.2f, 42);
+  const int buckets = 4;  // wide buckets: the tree's bulk-resolve regime
+  const double width = sample.max_possible_distance() / buckets + 1e-4;
+  const auto desc = kernels::ProblemDesc::sdh(width, buckets);
+  backend::IBackend* both[] = {&cpu_be_, &vgpu_be_};
+
+  const core::Plan small = core::plan(both, sample, desc, 2048.0);
+  EXPECT_EQ(small.backend, backend::Kind::Vgpu);
+  EXPECT_EQ(small.backend_name, vgpu_be_.caps().name);
+  ASSERT_NE(small.kernel, nullptr);
+  EXPECT_TRUE(small.kernel->supports(kernels::kBackendVgpu));
+
+  const core::Plan large = core::plan(both, sample, desc, 1048576.0);
+  EXPECT_EQ(large.backend, backend::Kind::Cpu);
+  EXPECT_EQ(large.backend_name, cpu_be_.caps().name);
+  ASSERT_NE(large.kernel, nullptr);
+  EXPECT_EQ(large.kernel->name, "Tree-SDH");
+  EXPECT_LT(large.predicted_seconds, small.predicted_seconds * 1e6);
+
+  // Candidates from both substrates were priced in the large-N decision.
+  bool saw_cpu = false;
+  bool saw_vgpu = false;
+  for (const core::Candidate& c : large.considered) {
+    saw_cpu = saw_cpu || c.backend == cpu_be_.caps().name;
+    saw_vgpu = saw_vgpu || c.backend == vgpu_be_.caps().name;
+  }
+  EXPECT_TRUE(saw_cpu);
+  EXPECT_TRUE(saw_vgpu);
+}
+
+TEST_F(BackendPlacement, SingleBackendSetsPlanOnThatBackend) {
+  const PointsSoA sample = uniform_box(2048, 10.0f, 7);
+  const auto desc =
+      kernels::ProblemDesc::sdh(sample.max_possible_distance() / 32 + 1e-4,
+                                32);
+  backend::IBackend* cpu_only[] = {&cpu_be_};
+  const core::Plan pc = core::plan(cpu_only, sample, desc, 50000.0);
+  EXPECT_EQ(pc.backend, backend::Kind::Cpu);
+  ASSERT_NE(pc.kernel, nullptr);
+  EXPECT_TRUE(pc.kernel->supports(kernels::kBackendCpu));
+
+  backend::IBackend* vgpu_only[] = {&vgpu_be_};
+  const core::Plan pv = core::plan(vgpu_only, sample, desc, 50000.0);
+  EXPECT_EQ(pv.backend, backend::Kind::Vgpu);
+  ASSERT_NE(pv.kernel, nullptr);
+  EXPECT_TRUE(pv.kernel->supports(kernels::kBackendVgpu));
+}
+
+TEST_F(BackendPlacement, PlanCacheKeysOnTheBackendSet) {
+  const PointsSoA sample = uniform_box(2048, 10.0f, 7);
+  const auto desc =
+      kernels::ProblemDesc::sdh(sample.max_possible_distance() / 32 + 1e-4,
+                                32);
+  core::PlanCache cache;
+
+  backend::IBackend* vgpu_only[] = {&vgpu_be_};
+  backend::IBackend* both[] = {&cpu_be_, &vgpu_be_};
+  (void)core::plan(vgpu_only, sample, desc, 50000.0, &cache);
+  EXPECT_EQ(cache.size(), 1u);
+  // A different backend set is a different planning question: must miss.
+  (void)core::plan(both, sample, desc, 50000.0, &cache);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  // Same set again: memoized, zero new calibration.
+  const std::uint64_t launches = vgpu_be_.counters().launches;
+  (void)core::plan(both, sample, desc, 50000.0, &cache);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(vgpu_be_.counters().launches, launches);
+}
+
+}  // namespace
+}  // namespace tbs
