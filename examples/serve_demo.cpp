@@ -19,6 +19,12 @@
 //                                                # with --chaos, vgpu
 //                                                # faults fail over to the
 //                                                # CPU backend
+//   ./build/examples/serve_demo --shards 4  # fan each SDH/PCF query over
+//                                           # 4 shards as diagonal+cross
+//                                           # tiles across the worker pool
+//                                           # (DESIGN.md "Sharded
+//                                           # execution"); answers are
+//                                           # bit-identical to unsharded
 // (TBS_BACKEND=cpu|vgpu|auto sets the default; the flag wins.)
 //
 // Under --chaos the demo also prints the resilience counters (faults,
@@ -59,6 +65,9 @@ int main(int argc, char** argv) {
                  backend.c_str());
     return 2;
   }
+  const std::size_t shards = static_cast<std::size_t>(
+      std::strtoul(obs::arg_value(argc, argv, "--shards", "0").c_str(),
+                   nullptr, 10));
 
   const PointsSoA gas = uniform_box(2000, 15.0f, /*seed=*/3);
   const int buckets = 64;
@@ -99,12 +108,14 @@ int main(int argc, char** argv) {
 
   // Four clients, each asking the same three questions a few times over —
   // the repetitive shape of a real analytics dashboard.
+  serve::SubmitOptions opts;
+  opts.shards = shards;  // 0/1 = ordinary path; >=2 fans tiles over the pool
   std::vector<std::thread> clients;
   for (int c = 0; c < 4; ++c) {
     clients.emplace_back([&] {
       for (int round = 0; round < 3; ++round) {
-        auto h = engine.sdh(gas, width, buckets);
-        auto p = engine.pcf(gas, 2.0);
+        auto h = engine.sdh(gas, width, buckets, opts);
+        auto p = engine.pcf(gas, 2.0, opts);
         auto k = engine.knn(gas, 4);
         h.get();
         p.get();
@@ -140,6 +151,20 @@ int main(int argc, char** argv) {
               stats.latency.p50 * 1e3, stats.latency.p99 * 1e3);
   std::printf("  throughput           : %.0f answers/sec\n",
               stats.throughput_qps);
+  if (shards >= 2) {
+    std::printf("  sharded queries      : %llu (%llu tiles over K=%zu "
+                "shards)\n",
+                static_cast<unsigned long long>(stats.counters.shard_queries),
+                static_cast<unsigned long long>(stats.counters.shard_tiles),
+                shards);
+    if (stats.counters.shard_lanes_lost > 0)
+      std::printf("  shard failovers      : %llu tiles re-executed after "
+                  "%llu lane losses\n",
+                  static_cast<unsigned long long>(
+                      stats.counters.shard_tiles_failed_over),
+                  static_cast<unsigned long long>(
+                      stats.counters.shard_lanes_lost));
+  }
   if (chaos) {
     std::printf("  device faults        : %llu (%llu retries)\n",
                 static_cast<unsigned long long>(stats.counters.faults),

@@ -97,6 +97,20 @@ class IBackend {
                                    int block_size,
                                    kernels::KernelOutput& out) = 0;
 
+  /// Launch the fixed cross-set kernel for `desc.type` over the
+  /// anchors × partners rectangle and fill `out` — the unit of work a
+  /// cross-shard tile executes (see src/shard/). Unlike launch(), the
+  /// kernel is not a registry variant: each substrate has one cross recipe
+  /// per problem type (Reg-ROC + privatized output on vgpu, the tiled loop
+  /// on CPU), and both bucket through the same double-precision division,
+  /// so summing tile partials stays bit-identical to a single-set run.
+  /// Throws vgpu::DeviceError on (injected) device faults.
+  virtual vgpu::KernelStats launch_cross(const PointsSoA& anchors,
+                                         const PointsSoA& partners,
+                                         const kernels::ProblemDesc& desc,
+                                         int block_size,
+                                         kernels::KernelOutput& out) = 0;
+
   /// Price running `v` on `target_n` points. `sample` supplies the data
   /// distribution for calibration; implementations may launch small
   /// calibration runs through themselves.

@@ -81,6 +81,31 @@ vgpu::KernelStats CpuBackend::launch(const kernels::KernelVariant& v,
   return stats;
 }
 
+vgpu::KernelStats CpuBackend::launch_cross(const PointsSoA& anchors,
+                                           const PointsSoA& partners,
+                                           const kernels::ProblemDesc& desc,
+                                           int block_size,
+                                           kernels::KernelOutput& out) {
+  if (desc.type == kernels::ProblemType::Sdh) {
+    Histogram h = cpubase::cpu_sdh_cross(
+        pool_, anchors, partners, desc.bucket_width,
+        static_cast<std::size_t>(desc.buckets), cfg_.cpu);
+    if (out.hist != nullptr) *out.hist = std::move(h);
+  } else {
+    const std::uint64_t pairs =
+        cpubase::cpu_pcf_cross(pool_, anchors, partners, desc.radius,
+                               cfg_.cpu);
+    if (out.pairs != nullptr) *out.pairs = pairs;
+  }
+  launches_.fetch_add(1, std::memory_order_relaxed);
+  // Host-side facts only, same shape as the registry's CPU launches: the
+  // simulated counters stay zero so obs::check_drift skips these stats.
+  vgpu::KernelStats stats;
+  stats.launches = 1;
+  stats.block_dim = block_size;
+  return stats;
+}
+
 double CpuBackend::pair_cost() {
   const std::lock_guard<std::mutex> lock(calib_mu_);
   if (pair_cost_ > 0.0) return pair_cost_;

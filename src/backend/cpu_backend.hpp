@@ -56,6 +56,12 @@ class CpuBackend final : public IBackend {
                            const kernels::ProblemDesc& desc, int block_size,
                            kernels::KernelOutput& out) override;
 
+  vgpu::KernelStats launch_cross(const PointsSoA& anchors,
+                                 const PointsSoA& partners,
+                                 const kernels::ProblemDesc& desc,
+                                 int block_size,
+                                 kernels::KernelOutput& out) override;
+
   [[nodiscard]] Estimate estimate(const kernels::KernelVariant& v,
                                   const PointsSoA& sample,
                                   const kernels::ProblemDesc& desc,

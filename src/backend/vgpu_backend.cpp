@@ -3,6 +3,7 @@
 #include <array>
 
 #include "common/error.hpp"
+#include "kernels/cross.hpp"
 #include "perfmodel/counts.hpp"
 #include "perfmodel/timemodel.hpp"
 #include "vgpu/buffer.hpp"
@@ -75,6 +76,33 @@ vgpu::KernelStats VgpuBackend::launch(const kernels::KernelVariant& v,
         "VgpuBackend: variant has no vgpu launch functor");
   try {
     vgpu::KernelStats stats = v.launch(*stream_, pts, desc, block_size, out);
+    launches_.fetch_add(1, std::memory_order_relaxed);
+    return stats;
+  } catch (const vgpu::DeviceError&) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
+}
+
+vgpu::KernelStats VgpuBackend::launch_cross(const PointsSoA& anchors,
+                                            const PointsSoA& partners,
+                                            const kernels::ProblemDesc& desc,
+                                            int block_size,
+                                            kernels::KernelOutput& out) {
+  try {
+    vgpu::KernelStats stats;
+    if (desc.type == kernels::ProblemType::Sdh) {
+      kernels::SdhResult r =
+          kernels::run_sdh_cross(*stream_, anchors, partners,
+                                 desc.bucket_width, desc.buckets, block_size);
+      if (out.hist != nullptr) *out.hist = std::move(r.hist);
+      stats = r.stats;
+    } else {
+      kernels::PcfResult r = kernels::run_pcf_cross(
+          *stream_, anchors, partners, desc.radius, block_size);
+      if (out.pairs != nullptr) *out.pairs = r.pairs_within;
+      stats = r.stats;
+    }
     launches_.fetch_add(1, std::memory_order_relaxed);
     return stats;
   } catch (const vgpu::DeviceError&) {

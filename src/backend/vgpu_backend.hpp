@@ -38,6 +38,12 @@ class VgpuBackend final : public IBackend {
                            const kernels::ProblemDesc& desc, int block_size,
                            kernels::KernelOutput& out) override;
 
+  vgpu::KernelStats launch_cross(const PointsSoA& anchors,
+                                 const PointsSoA& partners,
+                                 const kernels::ProblemDesc& desc,
+                                 int block_size,
+                                 kernels::KernelOutput& out) override;
+
   /// Eqs. 2–7 pricing: three calibration launches, StatsPoly counter
   /// extrapolation, perfmodel::model_time on the device spec.
   [[nodiscard]] Estimate estimate(const kernels::KernelVariant& v,

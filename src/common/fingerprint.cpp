@@ -1,0 +1,24 @@
+#include "common/fingerprint.hpp"
+
+namespace tbs {
+
+std::uint64_t dataset_fingerprint(const PointsSoA& pts) {
+  Fnv1a h;
+  h.u64(pts.size());
+  h.floats(pts.x());
+  h.floats(pts.y());
+  h.floats(pts.z());
+  return h.value();
+}
+
+std::uint64_t shard_fingerprint(const PointsSoA& shard_pts,
+                                std::size_t shard_index,
+                                std::size_t shard_count) {
+  Fnv1a h;
+  h.u64(shard_index);
+  h.u64(shard_count);
+  h.u64(dataset_fingerprint(shard_pts));
+  return h.value();
+}
+
+}  // namespace tbs

@@ -201,6 +201,110 @@ std::uint64_t cpu_pcf_tiled(ThreadPool& pool, const PointsSoA& pts,
   return total;
 }
 
+Histogram cpu_sdh_cross(ThreadPool& pool, const PointsSoA& anchors,
+                        const PointsSoA& partners, double bucket_width,
+                        std::size_t buckets, const CpuConfig& cfg) {
+  check(!anchors.empty() && !partners.empty(),
+        "cpu_sdh_cross: empty point set");
+  const std::size_t na = anchors.size();
+  const std::size_t nb_pts = partners.size();
+  const double w = bucket_width;
+  const std::span<const float> axs = anchors.x();
+  const std::span<const float> ays = anchors.y();
+  const std::span<const float> azs = anchors.z();
+  const std::span<const float> bxs = partners.x();
+  const std::span<const float> bys = partners.y();
+  const std::span<const float> bzs = partners.z();
+
+  std::vector<std::vector<std::uint64_t>> priv(
+      pool.size(), std::vector<std::uint64_t>(buckets, 0));
+  const int nb = static_cast<int>(buckets);
+
+  parallel_for(
+      pool, 0, na, cfg.schedule,
+      [&](unsigned id, std::size_t lo, std::size_t hi) {
+        apply_affinity(cfg, pool, id);
+        std::uint64_t* mine = priv[id].data();
+        float d_tile[kCpuTile];
+        for (std::size_t i = lo; i < hi; ++i) {
+          const float xi = axs[i];
+          const float yi = ays[i];
+          const float zi = azs[i];
+          // The rectangle has no triangular predicate: every anchor walks
+          // the full partner set in vectorizable tiles.
+          for (std::size_t j0 = 0; j0 < nb_pts; j0 += kCpuTile) {
+            const std::size_t m = std::min(kCpuTile, nb_pts - j0);
+            for (std::size_t t = 0; t < m; ++t) {
+              const float dx = xi - bxs[j0 + t];
+              const float dy = yi - bys[j0 + t];
+              const float dz = zi - bzs[j0 + t];
+              d_tile[t] = std::sqrt(dx * dx + dy * dy + dz * dz);
+            }
+            for (std::size_t t = 0; t < m; ++t)
+              ++mine[static_cast<std::size_t>(std::min(
+                  static_cast<int>(static_cast<double>(d_tile[t]) / w),
+                  nb - 1))];
+          }
+        }
+      },
+      cfg.chunk);
+
+  for (std::size_t stride = 1; stride < priv.size(); stride *= 2)
+    for (std::size_t i = 0; i + stride < priv.size(); i += 2 * stride)
+      for (std::size_t b = 0; b < buckets; ++b)
+        priv[i][b] += priv[i + stride][b];
+
+  Histogram result(bucket_width, buckets);
+  for (std::size_t b = 0; b < buckets; ++b) result.set_count(b, priv[0][b]);
+  return result;
+}
+
+std::uint64_t cpu_pcf_cross(ThreadPool& pool, const PointsSoA& anchors,
+                            const PointsSoA& partners, double radius,
+                            const CpuConfig& cfg) {
+  check(!anchors.empty() && !partners.empty(),
+        "cpu_pcf_cross: empty point set");
+  const std::size_t na = anchors.size();
+  const std::size_t nb_pts = partners.size();
+  const auto r2 = static_cast<float>(radius * radius);
+  const std::span<const float> axs = anchors.x();
+  const std::span<const float> ays = anchors.y();
+  const std::span<const float> azs = anchors.z();
+  const std::span<const float> bxs = partners.x();
+  const std::span<const float> bys = partners.y();
+  const std::span<const float> bzs = partners.z();
+
+  std::vector<std::uint64_t> partial(pool.size(), 0);
+  parallel_for(
+      pool, 0, na, cfg.schedule,
+      [&](unsigned id, std::size_t lo, std::size_t hi) {
+        apply_affinity(cfg, pool, id);
+        std::uint64_t count = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const float xi = axs[i];
+          const float yi = ays[i];
+          const float zi = azs[i];
+          for (std::size_t j0 = 0; j0 < nb_pts; j0 += kCpuTile) {
+            const std::size_t m = std::min(kCpuTile, nb_pts - j0);
+            std::uint64_t hits = 0;
+            for (std::size_t t = 0; t < m; ++t) {
+              const float dx = xi - bxs[j0 + t];
+              const float dy = yi - bys[j0 + t];
+              const float dz = zi - bzs[j0 + t];
+              hits += (dx * dx + dy * dy + dz * dz < r2) ? 1u : 0u;
+            }
+            count += hits;
+          }
+        }
+        partial[id] += count;
+      },
+      cfg.chunk);
+
+  std::uint64_t total = 0;
+  for (const auto c : partial) total += c;
+  return total;
+}
+
 std::vector<std::vector<float>> cpu_knn(ThreadPool& pool,
                                         const PointsSoA& pts, int k,
                                         const CpuConfig& cfg) {

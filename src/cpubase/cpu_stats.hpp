@@ -52,6 +52,20 @@ Histogram cpu_sdh_tiled(ThreadPool& pool, const PointsSoA& pts,
 std::uint64_t cpu_pcf_tiled(ThreadPool& pool, const PointsSoA& pts,
                             double radius, const CpuConfig& cfg = {});
 
+/// Cross-set SDH: histogram of all |A|·|B| distances between `anchors` and
+/// `partners` (the CPU substrate for a cross-shard tile — see src/shard/).
+/// Same tiled inner loop and double-precision bucketing as cpu_sdh_tiled,
+/// so shard merges are bit-identical to a single-set run over the union.
+Histogram cpu_sdh_cross(ThreadPool& pool, const PointsSoA& anchors,
+                        const PointsSoA& partners, double bucket_width,
+                        std::size_t buckets, const CpuConfig& cfg = {});
+
+/// Cross-set 2-PCF: count of pairs (a in anchors, b in partners) with
+/// dist < radius.
+std::uint64_t cpu_pcf_cross(ThreadPool& pool, const PointsSoA& anchors,
+                            const PointsSoA& partners, double radius,
+                            const CpuConfig& cfg = {});
+
 /// All-point k-nearest-neighbour distances: for each point, the distances
 /// to its k nearest other points, ascending. k must be >= 1.
 std::vector<std::vector<float>> cpu_knn(ThreadPool& pool,

@@ -31,6 +31,11 @@ QueryEngine::QueryEngine(Config cfg)
       c_expired_(metrics_.counter("serve.expired")),
       c_requeued_(metrics_.counter("serve.requeued")),
       c_abandoned_(metrics_.counter("serve.abandoned")),
+      c_shard_queries_(metrics_.counter("serve.shard.queries")),
+      c_shard_tiles_(metrics_.counter("serve.shard.tiles")),
+      c_shard_lanes_lost_(metrics_.counter("serve.shard.lanes_lost")),
+      c_shard_tiles_failed_over_(
+          metrics_.counter("serve.shard.tiles_failed_over")),
       h_latency_(metrics_.histogram("serve.latency_seconds",
                                     obs::default_latency_bounds())),
       queue_(cfg.queue_capacity),
@@ -70,6 +75,13 @@ QueryEngine::QueryEngine(Config cfg)
     bc.threads = cfg_.cpu_threads;
     cpu_slots_.push_back(std::make_unique<CpuSlot>(bc));
   }
+  // One persistent lane backend per device for the sharded path. These
+  // share the per-device launch lock with the regular stream workers, so
+  // tile launches and ordinary queries serialize on the same mutex.
+  shard_vgpu_.reserve(cfg_.devices);
+  for (std::size_t d = 0; d < cfg_.devices; ++d)
+    shard_vgpu_.push_back(
+        std::make_unique<backend::VgpuBackend>(slots_[d]->dev));
   breakers_.reserve(worker_count());
   for (std::size_t w = 0; w < worker_count(); ++w)
     breakers_.push_back(std::make_unique<CircuitBreaker>(cfg_.breaker));
@@ -198,6 +210,8 @@ std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
       job->pts = std::make_shared<const PointsSoA>(pts);
       job->submitted = t0;
       job->deadline = deadline;
+      job->shards = opts.shards;
+      job->shard_strategy = opts.shard_strategy;
       ResultFuture fut = job->promise.get_future().share();
       if (queue_.try_push(job)) {
         inflight_.emplace(key, fut);
@@ -423,6 +437,19 @@ QueryEngine::Outcome QueryEngine::run_ladder(
   const int max_attempts = std::max(1, cfg_.retry.max_attempts);
   std::string device_msg;  // last device error, for the RetriesExhausted wrap
 
+  // Rung 0: sharded fan-out. The query runs as K shards x tiles over the
+  // whole backend pool, merged with the reduction tree. This must run
+  // *before* the rung-1 device lock: the shard executor takes each lane's
+  // launch mutex per tile, including ctx.mu. The executor survives
+  // individual lane deaths internally (tiles fail over to survivors), so
+  // falling through to the unsharded ladder only happens when the whole
+  // pool failed; the breaker records nothing either way because no outcome
+  // here is evidence about *this* worker's device alone.
+  if (wants_sharding(*job)) {
+    ++attempts;
+    if (run_sharded(ctx, job, result, error)) return Outcome::Success;
+  }
+
   // Rung 1: the planned execution, retried on transient device faults.
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     if (Clock::now() >= job->deadline) {
@@ -536,6 +563,105 @@ QueryEngine::Outcome QueryEngine::run_ladder(
 bool QueryEngine::has_baseline(const Query& query) {
   return std::holds_alternative<SdhQuery>(query) ||
          std::holds_alternative<PcfQuery>(query);
+}
+
+bool QueryEngine::wants_sharding(const Job& job) {
+  return job.shards >= 2 && (std::holds_alternative<SdhQuery>(job.query) ||
+                             std::holds_alternative<PcfQuery>(job.query));
+}
+
+bool QueryEngine::run_sharded(WorkerCtx& ctx,
+                              const std::shared_ptr<Job>& job,
+                              QueryResult& result, std::exception_ptr& error) {
+  c_shard_queries_.inc();
+
+  // Every device plus every CPU slot is a lane; lane index is stable
+  // across runs (devices first, CPU slots after), which is what makes the
+  // router's staged-set bookkeeping meaningful between queries.
+  std::vector<shard::Lane> lanes;
+  lanes.reserve(shard_vgpu_.size() + cpu_slots_.size());
+  for (std::size_t d = 0; d < shard_vgpu_.size(); ++d)
+    lanes.push_back(shard::Lane{shard_vgpu_[d].get(), &slots_[d]->mu,
+                                "gpu" + std::to_string(d)});
+  for (std::size_t i = 0; i < cpu_slots_.size(); ++i)
+    lanes.push_back(shard::Lane{&cpu_slots_[i]->be, &cpu_slots_[i]->mu,
+                                "cpu" + std::to_string(i)});
+
+  const kernels::ProblemDesc desc =
+      std::holds_alternative<SdhQuery>(job->query)
+          ? kernels::ProblemDesc::sdh(
+                std::get<SdhQuery>(job->query).bucket_width,
+                std::get<SdhQuery>(job->query).buckets)
+          : kernels::ProblemDesc::pcf(std::get<PcfQuery>(job->query).radius);
+
+  // Sharded jobs skip the planner: calibration launches cannot safely run
+  // while the executor interleaves tile launches over the same lane
+  // mutexes, so tiles use the fixed dual-backend default variant.
+  shard::Options sopt;
+  sopt.shards = job->shards;
+  sopt.strategy = job->shard_strategy;
+
+  shard::Executor ex(&shard_router_);
+  try {
+    shard::Report rep = ex.run(
+        lanes, *job->pts, desc, sopt,
+        [&](std::size_t lane, std::size_t tiles) {
+          c_shard_lanes_lost_.inc();
+          c_shard_tiles_failed_over_.inc(tiles);
+          flight_.record(FlightRecorder::Event::ShardFailover, job->key,
+                         static_cast<std::uint32_t>(lane));
+        });
+    c_shard_tiles_.inc(rep.tiles_total);
+    if (tracer_->enabled()) {
+      // Tile timings are modeled (vgpu) or remote wall time, so they go on
+      // a synthetic track anchored at "now" rather than the worker's row.
+      const auto now = obs::Tracer::Clock::now();
+      const std::uint32_t tid = tracer_->track_tid("shard");
+      const auto dur = [](double seconds) {
+        return std::chrono::duration_cast<obs::Tracer::Clock::duration>(
+            std::chrono::duration<double>(seconds));
+      };
+      for (const shard::TileSpan& ts : rep.spans) {
+        const std::string a = std::to_string(ts.tile.a);
+        const std::string b = std::to_string(ts.tile.b);
+        const std::string lane = std::to_string(ts.lane);
+        tracer_->record_span("serve.shard.tile", "shard",
+                             now - dur(ts.seconds), now,
+                             {{"a", a},
+                              {"b", b},
+                              {"lane", lane},
+                              {"failover", ts.failover ? "true" : "false"}},
+                             tid);
+      }
+      const std::string tiles = std::to_string(rep.tiles_total);
+      tracer_->record_span("serve.shard.merge", "shard",
+                           now - dur(rep.merge_seconds), now,
+                           {{"tiles", tiles}}, tid);
+    }
+    if (std::holds_alternative<SdhQuery>(job->query)) {
+      kernels::SdhResult r;
+      r.hist = std::move(rep.hist);
+      r.stats = rep.stats;
+      result = std::move(r);
+    } else {
+      kernels::PcfResult r;
+      r.pairs_within = rep.pairs;
+      r.stats = rep.stats;
+      result = std::move(r);
+    }
+    error = nullptr;
+    return true;
+  } catch (const vgpu::DeviceError&) {
+    // Every lane died (or staging itself faulted persistently). Count the
+    // fault against this worker's breaker like any other device error and
+    // let the caller fall through to the unsharded ladder.
+    note_fault(ctx.index, ctx.breaker, job->key);
+    error = std::current_exception();
+    return false;
+  } catch (...) {
+    error = std::current_exception();
+    return false;
+  }
 }
 
 namespace {
@@ -708,6 +834,10 @@ EngineStats QueryEngine::stats() const {
   out.counters.expired = c_expired_.value();
   out.counters.requeued = c_requeued_.value();
   out.counters.abandoned = c_abandoned_.value();
+  out.counters.shard_queries = c_shard_queries_.value();
+  out.counters.shard_tiles = c_shard_tiles_.value();
+  out.counters.shard_lanes_lost = c_shard_lanes_lost_.value();
+  out.counters.shard_tiles_failed_over = c_shard_tiles_failed_over_.value();
   out.latency = latency_.summary();
   out.elapsed_seconds =
       std::chrono::duration<double>(Clock::now() - epoch_).count();
@@ -741,6 +871,13 @@ void QueryEngine::refresh_gauges(const EngineStats& s) const {
   for (const std::unique_ptr<CircuitBreaker>& b : breakers_)
     if (b->state() != CircuitBreaker::State::Closed) ++open;
   metrics_.gauge("serve.breaker.open_workers").set(static_cast<double>(open));
+  const shard::Router::Stats rs = shard_router_.stats();
+  metrics_.gauge("serve.shard.stage_hits")
+      .set(static_cast<double>(rs.stage_hits));
+  metrics_.gauge("serve.shard.stage_misses")
+      .set(static_cast<double>(rs.stage_misses));
+  metrics_.gauge("serve.shard.evictions")
+      .set(static_cast<double>(rs.evictions));
 }
 
 bool QueryEngine::dump_flight(const std::string& path) const {

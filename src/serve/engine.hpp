@@ -71,6 +71,8 @@
 #include "serve/request.hpp"
 #include "serve/resilience.hpp"
 #include "serve/result_cache.hpp"
+#include "shard/executor.hpp"
+#include "shard/router.hpp"
 #include "common/rng.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/fault.hpp"
@@ -79,7 +81,7 @@
 
 namespace tbs::serve {
 
-/// Per-submission knobs (today: just the deadline).
+/// Per-submission knobs.
 struct SubmitOptions {
   /// Seconds from submission until the query is cancelled. 0 means "use
   /// Config::default_deadline_seconds"; negative means "no deadline" even
@@ -87,6 +89,16 @@ struct SubmitOptions {
   /// its future carries DeadlineExceeded, and blocked submits give up when
   /// the deadline passes while waiting for a queue slot.
   double deadline_seconds = 0.0;
+  /// >= 2 fans the query out as one sharded data-parallel job over the
+  /// whole worker pool (SDH/PCF only; other query types ignore this).
+  /// Sharding is an *execution* option, not part of the query identity:
+  /// the cache key is unchanged, so sharded and unsharded submissions of
+  /// the same query coalesce and share one cache entry — legitimately,
+  /// because the reduction-tree merge is bit-identical to a single-device
+  /// run. 0 and 1 mean the ordinary single-backend path.
+  std::size_t shards = 0;
+  /// How the dataset is split when shards >= 2 (see shard/partition.hpp).
+  shard::Strategy shard_strategy = shard::Strategy::Contiguous;
 };
 
 class QueryEngine {
@@ -234,6 +246,12 @@ class QueryEngine {
   /// attached). False if the file won't open.
   bool dump_flight(const std::string& path) const;
 
+  /// Partition-aware routing state for the sharded path (tests assert
+  /// staging hits/misses/evictions).
+  [[nodiscard]] const shard::Router& shard_router() const noexcept {
+    return shard_router_;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -252,6 +270,9 @@ class QueryEngine {
     /// Worker whose ladder last requeued this job; a re-pop by the same
     /// worker bounces so another worker gets the hand-off.
     std::size_t last_worker = static_cast<std::size_t>(-1);
+    /// Sharded execution request (SubmitOptions::shards; 0/1 = unsharded).
+    std::size_t shards = 0;
+    shard::Strategy shard_strategy = shard::Strategy::Contiguous;
   };
 
   /// One simulated device plus the host lock serializing launches on it
@@ -331,6 +352,19 @@ class QueryEngine {
   /// (planned SDH/PCF; kNN and join already run their only variant).
   static bool has_baseline(const Query& query);
 
+  /// True when the job asked for sharded execution and the query type
+  /// supports it (SDH/PCF — the 2-BS kernels with a tile decomposition).
+  static bool wants_sharding(const Job& job);
+
+  /// Fan one query out as K shards × tiles over the whole backend pool
+  /// (every device + every CPU worker as a lane), merge with the reduction
+  /// tree, and fill `result`. Runs *before* run_ladder takes ctx.mu — the
+  /// executor locks each lane's mutex per tile launch. Returns false (with
+  /// `error` set) to let the job fall through to the ordinary unsharded
+  /// ladder.
+  bool run_sharded(WorkerCtx& ctx, const std::shared_ptr<Job>& job,
+                   QueryResult& result, std::exception_ptr& error);
+
   /// Resolve a submission's deadline (options override config default).
   Clock::time_point deadline_from(const SubmitOptions& opts,
                                   Clock::time_point now) const;
@@ -362,6 +396,10 @@ class QueryEngine {
   obs::Counter& c_expired_;
   obs::Counter& c_requeued_;
   obs::Counter& c_abandoned_;
+  obs::Counter& c_shard_queries_;
+  obs::Counter& c_shard_tiles_;
+  obs::Counter& c_shard_lanes_lost_;
+  obs::Counter& c_shard_tiles_failed_over_;
   obs::FixedHistogram& h_latency_;
 
   std::vector<std::unique_ptr<DeviceSlot>> slots_;
@@ -378,6 +416,15 @@ class QueryEngine {
   /// is mutable so launch_count() can read the counters).
   mutable std::mutex failover_mu_;
   std::unique_ptr<backend::CpuBackend> failover_cpu_;
+  /// One persistent per-device backend for the sharded path. A sharded
+  /// query's executor launches tiles on several devices; each lane pairs
+  /// shard_vgpu_[d] with slots_[d]->mu so tile launches serialize against
+  /// the regular per-device workers. Declared after slots_ (destroyed
+  /// first) because each backend borrows its slot's Device.
+  std::vector<std::unique_ptr<backend::VgpuBackend>> shard_vgpu_;
+  /// Which shard fingerprints are staged on which lane — partition-aware
+  /// routing keeps a shard's tiles on the lane already holding its data.
+  shard::Router shard_router_;
   std::vector<std::unique_ptr<CircuitBreaker>> breakers_;  ///< per worker
   BoundedQueue<std::shared_ptr<Job>> queue_;
   ResultCache cache_;

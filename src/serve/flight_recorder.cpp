@@ -37,6 +37,7 @@ const char* FlightRecorder::to_string(Event e) {
     case Event::Requeue: return "requeue";
     case Event::Abandon: return "abandon";
     case Event::Failover: return "failover";
+    case Event::ShardFailover: return "shard_failover";
   }
   return "unknown";
 }

@@ -58,6 +58,7 @@ class FlightRecorder {
     Requeue,       ///< handed back to the queue for another worker
     Abandon,       ///< shut down with the query still queued
     Failover,      ///< served by the cross-backend failover rung
+    ShardFailover, ///< a sharded query lost a lane; its tiles rerouted
   };
   static const char* to_string(Event e);
 

@@ -82,6 +82,12 @@ struct EngineCounters {
   std::uint64_t expired = 0;        ///< deadlines expired before execution
   std::uint64_t requeued = 0;       ///< jobs handed back for another worker
   std::uint64_t abandoned = 0;      ///< failed at shutdown, still queued
+
+  // --- sharded data-parallel execution (src/shard/) -----------------------
+  std::uint64_t shard_queries = 0;   ///< queries run through the shard path
+  std::uint64_t shard_tiles = 0;     ///< tiles executed (diagonal + cross)
+  std::uint64_t shard_lanes_lost = 0;         ///< lanes lost mid-query
+  std::uint64_t shard_tiles_failed_over = 0;  ///< tiles rerouted to survivors
 };
 
 /// One consistent snapshot of engine health.

@@ -1,28 +1,8 @@
 #include "serve/request.hpp"
 
-#include <cstring>
-#include <span>
+#include "common/fingerprint.hpp"
 
 namespace tbs::serve {
-
-namespace {
-
-constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-void fnv_bytes(std::uint64_t& h, const void* data, std::size_t len) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < len; ++i) {
-    h ^= p[i];
-    h *= kFnvPrime;
-  }
-}
-
-void fnv_floats(std::uint64_t& h, std::span<const float> v) {
-  fnv_bytes(h, v.data(), v.size_bytes());
-}
-
-}  // namespace
 
 const char* kind_name(const Query& q) {
   switch (q.index()) {
@@ -35,13 +15,11 @@ const char* kind_name(const Query& q) {
 }
 
 std::uint64_t dataset_fingerprint(const PointsSoA& pts) {
-  std::uint64_t h = kFnvOffset;
-  const std::uint64_t n = pts.size();
-  fnv_bytes(h, &n, sizeof(n));
-  fnv_floats(h, pts.x());
-  fnv_floats(h, pts.y());
-  fnv_floats(h, pts.z());
-  return h;
+  // Delegates to the shared FNV-1a in common/fingerprint.hpp — the shard
+  // subsystem fingerprints staged shards with the same family, and the
+  // bit-for-bit agreement is what lets a sharded execution land on the
+  // same cache entry as an unsharded one (see shard/partition.hpp).
+  return tbs::dataset_fingerprint(pts);
 }
 
 std::string query_key(const Query& q, std::uint64_t dataset_fp) {

@@ -1,0 +1,275 @@
+#include "shard/executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <unordered_map>
+
+#include "backend/vgpu_backend.hpp"
+#include "common/error.hpp"
+#include "perfmodel/timemodel.hpp"
+#include "shard/merge.hpp"
+#include "vgpu/fault.hpp"
+
+namespace tbs::shard {
+
+namespace {
+
+double wall_seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Dual-backend default kernels for the diagonal tiles — the paper's
+/// winners, present on both substrates.
+const kernels::KernelVariant* default_variant(kernels::ProblemType type) {
+  const auto& reg = kernels::KernelRegistry::instance();
+  return type == kernels::ProblemType::Sdh
+             ? reg.find(kernels::ProblemType::Sdh, "Reg-ROC-Out")
+             : reg.find(kernels::ProblemType::Pcf, "Register-ROC");
+}
+
+/// The partial one executed tile produced.
+struct TileResult {
+  bool done = false;
+  bool failover = false;
+  std::size_t lane = 0;
+  double seconds = 0.0;
+  Histogram hist;
+  std::uint64_t pairs = 0;
+  vgpu::KernelStats stats;
+};
+
+/// Per-lane execution state, owned by that lane's thread until join.
+struct LaneRun {
+  std::vector<std::size_t> queue;  ///< tile ids, placement order
+  bool dead = false;
+  std::vector<std::size_t> unfinished;  ///< ids lost with the lane
+  double seconds = 0.0;                 ///< summed executed-tile seconds
+  std::size_t staged_bytes = 0;
+  std::exception_ptr error;  ///< non-DeviceError failures, rethrown
+};
+
+/// Charge a tile: modeled device seconds on a vgpu lane (the simulator's
+/// clock), wall seconds on a CPU lane (the host's clock) — the same split
+/// the planner already compares across the seam.
+double tile_seconds(const Lane& lane, const vgpu::KernelStats& stats,
+                    double wall) {
+  if (auto* vb = dynamic_cast<backend::VgpuBackend*>(lane.be))
+    return perfmodel::model_time(vb->device().spec(), stats).seconds;
+  return wall;
+}
+
+}  // namespace
+
+Report Executor::run(std::span<const Lane> lanes, const PointsSoA& pts,
+                     const kernels::ProblemDesc& desc, const Options& opt,
+                     const FailoverHook& on_failover) {
+  check(!lanes.empty(), "shard::Executor: need at least one lane");
+  check(opt.shards >= 1, "shard::Executor: need at least one shard");
+  for (const Lane& lane : lanes)
+    check(lane.be != nullptr, "shard::Executor: null lane backend");
+
+  const kernels::KernelVariant* variant =
+      opt.variant != nullptr ? opt.variant : default_variant(desc.type);
+  check(variant != nullptr, "shard::Executor: no kernel variant");
+  for (const Lane& lane : lanes)
+    check(lane.be->can_launch(*variant, desc, opt.block_size),
+          "shard::Executor: variant not launchable on every lane");
+
+  Report report;
+  report.variant_name = variant->name;
+  report.shards = opt.shards;
+  report.replicated_bytes = lanes.size() * 3 * pts.size() * sizeof(float);
+
+  const Partition part = make_partition(pts, opt.shards, opt.strategy);
+  const std::vector<Tile> tiles = enumerate_tiles(part);
+  const Placement placement = place_tiles(part, lanes.size());
+  report.tiles_total = tiles.size();
+
+  // Tile -> global id, so lane queues and failover share one result slot.
+  std::unordered_map<std::uint64_t, std::size_t> tile_id;
+  tile_id.reserve(tiles.size());
+  for (std::size_t i = 0; i < tiles.size(); ++i)
+    tile_id[(static_cast<std::uint64_t>(tiles[i].a) << 32) | tiles[i].b] = i;
+
+  std::vector<TileResult> results(tiles.size());
+  std::vector<LaneRun> runs(lanes.size());
+  for (std::size_t l = 0; l < lanes.size(); ++l)
+    for (const Tile& t : placement.lanes[l])
+      runs[l].queue.push_back(
+          tile_id.at((static_cast<std::uint64_t>(t.a) << 32) | t.b));
+  for (const LaneRun& r : runs)
+    if (!r.queue.empty()) ++report.lanes_used;
+
+  // Stage a tile's operand shards on a lane, deduped through the router.
+  // Caller holds the lane mutex (staging is a substrate operation too).
+  const auto stage_operands = [&](std::size_t l, const Tile& t,
+                                  std::size_t& bytes) {
+    for (const std::size_t s :
+         t.diagonal() ? std::vector<std::size_t>{t.a}
+                      : std::vector<std::size_t>{t.a, t.b}) {
+      const Shard& sh = part.shards[s];
+      if (router_ == nullptr || router_->needs_staging(l, sh.fingerprint))
+        bytes += lanes[l].be->stage(sh.pts);
+    }
+  };
+
+  // Execute one tile on a lane (mutex held by the caller); fills its
+  // result slot and returns the charged seconds.
+  const auto execute_tile = [&](std::size_t l, std::size_t id,
+                                bool failover) {
+    const Tile& t = tiles[id];
+    TileResult& tr = results[id];
+    kernels::KernelOutput out;
+    out.hist = &tr.hist;
+    out.pairs = &tr.pairs;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (t.diagonal()) {
+      tr.stats = lanes[l].be->launch(*variant, part.shards[t.a].pts, desc,
+                                     opt.block_size, out);
+    } else {
+      tr.stats = lanes[l].be->launch_cross(part.shards[t.a].pts,
+                                           part.shards[t.b].pts, desc,
+                                           opt.block_size, out);
+    }
+    tr.seconds = tile_seconds(lanes[l], tr.stats, wall_seconds(t0));
+    tr.lane = l;
+    tr.failover = failover;
+    tr.done = true;
+    return tr.seconds;
+  };
+
+  // Stage + execute under the lane mutex, riding out transient faults
+  // (ECC / launch timeout) with in-place retries; only a persistent error
+  // (device lost, or a transient one that keeps recurring) escapes and
+  // costs the lane.
+  constexpr int kTransientRetries = 2;
+  const auto locked_execute = [&](std::size_t l, std::size_t id,
+                                  bool failover, std::size_t& staged) {
+    for (int attempt = 0;; ++attempt) {
+      try {
+        std::unique_lock<std::mutex> lock;
+        if (lanes[l].mu != nullptr)
+          lock = std::unique_lock<std::mutex>(*lanes[l].mu);
+        stage_operands(l, tiles[id], staged);
+        return execute_tile(l, id, failover);
+      } catch (const vgpu::DeviceError& e) {
+        if (!e.transient() || attempt >= kTransientRetries) throw;
+      }
+    }
+  };
+
+  // Phase 1: one thread per lane with work, affinity-placed tiles.
+  std::vector<std::thread> threads;
+  threads.reserve(lanes.size());
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    if (runs[l].queue.empty()) continue;
+    threads.emplace_back([&, l] {
+      LaneRun& run = runs[l];
+      for (std::size_t qi = 0; qi < run.queue.size(); ++qi) {
+        const std::size_t id = run.queue[qi];
+        try {
+          run.seconds += locked_execute(l, id, /*failover=*/false,
+                                        run.staged_bytes);
+        } catch (const vgpu::DeviceError&) {
+          // Lane is gone: everything not yet finished (this tile included)
+          // must run elsewhere. Completed partials stay valid.
+          run.dead = true;
+          run.unfinished.assign(run.queue.begin() +
+                                    static_cast<std::ptrdiff_t>(qi),
+                                run.queue.end());
+          return;
+        } catch (...) {
+          run.error = std::current_exception();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (const LaneRun& run : runs)
+    if (run.error) std::rethrow_exception(run.error);
+
+  // Phase 2: failover. Collect the dead lanes' unfinished tiles and
+  // re-execute *only those* on surviving lanes, least-loaded first.
+  std::vector<bool> alive(lanes.size());
+  for (std::size_t l = 0; l < lanes.size(); ++l) alive[l] = !runs[l].dead;
+  std::vector<std::size_t> pending;
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    if (!runs[l].dead) continue;
+    ++report.lanes_lost;
+    if (router_ != nullptr) router_->evict_lane(l);
+    pending.insert(pending.end(), runs[l].unfinished.begin(),
+                   runs[l].unfinished.end());
+    if (on_failover) on_failover(l, runs[l].unfinished.size());
+  }
+
+  while (!pending.empty()) {
+    std::size_t best = lanes.size();
+    for (std::size_t l = 0; l < lanes.size(); ++l)
+      if (alive[l] && (best == lanes.size() ||
+                       runs[l].seconds < runs[best].seconds))
+        best = l;
+    if (best == lanes.size())
+      throw vgpu::DeviceError("shard::Executor: all lanes lost",
+                              /*transient=*/false);
+
+    const std::size_t id = pending.back();
+    try {
+      runs[best].seconds += locked_execute(best, id, /*failover=*/true,
+                                           runs[best].staged_bytes);
+      pending.pop_back();
+      ++report.tiles_failed_over;
+    } catch (const vgpu::DeviceError&) {
+      // The survivor died too; mark it and reroute the whole remainder
+      // (the popped tile is still pending).
+      alive[best] = false;
+      ++report.lanes_lost;
+      if (router_ != nullptr) router_->evict_lane(best);
+      if (on_failover) on_failover(best, pending.size());
+    }
+  }
+
+  // Phase 3: reduction-tree merge of the tile partials.
+  const auto m0 = std::chrono::steady_clock::now();
+  std::vector<vgpu::KernelStats> stat_parts;
+  stat_parts.reserve(tiles.size());
+  if (desc.type == kernels::ProblemType::Sdh) {
+    std::vector<Histogram> parts;
+    parts.reserve(tiles.size());
+    for (TileResult& tr : results) {
+      parts.push_back(std::move(tr.hist));
+      stat_parts.push_back(tr.stats);
+    }
+    if (parts.empty())  // n < 2: no tiles, but the answer has a shape
+      parts.emplace_back(desc.bucket_width,
+                         static_cast<std::size_t>(desc.buckets));
+    report.hist = merge_histograms(std::move(parts));
+  } else {
+    std::vector<std::uint64_t> parts;
+    parts.reserve(tiles.size());
+    for (const TileResult& tr : results) {
+      parts.push_back(tr.pairs);
+      stat_parts.push_back(tr.stats);
+    }
+    report.pairs = merge_pairs(parts);
+  }
+  report.stats = merge_stats(stat_parts);
+  report.merge_seconds = wall_seconds(m0);
+
+  for (const LaneRun& run : runs) {
+    report.kernel_seconds = std::max(report.kernel_seconds, run.seconds);
+    report.staged_bytes += run.staged_bytes;
+  }
+  report.spans.reserve(tiles.size());
+  for (std::size_t i = 0; i < tiles.size(); ++i)
+    report.spans.push_back(TileSpan{tiles[i], results[i].lane,
+                                    results[i].seconds,
+                                    results[i].failover});
+  return report;
+}
+
+}  // namespace tbs::shard

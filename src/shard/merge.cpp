@@ -1,0 +1,40 @@
+#include "shard/merge.hpp"
+
+#include "common/error.hpp"
+
+namespace tbs::shard {
+
+Histogram merge_histograms(std::vector<Histogram> partials) {
+  check(!partials.empty(), "merge_histograms: no partials");
+  // Stride-doubling tree: level l combines partner pairs 2^l apart, the
+  // same schedule as the CPU baseline's private-histogram reduction.
+  for (std::size_t stride = 1; stride < partials.size(); stride *= 2)
+    for (std::size_t i = 0; i + stride < partials.size(); i += 2 * stride)
+      partials[i].merge(partials[i + stride]);
+  return std::move(partials.front());
+}
+
+std::uint64_t merge_pairs(const std::vector<std::uint64_t>& partials) {
+  std::vector<std::uint64_t> level = partials;
+  for (std::size_t stride = 1; stride < level.size(); stride *= 2)
+    for (std::size_t i = 0; i + stride < level.size(); i += 2 * stride)
+      level[i] += level[i + stride];
+  return level.empty() ? 0 : level.front();
+}
+
+vgpu::KernelStats merge_stats(
+    const std::vector<vgpu::KernelStats>& partials) {
+  vgpu::KernelStats total;
+  bool first = true;
+  for (const vgpu::KernelStats& s : partials) {
+    if (first) {
+      total = s;
+      first = false;
+    } else {
+      total.merge(s);
+    }
+  }
+  return total;
+}
+
+}  // namespace tbs::shard

@@ -1,0 +1,32 @@
+// Merger — combines per-tile partial results into the final answer with a
+// pairwise reduction tree (the shape the CPU baseline and the device
+// reduction kernels both use).
+//
+// Correctness argument: every partial is an integer histogram (SDH) or an
+// integer count (PCF), and integer addition is associative and
+// commutative, so any reduction order — tree, sequential, or the one a
+// single device would have used — produces bit-identical output. The tree
+// shape is kept anyway because it is the shape a real multi-GPU merge
+// would use (log2 K combining steps) and the bench layer times it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "vgpu/stats.hpp"
+
+namespace tbs::shard {
+
+/// Pairwise reduction tree over SDH partials. All partials must share one
+/// geometry; at least one is required (the caller supplies an explicit
+/// zero histogram when every tile was skipped).
+Histogram merge_histograms(std::vector<Histogram> partials);
+
+/// Pairwise reduction tree over PCF partial counts (0 partials -> 0).
+std::uint64_t merge_pairs(const std::vector<std::uint64_t>& partials);
+
+/// Merge per-tile kernel stats into one launch-shaped summary.
+vgpu::KernelStats merge_stats(const std::vector<vgpu::KernelStats>& partials);
+
+}  // namespace tbs::shard

@@ -1,0 +1,68 @@
+#include "shard/partition.hpp"
+
+#include "common/error.hpp"
+#include "common/fingerprint.hpp"
+
+namespace tbs::shard {
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::Contiguous: return "contiguous";
+    case Strategy::Hashed: return "hashed";
+  }
+  return "?";
+}
+
+std::size_t Partition::total_points() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards) n += s.pts.size();
+  return n;
+}
+
+namespace {
+
+/// Shard selector for the Hashed strategy: FNV-1a over the coordinate
+/// bytes, so placement depends only on the point's value.
+std::size_t hash_shard(const Point3& p, std::size_t shards) {
+  Fnv1a h;
+  h.bytes(&p.x, sizeof(p.x));
+  h.bytes(&p.y, sizeof(p.y));
+  h.bytes(&p.z, sizeof(p.z));
+  return static_cast<std::size_t>(h.value() % shards);
+}
+
+}  // namespace
+
+Partition make_partition(const PointsSoA& pts, std::size_t shards,
+                         Strategy strategy) {
+  check(shards >= 1, "make_partition: need at least one shard");
+
+  Partition part;
+  part.strategy = strategy;
+  part.dataset_fp = dataset_fingerprint(pts);
+  part.shards.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) part.shards[s].index = s;
+
+  const std::size_t n = pts.size();
+  if (strategy == Strategy::Contiguous) {
+    // Shard i takes [i*n/K, (i+1)*n/K) — sizes differ by at most one.
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::size_t lo = s * n / shards;
+      const std::size_t hi = (s + 1) * n / shards;
+      part.shards[s].pts.reserve(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i)
+        part.shards[s].pts.push_back(pts[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Point3 p = pts[i];
+      part.shards[hash_shard(p, shards)].pts.push_back(p);
+    }
+  }
+
+  for (Shard& s : part.shards)
+    s.fingerprint = shard_fingerprint(s.pts, s.index, shards);
+  return part;
+}
+
+}  // namespace tbs::shard

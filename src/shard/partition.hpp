@@ -1,0 +1,55 @@
+// Partitioner — splits one dataset into K shards for data-parallel
+// execution (see executor.hpp for the full picture).
+//
+// Two strategies:
+//   Contiguous — shard i takes the i-th n/K slice of the input order.
+//     Cheapest to describe and to stage; the natural choice when the input
+//     arrives pre-sorted or pre-bucketed.
+//   Hashed — each point lands on the shard its coordinate hash selects.
+//     Placement is independent of input order, so permuting the dataset
+//     permutes nothing: identical points land on identical shards.
+//
+// Every shard carries a fingerprint from the same FNV-1a family as the
+// serve result cache (common/fingerprint.hpp). The *dataset* fingerprint —
+// and therefore the cache key — is computed over the unpartitioned input,
+// which is what lets a sharded execution and an unsharded one share a
+// cache entry; the per-shard fingerprints key staged-data routing only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/points.hpp"
+
+namespace tbs::shard {
+
+enum class Strategy { Contiguous, Hashed };
+
+const char* to_string(Strategy s);
+
+/// One shard of a partitioned dataset.
+struct Shard {
+  std::size_t index = 0;
+  PointsSoA pts;  ///< may be empty (K > n, or an unlucky hash)
+  /// FNV-1a over (index, shard_count, dataset_fingerprint(pts)) — the
+  /// staging identity a Router dedupes on.
+  std::uint64_t fingerprint = 0;
+};
+
+/// A full K-way partition of one dataset.
+struct Partition {
+  Strategy strategy = Strategy::Contiguous;
+  std::vector<Shard> shards;  ///< exactly K entries, some possibly empty
+  /// Fingerprint of the *unpartitioned* input — identical to what the
+  /// serve cache keys on, by construction.
+  std::uint64_t dataset_fp = 0;
+
+  [[nodiscard]] std::size_t total_points() const;
+};
+
+/// Split `pts` into exactly `shards` shards. `shards` must be >= 1; the
+/// input may be smaller than K (trailing shards come back empty).
+Partition make_partition(const PointsSoA& pts, std::size_t shards,
+                         Strategy strategy);
+
+}  // namespace tbs::shard

@@ -1,0 +1,30 @@
+#include "shard/router.hpp"
+
+namespace tbs::shard {
+
+bool Router::needs_staging(std::size_t lane, std::uint64_t shard_fp) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (staged_.size() <= lane) staged_.resize(lane + 1);
+  if (staged_[lane].contains(shard_fp)) {
+    ++stats_.stage_hits;
+    return false;
+  }
+  staged_[lane].insert(shard_fp);
+  ++stats_.stage_misses;
+  return true;
+}
+
+void Router::evict_lane(std::size_t lane) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (lane < staged_.size() && !staged_[lane].empty()) {
+    staged_[lane].clear();
+    ++stats_.evictions;
+  }
+}
+
+Router::Stats Router::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace tbs::shard

@@ -1,0 +1,46 @@
+// Router — partition-aware staging bookkeeping for sharded execution.
+//
+// Lanes are long-lived (a serve worker's device or the CPU slot), so the
+// shards of a repeatedly-queried dataset should be staged once and then
+// hit warm on every subsequent query. The router records which shard
+// fingerprints each lane currently holds; the executor asks before every
+// stage and skips the transfer on a hit. Losing a lane (a device_lost
+// fault) evicts its entire staged set, so failover re-stages honestly.
+//
+// Keys are the per-shard FNV-1a fingerprints from partition.hpp — content
+// plus (index, K) position — so re-partitioning the same dataset with a
+// different K or strategy never false-hits.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+namespace tbs::shard {
+
+class Router {
+ public:
+  struct Stats {
+    std::uint64_t stage_hits = 0;    ///< stage skipped, data already there
+    std::uint64_t stage_misses = 0;  ///< stage performed
+    std::uint64_t evictions = 0;     ///< lanes wiped by failure
+  };
+
+  /// True when `lane` must stage the shard with this fingerprint (and
+  /// records it as staged — call only when the caller will stage on a
+  /// miss). Thread-safe.
+  bool needs_staging(std::size_t lane, std::uint64_t shard_fp);
+
+  /// Drop everything staged on a lane (the lane's device was lost).
+  void evict_lane(std::size_t lane);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unordered_set<std::uint64_t>> staged_;  ///< per lane
+  Stats stats_;
+};
+
+}  // namespace tbs::shard

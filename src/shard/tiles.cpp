@@ -1,0 +1,54 @@
+#include "shard/tiles.hpp"
+
+#include "common/error.hpp"
+
+namespace tbs::shard {
+
+double tile_pairs(const Tile& t, const Partition& part) {
+  const double na = static_cast<double>(part.shards.at(t.a).pts.size());
+  if (t.diagonal()) return na * (na - 1.0) / 2.0;
+  const double nb = static_cast<double>(part.shards.at(t.b).pts.size());
+  return na * nb;
+}
+
+std::vector<Tile> enumerate_tiles(const Partition& part) {
+  const std::size_t k = part.shards.size();
+  std::vector<Tile> tiles;
+  tiles.reserve(k + k * (k - 1) / 2);
+  for (std::size_t a = 0; a < k; ++a)
+    if (part.shards[a].pts.size() >= 2) tiles.push_back(Tile{a, a});
+  for (std::size_t a = 0; a < k; ++a)
+    for (std::size_t b = a + 1; b < k; ++b)
+      if (!part.shards[a].pts.empty() && !part.shards[b].pts.empty())
+        tiles.push_back(Tile{a, b});
+  return tiles;
+}
+
+std::size_t Placement::tile_count() const {
+  std::size_t n = 0;
+  for (const auto& lane : lanes) n += lane.size();
+  return n;
+}
+
+Placement place_tiles(const Partition& part, std::size_t lane_count) {
+  check(lane_count >= 1, "place_tiles: need at least one lane");
+
+  Placement placement;
+  placement.lanes.resize(lane_count);
+  std::vector<double> load(lane_count, 0.0);
+
+  for (const Tile& t : enumerate_tiles(part)) {
+    const std::size_t home_a = home_lane(t.a, lane_count);
+    std::size_t lane = home_a;
+    if (!t.diagonal()) {
+      // Both endpoints' homes already hold one operand; pick the lighter.
+      const std::size_t home_b = home_lane(t.b, lane_count);
+      if (load[home_b] < load[home_a]) lane = home_b;
+    }
+    placement.lanes[lane].push_back(t);
+    load[lane] += tile_pairs(t, part);
+  }
+  return placement;
+}
+
+}  // namespace tbs::shard

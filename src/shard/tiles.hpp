@@ -1,0 +1,67 @@
+// TileScheduler — decomposes the all-pairs workload of a K-way partition
+// into independent tiles and places them on execution lanes.
+//
+// The unordered pairs of the union split exactly into
+//   K        diagonal tiles  (a, a): the triangular pairs within shard a,
+//   K(K-1)/2 cross tiles     (a, b), a < b: the |A|x|B| rectangle between
+//                            two different shards.
+// Every pair of the original dataset appears in exactly one tile, so
+// summing per-tile partials reconstructs the single-device answer (and
+// bit-identically so — integer histogram adds commute).
+//
+// Placement is affinity-first: each shard has a home lane (its index modulo
+// the lane count, the same rule the serve Router uses for staging), a
+// diagonal tile runs where its shard lives, and a cross tile runs on
+// whichever of its two endpoints' home lanes carries less estimated pair
+// work so far — a greedy balance that keeps every tile on a lane already
+// holding at least one of its operands.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "shard/partition.hpp"
+
+namespace tbs::shard {
+
+/// One unit of pairwise work: shard `a` against shard `b`.
+struct Tile {
+  std::size_t a = 0;
+  std::size_t b = 0;  ///< == a for a diagonal tile
+
+  [[nodiscard]] bool diagonal() const noexcept { return a == b; }
+
+  friend bool operator==(const Tile&, const Tile&) = default;
+};
+
+/// Unordered pair count a tile covers — the work estimate placement
+/// balances on (n(n-1)/2 for diagonals, |A|·|B| for rectangles).
+double tile_pairs(const Tile& t, const Partition& part);
+
+/// All K + K(K-1)/2 tiles of a K-way partition, diagonals first, then
+/// cross tiles in (a, b) lexicographic order. Tiles covering zero pairs
+/// (an endpoint shard is empty, or a diagonal with fewer than two points)
+/// are omitted — they contribute nothing and the kernels reject empty
+/// inputs by contract.
+std::vector<Tile> enumerate_tiles(const Partition& part);
+
+/// Tiles assigned to each lane (`lanes[i]` runs on execution lane i).
+struct Placement {
+  std::vector<std::vector<Tile>> lanes;
+
+  [[nodiscard]] std::size_t tile_count() const;
+};
+
+/// Greedy affinity-balanced placement of `enumerate_tiles(part)` onto
+/// `lane_count` lanes. `lane_count` must be >= 1; K may exceed it (lanes
+/// then hold several shards).
+Placement place_tiles(const Partition& part, std::size_t lane_count);
+
+/// The home lane of a shard — where its data is staged and its diagonal
+/// tile runs. Shared with the serve Router so placement and staging agree.
+inline std::size_t home_lane(std::size_t shard_index,
+                             std::size_t lane_count) {
+  return shard_index % lane_count;
+}
+
+}  // namespace tbs::shard

@@ -1,0 +1,74 @@
+// Content fingerprints: the FNV-1a dataset hash is content-determined and
+// order-sensitive, the streaming accumulator reproduces it, and per-shard
+// fingerprints never collide across position, arity, or content — the
+// property that lets sharded and unsharded executions share one cache
+// entry while staged-data routing stays exact.
+#include "common/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/datagen.hpp"
+
+namespace tbs {
+namespace {
+
+TEST(Fingerprint, DatasetHashIsContentDetermined) {
+  const PointsSoA a = uniform_box(200, 5.0f, 1);
+  PointsSoA copy;
+  for (std::size_t i = 0; i < a.size(); ++i) copy.push_back(a[i]);
+  EXPECT_EQ(dataset_fingerprint(a), dataset_fingerprint(copy));
+  // Different content, different hash (with overwhelming probability).
+  EXPECT_NE(dataset_fingerprint(a),
+            dataset_fingerprint(uniform_box(200, 5.0f, 2)));
+}
+
+TEST(Fingerprint, DatasetHashIsOrderSensitive) {
+  const PointsSoA a = uniform_box(50, 5.0f, 3);
+  PointsSoA rev;
+  for (std::size_t i = a.size(); i > 0; --i) rev.push_back(a[i - 1]);
+  EXPECT_NE(dataset_fingerprint(a), dataset_fingerprint(rev));
+}
+
+TEST(Fingerprint, StreamingAccumulatorReproducesDatasetHash) {
+  // The documented contract: feeding (n, x[], y[], z[]) through one Fnv1a
+  // equals dataset_fingerprint.
+  const PointsSoA pts = uniform_box(64, 5.0f, 4);
+  Fnv1a acc;
+  acc.u64(pts.size());
+  acc.floats(pts.x());
+  acc.floats(pts.y());
+  acc.floats(pts.z());
+  EXPECT_EQ(acc.value(), dataset_fingerprint(pts));
+}
+
+TEST(Fingerprint, ShardFingerprintCollisionMatrix) {
+  // The collision test the Router's correctness rests on: vary content,
+  // position, and arity independently — all combinations must be distinct.
+  const PointsSoA a = uniform_box(40, 5.0f, 5);
+  const PointsSoA b = uniform_box(40, 5.0f, 6);
+  std::set<std::uint64_t> seen;
+  for (const PointsSoA* pts : {&a, &b})
+    for (const std::size_t index : {0u, 1u, 2u})
+      for (const std::size_t count : {2u, 4u, 8u})
+        EXPECT_TRUE(seen.insert(shard_fingerprint(*pts, index, count)).second)
+            << "index=" << index << " count=" << count;
+  EXPECT_EQ(seen.size(), 2u * 3u * 3u);
+}
+
+TEST(Fingerprint, ShardAndDatasetFamiliesDoNotAlias) {
+  // A shard fingerprint is never the raw dataset fingerprint of its own
+  // points — position and arity are folded in even for (0, 1).
+  const PointsSoA pts = uniform_box(30, 5.0f, 7);
+  EXPECT_NE(shard_fingerprint(pts, 0, 1), dataset_fingerprint(pts));
+}
+
+TEST(Fingerprint, EmptyShardsAtDifferentPositionsStayDistinct) {
+  const PointsSoA empty;
+  EXPECT_NE(shard_fingerprint(empty, 0, 4), shard_fingerprint(empty, 1, 4));
+  EXPECT_NE(shard_fingerprint(empty, 0, 4), shard_fingerprint(empty, 0, 8));
+}
+
+}  // namespace
+}  // namespace tbs

@@ -1,0 +1,188 @@
+// Sharded query path through QueryEngine: bit-identity with the unsharded
+// path, one shared cache entry for both, partition-aware routing staying
+// warm across queries, and chaos — losing a device mid-query still yields
+// the exact answer, audited as ShardFailover.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/datagen.hpp"
+#include "serve/engine.hpp"
+#include "vgpu/fault.hpp"
+
+namespace tbs::serve {
+namespace {
+
+using kernels::PcfResult;
+using kernels::SdhResult;
+
+constexpr std::size_t kN = 500;
+constexpr int kBuckets = 24;
+
+PointsSoA test_points(std::uint64_t seed = 17) {
+  return uniform_box(kN, 10.0f, seed);
+}
+
+double bucket_width_for(const PointsSoA& pts) {
+  return pts.max_possible_distance() / kBuckets + 1e-4;
+}
+
+QueryEngine::Config small_pool() {
+  QueryEngine::Config cfg;
+  cfg.devices = 2;
+  cfg.streams_per_device = 1;
+  cfg.cpu_workers = 1;
+  cfg.cpu_threads = 2;
+  return cfg;
+}
+
+TEST(QueryEngineSharded, SdhShardedBitIdenticalToUnsharded) {
+  const PointsSoA pts = test_points();
+  const double width = bucket_width_for(pts);
+
+  QueryEngine baseline(small_pool());
+  const auto plain =
+      std::get<SdhResult>(baseline.sdh(pts, width, kBuckets).get());
+
+  for (const std::size_t k : {2u, 4u, 8u}) {
+    QueryEngine engine(small_pool());
+    SubmitOptions opts;
+    opts.shards = k;
+    const auto sharded =
+        std::get<SdhResult>(engine.sdh(pts, width, kBuckets, opts).get());
+    ASSERT_EQ(sharded.hist.bucket_count(), plain.hist.bucket_count());
+    for (std::size_t b = 0; b < plain.hist.bucket_count(); ++b)
+      EXPECT_EQ(sharded.hist[b], plain.hist[b]) << "K=" << k << " bucket " << b;
+    const EngineStats s = engine.stats();
+    EXPECT_EQ(s.counters.shard_queries, 1u);
+    EXPECT_GT(s.counters.shard_tiles, 0u);
+    EXPECT_EQ(s.counters.shard_lanes_lost, 0u);
+  }
+}
+
+TEST(QueryEngineSharded, PcfShardedBitIdenticalAcrossStrategies) {
+  const PointsSoA pts = test_points(18);
+  QueryEngine baseline(small_pool());
+  const auto plain = std::get<PcfResult>(baseline.pcf(pts, 3.0).get());
+
+  for (const shard::Strategy st :
+       {shard::Strategy::Contiguous, shard::Strategy::Hashed}) {
+    QueryEngine engine(small_pool());
+    SubmitOptions opts;
+    opts.shards = 4;
+    opts.shard_strategy = st;
+    const auto sharded = std::get<PcfResult>(engine.pcf(pts, 3.0, opts).get());
+    EXPECT_EQ(sharded.pairs_within, plain.pairs_within)
+        << shard::to_string(st);
+  }
+}
+
+TEST(QueryEngineSharded, ShardedAndUnshardedShareOneCacheEntry) {
+  const PointsSoA pts = test_points(19);
+  const double width = bucket_width_for(pts);
+  QueryEngine engine(small_pool());
+
+  SubmitOptions opts;
+  opts.shards = 4;
+  const auto first =
+      std::get<SdhResult>(engine.sdh(pts, width, kBuckets, opts).get());
+  const std::uint64_t launches_after_first = engine.launch_count();
+
+  // The unsharded resubmission of the same query hits the entry the
+  // sharded run stored — same key, zero new launches.
+  const auto second =
+      std::get<SdhResult>(engine.sdh(pts, width, kBuckets).get());
+  EXPECT_EQ(engine.launch_count(), launches_after_first);
+  EXPECT_GE(engine.stats().counters.cache_hits, 1u);
+  for (std::size_t b = 0; b < first.hist.bucket_count(); ++b)
+    EXPECT_EQ(second.hist[b], first.hist[b]) << "bucket " << b;
+}
+
+TEST(QueryEngineSharded, RoutingStaysWarmAcrossQueriesOnOneDataset) {
+  const PointsSoA pts = test_points(20);
+  const double width = bucket_width_for(pts);
+  QueryEngine engine(small_pool());
+
+  SubmitOptions opts;
+  opts.shards = 4;
+  (void)engine.sdh(pts, width, kBuckets, opts).get();
+  const shard::Router::Stats cold = engine.shard_router().stats();
+  EXPECT_GT(cold.stage_misses, 0u);
+
+  // A *different* query over the same dataset and K re-uses the staged
+  // shards: no new misses, only hits.
+  (void)engine.pcf(pts, 2.5, opts).get();
+  const shard::Router::Stats warm = engine.shard_router().stats();
+  EXPECT_EQ(warm.stage_misses, cold.stage_misses);
+  EXPECT_GT(warm.stage_hits, cold.stage_hits);
+}
+
+TEST(QueryEngineSharded, NonShardableQueriesIgnoreTheOption) {
+  const PointsSoA pts = test_points(21);
+  QueryEngine engine(small_pool());
+  SubmitOptions opts;
+  opts.shards = 4;
+  // kNN has no tile decomposition; the option is ignored, the query runs
+  // the ordinary ladder and succeeds.
+  const auto r = std::get<kernels::KnnResult>(engine.knn(pts, 4, opts).get());
+  EXPECT_EQ(r.neighbours.size(), pts.size());
+  EXPECT_EQ(engine.stats().counters.shard_queries, 0u);
+}
+
+TEST(QueryEngineSharded, LostDeviceMidQueryStillExactAndAudited) {
+  const PointsSoA pts = test_points(22);
+  const double width = bucket_width_for(pts);
+
+  QueryEngine healthy(small_pool());
+  const auto expect =
+      std::get<SdhResult>(healthy.sdh(pts, width, kBuckets).get());
+
+  QueryEngine::Config cfg = small_pool();
+  cfg.faults.resize(2);
+  cfg.faults[1].device_lost = true;  // device 1 dies on its first launch
+  QueryEngine engine(cfg);
+
+  SubmitOptions opts;
+  opts.shards = 4;
+  const auto got =
+      std::get<SdhResult>(engine.sdh(pts, width, kBuckets, opts).get());
+  for (std::size_t b = 0; b < expect.hist.bucket_count(); ++b)
+    EXPECT_EQ(got.hist[b], expect.hist[b]) << "bucket " << b;
+
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.counters.shard_queries, 1u);
+  EXPECT_GE(s.counters.shard_lanes_lost, 1u);
+  EXPECT_GT(s.counters.shard_tiles_failed_over, 0u);
+  // Only the lost lane's tiles were re-executed: strictly fewer than the
+  // full tile count (the survivors' work was kept).
+  EXPECT_LT(s.counters.shard_tiles_failed_over, s.counters.shard_tiles);
+
+  bool audited = false;
+  for (const FlightRecorder::Record& r : engine.flight_recorder().snapshot())
+    if (r.event == FlightRecorder::Event::ShardFailover) audited = true;
+  EXPECT_TRUE(audited);
+}
+
+TEST(QueryEngineSharded, ShardedQueriesCoalesceWithUnshardedInFlight) {
+  // Sharding is an execution option, not query identity: an unsharded
+  // submission of an in-flight sharded query coalesces onto it.
+  const PointsSoA pts = test_points(23);
+  const double width = bucket_width_for(pts);
+  QueryEngine::Config cfg = small_pool();
+  cfg.autostart = false;  // keep the job in the queue while we coalesce
+  QueryEngine engine(cfg);
+
+  SubmitOptions opts;
+  opts.shards = 4;
+  auto f1 = engine.sdh(pts, width, kBuckets, opts);
+  auto f2 = engine.sdh(pts, width, kBuckets);  // unsharded, same key
+  EXPECT_EQ(engine.stats().counters.coalesced, 1u);
+  engine.start();
+  const auto r1 = std::get<SdhResult>(f1.get());
+  const auto r2 = std::get<SdhResult>(f2.get());
+  for (std::size_t b = 0; b < r1.hist.bucket_count(); ++b)
+    EXPECT_EQ(r1.hist[b], r2.hist[b]) << "bucket " << b;
+}
+
+}  // namespace
+}  // namespace tbs::serve

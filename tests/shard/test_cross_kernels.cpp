@@ -1,0 +1,134 @@
+// Cross-set kernels (kernels/cross.hpp): the |A|x|B| rectangle agrees with
+// a scalar reference, the CPU cross helpers agree bit-for-bit with the
+// vgpu kernels, and diagonal + cross partials reconstruct the single-set
+// answer exactly — the decomposition identity the shard merge rests on.
+#include "kernels/cross.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/datagen.hpp"
+#include "common/error.hpp"
+#include "cpubase/cpu_stats.hpp"
+#include "kernels/distance.hpp"
+#include "vgpu/device.hpp"
+
+namespace tbs::kernels {
+namespace {
+
+/// Scalar cross-SDH reference: every (a, b) pair once, same double-division
+/// bucketing as the kernels.
+Histogram ref_sdh_cross(const PointsSoA& a, const PointsSoA& b, double width,
+                        int buckets) {
+  Histogram h(width, static_cast<std::size_t>(buckets));
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const auto bin =
+          static_cast<std::size_t>(bucket_of(dist(a[i], b[j]), width, buckets));
+      h.set_count(bin, h[bin] + 1);
+    }
+  return h;
+}
+
+std::uint64_t ref_pcf_cross(const PointsSoA& a, const PointsSoA& b,
+                            double radius) {
+  const float r2 = static_cast<float>(radius * radius);
+  std::uint64_t hits = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < b.size(); ++j)
+      if (dist2(a[i], b[j]) < r2) ++hits;
+  return hits;
+}
+
+TEST(CrossKernels, SdhMatchesScalarReference) {
+  const PointsSoA a = uniform_box(130, 10.0f, 21);
+  const PointsSoA b = uniform_box(97, 10.0f, 22);
+  const int buckets = 24;
+  const double width = a.max_possible_distance() / buckets + 1e-4;
+
+  const Histogram expected = ref_sdh_cross(a, b, width, buckets);
+  vgpu::Device dev;
+  const SdhResult got = run_sdh_cross(dev, a, b, width, buckets, 64);
+  ASSERT_EQ(got.hist.bucket_count(), expected.bucket_count());
+  for (std::size_t i = 0; i < expected.bucket_count(); ++i)
+    EXPECT_EQ(got.hist[i], expected[i]) << "bucket " << i;
+  EXPECT_EQ(got.hist.total(), a.size() * b.size());
+}
+
+TEST(CrossKernels, PcfMatchesScalarReference) {
+  const PointsSoA a = uniform_box(110, 10.0f, 23);
+  const PointsSoA b = uniform_box(75, 10.0f, 24);
+  vgpu::Device dev;
+  const PcfResult got = run_pcf_cross(dev, a, b, 4.0, 64);
+  EXPECT_EQ(got.pairs_within, ref_pcf_cross(a, b, 4.0));
+}
+
+TEST(CrossKernels, CpuCrossHelpersAreBitIdenticalToVgpu) {
+  const PointsSoA a = uniform_box(140, 10.0f, 25);
+  const PointsSoA b = uniform_box(88, 10.0f, 26);
+  const int buckets = 16;
+  const double width = a.max_possible_distance() / buckets + 1e-4;
+
+  vgpu::Device dev;
+  const SdhResult vg_sdh = run_sdh_cross(dev, a, b, width, buckets, 64);
+  const PcfResult vg_pcf = run_pcf_cross(dev, a, b, 3.0, 64);
+
+  cpubase::ThreadPool pool(4);
+  const Histogram cpu_sdh = cpubase::cpu_sdh_cross(
+      pool, a, b, width, static_cast<std::size_t>(buckets));
+  const std::uint64_t cpu_pcf = cpubase::cpu_pcf_cross(pool, a, b, 3.0);
+
+  for (std::size_t i = 0; i < cpu_sdh.bucket_count(); ++i)
+    EXPECT_EQ(vg_sdh.hist[i], cpu_sdh[i]) << "bucket " << i;
+  EXPECT_EQ(vg_pcf.pairs_within, cpu_pcf);
+}
+
+TEST(CrossKernels, DiagonalPlusCrossReconstructsSingleSetAnswer) {
+  // Split one dataset in two halves: SDH(all) == SDH(A) + SDH(B) + cross.
+  const PointsSoA all = uniform_box(256, 10.0f, 27);
+  PointsSoA a, b;
+  for (std::size_t i = 0; i < all.size(); ++i)
+    (i < all.size() / 2 ? a : b).push_back(all[i]);
+  const int buckets = 32;
+  const double width = all.max_possible_distance() / buckets + 1e-4;
+
+  vgpu::Device dev;
+  const SdhResult whole = run_sdh(dev, all, width, buckets,
+                                  SdhVariant::RegRocOut, 64);
+  SdhResult da = run_sdh(dev, a, width, buckets, SdhVariant::RegRocOut, 64);
+  const SdhResult db =
+      run_sdh(dev, b, width, buckets, SdhVariant::RegRocOut, 64);
+  const SdhResult cross = run_sdh_cross(dev, a, b, width, buckets, 64);
+  da.hist.merge(db.hist);
+  da.hist.merge(cross.hist);
+  for (std::size_t i = 0; i < whole.hist.bucket_count(); ++i)
+    EXPECT_EQ(da.hist[i], whole.hist[i]) << "bucket " << i;
+}
+
+TEST(CrossKernels, StreamOverloadMatchesDeviceOverload) {
+  const PointsSoA a = uniform_box(90, 10.0f, 28);
+  const PointsSoA b = uniform_box(60, 10.0f, 29);
+  const int buckets = 12;
+  const double width = a.max_possible_distance() / buckets + 1e-4;
+
+  vgpu::Device dev;
+  const SdhResult inline_r = run_sdh_cross(dev, a, b, width, buckets, 64);
+  vgpu::Device dev2;
+  vgpu::Stream stream(dev2);
+  const SdhResult pooled_r = run_sdh_cross(stream, a, b, width, buckets, 64);
+  for (std::size_t i = 0; i < inline_r.hist.bucket_count(); ++i)
+    EXPECT_EQ(inline_r.hist[i], pooled_r.hist[i]) << "bucket " << i;
+}
+
+TEST(CrossKernels, RejectsEmptyOperands) {
+  const PointsSoA a = uniform_box(8, 10.0f, 30);
+  const PointsSoA empty;
+  vgpu::Device dev;
+  EXPECT_THROW(run_sdh_cross(dev, empty, a, 0.5, 8, 64), CheckError);
+  EXPECT_THROW(run_sdh_cross(dev, a, empty, 0.5, 8, 64), CheckError);
+  EXPECT_THROW(run_pcf_cross(dev, empty, a, 1.0, 64), CheckError);
+}
+
+}  // namespace
+}  // namespace tbs::kernels

@@ -1,0 +1,247 @@
+// Executor end-to-end: sharded runs are bit-identical to single-device
+// runs, the router keeps staging warm across runs, a lost lane's tiles
+// fail over to survivors with the exact answer preserved, and losing
+// every lane is a typed error.
+#include "shard/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "backend/cpu_backend.hpp"
+#include "backend/vgpu_backend.hpp"
+#include "common/datagen.hpp"
+#include "kernels/pcf.hpp"
+#include "kernels/sdh.hpp"
+#include "shard/tiles.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/fault.hpp"
+
+namespace tbs::shard {
+namespace {
+
+constexpr int kBuckets = 24;
+
+PointsSoA test_points(std::size_t n = 400, std::uint64_t seed = 77) {
+  return uniform_box(n, 10.0f, seed);
+}
+
+double width_for(const PointsSoA& pts) {
+  return pts.max_possible_distance() / kBuckets + 1e-4;
+}
+
+/// Two vgpu lanes + one CPU lane over fresh backends (no shared mutexes
+/// needed: nothing else launches on them).
+struct Pool {
+  vgpu::Device dev0, dev1;
+  backend::VgpuBackend gpu0{dev0}, gpu1{dev1};
+  backend::CpuBackend cpu{backend::CpuBackend::Config{.threads = 2}};
+  std::mutex mu0, mu1, mu2;
+
+  [[nodiscard]] std::vector<Lane> lanes() {
+    return {Lane{&gpu0, &mu0, "gpu0"}, Lane{&gpu1, &mu1, "gpu1"},
+            Lane{&cpu, &mu2, "cpu0"}};
+  }
+};
+
+TEST(ShardExecutor, SdhBitIdenticalToSingleDeviceAcrossKAndStrategy) {
+  const PointsSoA pts = test_points();
+  const double width = width_for(pts);
+  vgpu::Device ref_dev;
+  const kernels::SdhResult ref = kernels::run_sdh(
+      ref_dev, pts, width, kBuckets, kernels::SdhVariant::RegRocOut, 256);
+
+  Pool pool;
+  const auto pool_lanes = pool.lanes();
+  Executor ex;
+  for (const Strategy st : {Strategy::Contiguous, Strategy::Hashed}) {
+    for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+      Options opt;
+      opt.shards = k;
+      opt.strategy = st;
+      const Report rep =
+          ex.run(pool_lanes, pts,
+                 kernels::ProblemDesc::sdh(width, kBuckets), opt);
+      ASSERT_EQ(rep.hist.bucket_count(), ref.hist.bucket_count());
+      for (std::size_t b = 0; b < ref.hist.bucket_count(); ++b)
+        EXPECT_EQ(rep.hist[b], ref.hist[b])
+            << to_string(st) << " K=" << k << " bucket " << b;
+      EXPECT_EQ(rep.shards, k);
+      EXPECT_EQ(rep.lanes_lost, 0u);
+      EXPECT_EQ(rep.tiles_failed_over, 0u);
+      EXPECT_EQ(rep.spans.size(), rep.tiles_total);
+    }
+  }
+}
+
+TEST(ShardExecutor, PcfBitIdenticalToSingleDevice) {
+  const PointsSoA pts = test_points(300, 78);
+  vgpu::Device ref_dev;
+  const kernels::PcfResult ref = kernels::run_pcf(
+      ref_dev, pts, 3.0, kernels::PcfVariant::RegRoc, 256);
+
+  Pool pool;
+  Executor ex;
+  Options opt;
+  opt.shards = 4;
+  const Report rep = ex.run(pool.lanes(), pts,
+                            kernels::ProblemDesc::pcf(3.0), opt);
+  EXPECT_EQ(rep.pairs, ref.pairs_within);
+}
+
+TEST(ShardExecutor, KLargerThanPointCountStillExact) {
+  // Empty shards: 5 points over 8 shards — most tiles vanish, the answer
+  // must not.
+  const PointsSoA pts = test_points(5, 79);
+  const double width = width_for(pts);
+  vgpu::Device ref_dev;
+  const kernels::SdhResult ref = kernels::run_sdh(
+      ref_dev, pts, width, kBuckets, kernels::SdhVariant::RegRocOut, 64);
+
+  Pool pool;
+  Executor ex;
+  Options opt;
+  opt.shards = 8;
+  opt.block_size = 64;
+  const Report rep = ex.run(pool.lanes(), pts,
+                            kernels::ProblemDesc::sdh(width, kBuckets), opt);
+  for (std::size_t b = 0; b < ref.hist.bucket_count(); ++b)
+    EXPECT_EQ(rep.hist[b], ref.hist[b]) << "bucket " << b;
+}
+
+TEST(ShardExecutor, RouterKeepsSecondRunWarm) {
+  const PointsSoA pts = test_points();
+  const double width = width_for(pts);
+  Pool pool;
+  Router router;
+  Executor ex(&router);
+  Options opt;
+  opt.shards = 4;
+  const auto desc = kernels::ProblemDesc::sdh(width, kBuckets);
+  const auto pool_lanes = pool.lanes();
+
+  (void)ex.run(pool_lanes, pts, desc, opt);
+  const Router::Stats cold = router.stats();
+  EXPECT_GT(cold.stage_misses, 0u);
+  EXPECT_EQ(cold.evictions, 0u);
+
+  const Report rep2 = ex.run(pool_lanes, pts, desc, opt);
+  const Router::Stats warm = router.stats();
+  EXPECT_EQ(warm.stage_misses, cold.stage_misses);  // nothing new staged
+  EXPECT_GT(warm.stage_hits, cold.stage_hits);
+  EXPECT_EQ(rep2.staged_bytes, 0u);  // second run moved zero bytes
+}
+
+TEST(ShardExecutor, LostLaneFailsOverWithExactAnswer) {
+  const PointsSoA pts = test_points();
+  const double width = width_for(pts);
+  vgpu::Device ref_dev;
+  const kernels::SdhResult ref = kernels::run_sdh(
+      ref_dev, pts, width, kBuckets, kernels::SdhVariant::RegRocOut, 256);
+
+  Pool pool;
+  vgpu::FaultPlan lost;
+  lost.device_lost = true;
+  pool.dev1.set_fault_plan(lost);  // lane 1 dies on its first tile
+
+  Router router;
+  Executor ex(&router);
+  Options opt;
+  opt.shards = 4;
+  std::size_t hook_lane = static_cast<std::size_t>(-1);
+  std::size_t hook_tiles = 0;
+  const Report rep = ex.run(
+      pool.lanes(), pts, kernels::ProblemDesc::sdh(width, kBuckets), opt,
+      [&](std::size_t lane, std::size_t tiles) {
+        hook_lane = lane;
+        hook_tiles += tiles;
+      });
+
+  // Exactness survives the loss.
+  for (std::size_t b = 0; b < ref.hist.bucket_count(); ++b)
+    EXPECT_EQ(rep.hist[b], ref.hist[b]) << "bucket " << b;
+  // Audit: exactly one lane lost, its tiles (and only its tiles)
+  // re-executed elsewhere.
+  EXPECT_EQ(rep.lanes_lost, 1u);
+  EXPECT_EQ(hook_lane, 1u);
+  EXPECT_EQ(rep.tiles_failed_over, hook_tiles);
+  EXPECT_GT(rep.tiles_failed_over, 0u);
+  const Placement pl = place_tiles(
+      make_partition(pts, 4, Strategy::Contiguous), 3);
+  EXPECT_EQ(rep.tiles_failed_over, pl.lanes[1].size());
+  std::size_t failover_spans = 0;
+  for (const TileSpan& s : rep.spans) {
+    if (s.failover) {
+      ++failover_spans;
+      EXPECT_NE(s.lane, 1u);  // re-executed on a survivor
+    }
+  }
+  EXPECT_EQ(failover_spans, rep.tiles_failed_over);
+  // The dead lane's staged set was evicted.
+  EXPECT_GT(router.stats().evictions, 0u);
+}
+
+TEST(ShardExecutor, TransientFaultsAreRetriedInPlace) {
+  const PointsSoA pts = test_points(200, 80);
+  const double width = width_for(pts);
+  Pool pool;
+  vgpu::FaultPlan flaky;
+  flaky.fail_first_n = 2;  // first two attempts fail, then healthy
+  pool.dev0.set_fault_plan(flaky);
+
+  Executor ex;
+  Options opt;
+  opt.shards = 2;
+  const Report rep = ex.run(pool.lanes(), pts,
+                            kernels::ProblemDesc::sdh(width, kBuckets), opt);
+  EXPECT_EQ(rep.lanes_lost, 0u);  // retried, not killed
+  vgpu::Device ref_dev;
+  const kernels::SdhResult ref = kernels::run_sdh(
+      ref_dev, pts, width, kBuckets, kernels::SdhVariant::RegRocOut, 256);
+  for (std::size_t b = 0; b < ref.hist.bucket_count(); ++b)
+    EXPECT_EQ(rep.hist[b], ref.hist[b]) << "bucket " << b;
+}
+
+TEST(ShardExecutor, AllLanesLostThrowsDeviceError) {
+  const PointsSoA pts = test_points(100, 81);
+  const double width = width_for(pts);
+  vgpu::Device dev0, dev1;
+  vgpu::FaultPlan lost;
+  lost.device_lost = true;
+  dev0.set_fault_plan(lost);
+  dev1.set_fault_plan(lost);
+  backend::VgpuBackend gpu0(dev0), gpu1(dev1);
+  std::mutex mu0, mu1;
+  const std::vector<Lane> lanes = {Lane{&gpu0, &mu0, "gpu0"},
+                                   Lane{&gpu1, &mu1, "gpu1"}};
+  Executor ex;
+  Options opt;
+  opt.shards = 2;
+  EXPECT_THROW(
+      ex.run(lanes, pts, kernels::ProblemDesc::sdh(width, kBuckets), opt),
+      vgpu::DeviceError);
+}
+
+TEST(ShardExecutor, ReportAccountsTransfersAndMakespan) {
+  const PointsSoA pts = test_points();
+  const double width = width_for(pts);
+  Pool pool;
+  Router router;  // dedups staging per (lane, shard), as the serve path does
+  Executor ex(&router);
+  Options opt;
+  opt.shards = 4;
+  const Report rep = ex.run(pool.lanes(), pts,
+                            kernels::ProblemDesc::sdh(width, kBuckets), opt);
+  // Sharded staging moves each shard to the lanes that need it; replication
+  // would move the whole dataset to all 3 lanes.
+  EXPECT_GT(rep.staged_bytes, 0u);
+  EXPECT_EQ(rep.replicated_bytes, 3u * pts.size() * 3u * sizeof(float));
+  EXPECT_LT(rep.staged_bytes, rep.replicated_bytes);
+  EXPECT_GT(rep.kernel_seconds, 0.0);
+  EXPECT_EQ(rep.variant_name, "Reg-ROC-Out");
+  EXPECT_EQ(rep.lanes_used, 3u);
+}
+
+}  // namespace
+}  // namespace tbs::shard

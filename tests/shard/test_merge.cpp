@@ -1,0 +1,71 @@
+// Merger: the pairwise reduction tree is bit-identical to sequential
+// accumulation for any partial count (integer adds commute), and stats
+// merge to a launch-shaped summary.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "shard/merge.hpp"
+
+namespace tbs::shard {
+namespace {
+
+Histogram random_hist(Rng& rng, double width, std::size_t buckets) {
+  Histogram h(width, buckets);
+  for (std::size_t b = 0; b < buckets; ++b)
+    h.set_count(b, rng.uniform_index(1000));
+  return h;
+}
+
+TEST(ShardMerge, TreeMatchesSequentialForAnyPartialCount) {
+  Rng rng(42);
+  for (const std::size_t n : {1u, 2u, 3u, 5u, 8u, 13u}) {
+    std::vector<Histogram> partials;
+    for (std::size_t i = 0; i < n; ++i)
+      partials.push_back(random_hist(rng, 0.5, 17));
+    // Sequential reference.
+    Histogram seq = partials[0];
+    for (std::size_t i = 1; i < n; ++i) seq.merge(partials[i]);
+    const Histogram tree = merge_histograms(std::move(partials));
+    ASSERT_EQ(tree.bucket_count(), seq.bucket_count());
+    for (std::size_t b = 0; b < seq.bucket_count(); ++b)
+      EXPECT_EQ(tree[b], seq[b]) << "n=" << n << " bucket " << b;
+  }
+}
+
+TEST(ShardMerge, HistogramMergeRequiresAtLeastOnePartial) {
+  EXPECT_THROW(merge_histograms({}), CheckError);
+}
+
+TEST(ShardMerge, HistogramMergeRejectsGeometryMismatch) {
+  std::vector<Histogram> partials;
+  partials.emplace_back(0.5, 16);
+  partials.emplace_back(0.5, 17);
+  EXPECT_THROW(merge_histograms(std::move(partials)), CheckError);
+}
+
+TEST(ShardMerge, PairCountsSumExactly) {
+  EXPECT_EQ(merge_pairs({}), 0u);
+  EXPECT_EQ(merge_pairs({7u}), 7u);
+  EXPECT_EQ(merge_pairs({1u, 2u, 3u, 4u, 5u}), 15u);
+  // No overflow surprises near 2^63.
+  const std::uint64_t big = 1ull << 62;
+  EXPECT_EQ(merge_pairs({big, big}), big * 2);
+}
+
+TEST(ShardMerge, StatsAccumulateLaunchesAndWork) {
+  vgpu::KernelStats a;
+  a.launches = 1;
+  a.arith_ops = 100.0;
+  vgpu::KernelStats b;
+  b.launches = 1;
+  b.arith_ops = 250.0;
+  const vgpu::KernelStats m = merge_stats({a, b});
+  EXPECT_EQ(m.launches, 2u);
+  EXPECT_DOUBLE_EQ(m.arith_ops, 350.0);
+}
+
+}  // namespace
+}  // namespace tbs::shard

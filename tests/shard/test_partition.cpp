@@ -1,0 +1,124 @@
+// Partitioner invariants: every point lands in exactly one shard, the two
+// strategies honour their placement contracts, and shard fingerprints
+// separate position from content (the Router's no-false-hit guarantee).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/datagen.hpp"
+#include "common/error.hpp"
+#include "common/fingerprint.hpp"
+#include "shard/partition.hpp"
+
+namespace tbs::shard {
+namespace {
+
+PointsSoA test_points(std::size_t n = 257, std::uint64_t seed = 11) {
+  return uniform_box(n, 8.0f, seed);
+}
+
+/// Multiset of points, strategy-agnostic comparison helper.
+std::multiset<std::tuple<float, float, float>> point_set(
+    const PointsSoA& pts) {
+  std::multiset<std::tuple<float, float, float>> out;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Point3 p = pts[i];
+    out.insert({p.x, p.y, p.z});
+  }
+  return out;
+}
+
+TEST(ShardPartition, ContiguousCoversEveryPointExactlyOnce) {
+  const PointsSoA pts = test_points();
+  for (const std::size_t k : {1u, 2u, 3u, 8u}) {
+    const Partition part = make_partition(pts, k, Strategy::Contiguous);
+    ASSERT_EQ(part.shards.size(), k);
+    EXPECT_EQ(part.total_points(), pts.size());
+    // Contiguous means concatenating the shards reproduces the input order.
+    PointsSoA cat;
+    for (const Shard& s : part.shards)
+      for (std::size_t i = 0; i < s.pts.size(); ++i)
+        cat.push_back(s.pts[i]);
+    ASSERT_EQ(cat.size(), pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      EXPECT_EQ(cat[i], pts[i]) << "point " << i;
+  }
+}
+
+TEST(ShardPartition, HashedCoversEveryPointExactlyOnce) {
+  const PointsSoA pts = test_points();
+  const Partition part = make_partition(pts, 4, Strategy::Hashed);
+  ASSERT_EQ(part.shards.size(), 4u);
+  EXPECT_EQ(part.total_points(), pts.size());
+  std::multiset<std::tuple<float, float, float>> merged;
+  for (const Shard& s : part.shards) {
+    const auto ps = point_set(s.pts);
+    merged.insert(ps.begin(), ps.end());
+  }
+  EXPECT_EQ(merged, point_set(pts));
+}
+
+TEST(ShardPartition, HashedPlacementIsPermutationInvariant) {
+  const PointsSoA pts = test_points(128);
+  // Reverse the input order; hashed placement must not change.
+  PointsSoA rev;
+  for (std::size_t i = pts.size(); i > 0; --i) rev.push_back(pts[i - 1]);
+  const Partition a = make_partition(pts, 4, Strategy::Hashed);
+  const Partition b = make_partition(rev, 4, Strategy::Hashed);
+  for (std::size_t s = 0; s < 4; ++s)
+    EXPECT_EQ(point_set(a.shards[s].pts), point_set(b.shards[s].pts))
+        << "shard " << s;
+}
+
+TEST(ShardPartition, MoreShardsThanPointsLeavesTrailingShardsEmpty) {
+  const PointsSoA pts = test_points(3);
+  const Partition part = make_partition(pts, 8, Strategy::Contiguous);
+  ASSERT_EQ(part.shards.size(), 8u);
+  EXPECT_EQ(part.total_points(), 3u);
+  std::size_t empty = 0;
+  for (const Shard& s : part.shards)
+    if (s.pts.size() == 0) ++empty;
+  EXPECT_GE(empty, 5u);  // at most 3 shards can be non-empty
+}
+
+TEST(ShardPartition, DatasetFingerprintMatchesUnpartitionedInput) {
+  // The serve-cache compatibility contract: the partition's dataset_fp is
+  // computed over the unpartitioned input, for any K and strategy.
+  const PointsSoA pts = test_points();
+  const std::uint64_t expect = dataset_fingerprint(pts);
+  for (const Strategy st : {Strategy::Contiguous, Strategy::Hashed})
+    for (const std::size_t k : {1u, 2u, 7u})
+      EXPECT_EQ(make_partition(pts, k, st).dataset_fp, expect);
+}
+
+TEST(ShardPartition, ShardFingerprintsSeparatePositionAndArity) {
+  const PointsSoA pts = test_points();
+  const Partition k2 = make_partition(pts, 2, Strategy::Contiguous);
+  const Partition k4 = make_partition(pts, 4, Strategy::Contiguous);
+  // Within one partition: all fingerprints distinct.
+  EXPECT_NE(k2.shards[0].fingerprint, k2.shards[1].fingerprint);
+  // Across arities: shard 0 of a K=2 split never aliases shard 0 of K=4,
+  // even though both start at the same input offset.
+  EXPECT_NE(k2.shards[0].fingerprint, k4.shards[0].fingerprint);
+  // Deterministic: same input, same split, same fingerprints.
+  const Partition again = make_partition(pts, 2, Strategy::Contiguous);
+  EXPECT_EQ(again.shards[0].fingerprint, k2.shards[0].fingerprint);
+  EXPECT_EQ(again.shards[1].fingerprint, k2.shards[1].fingerprint);
+}
+
+TEST(ShardPartition, ShardFingerprintMatchesFreestandingHelper) {
+  const PointsSoA pts = test_points();
+  const Partition part = make_partition(pts, 3, Strategy::Contiguous);
+  for (const Shard& s : part.shards)
+    EXPECT_EQ(s.fingerprint, shard_fingerprint(s.pts, s.index, 3));
+}
+
+TEST(ShardPartition, RejectsZeroShards) {
+  const PointsSoA pts = test_points(8);
+  EXPECT_THROW(make_partition(pts, 0, Strategy::Contiguous), CheckError);
+}
+
+}  // namespace
+}  // namespace tbs::shard

@@ -1,0 +1,59 @@
+// Router: stage-once semantics per (lane, shard fingerprint), honest
+// re-staging after an eviction, and stable counters.
+#include "shard/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace tbs::shard {
+namespace {
+
+TEST(ShardRouter, FirstAskStagesSecondAskHits) {
+  Router r;
+  EXPECT_TRUE(r.needs_staging(0, 0xAB));   // miss: caller stages
+  EXPECT_FALSE(r.needs_staging(0, 0xAB));  // hit: already there
+  EXPECT_TRUE(r.needs_staging(1, 0xAB));   // other lane: its own copy
+  const Router::Stats s = r.stats();
+  EXPECT_EQ(s.stage_misses, 2u);
+  EXPECT_EQ(s.stage_hits, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+}
+
+TEST(ShardRouter, EvictionForcesRestageOnThatLaneOnly) {
+  Router r;
+  EXPECT_TRUE(r.needs_staging(0, 1));
+  EXPECT_TRUE(r.needs_staging(1, 1));
+  r.evict_lane(0);
+  EXPECT_TRUE(r.needs_staging(0, 1));   // lane 0 lost its copy
+  EXPECT_FALSE(r.needs_staging(1, 1));  // lane 1 untouched
+  EXPECT_EQ(r.stats().evictions, 1u);
+}
+
+TEST(ShardRouter, DistinctFingerprintsNeverAlias) {
+  Router r;
+  EXPECT_TRUE(r.needs_staging(0, 7));
+  EXPECT_TRUE(r.needs_staging(0, 8));
+  EXPECT_FALSE(r.needs_staging(0, 7));
+  EXPECT_FALSE(r.needs_staging(0, 8));
+}
+
+TEST(ShardRouter, ConcurrentAsksStageEachShardExactlyOnce) {
+  Router r;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kShards = 16;
+  std::atomic<int> stages{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (std::uint64_t fp = 0; fp < kShards; ++fp)
+        if (r.needs_staging(3, fp)) stages.fetch_add(1);
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(stages.load(), static_cast<int>(kShards));
+}
+
+}  // namespace
+}  // namespace tbs::shard

@@ -1,0 +1,105 @@
+// Property test (randomized, fixed seeds): for random K, either shard
+// strategy, and EVERY registry variant launchable on both substrates, the
+// executor's reduction-tree merge is bit-identical to a single-shard run
+// of the same variant — including empty-shard partitions and K larger
+// than the lane count.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "backend/cpu_backend.hpp"
+#include "backend/vgpu_backend.hpp"
+#include "common/datagen.hpp"
+#include "common/rng.hpp"
+#include "kernels/registry.hpp"
+#include "shard/executor.hpp"
+#include "vgpu/device.hpp"
+
+namespace tbs::shard {
+namespace {
+
+/// Registry variants launchable on both a vgpu and a CPU backend for this
+/// problem — the set the sharded serve path may legally pick from.
+std::vector<const kernels::KernelVariant*> dual_backend_variants(
+    kernels::ProblemType type, backend::IBackend& gpu, backend::IBackend& cpu,
+    const kernels::ProblemDesc& desc, int block) {
+  std::vector<const kernels::KernelVariant*> out;
+  const auto& reg = kernels::KernelRegistry::instance();
+  for (const kernels::KernelVariant* v :
+       reg.for_problem(type, gpu.caps().registry_mask)) {
+    if (gpu.can_launch(*v, desc, block) && cpu.can_launch(*v, desc, block))
+      out.push_back(v);
+  }
+  return out;
+}
+
+TEST(ShardProperty, EveryDualBackendVariantMergesBitIdentically) {
+  Rng rng(0xC0FFEE);
+  vgpu::Device dev0, dev1, ref_dev;
+  backend::VgpuBackend gpu0(dev0), gpu1(dev1);
+  backend::CpuBackend cpu(backend::CpuBackend::Config{.threads = 2});
+  std::mutex mu0, mu1, mu2;
+  const std::vector<Lane> lanes = {Lane{&gpu0, &mu0, "gpu0"},
+                                   Lane{&gpu1, &mu1, "gpu1"},
+                                   Lane{&cpu, &mu2, "cpu0"}};
+  backend::VgpuBackend ref(ref_dev);
+  Executor ex;
+
+  constexpr int kBlock = 64;
+  constexpr int kBuckets = 16;
+  for (int round = 0; round < 4; ++round) {
+    // Random problem shape: sizes span "empty shards" (n < K) through
+    // multi-block, K spans 1 .. 2x the lane count and beyond.
+    const std::size_t n = 2 + rng.uniform_index(300);
+    const std::size_t k = 1 + rng.uniform_index(10);  // may exceed 3 lanes
+    const Strategy st =
+        rng.uniform() < 0.5 ? Strategy::Contiguous : Strategy::Hashed;
+    const PointsSoA pts =
+        uniform_box(n, 9.0f, 1000 + static_cast<std::uint64_t>(round));
+    const double width = pts.max_possible_distance() / kBuckets + 1e-4;
+    const double radius = 0.3 * pts.max_possible_distance();
+
+    for (const kernels::ProblemType type :
+         {kernels::ProblemType::Sdh, kernels::ProblemType::Pcf}) {
+      const kernels::ProblemDesc desc =
+          type == kernels::ProblemType::Sdh
+              ? kernels::ProblemDesc::sdh(width, kBuckets)
+              : kernels::ProblemDesc::pcf(radius);
+      const auto variants =
+          dual_backend_variants(type, gpu0, cpu, desc, kBlock);
+      ASSERT_FALSE(variants.empty()) << to_string(type);
+
+      for (const kernels::KernelVariant* v : variants) {
+        // Single-shard reference on one device with the same variant.
+        Histogram ref_hist;
+        std::uint64_t ref_pairs = 0;
+        kernels::KernelOutput ref_out;
+        ref_out.hist = &ref_hist;
+        ref_out.pairs = &ref_pairs;
+        (void)ref.launch(*v, pts, desc, kBlock, ref_out);
+
+        Options opt;
+        opt.shards = k;
+        opt.strategy = st;
+        opt.variant = v;
+        opt.block_size = kBlock;
+        const Report rep = ex.run(lanes, pts, desc, opt);
+
+        if (type == kernels::ProblemType::Sdh) {
+          ASSERT_EQ(rep.hist.bucket_count(), ref_hist.bucket_count())
+              << v->name << " n=" << n << " K=" << k;
+          for (std::size_t b = 0; b < ref_hist.bucket_count(); ++b)
+            EXPECT_EQ(rep.hist[b], ref_hist[b])
+                << v->name << " n=" << n << " K=" << k << " "
+                << to_string(st) << " bucket " << b;
+        } else {
+          EXPECT_EQ(rep.pairs, ref_pairs)
+              << v->name << " n=" << n << " K=" << k << " " << to_string(st);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tbs::shard

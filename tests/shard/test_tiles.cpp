@@ -1,0 +1,103 @@
+// TileScheduler: the K + K(K-1)/2 decomposition covers every unordered
+// pair exactly once, zero-pair tiles are dropped, and the greedy placement
+// keeps affinity (every tile touches a shard homed on its lane) while
+// balancing pair work.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/datagen.hpp"
+#include "shard/tiles.hpp"
+
+namespace tbs::shard {
+namespace {
+
+TEST(ShardTiles, EnumerationCoversAllPairsExactlyOnce) {
+  const PointsSoA pts = uniform_box(100, 5.0f, 3);
+  for (const std::size_t k : {1u, 2u, 4u, 7u}) {
+    const Partition part = make_partition(pts, k, Strategy::Contiguous);
+    const std::vector<Tile> tiles = enumerate_tiles(part);
+    // No duplicates, all well-formed (a <= b, both < K).
+    std::set<std::pair<std::size_t, std::size_t>> seen;
+    double pairs = 0;
+    for (const Tile& t : tiles) {
+      EXPECT_LE(t.a, t.b);
+      EXPECT_LT(t.b, k);
+      EXPECT_TRUE(seen.insert({t.a, t.b}).second) << t.a << "," << t.b;
+      pairs += tile_pairs(t, part);
+    }
+    // Summed tile pair counts == n(n-1)/2 of the whole dataset.
+    const double n = static_cast<double>(pts.size());
+    EXPECT_DOUBLE_EQ(pairs, n * (n - 1) / 2.0) << "K=" << k;
+  }
+}
+
+TEST(ShardTiles, FullPartitionHasAllTileKinds) {
+  const PointsSoA pts = uniform_box(64, 5.0f, 4);
+  const Partition part = make_partition(pts, 4, Strategy::Contiguous);
+  const std::vector<Tile> tiles = enumerate_tiles(part);
+  ASSERT_EQ(tiles.size(), 4u + 4u * 3u / 2u);  // K + K(K-1)/2
+  std::size_t diag = 0;
+  for (const Tile& t : tiles)
+    if (t.diagonal()) ++diag;
+  EXPECT_EQ(diag, 4u);
+}
+
+TEST(ShardTiles, ZeroPairTilesAreOmitted) {
+  // 3 points over 8 shards: at least 5 shards empty, so their diagonals
+  // and every cross tile touching them must be dropped, and a 1-point
+  // shard's diagonal (0 pairs) must be dropped too.
+  const PointsSoA pts = uniform_box(3, 5.0f, 5);
+  const Partition part = make_partition(pts, 8, Strategy::Contiguous);
+  const std::vector<Tile> tiles = enumerate_tiles(part);
+  double pairs = 0;
+  for (const Tile& t : tiles) {
+    EXPECT_GT(tile_pairs(t, part), 0.0);
+    pairs += tile_pairs(t, part);
+  }
+  EXPECT_DOUBLE_EQ(pairs, 3.0);  // C(3,2)
+}
+
+TEST(ShardTiles, PlacementKeepsAffinityAndCoversEveryTile) {
+  const PointsSoA pts = uniform_box(200, 5.0f, 6);
+  for (const std::size_t lanes : {1u, 2u, 3u}) {
+    const Partition part = make_partition(pts, 4, Strategy::Contiguous);
+    const Placement pl = place_tiles(part, lanes);
+    ASSERT_EQ(pl.lanes.size(), lanes);
+    EXPECT_EQ(pl.tile_count(), enumerate_tiles(part).size());
+    for (std::size_t l = 0; l < lanes; ++l)
+      for (const Tile& t : pl.lanes[l])
+        EXPECT_TRUE(home_lane(t.a, lanes) == l || home_lane(t.b, lanes) == l)
+            << "tile (" << t.a << "," << t.b << ") on lane " << l;
+  }
+}
+
+TEST(ShardTiles, MoreShardsThanLanesStillPlacesEverything) {
+  const PointsSoA pts = uniform_box(150, 5.0f, 7);
+  const Partition part = make_partition(pts, 8, Strategy::Hashed);
+  const Placement pl = place_tiles(part, 3);
+  EXPECT_EQ(pl.tile_count(), enumerate_tiles(part).size());
+}
+
+TEST(ShardTiles, PlacementRoughlyBalancesPairWork) {
+  // Uniform data, K shards on K lanes: the greedy balance should keep the
+  // heaviest lane under ~2x the lightest (loose bound; the point is that
+  // it is not "everything on lane 0").
+  const PointsSoA pts = uniform_box(512, 5.0f, 8);
+  const Partition part = make_partition(pts, 4, Strategy::Contiguous);
+  const Placement pl = place_tiles(part, 4);
+  std::vector<double> load(4, 0.0);
+  for (std::size_t l = 0; l < 4; ++l)
+    for (const Tile& t : pl.lanes[l]) load[l] += tile_pairs(t, part);
+  double lo = load[0], hi = load[0];
+  for (const double v : load) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(lo, 0.0);
+  EXPECT_LT(hi, 2.0 * lo);
+}
+
+}  // namespace
+}  // namespace tbs::shard
