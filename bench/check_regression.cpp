@@ -24,6 +24,7 @@
 // with the strict obs::json parser and validated structurally by
 // ledger::from_bench_report, so this tool doubles as the artifact
 // validator.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -220,10 +221,29 @@ int run(int argc, char** argv) {
 
   bool failed = false;
   if (report.any_regression()) {
-    const ledger::Delta* worst = report.worst();
-    std::printf("FAIL: regression detected (worst: %s, %s > tol %g)\n",
-                worst->name.c_str(), pct(worst->regression).c_str(),
-                worst->tolerance);
+    // On failure, rank every gated regression worst-first so the CI log
+    // shows the whole blast radius, not just the single worst metric.
+    std::vector<const ledger::Delta*> regressed;
+    for (const ledger::Delta& d : report.deltas)
+      if (d.regressed) regressed.push_back(&d);
+    std::sort(regressed.begin(), regressed.end(),
+              [](const ledger::Delta* a, const ledger::Delta* b) {
+                return a->regression > b->regression;
+              });
+    const std::size_t rows = std::min<std::size_t>(regressed.size(), 10);
+    std::printf("FAIL: %zu gated metric(s) regressed; worst %zu:\n",
+                regressed.size(), rows);
+    std::printf("  %-56s %14s %14s %10s %8s\n", "metric", "baseline",
+                "current", "delta", "tol");
+    for (std::size_t i = 0; i < rows; ++i) {
+      const ledger::Delta& d = *regressed[i];
+      std::printf("  %-56s %14.6g %14.6g %10s %7g%%\n", d.name.c_str(),
+                  d.baseline, d.current, pct(d.regression).c_str(),
+                  d.tolerance * 100.0);
+    }
+    if (regressed.size() > rows)
+      std::printf("  ... %zu more (see regression_report.json)\n",
+                  regressed.size() - rows);
     failed = true;
   }
   if (require_complete && !report.missing.empty()) {

@@ -31,12 +31,26 @@
 // retries, breaker trips, degraded answers) — the quick-start for the
 // fault model described in DESIGN.md "Fault model & resilience".
 //
-// Also writes serve_demo_trace.json — a Chrome trace of every query's
-// submit / queue wait / execute / kernel launch — and
-// serve_demo_flight.json, the engine's flight-recorder ring of recent
-// per-query events. Open the trace at https://ui.perfetto.dev (or
-// chrome://tracing) to see the timeline. Pass --out <dir> (or set
-// TBS_ARTIFACT_DIR) to redirect both artifacts.
+// Also writes, under --out <dir> (or TBS_ARTIFACT_DIR):
+//   serve_demo_trace.json      — Chrome trace of every query's submit /
+//                                queue wait / execute / kernel launch,
+//                                with per-query trace ids and flow arrows
+//                                (open at https://ui.perfetto.dev)
+//   serve_demo_flight.json     — the flight-recorder ring of recent events
+//   serve_demo_ops.jsonl       — the TelemetryBus ops feed (one metrics
+//                                snapshot per line)
+//   serve_demo_prometheus.txt  — Prometheus text exposition with
+//                                latency-histogram exemplar trace ids
+//
+// More knobs:
+//   --clients N   concurrent client threads (default 4)
+//   --slo SECONDS arm the burn-rate SLO monitor at this latency objective;
+//                 a breach dumps slo_breach_flight.json naming the
+//                 breaching query's trace id
+//   --sample M    keep 1-in-M healthy traces (eventful ones always kept)
+//   --dash        render a live text dashboard while the clients run
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,8 +67,11 @@ int main(int argc, char** argv) {
   using namespace tbs;
 
   bool chaos = false;
-  for (int i = 1; i < argc; ++i)
+  bool dash = false;
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
+    if (std::strcmp(argv[i], "--dash") == 0) dash = true;
+  }
   std::string backend = "vgpu";
   if (const char* env = std::getenv("TBS_BACKEND");
       env != nullptr && *env != '\0')
@@ -68,6 +85,13 @@ int main(int argc, char** argv) {
   const std::size_t shards = static_cast<std::size_t>(
       std::strtoul(obs::arg_value(argc, argv, "--shards", "0").c_str(),
                    nullptr, 10));
+  const int n_clients = std::max(
+      1, std::atoi(obs::arg_value(argc, argv, "--clients", "4").c_str()));
+  const double slo_seconds =
+      std::strtod(obs::arg_value(argc, argv, "--slo", "0").c_str(), nullptr);
+  const std::size_t sample_of = std::max<std::size_t>(
+      1, std::strtoul(obs::arg_value(argc, argv, "--sample", "1").c_str(),
+                      nullptr, 10));
 
   const PointsSoA gas = uniform_box(2000, 15.0f, /*seed=*/3);
   const int buckets = 64;
@@ -104,14 +128,49 @@ int main(int argc, char** argv) {
     // out fail over to the shared CPU backend before degrading.
     if (backend == "auto") cfg.backend_failover = true;
   }
+  const std::string out_dir = obs::artifact_dir(argc, argv);
+  // The live ops plane: a background snapshotter feeding a JSONL history
+  // and a Prometheus exposition (both validated by bench/ops_validate).
+  cfg.telemetry.period_seconds = 0.1;
+  cfg.telemetry.ops_feed_path =
+      obs::artifact_path(out_dir, "serve_demo_ops.jsonl");
+  cfg.telemetry.prometheus_path =
+      obs::artifact_path(out_dir, "serve_demo_prometheus.txt");
+  cfg.trace_sample_of = sample_of;  // keep 1-in-M healthy traces
+  if (slo_seconds > 0.0) {
+    cfg.slo.latency_seconds = slo_seconds;
+    cfg.slo.window_seconds = 2.0;
+    cfg.slo.min_samples = 5;
+    cfg.flight.dump_path =
+        obs::artifact_path(out_dir, "slo_breach_flight.json");
+  }
   serve::QueryEngine engine(cfg);
 
-  // Four clients, each asking the same three questions a few times over —
+  // N clients, each asking the same three questions a few times over —
   // the repetitive shape of a real analytics dashboard.
   serve::SubmitOptions opts;
   opts.shards = shards;  // 0/1 = ordinary path; >=2 fans tiles over the pool
+  std::atomic<bool> done{false};
+  std::thread dashboard;
+  if (dash) {
+    dashboard = std::thread([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        const serve::EngineStats s = engine.stats();
+        std::printf(
+            "[dash] q=%zu inflight submitted=%llu done=%llu cache=%llu "
+            "faults=%llu occ=%.0f%%\n",
+            s.queue_depth,
+            static_cast<unsigned long long>(s.counters.submitted),
+            static_cast<unsigned long long>(s.counters.completed),
+            static_cast<unsigned long long>(s.counters.cache_hits),
+            static_cast<unsigned long long>(s.counters.faults),
+            s.occupancy * 100.0);
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    });
+  }
   std::vector<std::thread> clients;
-  for (int c = 0; c < 4; ++c) {
+  for (int c = 0; c < n_clients; ++c) {
     clients.emplace_back([&] {
       for (int round = 0; round < 3; ++round) {
         auto h = engine.sdh(gas, width, buckets, opts);
@@ -124,6 +183,8 @@ int main(int argc, char** argv) {
     });
   }
   for (std::thread& t : clients) t.join();
+  done.store(true, std::memory_order_relaxed);
+  if (dashboard.joinable()) dashboard.join();
 
   // One more query on the main thread: a cache hit resolves immediately.
   // (Copy out of .get() — the temporary future owns the shared state.)
@@ -134,10 +195,10 @@ int main(int argc, char** argv) {
               sdh.degraded ? " (degraded baseline)" : "");
 
   const serve::EngineStats stats = engine.stats();
-  std::printf("\n%llu queries submitted by 4 clients (+1 main)%s "
+  std::printf("\n%llu queries submitted by %d clients (+1 main)%s "
               "[backend=%s]:\n",
               static_cast<unsigned long long>(stats.counters.submitted),
-              chaos ? " under chaos" : "", backend.c_str());
+              n_clients, chaos ? " under chaos" : "", backend.c_str());
   std::printf("  executed on a device : %llu\n",
               static_cast<unsigned long long>(stats.counters.executed));
   std::printf("  served from the cache: %llu\n",
@@ -185,7 +246,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.counters.abandoned));
   }
 
-  const std::string out_dir = obs::artifact_dir(argc, argv);
+  if (slo_seconds > 0.0) {
+    const obs::SloMonitor::Status ss = engine.slo().status();
+    std::printf("  slo (%.1f ms object.) : %llu breach transitions, "
+                "burn latency=%.2f error=%.2f\n",
+                slo_seconds * 1e3,
+                static_cast<unsigned long long>(engine.slo().breaches()),
+                ss.latency_burn_rate, ss.error_burn_rate);
+  }
+
   const std::string trace_path =
       obs::artifact_path(out_dir, "serve_demo_trace.json");
   obs::Tracer::global().write_chrome_trace(trace_path);
@@ -199,6 +268,12 @@ int main(int argc, char** argv) {
                 flight_path.c_str(),
                 static_cast<unsigned long long>(
                     engine.flight_recorder().total_recorded()));
+  std::printf("  ops feed             : %s (%llu ticks)\n",
+              cfg.telemetry.ops_feed_path.c_str(),
+              static_cast<unsigned long long>(
+                  engine.telemetry() ? engine.telemetry()->ticks() : 0));
+  std::printf("  prometheus           : %s\n",
+              cfg.telemetry.prometheus_path.c_str());
 
   // The exit check. Fault-free: 37 submissions, 3 distinct shapes — dedup
   // must collapse them to at most 3 executions. Under chaos, degraded

@@ -5,23 +5,26 @@
 
 #include "common/error.hpp"
 #include "obs/json.hpp"
+#include "obs/trace.hpp"
 
 namespace tbs::obs {
 
 FixedHistogram::FixedHistogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)),
-      counts_(bounds_.size() + 1, 0) {
+      counts_(bounds_.size() + 1, 0),
+      exemplars_(bounds_.size() + 1) {
   check(std::is_sorted(bounds_.begin(), bounds_.end()) &&
             std::adjacent_find(bounds_.begin(), bounds_.end()) ==
                 bounds_.end(),
         "FixedHistogram: bounds must be strictly increasing");
 }
 
-void FixedHistogram::observe(double v) {
+void FixedHistogram::observe(double v, std::uint64_t exemplar_trace_id) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
   const std::lock_guard<std::mutex> lock(mu_);
   ++counts_[bucket];
+  if (exemplar_trace_id != 0) exemplars_[bucket] = {exemplar_trace_id, v};
   ++count_;
   sum_ += v;
   if (count_ == 1) {
@@ -37,6 +40,7 @@ FixedHistogram::Snapshot FixedHistogram::snapshot() const {
   out.bounds = bounds_;
   const std::lock_guard<std::mutex> lock(mu_);
   out.counts = counts_;
+  out.exemplars = exemplars_;
   out.count = count_;
   out.sum = sum_;
   out.min = min_;
@@ -70,6 +74,31 @@ FixedHistogram& MetricsRegistry::histogram(const std::string& name,
   if (slot == nullptr)
     slot = std::make_unique<FixedHistogram>(std::move(upper_bounds));
   return *slot;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  // Instrument pointers under the lock, values without it (instruments are
+  // atomic / internally locked and never removed).
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const FixedHistogram*>> histograms;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    for (const auto& [name, h] : histograms_)
+      histograms.emplace_back(name, h.get());
+  }
+  Snapshot out;
+  out.counters.reserve(counters.size());
+  for (const auto& [name, c] : counters)
+    out.counters.emplace_back(name, c->value());
+  out.gauges.reserve(gauges.size());
+  for (const auto& [name, g] : gauges) out.gauges.emplace_back(name, g->value());
+  out.histograms.reserve(histograms.size());
+  for (const auto& [name, h] : histograms)
+    out.histograms.emplace_back(name, h->snapshot());
+  return out;
 }
 
 std::vector<std::string> MetricsRegistry::counter_names() const {
@@ -126,7 +155,11 @@ std::string MetricsRegistry::json_snapshot() const {
       const std::string le =
           b < snap.bounds.size() ? json::number(snap.bounds[b]) : "\"inf\"";
       out += "{\"le\": " + le + ", \"count\": " +
-             std::to_string(snap.counts[b]) + "}";
+             std::to_string(snap.counts[b]);
+      if (b < snap.exemplars.size() && snap.exemplars[b].trace_id != 0)
+        out += ", \"exemplar_trace_id\": \"" +
+               trace_id_hex(snap.exemplars[b].trace_id) + "\"";
+      out += "}";
     }
     bool clamped = false;
     out += "], \"count\": " + std::to_string(snap.count) +

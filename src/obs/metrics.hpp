@@ -55,17 +55,31 @@ class Gauge {
 /// bounds, plus exact streaming count/sum/min/max. The bucket layout is
 /// fixed at creation (no rebinning), so concurrent observes are one mutex
 /// acquisition — cheap relative to the work being measured.
+///
+/// Exemplars: each bucket remembers the trace id of the last observation
+/// that landed in it (when the caller supplies one), linking a metric
+/// bucket back to a concrete trace — "which query was that 250ms one?"
+/// is one lookup, the OpenMetrics exemplar idea.
 class FixedHistogram {
  public:
+  /// The last traced observation in one bucket; trace_id 0 = none yet.
+  struct Exemplar {
+    std::uint64_t trace_id = 0;
+    double value = 0.0;
+  };
+
   /// `upper_bounds` must be strictly increasing; a final +inf bucket is
   /// implicit (snapshot counts have bounds.size() + 1 entries).
   explicit FixedHistogram(std::vector<double> upper_bounds);
 
-  void observe(double v);
+  /// Record `v`; a nonzero `exemplar_trace_id` also stamps the bucket's
+  /// exemplar.
+  void observe(double v, std::uint64_t exemplar_trace_id = 0);
 
   struct Snapshot {
     std::vector<double> bounds;         ///< finite upper bounds
     std::vector<std::uint64_t> counts;  ///< per bucket; last = overflow
+    std::vector<Exemplar> exemplars;    ///< per bucket, parallel to counts
     std::uint64_t count = 0;
     double sum = 0.0;
     double min = 0.0;  ///< 0 when empty
@@ -80,6 +94,7 @@ class FixedHistogram {
   std::vector<double> bounds_;
   mutable std::mutex mu_;
   std::vector<std::uint64_t> counts_;
+  std::vector<Exemplar> exemplars_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
@@ -109,8 +124,20 @@ class MetricsRegistry {
 
   [[nodiscard]] std::vector<std::string> counter_names() const;
 
+  /// One consistent copy of every instrument's current value, names
+  /// sorted — the structured sibling of json_snapshot(), for exporters
+  /// that need values (the Prometheus text exposition) not a document.
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, FixedHistogram::Snapshot>> histograms;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
   /// One JSON document with every instrument, names sorted:
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  /// Histogram buckets holding an exemplar carry its trace id:
+  /// {"le": ..., "count": ..., "exemplar_trace_id": "..."}.
   [[nodiscard]] std::string json_snapshot() const;
 
   /// Write json_snapshot() to `path`; false if the file won't open.

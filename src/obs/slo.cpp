@@ -1,0 +1,106 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tbs::obs {
+
+SloMonitor::SloMonitor(Objective objective)
+    : objective_(objective), epoch_(Clock::now()) {
+  if (!enabled()) return;
+  check(objective_.window_seconds > 0.0,
+        "SloMonitor: window_seconds must be positive");
+  check(objective_.buckets >= 1, "SloMonitor: need at least one bucket");
+  check(objective_.latency_target > 0.0 && objective_.latency_target < 1.0,
+        "SloMonitor: latency_target must be in (0, 1)");
+  check(objective_.error_budget > 0.0 && objective_.error_budget <= 1.0,
+        "SloMonitor: error_budget must be in (0, 1]");
+  bucket_seconds_ = objective_.window_seconds /
+                    static_cast<double>(objective_.buckets);
+  ring_.resize(objective_.buckets);
+}
+
+SloMonitor::Bucket& SloMonitor::advance(Clock::time_point now) {
+  const double elapsed =
+      std::chrono::duration<double>(now - epoch_).count();
+  const auto index =
+      static_cast<std::int64_t>(elapsed / bucket_seconds_);
+  Bucket& b = ring_[static_cast<std::size_t>(index) % ring_.size()];
+  if (b.index != index) b = Bucket{index, 0, 0, 0};
+  return b;
+}
+
+SloMonitor::Status SloMonitor::window_status(Clock::time_point now) const {
+  const double elapsed =
+      std::chrono::duration<double>(now - epoch_).count();
+  const auto live =
+      static_cast<std::int64_t>(elapsed / bucket_seconds_);
+  Status st;
+  for (const Bucket& b : ring_) {
+    // A bucket is in-window when it is one of the last `buckets` indices.
+    if (b.index < 0 ||
+        b.index <= live - static_cast<std::int64_t>(ring_.size()))
+      continue;
+    st.total += b.total;
+    st.errors += b.errors;
+    st.slow += b.slow;
+  }
+  if (st.total > 0) {
+    st.error_rate = static_cast<double>(st.errors) /
+                    static_cast<double>(st.total);
+    st.slow_rate = static_cast<double>(st.slow) /
+                   static_cast<double>(st.total);
+  }
+  st.latency_burn_rate = st.slow_rate / (1.0 - objective_.latency_target);
+  st.error_burn_rate = st.error_rate / objective_.error_budget;
+  if (st.total >= objective_.min_samples) {
+    st.latency_breached = st.latency_burn_rate > 1.0;
+    st.error_breached = st.error_burn_rate > 1.0;
+  }
+  return st;
+}
+
+bool SloMonitor::record(double latency_seconds, bool error) {
+  if (!enabled()) return false;
+  const Clock::time_point now = Clock::now();
+  const std::lock_guard<std::mutex> lock(mu_);
+  Bucket& b = advance(now);
+  ++b.total;
+  if (error) ++b.errors;
+  if (latency_seconds > objective_.latency_seconds) ++b.slow;
+  const Status st = window_status(now);
+  if (!st.breached()) {
+    in_breach_ = false;
+    return false;
+  }
+  if (in_breach_) return false;  // still inside the same incident
+  in_breach_ = true;
+  ++breaches_;
+  if (st.latency_breached) ++latency_breaches_;
+  if (st.error_breached) ++error_breaches_;
+  return true;
+}
+
+SloMonitor::Status SloMonitor::status() const {
+  if (!enabled()) return Status{};
+  const std::lock_guard<std::mutex> lock(mu_);
+  return window_status(Clock::now());
+}
+
+std::uint64_t SloMonitor::breaches() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return breaches_;
+}
+
+std::uint64_t SloMonitor::latency_breaches() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return latency_breaches_;
+}
+
+std::uint64_t SloMonitor::error_breaches() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return error_breaches_;
+}
+
+}  // namespace tbs::obs

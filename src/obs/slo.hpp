@@ -1,0 +1,114 @@
+// SloMonitor — rolling-window service-level objectives with burn rates.
+//
+// An SLO here is two objectives over the last `window_seconds` of query
+// completions: a latency objective ("99% of queries finish under 50ms")
+// and an error-rate objective ("at most 1% of queries fail"). The monitor
+// keeps the window as a ring of time buckets (no per-sample storage), so
+// record() is O(1) under one mutex and old traffic ages out bucket by
+// bucket instead of all at once.
+//
+// Burn rate is the standard SRE framing: how fast the window is consuming
+// its budget. For the error objective it is error_rate / error_budget;
+// for the latency objective, slow_fraction / (1 - latency_target). A burn
+// rate of 1.0 means "exactly on budget"; > 1.0 sustained over the window
+// means the objective is breached. Breaches are edge-triggered: record()
+// returns true only on the transition into breach, so the caller can dump
+// a flight recording / retain a trace exactly once per incident instead
+// of once per query while unhealthy.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace tbs::obs {
+
+class SloMonitor {
+ public:
+  struct Objective {
+    /// Per-query latency threshold, seconds; <= 0 disables the monitor
+    /// entirely (record() becomes a cheap no-op returning false).
+    double latency_seconds = 0.0;
+    /// Fraction of queries that must finish under the threshold (0.99 =
+    /// "p99 under latency_seconds").
+    double latency_target = 0.99;
+    /// Tolerated failing fraction for the error objective.
+    double error_budget = 0.01;
+    /// Rolling window length, seconds.
+    double window_seconds = 10.0;
+    /// Time buckets the window is divided into (aging granularity).
+    std::size_t buckets = 10;
+    /// Completions required in-window before breaches are judged — a
+    /// 1-query window with one slow query is not a 100% burn rate worth
+    /// paging over.
+    std::size_t min_samples = 10;
+  };
+
+  /// In-window aggregate + derived rates, as of the last record()/status().
+  struct Status {
+    std::uint64_t total = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t slow = 0;  ///< completions over latency_seconds
+    double error_rate = 0.0;
+    double slow_rate = 0.0;
+    /// slow_rate / (1 - latency_target); > 1 sustained = breached.
+    double latency_burn_rate = 0.0;
+    /// error_rate / error_budget; > 1 sustained = breached.
+    double error_burn_rate = 0.0;
+    bool latency_breached = false;
+    bool error_breached = false;
+    [[nodiscard]] bool breached() const {
+      return latency_breached || error_breached;
+    }
+  };
+
+  explicit SloMonitor(Objective objective);
+
+  [[nodiscard]] const Objective& objective() const { return objective_; }
+  [[nodiscard]] bool enabled() const {
+    return objective_.latency_seconds > 0.0;
+  }
+
+  /// Record one query completion. Returns true exactly when this sample
+  /// transitions the window *into* breach (edge-triggered).
+  bool record(double latency_seconds, bool error);
+
+  [[nodiscard]] Status status() const;
+
+  /// Total breach transitions since construction (monotonic).
+  [[nodiscard]] std::uint64_t breaches() const;
+  /// Breach transitions where the latency objective was the (or a) cause.
+  [[nodiscard]] std::uint64_t latency_breaches() const;
+  /// Breach transitions where the error objective was the (or a) cause.
+  [[nodiscard]] std::uint64_t error_breaches() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Bucket {
+    std::int64_t index = -1;  ///< absolute bucket index; -1 = empty
+    std::uint64_t total = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t slow = 0;
+  };
+
+  /// Rotate stale buckets out and return the live bucket for `now`.
+  /// Caller holds mu_.
+  Bucket& advance(Clock::time_point now);
+  /// Aggregate the in-window buckets into a Status. Caller holds mu_.
+  [[nodiscard]] Status window_status(Clock::time_point now) const;
+
+  Objective objective_;
+  Clock::time_point epoch_;
+  double bucket_seconds_ = 1.0;
+
+  mutable std::mutex mu_;
+  std::vector<Bucket> ring_;
+  bool in_breach_ = false;
+  std::uint64_t breaches_ = 0;
+  std::uint64_t latency_breaches_ = 0;
+  std::uint64_t error_breaches_ = 0;
+};
+
+}  // namespace tbs::obs

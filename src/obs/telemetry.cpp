@@ -1,0 +1,167 @@
+#include "obs/telemetry.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace tbs::obs {
+namespace {
+
+/// Prometheus accepts non-finite sample values spelled +Inf/-Inf/NaN.
+std::string prom_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return json::number(v);
+}
+
+void append_exemplar(std::string& out, const FixedHistogram::Exemplar& ex) {
+  if (ex.trace_id == 0) return;
+  out += " # {trace_id=\"" + trace_id_hex(ex.trace_id) + "\"} " +
+         prom_value(ex.value);
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "tbs_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_text(const MetricsRegistry& registry) {
+  const MetricsRegistry::Snapshot snap = registry.snapshot();
+  std::string out;
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + prom_value(value) + "\n";
+  }
+
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      const std::string le =
+          b < h.bounds.size() ? json::number(h.bounds[b]) : "+Inf";
+      out += prom + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative);
+      if (b < h.exemplars.size()) append_exemplar(out, h.exemplars[b]);
+      out += "\n";
+    }
+    out += prom + "_sum " + prom_value(h.sum) + "\n";
+    out += prom + "_count " + std::to_string(h.count) + "\n";
+  }
+
+  return out;
+}
+
+TelemetryBus::TelemetryBus(Config cfg, const MetricsRegistry* registry,
+                           std::function<std::string()> snapshot)
+    : cfg_(std::move(cfg)),
+      registry_(registry),
+      snapshot_(std::move(snapshot)),
+      epoch_(Clock::now()) {
+  if (!enabled()) return;
+  check(cfg_.period_seconds > 0.0,
+        "TelemetryBus: period_seconds must be positive");
+  check(cfg_.prometheus_path.empty() || registry_ != nullptr,
+        "TelemetryBus: prometheus_path needs a registry");
+  check(cfg_.ops_feed_path.empty() || snapshot_ != nullptr,
+        "TelemetryBus: ops_feed_path needs a snapshot callback");
+  // Start each run from an empty feed — a stale feed from a previous
+  // process would break the "seq strictly increases" invariant readers
+  // (and bench/ops_validate) rely on.
+  if (!cfg_.ops_feed_path.empty())
+    std::ofstream(cfg_.ops_feed_path, std::ios::trunc);
+}
+
+TelemetryBus::~TelemetryBus() { stop(); }
+
+void TelemetryBus::start() {
+  if (!enabled()) return;
+  {
+    const std::lock_guard<std::mutex> lock(run_mu_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] {
+    const auto period = std::chrono::duration<double>(cfg_.period_seconds);
+    std::unique_lock<std::mutex> lock(run_mu_);
+    while (!stop_requested_) {
+      if (cv_.wait_for(lock, period, [this] { return stop_requested_; }))
+        break;
+      lock.unlock();
+      tick();
+      lock.lock();
+    }
+  });
+}
+
+void TelemetryBus::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(run_mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    const std::lock_guard<std::mutex> lock(run_mu_);
+    running_ = false;
+  }
+  // Always leave final-state artifacts, even for runs shorter than one
+  // period.
+  tick();
+}
+
+void TelemetryBus::tick() {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(emit_mu_);
+  const auto t_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - epoch_)
+                        .count();
+
+  if (!cfg_.ops_feed_path.empty()) {
+    // The registry's snapshot document is pretty-printed; flatten it so the
+    // feed stays strictly one JSON object per line.
+    std::string metrics = snapshot_();
+    std::string flat;
+    flat.reserve(metrics.size());
+    for (const char c : metrics)
+      if (c != '\n') flat += c;
+    std::ofstream os(cfg_.ops_feed_path, std::ios::app);
+    if (os) {
+      os << "{\"schema\": \"tbs.ops_feed.v1\", \"seq\": " << seq_
+         << ", \"t_us\": " << t_us << ", \"metrics\": " << flat << "}\n";
+      ++seq_;
+    }
+  }
+
+  if (!cfg_.prometheus_path.empty()) {
+    std::ofstream os(cfg_.prometheus_path, std::ios::trunc);
+    if (os) os << prometheus_text(*registry_);
+  }
+
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace tbs::obs

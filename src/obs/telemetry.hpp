@@ -1,0 +1,107 @@
+// TelemetryBus — the live ops plane's export side.
+//
+// Two artifacts, refreshed by a background snapshotter thread:
+//
+//   * a JSONL ops feed: one line per tick, schema "tbs.ops_feed.v1",
+//     carrying a sequence number, the tick time, and the full metrics
+//     snapshot (counters / gauges / histograms with exemplars). Appending
+//     a line per tick makes the feed a replayable health history — `tail
+//     -f` is the poor man's dashboard, and the validator can check every
+//     line independently;
+//   * a Prometheus-style text exposition of the same registry: sanitized
+//     `tbs_`-prefixed metric names, cumulative `_bucket{le="..."}` series
+//     with `_sum`/`_count`, and OpenMetrics-style exemplar suffixes
+//     (`# {trace_id="..."} value`) on buckets that have one — the bridge
+//     from a metrics scrape back to a concrete trace.
+//
+// The bus takes a snapshot callback rather than reading the registry
+// directly so the owner (the serve engine) can refresh derived gauges
+// before each emission; prometheus_text() is a free function over the
+// registry for callers that want the exposition without a bus.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace tbs::obs {
+
+/// The registry as a Prometheus text exposition. Names are sanitized
+/// (dots and any non-[a-zA-Z0-9_:] become '_') and prefixed "tbs_";
+/// histogram buckets are emitted cumulatively with a final +Inf bucket,
+/// `_sum` and `_count`, and an exemplar suffix where a bucket has one.
+std::string prometheus_text(const MetricsRegistry& registry);
+
+/// Sanitize one metric name the way prometheus_text() does.
+std::string prometheus_name(std::string_view name);
+
+class TelemetryBus {
+ public:
+  struct Config {
+    /// Seconds between ticks; must be positive when a path is set.
+    double period_seconds = 0.5;
+    /// JSONL ops feed path; "" disables the feed.
+    std::string ops_feed_path;
+    /// Prometheus text exposition path (rewritten whole each tick);
+    /// "" disables the exposition.
+    std::string prometheus_path;
+  };
+
+  /// `registry` backs the Prometheus exposition; `snapshot` produces the
+  /// ops-feed metrics document (typically the owner's metrics_json(), so
+  /// derived gauges refresh per tick). Either may be skipped by leaving
+  /// the corresponding path empty. Does not start the thread.
+  TelemetryBus(Config cfg, const MetricsRegistry* registry,
+               std::function<std::string()> snapshot);
+
+  /// stop()s.
+  ~TelemetryBus();
+
+  TelemetryBus(const TelemetryBus&) = delete;
+  TelemetryBus& operator=(const TelemetryBus&) = delete;
+
+  [[nodiscard]] bool enabled() const {
+    return !cfg_.ops_feed_path.empty() || !cfg_.prometheus_path.empty();
+  }
+
+  /// Spawn the snapshotter (no-op when disabled or already running).
+  void start();
+
+  /// Stop the snapshotter after one final tick, so even a run shorter
+  /// than a period leaves complete artifacts. Idempotent.
+  void stop();
+
+  /// Emit one feed line + exposition right now (what the thread calls
+  /// every period; also callable directly, e.g. from tests).
+  void tick();
+
+  [[nodiscard]] std::uint64_t ticks() const {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Config cfg_;
+  const MetricsRegistry* registry_;
+  std::function<std::string()> snapshot_;
+  Clock::time_point epoch_;
+
+  std::mutex emit_mu_;  ///< serializes tick() bodies (thread vs. manual)
+  std::atomic<std::uint64_t> ticks_{0};
+  std::uint64_t seq_ = 0;  ///< feed line sequence, guarded by emit_mu_
+
+  std::mutex run_mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace tbs::obs

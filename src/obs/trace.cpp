@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <unordered_map>
 
@@ -13,7 +14,42 @@ namespace {
 /// one process — tests use private instances alongside the global one).
 thread_local std::unordered_map<const Tracer*, int> t_open_depth;
 
+/// The thread's trace-context stack: the back is what a new span parents
+/// on. Shared across tracers deliberately — a query's context must reach
+/// planner spans recorded into a different tracer than the engine's.
+thread_local std::vector<TraceContext> t_ctx_stack;
+
 }  // namespace
+
+std::atomic<std::uint64_t> Tracer::next_id_{1};
+
+std::uint64_t Tracer::mint_trace_id() {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string trace_id_hex(std::uint64_t id) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[id & 0xF];
+    id >>= 4;
+  }
+  return out;
+}
+
+TraceContext current_trace_context() {
+  return t_ctx_stack.empty() ? TraceContext{} : t_ctx_stack.back();
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx) {
+  if (!ctx.valid()) return;
+  t_ctx_stack.push_back(ctx);
+  pushed_ = true;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  if (pushed_) t_ctx_stack.pop_back();
+}
 
 void Tracer::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
@@ -41,6 +77,15 @@ void Tracer::record_span(
     std::initializer_list<std::pair<std::string_view, std::string_view>>
         attrs,
     std::uint32_t tid) {
+  record_span(name, cat, start, end, TraceContext{}, attrs, tid);
+}
+
+void Tracer::record_span(
+    std::string_view name, std::string_view cat, Clock::time_point start,
+    Clock::time_point end, TraceContext ctx,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        attrs,
+    std::uint32_t tid) {
   if (!enabled()) return;
   SpanRecord rec;
   rec.name = std::string(name);
@@ -50,9 +95,25 @@ void Tracer::record_span(
   if (rec.dur_us < 0.0) rec.dur_us = 0.0;
   rec.tid = tid == 0 ? thread_tid() : tid;
   rec.depth = t_open_depth[this];  // nests under whatever is open here
+  if (ctx.valid()) {
+    rec.trace_id = ctx.trace_id;
+    rec.parent_id = ctx.span_id;
+    rec.span_id = mint_trace_id();
+  }
   for (const auto& [k, v] : attrs)
     rec.attrs.emplace_back(std::string(k), std::string(v));
   record(std::move(rec));
+}
+
+std::size_t Tracer::drop_trace(std::uint64_t trace_id) {
+  if (trace_id == 0) return 0;
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::remove_if(
+      spans_.begin(), spans_.end(),
+      [trace_id](const SpanRecord& s) { return s.trace_id == trace_id; });
+  const auto removed = static_cast<std::size_t>(spans_.end() - it);
+  spans_.erase(it, spans_.end());
+  return removed;
 }
 
 std::uint32_t Tracer::thread_tid() {
@@ -73,35 +134,76 @@ std::uint32_t Tracer::track_tid(std::string_view name) {
 
 std::string Tracer::chrome_trace_json() const {
   const std::vector<SpanRecord> spans = snapshot();
-  std::string out;
-  out.reserve(128 + spans.size() * 160);
-  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
-  for (std::size_t i = 0; i < spans.size(); ++i) {
-    const SpanRecord& s = spans[i];
-    out += "  {\"name\": \"";
-    out += json::escape(s.name);
-    out += "\", \"cat\": \"";
-    out += json::escape(s.cat);
-    out += "\", \"ph\": \"X\", \"ts\": ";
-    out += json::number(s.ts_us);
-    out += ", \"dur\": ";
-    out += json::number(s.dur_us);
-    out += ", \"pid\": 1, \"tid\": ";
-    out += std::to_string(s.tid);
-    if (!s.attrs.empty()) {
-      out += ", \"args\": {";
-      for (std::size_t a = 0; a < s.attrs.size(); ++a) {
-        if (a != 0) out += ", ";
-        out += "\"";
-        out += json::escape(s.attrs[a].first);
-        out += "\": \"";
-        out += json::escape(s.attrs[a].second);
-        out += "\"";
+
+  // Where each minted span lives, for flow events: a parent→child edge
+  // that crosses timeline rows gets an "s"/"f" pair so the viewer draws
+  // the arrow (same-row edges are already visually nested).
+  std::unordered_map<std::uint64_t, const SpanRecord*> by_span_id;
+  by_span_id.reserve(spans.size());
+  for (const SpanRecord& s : spans)
+    if (s.span_id != 0) by_span_id.emplace(s.span_id, &s);
+
+  std::vector<std::string> events;
+  events.reserve(spans.size());
+  for (const SpanRecord& s : spans) {
+    std::string ev = "  {\"name\": \"";
+    ev += json::escape(s.name);
+    ev += "\", \"cat\": \"";
+    ev += json::escape(s.cat);
+    ev += "\", \"ph\": \"X\", \"ts\": ";
+    ev += json::number(s.ts_us);
+    ev += ", \"dur\": ";
+    ev += json::number(s.dur_us);
+    ev += ", \"pid\": 1, \"tid\": ";
+    ev += std::to_string(s.tid);
+    if (!s.attrs.empty() || s.trace_id != 0) {
+      ev += ", \"args\": {";
+      bool first = true;
+      if (s.trace_id != 0) {
+        ev += "\"trace_id\": \"" + trace_id_hex(s.trace_id) + "\"";
+        ev += ", \"span_id\": \"" + trace_id_hex(s.span_id) + "\"";
+        ev += ", \"parent_id\": \"" + trace_id_hex(s.parent_id) + "\"";
+        first = false;
       }
-      out += "}";
+      for (const auto& [k, v] : s.attrs) {
+        if (!first) ev += ", ";
+        first = false;
+        ev += "\"";
+        ev += json::escape(k);
+        ev += "\": \"";
+        ev += json::escape(v);
+        ev += "\"";
+      }
+      ev += "}";
     }
-    out += "}";
-    if (i + 1 < spans.size()) out += ",";
+    ev += "}";
+    events.push_back(std::move(ev));
+
+    // Cross-row causal edge: flow start inside the parent, flow finish
+    // (binding point "enclosing slice") at this span's start.
+    if (s.trace_id == 0 || s.parent_id == 0) continue;
+    const auto pit = by_span_id.find(s.parent_id);
+    if (pit == by_span_id.end() || pit->second->tid == s.tid) continue;
+    const SpanRecord& p = *pit->second;
+    const std::string id = "\"" + trace_id_hex(s.span_id) + "\"";
+    events.push_back(
+        "  {\"name\": \"" + json::escape(s.name) +
+        "\", \"cat\": \"flow\", \"ph\": \"s\", \"id\": " + id +
+        ", \"ts\": " + json::number(p.ts_us) +
+        ", \"pid\": 1, \"tid\": " + std::to_string(p.tid) + "}");
+    events.push_back(
+        "  {\"name\": \"" + json::escape(s.name) +
+        "\", \"cat\": \"flow\", \"ph\": \"f\", \"bp\": \"e\", \"id\": " + id +
+        ", \"ts\": " + json::number(s.ts_us) +
+        ", \"pid\": 1, \"tid\": " + std::to_string(s.tid) + "}");
+  }
+
+  std::string out;
+  out.reserve(128 + events.size() * 160);
+  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    out += events[i];
+    if (i + 1 < events.size()) out += ",";
     out += "\n";
   }
   out += "]}\n";
@@ -121,6 +223,16 @@ Tracer& Tracer::global() {
 }
 
 Span::Span(Tracer& tracer, std::string_view name, std::string_view cat) {
+  open(tracer, name, cat, current_trace_context());
+}
+
+Span::Span(Tracer& tracer, std::string_view name, std::string_view cat,
+           TraceContext parent) {
+  open(tracer, name, cat, parent);
+}
+
+void Span::open(Tracer& tracer, std::string_view name, std::string_view cat,
+                TraceContext parent) {
   if (!tracer.enabled()) return;  // tracer_ stays null: every member no-ops
   tracer_ = &tracer;
   start_ = Tracer::Clock::now();
@@ -128,10 +240,18 @@ Span::Span(Tracer& tracer, std::string_view name, std::string_view cat) {
   rec_.cat = std::string(cat);
   rec_.tid = tracer.thread_tid();
   rec_.depth = t_open_depth[&tracer]++;
+  if (parent.valid()) {
+    rec_.trace_id = parent.trace_id;
+    rec_.parent_id = parent.span_id;
+    rec_.span_id = Tracer::mint_trace_id();
+    t_ctx_stack.push_back(TraceContext{rec_.trace_id, rec_.span_id});
+    pushed_ctx_ = true;
+  }
 }
 
 Span::~Span() {
   if (tracer_ == nullptr) return;
+  if (pushed_ctx_) t_ctx_stack.pop_back();
   --t_open_depth[tracer_];
   rec_.ts_us = tracer_->to_us(start_);
   rec_.dur_us = tracer_->to_us(Tracer::Clock::now()) - rec_.ts_us;

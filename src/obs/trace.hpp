@@ -20,6 +20,19 @@
 //   serve.submit / serve.queue_wait / serve.execute      — engine path
 //   core.plan / core.plan.gate_wait / core.plan.calibrate — planner path
 //   vgpu.launch                                           — per kernel launch
+//
+// Trace context: every span may carry a (trace_id, span_id, parent_id)
+// triple giving it a causal identity — all spans of one query share a
+// trace_id minted at submit, and parent linkage reconstructs the query's
+// tree across worker threads and shard lanes. Context propagates two ways:
+// explicitly (the Span constructor taking a TraceContext, and the
+// record_span overload for retroactive spans) and implicitly (an active
+// Span pushes its own context onto a thread-local stack, so spans opened
+// further down the call chain — planner, retry backoff — inherit it
+// without any plumbing; ScopedTraceContext installs a context on a thread
+// that has no enclosing Span, e.g. a shard lane thread). The Chrome export
+// emits the triple in each event's args and adds flow events ("s"/"f")
+// linking cross-thread parent→child edges, so Perfetto draws the arrows.
 #pragma once
 
 #include <atomic>
@@ -37,6 +50,37 @@
 
 namespace tbs::obs {
 
+/// A query's causal identity: the trace it belongs to and the span that
+/// caused the current work. trace_id 0 means "no context" everywhere.
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< shared by every span of one query
+  std::uint64_t span_id = 0;   ///< the parent span (0 = trace root)
+  [[nodiscard]] bool valid() const { return trace_id != 0; }
+};
+
+/// Format a trace/span id the way every exporter does: 16 lowercase hex
+/// digits ("0000000000000000" for the null id).
+std::string trace_id_hex(std::uint64_t id);
+
+/// The innermost context installed on this thread (by an active Span or a
+/// ScopedTraceContext); {0, 0} when none.
+TraceContext current_trace_context();
+
+/// Install `ctx` as the thread's current context for the scope's lifetime —
+/// how a context crosses a thread boundary the Span stack can't (shard
+/// lane threads, telemetry callbacks). Not copyable/movable: strictly
+/// stack-scoped, like Span.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext ctx);
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+  ~ScopedTraceContext();
+
+ private:
+  bool pushed_ = false;  ///< invalid contexts are not installed
+};
+
 /// One completed span, timestamped in microseconds since the tracer epoch.
 struct SpanRecord {
   std::string name;
@@ -45,6 +89,9 @@ struct SpanRecord {
   double dur_us = 0.0;  ///< duration, µs
   std::uint32_t tid = 0;  ///< small per-tracer thread id
   int depth = 0;          ///< nesting depth on its thread at open time
+  std::uint64_t trace_id = 0;   ///< query identity; 0 = no context
+  std::uint64_t span_id = 0;    ///< this span's own id (0 = none minted)
+  std::uint64_t parent_id = 0;  ///< causal parent's span_id (0 = root)
   std::vector<std::pair<std::string, std::string>> attrs;
 };
 
@@ -85,6 +132,30 @@ class Tracer {
           attrs = {},
       std::uint32_t tid = 0);
 
+  /// record_span() with an explicit causal parent: the recorded span joins
+  /// `ctx`'s trace as a child of ctx.span_id and gets its own minted
+  /// span_id. An invalid ctx degrades to the plain overload.
+  void record_span(
+      std::string_view name, std::string_view cat, Clock::time_point start,
+      Clock::time_point end, TraceContext ctx,
+      std::initializer_list<std::pair<std::string_view, std::string_view>>
+          attrs = {},
+      std::uint32_t tid = 0);
+
+  /// Mint a process-unique nonzero trace id (also the span-id pool; one
+  /// process-wide atomic, no lock — callable from any thread, even with
+  /// the tracer disabled, so exemplars and flight dumps can name a trace
+  /// that was never collected. Process-wide because a query's spans may
+  /// land in several tracers: engine spans in Config::tracer, planner
+  /// spans in the global one).
+  static std::uint64_t mint_trace_id();
+
+  /// Drop every collected span belonging to `trace_id` (the sampling
+  /// policy's "this query was healthy and unsampled" path). Returns the
+  /// number of spans removed. trace_id 0 is a no-op — it would match every
+  /// context-free span.
+  std::size_t drop_trace(std::uint64_t trace_id);
+
   /// Microseconds from the tracer epoch to `t`.
   [[nodiscard]] double to_us(Clock::time_point t) const {
     return std::chrono::duration<double, std::micro>(t - epoch_).count();
@@ -105,6 +176,10 @@ class Tracer {
 
   /// The full trace as a Chrome trace-event JSON document ("X" complete
   /// events, µs timestamps). Loads in Perfetto / chrome://tracing.
+  /// Spans with a trace context carry trace_id/span_id/parent_id in their
+  /// args; cross-thread parent→child edges additionally get a flow-event
+  /// pair ("s" at the parent, "f" at the child) so the viewer draws the
+  /// causal arrow between timeline rows.
   [[nodiscard]] std::string chrome_trace_json() const;
 
   /// Write chrome_trace_json() to `path`; false if the file won't open.
@@ -116,6 +191,9 @@ class Tracer {
 
  private:
   friend class Span;
+
+  /// One span-id mint for the whole process (see mint_trace_id()).
+  static std::atomic<std::uint64_t> next_id_;
 
   std::atomic<bool> enabled_{false};
   Clock::time_point epoch_;
@@ -131,8 +209,17 @@ class Tracer {
 /// per-thread nesting invariant hold.
 class Span {
  public:
-  /// Open a span on `tracer` (no-op if the tracer is disabled).
+  /// Open a span on `tracer` (no-op if the tracer is disabled). The span
+  /// joins the thread's current trace context when one is installed: its
+  /// parent is the innermost enclosing Span (or ScopedTraceContext), and
+  /// it installs itself as the context for anything opened beneath it.
   Span(Tracer& tracer, std::string_view name, std::string_view cat);
+
+  /// Open a span with an explicit causal parent (how a trace is rooted at
+  /// submit — parent {trace_id, 0} — and how it crosses the queue onto a
+  /// worker thread, where the thread-local stack knows nothing).
+  Span(Tracer& tracer, std::string_view name, std::string_view cat,
+       TraceContext parent);
 
   /// Open a span on the global tracer.
   Span(std::string_view name, std::string_view cat)
@@ -146,12 +233,22 @@ class Span {
   /// True when the tracer was enabled at construction (attrs will stick).
   [[nodiscard]] bool active() const { return tracer_ != nullptr; }
 
+  /// This span's context — what a child on another thread should parent
+  /// on: {trace_id, own span_id}. {0, 0} when inactive or context-free.
+  [[nodiscard]] TraceContext context() const {
+    return TraceContext{rec_.trace_id, rec_.span_id};
+  }
+
   void attr(std::string_view key, std::string_view value);
   void attr(std::string_view key, double value);
   void attr(std::string_view key, std::uint64_t value);
 
  private:
+  void open(Tracer& tracer, std::string_view name, std::string_view cat,
+            TraceContext parent);
+
   Tracer* tracer_ = nullptr;  ///< null = disabled at construction
+  bool pushed_ctx_ = false;   ///< installed itself on the thread ctx stack
   Tracer::Clock::time_point start_{};
   SpanRecord rec_;
 };

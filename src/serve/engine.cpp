@@ -36,14 +36,20 @@ QueryEngine::QueryEngine(Config cfg)
       c_shard_lanes_lost_(metrics_.counter("serve.shard.lanes_lost")),
       c_shard_tiles_failed_over_(
           metrics_.counter("serve.shard.tiles_failed_over")),
+      c_slo_breached_(metrics_.counter("serve.slo.breached")),
       h_latency_(metrics_.histogram("serve.latency_seconds",
                                     obs::default_latency_bounds())),
       queue_(cfg.queue_capacity),
-      cache_(cfg.cache_capacity) {
+      cache_(cfg.cache_capacity),
+      slo_(cfg.slo) {
   check(cfg_.devices >= 1 || cfg_.cpu_workers >= 1,
         "QueryEngine: need at least one device or CPU worker");
   check(cfg_.streams_per_device >= 1,
         "QueryEngine: need at least one stream per device");
+  check(cfg_.trace_sample_of >= 1,
+        "QueryEngine: trace_sample_of must be >= 1");
+  check(cfg_.trace_sample_keep <= cfg_.trace_sample_of,
+        "QueryEngine: trace_sample_keep must be <= trace_sample_of");
   slots_.reserve(cfg_.devices);
   for (std::size_t d = 0; d < cfg_.devices; ++d) {
     slots_.push_back(std::make_unique<DeviceSlot>(cfg_.spec));
@@ -51,9 +57,11 @@ QueryEngine::QueryEngine(Config cfg)
     if (d < cfg_.faults.size())
       slots_.back()->dev.set_fault_plan(cfg_.faults[d]);
     // Per-launch hook: count into the engine registry and, when tracing,
-    // emit a vgpu.launch span. The callback runs on the worker thread that
-    // drains the launch, inside its serve.execute span, so the launch span
-    // nests under the execute span on the same timeline row.
+    // emit a vgpu.launch span. The callback runs on the thread that drains
+    // the launch — a worker inside its serve.execute span, or a shard lane
+    // thread under its ScopedTraceContext — so the thread's current trace
+    // context is exactly the owning query's, and the launch span joins its
+    // trace.
     slots_.back()->dev.set_launch_observer(
         [this](const vgpu::LaunchRecord& rec) {
           c_launches_.inc();
@@ -63,7 +71,7 @@ QueryEngine::QueryEngine(Config cfg)
               now - std::chrono::duration_cast<obs::Tracer::Clock::duration>(
                         std::chrono::duration<double>(rec.wall_seconds));
           tracer_->record_span(
-              "vgpu.launch", "vgpu", start, now,
+              "vgpu.launch", "vgpu", start, now, obs::current_trace_context(),
               {{"grid", std::to_string(rec.cfg.grid_dim)},
                {"block", std::to_string(rec.cfg.block_dim)},
                {"pooled", rec.pooled ? "true" : "false"}});
@@ -85,6 +93,14 @@ QueryEngine::QueryEngine(Config cfg)
   breakers_.reserve(worker_count());
   for (std::size_t w = 0; w < worker_count(); ++w)
     breakers_.push_back(std::make_unique<CircuitBreaker>(cfg_.breaker));
+  g_worker_inflight_.reserve(worker_count());
+  for (std::size_t w = 0; w < worker_count(); ++w)
+    g_worker_inflight_.push_back(
+        &metrics_.gauge("serve.worker." + std::to_string(w) + ".inflight"));
+  if (!cfg_.telemetry.ops_feed_path.empty() ||
+      !cfg_.telemetry.prometheus_path.empty())
+    telemetry_ = std::make_unique<obs::TelemetryBus>(
+        cfg_.telemetry, &metrics_, [this] { return metrics_json(); });
   if (cfg_.autostart) start();
 }
 
@@ -109,6 +125,10 @@ void QueryEngine::shutdown() {
     (*job)->promise.set_exception(std::make_exception_ptr(
         ServeError("QueryEngine: shut down with the query still queued")));
   }
+  // Stop the ops exporter last: its final tick captures the fully drained
+  // engine (abandons included), and no snapshot callback outlives this
+  // method — the engine is still whole here, not mid-destruction.
+  if (telemetry_) telemetry_->stop();
 }
 
 void QueryEngine::start() {
@@ -118,6 +138,7 @@ void QueryEngine::start() {
   workers_.reserve(worker_count());
   for (std::size_t w = 0; w < worker_count(); ++w)
     workers_.emplace_back([this, w] { worker_loop(w); });
+  if (telemetry_) telemetry_->start();
 }
 
 QueryEngine::ResultFuture QueryEngine::sdh(const PointsSoA& pts,
@@ -170,7 +191,12 @@ std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
   const Clock::time_point t0 = Clock::now();
   const Clock::time_point deadline = deadline_from(opts, t0);
   const std::string key = query_key(query, dataset_fingerprint(pts));
-  obs::Span span(*tracer_, "serve.submit", "serve");
+  // Every submission gets a trace identity, tracing on or off — exemplars
+  // and flight-recorder dumps name queries by trace id either way. The
+  // submit span is the trace root ({trace_id, 0}); everything downstream
+  // parents on it.
+  const obs::TraceContext root{obs::Tracer::mint_trace_id(), 0};
+  obs::Span span(*tracer_, "serve.submit", "serve", root);
   span.attr("key", key);
   c_submitted_.inc();
   flight_.record(FlightRecorder::Event::Submit, key);
@@ -188,7 +214,14 @@ std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
         const double seconds =
             std::chrono::duration<double>(Clock::now() - t0).count();
         latency_.record(seconds);
-        h_latency_.observe(seconds);
+        h_latency_.observe(seconds, root.trace_id);
+        // A cache hit is a completion the SLO judges like any other (and
+        // under heavy dedup it is *most* completions).
+        if (slo_.record(seconds, /*error=*/false)) {
+          c_slo_breached_.inc();
+          flight_.dump_slo_monitor_breach(latency_.summary().p99,
+                                          obs::trace_id_hex(root.trace_id));
+        }
         span.attr("outcome", "cache_hit");
         flight_.record(FlightRecorder::Event::CacheHit, key, 0, seconds);
         return ready.get_future().share();
@@ -212,6 +245,11 @@ std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
       job->deadline = deadline;
       job->shards = opts.shards;
       job->shard_strategy = opts.shard_strategy;
+      // Workers parent their spans on the submit span when it was recorded
+      // (tracing on), and on the trace root otherwise — either way the
+      // job's trace_id travels with it across the queue.
+      job->ctx = span.active() ? span.context() : root;
+      job->seq = submit_seq_.fetch_add(1, std::memory_order_relaxed);
       ResultFuture fut = job->promise.get_future().share();
       if (queue_.try_push(job)) {
         inflight_.emplace(key, fut);
@@ -271,7 +309,9 @@ void QueryEngine::worker_loop(std::size_t worker_index) {
   Rng rng(cfg_.retry.seed ^
           (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(worker_index + 1)));
 
+  obs::Gauge& inflight_gauge = *g_worker_inflight_[worker_index];
   while (std::optional<std::shared_ptr<Job>> popped = queue_.pop()) {
+    inflight_gauge.set(1.0);
     try {
       process_job(ctx, rng, *popped);
     } catch (...) {
@@ -283,6 +323,7 @@ void QueryEngine::worker_loop(std::size_t worker_index) {
       } catch (const std::future_error&) {
       }
     }
+    inflight_gauge.set(0.0);
   }
 }
 
@@ -321,8 +362,11 @@ void QueryEngine::process_job(WorkerCtx& ctx, Rng& rng,
 
   // The queue wait [submitted, popped] can overlap this worker's previous
   // execute span, so it goes on a synthetic track, not the worker's row.
+  // It parents on the job's context, so the trace shows submit → wait →
+  // execute even though the three live on different timeline rows.
   tracer_->record_span("serve.queue_wait", "serve", job->submitted, t0,
-                       {{"key", job->key}}, tracer_->track_tid("queue"));
+                       job->ctx, {{"key", job->key}},
+                       tracer_->track_tid("queue"));
 
   // Cancel before any work: an expired query is never executed.
   if (t0 >= job->deadline) {
@@ -364,7 +408,11 @@ void QueryEngine::process_job(WorkerCtx& ctx, Rng& rng,
   bool degraded = false;
   Outcome outcome;
   {
-    obs::Span span(*tracer_, "serve.execute", "serve");
+    // Explicit parent: the thread-local stack knows nothing across the
+    // queue hop, so the execute span adopts the job's context. Its ctor
+    // installs the context on this thread, so everything beneath — ladder
+    // spans, planner spans, launch-observer spans — inherits implicitly.
+    obs::Span span(*tracer_, "serve.execute", "serve", job->ctx);
     span.attr("key", job->key);
     span.attr("backend", ctx.be.caps().name);
     flight_.record(FlightRecorder::Event::ExecuteBegin, job->key,
@@ -413,15 +461,36 @@ void QueryEngine::process_job(WorkerCtx& ctx, Rng& rng,
     const double seconds =
         std::chrono::duration<double>(Clock::now() - job->submitted).count();
     latency_.record(seconds);
-    h_latency_.observe(seconds);
+    h_latency_.observe(seconds, job->ctx.trace_id);
+    if (error) job->eventful = true;
     flight_.record(error ? FlightRecorder::Event::Fail
                          : FlightRecorder::Event::Complete,
                    job->key, static_cast<std::uint32_t>(worker_index), seconds);
-    // SLO gate: check the engine-wide p99 after each completion; the
-    // recorder rate-limits to one dump per breach window.
+    // SLO gates. The burn-rate monitor judges this completion against the
+    // rolling window; a breach *transition* dumps the flight recorder
+    // (naming this query's trace) and pins the trace past sampling. The
+    // older p99-threshold policy gate still runs independently.
+    if (slo_.record(seconds, error != nullptr)) {
+      c_slo_breached_.inc();
+      job->eventful = true;
+      flight_.dump_slo_monitor_breach(latency_.summary().p99,
+                                      obs::trace_id_hex(job->ctx.trace_id));
+    }
     if (flight_.policy().p99_threshold_seconds > 0.0)
       flight_.maybe_dump_slo_breach(latency_.summary().p99);
   }  // serve.execute recorded here, before any client can wake
+  // Retroactive sampling: the query is finished and its spans are all
+  // recorded, so this is the one moment the keep/drop decision can see
+  // whether anything noteworthy happened. Healthy queries outside the
+  // keep-N-in-M window are dropped wholesale; eventful ones always stay.
+  if (!job->eventful && cfg_.trace_sample_of > 1 &&
+      (job->seq % cfg_.trace_sample_of) >= cfg_.trace_sample_keep) {
+    tracer_->drop_trace(job->ctx.trace_id);
+    // Planner spans land in the global tracer even when the engine uses
+    // its own; sweep the trace out of both.
+    if (tracer_ != &obs::Tracer::global())
+      obs::Tracer::global().drop_trace(job->ctx.trace_id);
+  }
   if (!error)
     job->promise.set_value(std::move(result));
   else
@@ -469,6 +538,7 @@ QueryEngine::Outcome QueryEngine::run_ladder(
       return Outcome::Success;
     } catch (const vgpu::DeviceError& e) {
       note_fault(worker_index, breaker, job->key);
+      job->eventful = true;  // faulted queries keep their traces
       error = std::current_exception();
       device_msg = e.what();
       if (!e.transient()) break;  // a dead device won't heal under retry
@@ -503,9 +573,18 @@ QueryEngine::Outcome QueryEngine::run_ladder(
   // degraded and is cacheable. The breaker deliberately records nothing:
   // the success happened elsewhere, and the device is still suspect.
   if (cfg_.backend_failover && ctx.be.caps().kind == backend::Kind::Vgpu) {
+    job->eventful = true;
+    // Runs inside the serve.execute span's scope, so the implicit context
+    // stack parents this on the execute span — the failover hop shows up
+    // in the query's trace without explicit plumbing.
+    obs::Span failover_span(*tracer_, "serve.failover", "serve");
+    failover_span.attr("key", job->key);
+    failover_span.attr("from", ctx.be.caps().name);
     try {
       const std::lock_guard<std::mutex> failover_lock(failover_mu_);
       result = execute(failover_backend(), *job);
+      failover_span.attr("to", failover_backend().caps().name);
+      failover_span.attr("outcome", "ok");
       c_failovers_.inc();
       flight_.record(FlightRecorder::Event::Failover, job->key,
                      static_cast<std::uint32_t>(worker_index));
@@ -514,6 +593,7 @@ QueryEngine::Outcome QueryEngine::run_ladder(
     } catch (...) {
       // CPU launches only throw on precondition violations; keep the error
       // and fall through to the degraded rung rather than giving up here.
+      failover_span.attr("outcome", "error");
       error = std::current_exception();
     }
   }
@@ -526,10 +606,12 @@ QueryEngine::Outcome QueryEngine::run_ladder(
       result = execute_degraded(ctx.be, *job);
       breaker.record_success();
       degraded = true;
+      job->eventful = true;
       error = nullptr;
       return Outcome::Success;
     } catch (const vgpu::DeviceError& e) {
       note_fault(worker_index, breaker, job->key);
+      job->eventful = true;
       error = std::current_exception();
       device_msg = e.what();
     } catch (...) {
@@ -545,6 +627,7 @@ QueryEngine::Outcome QueryEngine::run_ladder(
     job->last_worker = worker_index;
     if (queue_.try_push(job)) {
       c_requeued_.inc();
+      job->eventful = true;
       flight_.record(FlightRecorder::Event::Requeue, job->key,
                      static_cast<std::uint32_t>(worker_index));
       return Outcome::Requeue;
@@ -600,6 +683,10 @@ bool QueryEngine::run_sharded(WorkerCtx& ctx,
   shard::Options sopt;
   sopt.shards = job->shards;
   sopt.strategy = job->shard_strategy;
+  // We are inside the job's serve.execute span, so the thread context *is*
+  // the query's; hand it to the executor so lane threads (and the launch
+  // observers that fire on them) join the same trace.
+  sopt.trace = obs::current_trace_context();
 
   shard::Executor ex(&shard_router_);
   try {
@@ -608,8 +695,18 @@ bool QueryEngine::run_sharded(WorkerCtx& ctx,
         [&](std::size_t lane, std::size_t tiles) {
           c_shard_lanes_lost_.inc();
           c_shard_tiles_failed_over_.inc(tiles);
+          job->eventful = true;
           flight_.record(FlightRecorder::Event::ShardFailover, job->key,
                          static_cast<std::uint32_t>(lane));
+          // Instantaneous marker span: the hook fires at reroute time, on
+          // this worker thread, under the execute span's context.
+          const auto now = obs::Tracer::Clock::now();
+          tracer_->record_span("serve.shard.failover", "shard", now, now,
+                               obs::current_trace_context(),
+                               {{"key", job->key},
+                                {"lane", std::to_string(lane)},
+                                {"tiles", std::to_string(tiles)}},
+                               tracer_->track_tid("shard"));
         });
     c_shard_tiles_.inc(rep.tiles_total);
     if (tracer_->enabled()) {
@@ -617,6 +714,7 @@ bool QueryEngine::run_sharded(WorkerCtx& ctx,
       // a synthetic track anchored at "now" rather than the worker's row.
       const auto now = obs::Tracer::Clock::now();
       const std::uint32_t tid = tracer_->track_tid("shard");
+      const obs::TraceContext tctx = obs::current_trace_context();
       const auto dur = [](double seconds) {
         return std::chrono::duration_cast<obs::Tracer::Clock::duration>(
             std::chrono::duration<double>(seconds));
@@ -626,7 +724,7 @@ bool QueryEngine::run_sharded(WorkerCtx& ctx,
         const std::string b = std::to_string(ts.tile.b);
         const std::string lane = std::to_string(ts.lane);
         tracer_->record_span("serve.shard.tile", "shard",
-                             now - dur(ts.seconds), now,
+                             now - dur(ts.seconds), now, tctx,
                              {{"a", a},
                               {"b", b},
                               {"lane", lane},
@@ -635,7 +733,7 @@ bool QueryEngine::run_sharded(WorkerCtx& ctx,
       }
       const std::string tiles = std::to_string(rep.tiles_total);
       tracer_->record_span("serve.shard.merge", "shard",
-                           now - dur(rep.merge_seconds), now,
+                           now - dur(rep.merge_seconds), now, tctx,
                            {{"tiles", tiles}}, tid);
     }
     if (std::holds_alternative<SdhQuery>(job->query)) {
@@ -656,6 +754,7 @@ bool QueryEngine::run_sharded(WorkerCtx& ctx,
     // fault against this worker's breaker like any other device error and
     // let the caller fall through to the unsharded ladder.
     note_fault(ctx.index, ctx.breaker, job->key);
+    job->eventful = true;
     error = std::current_exception();
     return false;
   } catch (...) {
@@ -868,9 +967,55 @@ void QueryEngine::refresh_gauges(const EngineStats& s) const {
   metrics_.gauge("serve.result_cache.entries")
       .set(static_cast<double>(cache_.size()));
   std::size_t open = 0;
-  for (const std::unique_ptr<CircuitBreaker>& b : breakers_)
-    if (b->state() != CircuitBreaker::State::Closed) ++open;
+  for (std::size_t w = 0; w < breakers_.size(); ++w) {
+    const CircuitBreaker::State st = breakers_[w]->state();
+    if (st != CircuitBreaker::State::Closed) ++open;
+    // 0 = closed, 1 = open, 2 = half-open (the enum's order).
+    metrics_.gauge("serve.worker." + std::to_string(w) + ".breaker_state")
+        .set(static_cast<double>(st));
+  }
   metrics_.gauge("serve.breaker.open_workers").set(static_cast<double>(open));
+  if (slo_.enabled()) {
+    const obs::SloMonitor::Status ss = slo_.status();
+    metrics_.gauge("serve.slo.latency_burn_rate").set(ss.latency_burn_rate);
+    metrics_.gauge("serve.slo.error_burn_rate").set(ss.error_burn_rate);
+    metrics_.gauge("serve.slo.window_total")
+        .set(static_cast<double>(ss.total));
+    metrics_.gauge("serve.slo.latency_breaches")
+        .set(static_cast<double>(slo_.latency_breaches()));
+    metrics_.gauge("serve.slo.error_breaches")
+        .set(static_cast<double>(slo_.error_breaches()));
+  }
+  // Per-backend health: `backend.gpu<d>.*` pairs the device-wide launch
+  // count with the persistent shard-lane backend's fault/staging counters;
+  // `backend.cpu<i>.*` reads the CPU worker's backend directly. Counter
+  // reads take the same launch lock launch_count() does.
+  for (std::size_t d = 0; d < slots_.size(); ++d) {
+    backend::Counters bc;
+    std::uint64_t dev_launches = 0;
+    {
+      const std::lock_guard<std::mutex> lock(slots_[d]->mu);
+      bc = shard_vgpu_[d]->counters();
+      dev_launches = slots_[d]->dev.launch_count();
+    }
+    const std::string base = "backend.gpu" + std::to_string(d) + ".";
+    metrics_.gauge(base + "launches").set(static_cast<double>(dev_launches));
+    metrics_.gauge(base + "faults").set(static_cast<double>(bc.faults));
+    metrics_.gauge(base + "staged_bytes")
+        .set(static_cast<double>(bc.bytes_staged));
+  }
+  for (std::size_t i = 0; i < cpu_slots_.size(); ++i) {
+    backend::Counters bc;
+    {
+      const std::lock_guard<std::mutex> lock(cpu_slots_[i]->mu);
+      bc = cpu_slots_[i]->be.counters();
+    }
+    const std::string base = "backend.cpu" + std::to_string(i) + ".";
+    metrics_.gauge(base + "launches").set(static_cast<double>(bc.launches));
+    metrics_.gauge(base + "faults").set(static_cast<double>(bc.faults));
+    metrics_.gauge(base + "staged_bytes")
+        .set(static_cast<double>(bc.bytes_staged));
+  }
   const shard::Router::Stats rs = shard_router_.stats();
   metrics_.gauge("serve.shard.stage_hits")
       .set(static_cast<double>(rs.stage_hits));

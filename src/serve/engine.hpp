@@ -64,6 +64,8 @@
 #include "backend/vgpu_backend.hpp"
 #include "core/planner.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "serve/flight_recorder.hpp"
 #include "serve/metrics.hpp"
@@ -127,6 +129,24 @@ class QueryEngine {
     /// nullptr means obs::Tracer::global() (disabled by default, so tracing
     /// costs one atomic load per span until someone enables it).
     obs::Tracer* tracer = nullptr;
+    /// Trace sampling: keep `trace_sample_keep` of every
+    /// `trace_sample_of` healthy queries' traces; the rest are dropped from
+    /// the tracer at completion. Eventful queries (errors, retries,
+    /// failovers, degraded answers, SLO breaches) are *always* kept — the
+    /// traces worth reading survive any sampling rate. 1-in-1 (the default)
+    /// keeps everything.
+    std::size_t trace_sample_keep = 1;
+    std::size_t trace_sample_of = 1;
+    /// Rolling-window latency/error objectives (obs::SloMonitor);
+    /// latency_seconds <= 0 leaves the monitor disabled. A breach
+    /// transition bumps `serve.slo.*`, dumps the flight recorder (reason
+    /// "slo_breach", naming the breaching query's trace id), and
+    /// force-retains that query's trace regardless of sampling.
+    obs::SloMonitor::Objective slo{};
+    /// Periodic ops export (JSONL feed + Prometheus exposition); enabled
+    /// when either path is set. The bus starts with the workers and emits
+    /// a final snapshot at shutdown.
+    obs::TelemetryBus::Config telemetry{};
     /// Flight-recorder ring size (rounded up to a power of two; 0 disables
     /// event recording entirely).
     std::size_t flight_capacity = 1024;
@@ -252,6 +272,16 @@ class QueryEngine {
     return shard_router_;
   }
 
+  /// The rolling-window SLO monitor (disabled unless Config::slo sets a
+  /// latency threshold).
+  [[nodiscard]] const obs::SloMonitor& slo() const noexcept { return slo_; }
+
+  /// The ops-plane exporter, or nullptr when Config::telemetry set no
+  /// paths. Exposed so demos/tests can force a tick.
+  [[nodiscard]] obs::TelemetryBus* telemetry() const noexcept {
+    return telemetry_.get();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -273,6 +303,18 @@ class QueryEngine {
     /// Sharded execution request (SubmitOptions::shards; 0/1 = unsharded).
     std::size_t shards = 0;
     shard::Strategy shard_strategy = shard::Strategy::Contiguous;
+    /// Causal identity minted at submit: every span this query produces —
+    /// submit, queue wait, execute, retries, shard tiles, kernel launches —
+    /// carries ctx.trace_id, and ctx.span_id (the submit span) parents the
+    /// cross-thread hop onto the worker. Minted even when tracing is off,
+    /// so exemplars and flight dumps can still name the query.
+    obs::TraceContext ctx{};
+    /// Submission sequence number — the deterministic sampling coordinate.
+    std::uint64_t seq = 0;
+    /// Something noteworthy happened (fault, retry, failover, degraded,
+    /// error, SLO breach): the trace is exempt from sampling. Only touched
+    /// by the worker currently running the job.
+    bool eventful = false;
   };
 
   /// One simulated device plus the host lock serializing launches on it
@@ -400,7 +442,12 @@ class QueryEngine {
   obs::Counter& c_shard_tiles_;
   obs::Counter& c_shard_lanes_lost_;
   obs::Counter& c_shard_tiles_failed_over_;
+  obs::Counter& c_slo_breached_;
   obs::FixedHistogram& h_latency_;
+  /// Per-worker in-flight gauges (`serve.worker.<i>.inflight`), resolved
+  /// once at construction so the worker loop pays one relaxed store per
+  /// transition.
+  std::vector<obs::Gauge*> g_worker_inflight_;
 
   std::vector<std::unique_ptr<DeviceSlot>> slots_;
   /// CPU workers' backends, index = worker_index - gpu_worker_count().
@@ -436,6 +483,9 @@ class QueryEngine {
 
   LatencyRecorder latency_;
   std::atomic<std::int64_t> busy_ns_{0};  ///< summed worker execution time
+  std::atomic<std::uint64_t> submit_seq_{0};  ///< Job::seq mint
+  obs::SloMonitor slo_;
+  std::unique_ptr<obs::TelemetryBus> telemetry_;  ///< null when disabled
   Clock::time_point epoch_ = Clock::now();
   std::vector<std::thread> workers_;
 };

@@ -125,10 +125,13 @@ std::uint64_t FlightRecorder::dropped() const {
 
 std::string FlightRecorder::to_json(std::string_view reason,
                                     double p99_seconds,
-                                    double threshold_seconds) const {
+                                    double threshold_seconds,
+                                    std::string_view trace_id) const {
   const std::vector<Record> events = snapshot();
   std::string out = "{\n  \"schema\": \"tbs.flight_recorder.v1\",\n";
   out += "  \"reason\": \"" + obs::json::escape(reason) + "\",\n";
+  if (!trace_id.empty())
+    out += "  \"trace_id\": \"" + obs::json::escape(trace_id) + "\",\n";
   out += "  \"p99_seconds\": " + obs::json::finite_number(p99_seconds) + ",\n";
   out += "  \"threshold_seconds\": " +
          obs::json::finite_number(threshold_seconds) + ",\n";
@@ -156,10 +159,11 @@ std::string FlightRecorder::to_json(std::string_view reason,
 }
 
 bool FlightRecorder::dump(const std::string& path, std::string_view reason,
-                          double p99_seconds, double threshold_seconds) const {
+                          double p99_seconds, double threshold_seconds,
+                          std::string_view trace_id) const {
   std::ofstream os(path);
   if (!os) return false;
-  os << to_json(reason, p99_seconds, threshold_seconds);
+  os << to_json(reason, p99_seconds, threshold_seconds, trace_id);
   return static_cast<bool>(os);
 }
 
@@ -183,6 +187,16 @@ bool FlightRecorder::maybe_dump_slo_breach(double p99_seconds) {
   if (!policy_.dump_path.empty())
     dump(policy_.dump_path, "slo_breach", p99_seconds,
          policy_.p99_threshold_seconds);
+  return true;
+}
+
+bool FlightRecorder::dump_slo_monitor_breach(double p99_seconds,
+                                             std::string_view trace_id) {
+  if (!acquire_dump_slot()) return false;
+  auto_dumps_.fetch_add(1, std::memory_order_relaxed);
+  if (!policy_.dump_path.empty())
+    dump(policy_.dump_path, "slo_breach", p99_seconds,
+         policy_.p99_threshold_seconds, trace_id);
   return true;
 }
 

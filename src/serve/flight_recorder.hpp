@@ -123,20 +123,30 @@ class FlightRecorder {
 
   /// The dump document: {"schema", "reason", "p99_seconds",
   /// "threshold_seconds", "total_recorded", "dropped", "capacity",
-  /// "events": [...]}.
+  /// "events": [...]}. A non-empty `trace_id` (the hex id of the query
+  /// that triggered the dump) is included as a top-level field, so the
+  /// dump names the trace to open in the exported Chrome trace.
   [[nodiscard]] std::string to_json(std::string_view reason,
                                     double p99_seconds = 0.0,
-                                    double threshold_seconds = 0.0) const;
+                                    double threshold_seconds = 0.0,
+                                    std::string_view trace_id = {}) const;
 
   /// Write to_json() to `path`; false if the file won't open.
   bool dump(const std::string& path, std::string_view reason = "manual",
-            double p99_seconds = 0.0, double threshold_seconds = 0.0) const;
+            double p99_seconds = 0.0, double threshold_seconds = 0.0,
+            std::string_view trace_id = {}) const;
 
   /// SLO gate: when the policy enables it, `p99_seconds` breaches the
   /// threshold, and no automatic dump happened within the window, dump
   /// once and return true. Concurrent callers race on one CAS — exactly
   /// one wins per window.
   bool maybe_dump_slo_breach(double p99_seconds);
+
+  /// Burn-rate gate: the engine's SloMonitor already decided this is a
+  /// breach transition, so no threshold check here — just the per-window
+  /// limiter. The dump (reason "slo_breach") names the breaching query's
+  /// trace id. Returns true when a dump was taken.
+  bool dump_slo_monitor_breach(double p99_seconds, std::string_view trace_id);
 
   /// Shed gate: when the policy enables it, dump (same window limiter,
   /// reason "shed") and return true.

@@ -167,6 +167,9 @@ Report Executor::run(std::span<const Lane> lanes, const PointsSoA& pts,
   for (std::size_t l = 0; l < lanes.size(); ++l) {
     if (runs[l].queue.empty()) continue;
     threads.emplace_back([&, l] {
+      // Lane threads are born context-free; adopt the owning query's trace
+      // so anything recorded here (backend launch observers) links up.
+      const obs::ScopedTraceContext trace_scope(opt.trace);
       LaneRun& run = runs[l];
       for (std::size_t qi = 0; qi < run.queue.size(); ++qi) {
         const std::size_t id = run.queue[qi];

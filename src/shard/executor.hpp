@@ -30,6 +30,7 @@
 #include "backend/backend.hpp"
 #include "common/histogram.hpp"
 #include "common/points.hpp"
+#include "obs/trace.hpp"
 #include "shard/partition.hpp"
 #include "shard/router.hpp"
 #include "shard/tiles.hpp"
@@ -56,6 +57,10 @@ struct Options {
   /// fixed cross kernel (backend::IBackend::launch_cross).
   const kernels::KernelVariant* variant = nullptr;
   int block_size = 256;
+  /// Trace context of the owning query, installed on every lane thread so
+  /// backend launch-observer spans recorded there join the query's trace.
+  /// Invalid (default) = lane threads run trace-context-free.
+  obs::TraceContext trace{};
 };
 
 /// Audit record of one executed tile.

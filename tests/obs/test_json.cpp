@@ -99,3 +99,111 @@ TEST(JsonNumber, FiniteNumberClampsAndReportsNonFiniteValues) {
   EXPECT_EQ(json::finite_number(1.0, &clamped), "1");
   EXPECT_TRUE(clamped);
 }
+
+// ---------------------------------------------------------------------------
+// Nasty-name fuzz: the exporters put CALLER-CHOSEN strings (metric names,
+// span names, attr values, breach reasons) between quotes via escape().
+// Any byte string must survive escape -> parse unchanged, including through
+// the real exporters — a query key containing `"` or a newline must not be
+// able to corrupt the ops feed or the trace.
+// ---------------------------------------------------------------------------
+
+#include <random>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+/// Deterministic nasty string: biased toward quotes, backslashes, control
+/// characters, and high bytes — the corners of the escape table.
+std::string nasty_string(std::mt19937& rng) {
+  static const char kNasty[] = {'"', '\\', '\n', '\r', '\t', '\b', '\f',
+                                '\0', '{', '}', '[', ']', ':', ',', '/'};
+  std::uniform_int_distribution<int> len(0, 48);
+  std::uniform_int_distribution<int> mode(0, 3);
+  std::uniform_int_distribution<int> nasty(0, sizeof(kNasty) - 1);
+  std::uniform_int_distribution<int> any(0, 255);
+  std::uniform_int_distribution<int> printable(0x20, 0x7e);
+  std::string s;
+  const int n = len(rng);
+  for (int i = 0; i < n; ++i) {
+    switch (mode(rng)) {
+      case 0: s.push_back(kNasty[nasty(rng)]); break;
+      case 1: s.push_back(static_cast<char>(any(rng))); break;
+      default: s.push_back(static_cast<char>(printable(rng))); break;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+TEST(JsonEscapeFuzz, ArbitraryByteStringsRoundTrip) {
+  std::mt19937 rng(0xbadc0de);
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::string original = nasty_string(rng);
+    std::string doc = "\"";
+    doc += json::escape(original);
+    doc += "\"";
+    const json::Value parsed = json::parse(doc);
+    ASSERT_TRUE(parsed.is_string()) << "iter " << iter;
+    ASSERT_EQ(parsed.string, original) << "iter " << iter;
+  }
+}
+
+TEST(JsonEscapeFuzz, NastyMetricNamesSurviveJsonSnapshot) {
+  std::mt19937 rng(0xfeedface);
+  tbs::obs::MetricsRegistry registry;
+  std::vector<std::string> names;
+  for (int i = 0; i < 32; ++i) {
+    // Distinct prefix: nasty_string may collide (e.g. two empty strings).
+    std::string name = std::to_string(i);
+    name += ".";
+    name += nasty_string(rng);
+    names.push_back(name);
+    registry.counter(name).inc(static_cast<std::uint64_t>(i));
+    registry.gauge("g." + name).set(i * 0.5);
+  }
+  registry.histogram("h." + names[0], {0.1, 1.0}).observe(0.05);
+
+  const json::Value doc = json::parse(registry.json_snapshot());
+  const json::Value& counters = doc.at("counters");
+  const json::Value& gauges = doc.at("gauges");
+  for (int i = 0; i < 32; ++i) {
+    const std::string& name = names[static_cast<std::size_t>(i)];
+    ASSERT_NE(counters.find(name), nullptr) << "counter lost: iter " << i;
+    EXPECT_EQ(counters.at(name).number, static_cast<double>(i));
+    ASSERT_NE(gauges.find("g." + name), nullptr) << "gauge lost: iter " << i;
+  }
+  EXPECT_NE(doc.at("histograms").find("h." + names[0]), nullptr);
+}
+
+TEST(JsonEscapeFuzz, NastySpanNamesAndAttrsSurviveChromeExport) {
+  std::mt19937 rng(0xc0ffee);
+  tbs::obs::Tracer tracer;
+  tracer.enable();
+  std::vector<std::pair<std::string, std::string>> recorded;
+  for (int i = 0; i < 32; ++i) {
+    std::string name = std::to_string(i);
+    name += "|";
+    name += nasty_string(rng);
+    const std::string value = nasty_string(rng);
+    recorded.emplace_back(name, value);
+    tbs::obs::Span span(tracer, name, "fuzz");
+    span.attr("k", value);
+  }
+  const json::Value doc = json::parse(tracer.chrome_trace_json());
+  const json::Value& events = doc.at("traceEvents");
+  ASSERT_EQ(events.array.size(), recorded.size());
+  for (const json::Value& ev : events.array) {
+    const std::string& name = ev.at("name").string;
+    bool found = false;
+    for (const auto& [n, v] : recorded)
+      if (n == name) {
+        found = true;
+        EXPECT_EQ(ev.at("args").at("k").string, v);
+      }
+    EXPECT_TRUE(found) << "span name mangled: " << name;
+  }
+}

@@ -1,0 +1,130 @@
+// obs::SloMonitor — burn-rate math, edge-triggered breach transitions,
+// the min_samples gate, and the disabled fast path.
+#include <gtest/gtest.h>
+
+#include "obs/slo.hpp"
+
+namespace obs = tbs::obs;
+
+namespace {
+
+obs::SloMonitor::Objective objective(double latency_s = 0.05) {
+  obs::SloMonitor::Objective o;
+  o.latency_seconds = latency_s;
+  o.latency_target = 0.99;   // 1% slow budget
+  o.error_budget = 0.01;     // 1% error budget
+  o.window_seconds = 60.0;   // long window: tests never age out mid-run
+  o.buckets = 10;
+  o.min_samples = 10;
+  return o;
+}
+
+}  // namespace
+
+TEST(SloMonitor, DisabledMonitorIsANoOp) {
+  obs::SloMonitor slo(obs::SloMonitor::Objective{});  // latency_seconds 0
+  EXPECT_FALSE(slo.enabled());
+  for (int i = 0; i < 100; ++i)
+    EXPECT_FALSE(slo.record(10.0, /*error=*/true));
+  EXPECT_EQ(slo.breaches(), 0u);
+  EXPECT_EQ(slo.status().total, 0u);
+}
+
+TEST(SloMonitor, HealthyTrafficNeverBreaches) {
+  obs::SloMonitor slo(objective());
+  for (int i = 0; i < 200; ++i)
+    EXPECT_FALSE(slo.record(0.001, /*error=*/false));
+  const obs::SloMonitor::Status st = slo.status();
+  EXPECT_EQ(st.total, 200u);
+  EXPECT_EQ(st.slow, 0u);
+  EXPECT_EQ(st.errors, 0u);
+  EXPECT_DOUBLE_EQ(st.latency_burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(st.error_burn_rate, 0.0);
+  EXPECT_FALSE(st.breached());
+}
+
+TEST(SloMonitor, BurnRatesMatchTheBudgetArithmetic) {
+  obs::SloMonitor slo(objective());
+  // 90 fast-and-clean, 10 slow, of which 5 errored: slow_rate 0.10,
+  // error_rate 0.05 against budgets of 0.01 each.
+  for (int i = 0; i < 90; ++i) slo.record(0.001, false);
+  for (int i = 0; i < 5; ++i) slo.record(0.2, false);
+  for (int i = 0; i < 5; ++i) slo.record(0.2, true);
+  const obs::SloMonitor::Status st = slo.status();
+  EXPECT_EQ(st.total, 100u);
+  EXPECT_EQ(st.slow, 10u);
+  EXPECT_EQ(st.errors, 5u);
+  EXPECT_NEAR(st.slow_rate, 0.10, 1e-12);
+  EXPECT_NEAR(st.error_rate, 0.05, 1e-12);
+  EXPECT_NEAR(st.latency_burn_rate, 0.10 / (1.0 - 0.99), 1e-9);  // 10x
+  EXPECT_NEAR(st.error_burn_rate, 0.05 / 0.01, 1e-9);            // 5x
+  EXPECT_TRUE(st.latency_breached);
+  EXPECT_TRUE(st.error_breached);
+}
+
+TEST(SloMonitor, BreachIsEdgeTriggeredOncePerIncident) {
+  obs::SloMonitor slo(objective());
+  // Warm past min_samples healthy, then go 100% slow: exactly ONE record()
+  // returns true even though every later sample keeps the window unhealthy.
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(slo.record(0.001, false));
+  int transitions = 0;
+  for (int i = 0; i < 50; ++i)
+    if (slo.record(1.0, false)) ++transitions;
+  EXPECT_EQ(transitions, 1);
+  EXPECT_EQ(slo.breaches(), 1u);
+  EXPECT_EQ(slo.latency_breaches(), 1u);
+  EXPECT_EQ(slo.error_breaches(), 0u);
+  EXPECT_TRUE(slo.status().breached());
+}
+
+TEST(SloMonitor, MinSamplesGatesTheJudgment) {
+  obs::SloMonitor slo(objective());
+  // 9 catastrophic samples: burn rate is enormous but the window is below
+  // min_samples, so no breach is declared...
+  for (int i = 0; i < 9; ++i) EXPECT_FALSE(slo.record(1.0, true));
+  EXPECT_FALSE(slo.status().breached());
+  EXPECT_EQ(slo.breaches(), 0u);
+  // ...and the 10th sample crosses the gate and transitions into breach.
+  EXPECT_TRUE(slo.record(1.0, true));
+  EXPECT_EQ(slo.breaches(), 1u);
+  // Both objectives were violated at the transition; each counts its cause.
+  EXPECT_EQ(slo.latency_breaches(), 1u);
+  EXPECT_EQ(slo.error_breaches(), 1u);
+}
+
+TEST(SloMonitor, ErrorOnlyBreachLeavesLatencyCounterAlone) {
+  obs::SloMonitor slo(objective());
+  // All fast, but 5% erroring: only the error objective breaches.
+  for (int i = 0; i < 95; ++i) slo.record(0.001, false);
+  for (int i = 0; i < 5; ++i) slo.record(0.001, true);
+  EXPECT_GE(slo.breaches(), 1u);
+  EXPECT_EQ(slo.latency_breaches(), 0u);
+  EXPECT_GE(slo.error_breaches(), 1u);
+  const obs::SloMonitor::Status st = slo.status();
+  EXPECT_TRUE(st.error_breached);
+  EXPECT_FALSE(st.latency_breached);
+}
+
+TEST(SloMonitor, RecoveryRearmsTheEdgeTrigger) {
+  obs::SloMonitor::Objective o = objective();
+  o.min_samples = 5;
+  obs::SloMonitor slo(o);
+  for (int i = 0; i < 10; ++i) slo.record(0.001, false);
+  int transitions = 0;
+  for (int i = 0; i < 10; ++i)
+    if (slo.record(1.0, false)) ++transitions;
+  EXPECT_EQ(transitions, 1);
+  // Flood the window with healthy traffic until the slow fraction drops
+  // back under budget; the monitor must leave breach...
+  bool recovered = false;
+  for (int i = 0; i < 5000 && !recovered; ++i) {
+    slo.record(0.001, false);
+    recovered = !slo.status().breached();
+  }
+  ASSERT_TRUE(recovered);
+  // ...and a second incident fires a second transition.
+  for (int i = 0; i < 6000; ++i)
+    if (slo.record(1.0, false)) ++transitions;
+  EXPECT_EQ(transitions, 2);
+  EXPECT_EQ(slo.breaches(), 2u);
+}

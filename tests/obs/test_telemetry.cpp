@@ -1,0 +1,200 @@
+// obs::TelemetryBus + the Prometheus text exposition — name sanitization,
+// exposition grammar (cumulative buckets, +Inf, exemplars), the JSONL ops
+// feed (schema, strictly increasing seq, feed truncation at construction),
+// and the background snapshotter lifecycle.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace obs = tbs::obs;
+namespace json = tbs::obs::json;
+using tbs::CheckError;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line))
+    if (!line.empty()) out.push_back(line);
+  return out;
+}
+
+std::string temp_path(const char* leaf) {
+  return std::string(::testing::TempDir()) + leaf;
+}
+
+}  // namespace
+
+TEST(PrometheusName, SanitizesToTheExpositionCharset) {
+  EXPECT_EQ(obs::prometheus_name("serve.queue_depth"),
+            "tbs_serve_queue_depth");
+  EXPECT_EQ(obs::prometheus_name("serve.worker.0.inflight"),
+            "tbs_serve_worker_0_inflight");
+  EXPECT_EQ(obs::prometheus_name("a:b"), "tbs_a:b");  // colons are legal
+  // π and ß are two UTF-8 bytes each; every byte outside the charset maps
+  // to its own underscore.
+  EXPECT_EQ(obs::prometheus_name("weird name/πß\""), "tbs_weird_name______");
+  EXPECT_EQ(obs::prometheus_name(""), "tbs_");
+}
+
+TEST(PrometheusText, EmitsCountersGaugesAndCumulativeHistogram) {
+  obs::MetricsRegistry registry;
+  registry.counter("serve.submitted").inc(7);
+  registry.gauge("serve.queue_depth").set(3.0);
+  obs::FixedHistogram& h = registry.histogram("serve.latency", {0.1, 1.0});
+  h.observe(0.05);
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+
+  const std::string text = obs::prometheus_text(registry);
+  const std::vector<std::string> lines = lines_of(text);
+
+  auto has = [&](const std::string& want) {
+    for (const std::string& l : lines)
+      if (l == want) return true;
+    return false;
+  };
+  EXPECT_TRUE(has("# TYPE tbs_serve_submitted counter")) << text;
+  EXPECT_TRUE(has("tbs_serve_submitted 7"));
+  EXPECT_TRUE(has("# TYPE tbs_serve_queue_depth gauge"));
+  EXPECT_TRUE(has("tbs_serve_queue_depth 3"));
+  EXPECT_TRUE(has("# TYPE tbs_serve_latency histogram"));
+  // Buckets are CUMULATIVE and end at +Inf; sum/count close the family.
+  // (le labels are printed by json::number — don't re-derive its digits.)
+  std::string le01 = "tbs_serve_latency_bucket{le=\"";
+  le01 += json::number(0.1);
+  le01 += "\"} 2";
+  EXPECT_TRUE(has(le01)) << text;
+  EXPECT_TRUE(has("tbs_serve_latency_bucket{le=\"1\"} 3"));
+  EXPECT_TRUE(has("tbs_serve_latency_bucket{le=\"+Inf\"} 4"));
+  EXPECT_TRUE(has("tbs_serve_latency_count 4"));
+  bool saw_sum = false;
+  for (const std::string& l : lines)
+    if (l.rfind("tbs_serve_latency_sum ", 0) == 0) saw_sum = true;
+  EXPECT_TRUE(saw_sum);
+}
+
+TEST(PrometheusText, TracedObservationsCarryExemplars) {
+  obs::MetricsRegistry registry;
+  obs::FixedHistogram& h = registry.histogram("lat", {0.1});
+  const std::uint64_t trace_id = obs::Tracer::mint_trace_id();
+  h.observe(0.25, trace_id);  // lands in the +Inf bucket, stamps exemplar
+  h.observe(0.01);            // untraced: its bucket has NO exemplar
+
+  const std::string text = obs::prometheus_text(registry);
+  const std::string want =
+      " # {trace_id=\"" + obs::trace_id_hex(trace_id) + "\"} 0.25";
+  EXPECT_NE(text.find(want), std::string::npos) << text;
+  // Exactly one exemplar: the untraced bucket stays bare.
+  std::size_t exemplars = 0;
+  for (const std::string& l : lines_of(text))
+    if (l.find(" # {trace_id=") != std::string::npos) ++exemplars;
+  EXPECT_EQ(exemplars, 1u);
+}
+
+TEST(TelemetryBus, DisabledWhenNoPathConfigured) {
+  obs::TelemetryBus bus(obs::TelemetryBus::Config{}, nullptr, nullptr);
+  EXPECT_FALSE(bus.enabled());
+  bus.start();  // all no-ops
+  bus.tick();
+  bus.stop();
+  EXPECT_EQ(bus.ticks(), 0u);
+}
+
+TEST(TelemetryBus, ConstructorValidatesItsWiring) {
+  obs::MetricsRegistry registry;
+  obs::TelemetryBus::Config cfg;
+  cfg.prometheus_path = temp_path("tbus_bad.txt");
+  cfg.period_seconds = 0.0;
+  EXPECT_THROW(obs::TelemetryBus(cfg, &registry, nullptr), CheckError);
+  cfg.period_seconds = 0.5;
+  EXPECT_THROW(obs::TelemetryBus(cfg, nullptr, nullptr), CheckError);
+  obs::TelemetryBus::Config feed_only;
+  feed_only.ops_feed_path = temp_path("tbus_bad.jsonl");
+  EXPECT_THROW(obs::TelemetryBus(feed_only, nullptr, nullptr), CheckError);
+}
+
+TEST(TelemetryBus, ManualTicksAppendFeedAndRewriteExposition) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("ticked");
+  obs::TelemetryBus::Config cfg;
+  cfg.ops_feed_path = temp_path("tbus_feed.jsonl");
+  cfg.prometheus_path = temp_path("tbus_prom.txt");
+  // Pre-seed a stale feed: construction must truncate it so seq starts
+  // clean for this process.
+  { std::ofstream(cfg.ops_feed_path) << "{\"stale\": true}\n"; }
+
+  obs::TelemetryBus bus(cfg, &registry,
+                        [&] { return registry.json_snapshot(); });
+  ASSERT_TRUE(bus.enabled());
+  c.inc();
+  bus.tick();
+  c.inc();
+  bus.tick();
+  EXPECT_EQ(bus.ticks(), 2u);
+
+  const std::vector<std::string> feed = lines_of(slurp(cfg.ops_feed_path));
+  ASSERT_EQ(feed.size(), 2u);  // the stale line is gone
+  double last_seq = -1.0;
+  for (std::size_t i = 0; i < feed.size(); ++i) {
+    const json::Value doc = json::parse(feed[i]);  // one object per line
+    EXPECT_EQ(doc.at("schema").string, "tbs.ops_feed.v1");
+    EXPECT_TRUE(doc.at("t_us").is_number());
+    EXPECT_GT(doc.at("seq").number, last_seq);  // strictly increasing
+    last_seq = doc.at("seq").number;
+    // The flattened metrics document is live, not a copy from tick 0.
+    EXPECT_EQ(doc.at("metrics").at("counters").at("ticked").number,
+              static_cast<double>(i + 1));
+  }
+
+  // The exposition file is rewritten whole each tick (a scrape target,
+  // not a log): exactly one sample line for the counter, at its latest
+  // value.
+  const std::vector<std::string> prom = lines_of(slurp(cfg.prometheus_path));
+  std::size_t sample_lines = 0;
+  for (const std::string& l : prom)
+    if (l == "tbs_ticked 2") ++sample_lines;
+  EXPECT_EQ(sample_lines, 1u);
+}
+
+TEST(TelemetryBus, BackgroundThreadTicksAndStopFlushesFinalState) {
+  obs::MetricsRegistry registry;
+  registry.counter("bg").inc();
+  obs::TelemetryBus::Config cfg;
+  cfg.period_seconds = 0.01;
+  cfg.prometheus_path = temp_path("tbus_bg_prom.txt");
+  obs::TelemetryBus bus(cfg, &registry, nullptr);
+  bus.start();
+  bus.start();  // idempotent: no second thread, no deadlock
+  // stop() joins the thread and always emits one final tick, so even a
+  // run shorter than one period leaves artifacts.
+  bus.stop();
+  EXPECT_GE(bus.ticks(), 1u);
+  EXPECT_NE(slurp(cfg.prometheus_path).find("tbs_bg 1"), std::string::npos);
+  bus.stop();  // already stopped: no-op
+
+  const std::uint64_t after = bus.ticks();
+  bus.start();  // restartable after stop
+  bus.stop();
+  EXPECT_GT(bus.ticks(), after);
+}

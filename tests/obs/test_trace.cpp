@@ -2,6 +2,7 @@
 // disabled fast path, and the Chrome trace-event export.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -127,6 +128,172 @@ TEST(Tracer, ClearDropsSpansAndDisableStopsCollection) {
   tracer.disable();
   { obs::Span s(tracer, "b", "test"); }
   EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(TraceContext, ExplicitRootThenImplicitInheritance) {
+  obs::Tracer tracer;
+  tracer.enable();
+  const std::uint64_t trace_id = obs::Tracer::mint_trace_id();
+  {
+    obs::Span root(tracer, "root", "test", obs::TraceContext{trace_id, 0});
+    ASSERT_TRUE(root.context().valid());
+    EXPECT_EQ(root.context().trace_id, trace_id);
+    // An inner span with NO explicit parent inherits through the
+    // thread-local stack — the zero-plumbing path the planner uses.
+    obs::Span inner(tracer, "inner", "test");
+  }
+  const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const obs::SpanRecord* root = find_span(spans, "root");
+  const obs::SpanRecord* inner = find_span(spans, "inner");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(root->trace_id, trace_id);
+  EXPECT_EQ(root->parent_id, 0u);  // trace root
+  EXPECT_NE(root->span_id, 0u);
+  EXPECT_EQ(inner->trace_id, trace_id);
+  EXPECT_EQ(inner->parent_id, root->span_id);
+  EXPECT_NE(inner->span_id, root->span_id);
+}
+
+TEST(TraceContext, ContextFreeSpansStayContextFree) {
+  obs::Tracer tracer;
+  tracer.enable();
+  { obs::Span span(tracer, "plain", "test"); }
+  const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, 0u);
+  EXPECT_EQ(spans[0].span_id, 0u);
+  EXPECT_FALSE(obs::current_trace_context().valid());
+}
+
+TEST(TraceContext, ScopedTraceContextInstallsOnAForeignThread) {
+  obs::Tracer tracer;
+  tracer.enable();
+  const obs::TraceContext ctx{obs::Tracer::mint_trace_id(),
+                              obs::Tracer::mint_trace_id()};
+  // A lane thread has no enclosing Span; ScopedTraceContext is how the
+  // executor hands it the query's identity.
+  std::thread lane([&] {
+    EXPECT_FALSE(obs::current_trace_context().valid());
+    {
+      const obs::ScopedTraceContext scope(ctx);
+      EXPECT_EQ(obs::current_trace_context().trace_id, ctx.trace_id);
+      obs::Span work(tracer, "lane_work", "test");
+    }
+    EXPECT_FALSE(obs::current_trace_context().valid());
+  });
+  lane.join();
+  const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, ctx.trace_id);
+  EXPECT_EQ(spans[0].parent_id, ctx.span_id);
+}
+
+TEST(TraceContext, InvalidScopedContextIsANoOp) {
+  const obs::ScopedTraceContext scope(obs::TraceContext{});
+  EXPECT_FALSE(obs::current_trace_context().valid());
+}
+
+TEST(TraceContext, RecordSpanCtxOverloadJoinsTheTrace) {
+  obs::Tracer tracer;
+  tracer.enable();
+  const obs::TraceContext ctx{obs::Tracer::mint_trace_id(),
+                              obs::Tracer::mint_trace_id()};
+  const auto start = obs::Tracer::Clock::now();
+  tracer.record_span("wait", "test", start,
+                     start + std::chrono::microseconds(10), ctx,
+                     {{"key", "k"}}, tracer.track_tid("queue"));
+  // The invalid-ctx overload degrades to a context-free span.
+  tracer.record_span("plain", "test", start,
+                     start + std::chrono::microseconds(10),
+                     obs::TraceContext{});
+  const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const obs::SpanRecord* wait = find_span(spans, "wait");
+  const obs::SpanRecord* plain = find_span(spans, "plain");
+  ASSERT_NE(wait, nullptr);
+  ASSERT_NE(plain, nullptr);
+  EXPECT_EQ(wait->trace_id, ctx.trace_id);
+  EXPECT_EQ(wait->parent_id, ctx.span_id);
+  EXPECT_NE(wait->span_id, 0u);
+  EXPECT_EQ(plain->trace_id, 0u);
+}
+
+TEST(TraceContext, DropTraceRemovesOnlyThatTrace) {
+  obs::Tracer tracer;
+  tracer.enable();
+  const std::uint64_t keep = obs::Tracer::mint_trace_id();
+  const std::uint64_t drop = obs::Tracer::mint_trace_id();
+  { obs::Span s(tracer, "kept", "test", obs::TraceContext{keep, 0}); }
+  {
+    obs::Span s(tracer, "dropped_a", "test", obs::TraceContext{drop, 0});
+    obs::Span inner(tracer, "dropped_b", "test");
+  }
+  { obs::Span s(tracer, "ctx_free", "test"); }
+  ASSERT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.drop_trace(drop), 2u);
+  EXPECT_EQ(tracer.drop_trace(0), 0u);  // never matches context-free spans
+  const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(find_span(spans, "kept"), nullptr);
+  EXPECT_NE(find_span(spans, "ctx_free"), nullptr);
+}
+
+TEST(TraceContext, TraceIdHexFormatsSixteenLowercaseDigits) {
+  EXPECT_EQ(obs::trace_id_hex(0), "0000000000000000");
+  EXPECT_EQ(obs::trace_id_hex(0x2a), "000000000000002a");
+  EXPECT_EQ(obs::trace_id_hex(0xDEADBEEFCAFEF00DULL), "deadbeefcafef00d");
+}
+
+TEST(TraceContext, ChromeExportEmitsIdsAndCrossThreadFlowPair) {
+  obs::Tracer tracer;
+  tracer.enable();
+  obs::TraceContext parent_ctx;
+  {
+    obs::Span parent(tracer, "parent", "test",
+                     obs::TraceContext{obs::Tracer::mint_trace_id(), 0});
+    parent_ctx = parent.context();
+    std::thread worker([&] {
+      obs::Span child(tracer, "child", "test", parent_ctx);
+    });
+    worker.join();
+  }
+  { obs::Span plain(tracer, "plain", "test"); }  // no ctx -> no flow
+
+  const json::Value doc = json::parse(tracer.chrome_trace_json());
+  std::size_t flows_s = 0, flows_f = 0;
+  std::string flow_id_s, flow_id_f;
+  for (const json::Value& ev : doc.at("traceEvents").array) {
+    const std::string& ph = ev.at("ph").string;
+    if (ph == "s") {
+      ++flows_s;
+      flow_id_s = ev.at("id").string;
+    } else if (ph == "f") {
+      ++flows_f;
+      flow_id_f = ev.at("id").string;
+      EXPECT_EQ(ev.at("bp").string, "e");
+    } else {
+      ASSERT_EQ(ph, "X");
+      const std::string& name = ev.at("name").string;
+      if (name == "plain") {
+        EXPECT_EQ(ev.find("args"), nullptr);  // no ids leaked
+      } else {
+        const json::Value& args = ev.at("args");
+        EXPECT_EQ(args.at("trace_id").string,
+                  obs::trace_id_hex(parent_ctx.trace_id));
+        if (name == "child") {
+          EXPECT_EQ(args.at("parent_id").string,
+                    obs::trace_id_hex(parent_ctx.span_id));
+        }
+      }
+    }
+  }
+  // Exactly one flow pair (parent->child crosses threads; plain has none),
+  // bound together by the child's span id.
+  EXPECT_EQ(flows_s, 1u);
+  EXPECT_EQ(flows_f, 1u);
+  EXPECT_EQ(flow_id_s, flow_id_f);
 }
 
 TEST(Tracer, ChromeExportParsesAndCarriesEveryField) {

@@ -79,10 +79,18 @@ TEST(TraceCoverage, EngineRunProducesAValidFullyCoveredTrace) {
   const std::vector<obs::SpanRecord> spans = tracer.snapshot();
   ASSERT_FALSE(spans.empty());
 
-  // 1. The Chrome export is valid JSON carrying every span.
+  // 1. The Chrome export is valid JSON carrying every span as an "X"
+  //    complete event (flow events — ph "s"/"f" — ride along for
+  //    cross-thread parent links and are validated in test_trace.cpp).
   const json::Value doc = json::parse(tracer.chrome_trace_json());
   ASSERT_TRUE(doc.at("traceEvents").is_array());
-  EXPECT_EQ(doc.at("traceEvents").array.size(), spans.size());
+  std::size_t complete_events = 0;
+  for (const json::Value& e : doc.at("traceEvents").array) {
+    const std::string& ph = e.at("ph").string;
+    ASSERT_TRUE(ph == "X" || ph == "s" || ph == "f") << "unknown ph " << ph;
+    if (ph == "X") ++complete_events;
+  }
+  EXPECT_EQ(complete_events, spans.size());
 
   // 2. Spans on any real thread nest: no partial overlap. (Synthetic
   //    tracks >= kFirstTrackTid hold retroactive queue-wait spans that may
