@@ -1,0 +1,278 @@
+// Cost attribution & planner estimate feedback — the ops-plane bench.
+//
+// Two sections:
+//
+// 1. A sharded chaos workload (4 shards, one lane dead on arrival) through
+//    a heterogeneous QueryEngine with tracing on. Every query carries a
+//    SubmitOptions::cost sink; the bench checks the ledger's books balance
+//    (Σ per-tile attributions == the launch phase within 1%, waste
+//    itemized separately from the productive phases) and exports the ops
+//    artifacts: cost_ledger.json (schema tbs.cost_ledger.v1) and
+//    cost_profile.collapsed (flamegraph input folded from the span tree).
+//    Wall-clock numbers ride BENCH_cost.json ungated; the *balance* checks
+//    are hard shape checks.
+//
+// 2. The estimate-feedback loop, twice. A deterministic synthetic run
+//    (constant 2.5x model bias through core::EstimateCorrector) produces
+//    exact, machine-independent accuracy numbers — those are gated. Then a
+//    live CPU-only engine with a deliberately mispriced pair cost serves
+//    20+ planned queries; the EWMA-corrected error must land measurably
+//    below the raw model's (shape check + ungated metrics), closing the
+//    acceptance loop end to end. The corrector's enforce() gate runs on
+//    the synthetic corrector; `--inject-estimate-error F` multiplies the
+//    measured seconds fed to it by F first, so CI can prove the accuracy
+//    gate actually fails when estimates blow out.
+//
+// Artifacts (--out <dir> / TBS_ARTIFACT_DIR; default "."):
+//   BENCH_cost.json         — the shared BenchReport schema
+//   cost_ledger.json        — CostLedger::json() of the chaos run
+//   cost_profile.collapsed  — collapsed stacks of the chaos run's spans
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/datagen.hpp"
+#include "common/table.hpp"
+#include "core/feedback.hpp"
+#include "harness.hpp"
+#include "obs/cost.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "serve/engine.hpp"
+
+namespace {
+
+using tbs::PointsSoA;
+namespace obs = tbs::obs;
+namespace serve = tbs::serve;
+namespace core = tbs::core;
+
+constexpr int kBuckets = 24;
+
+double width_for(const PointsSoA& pts) {
+  return pts.max_possible_distance() / kBuckets + 1e-4;
+}
+
+struct ChaosResult {
+  std::vector<obs::QueryCost> sharded;  ///< per-query ledgers, sinks
+  obs::CostLedger::Aggregate total;
+  std::string ledger_json_path;
+  std::string collapsed_path;
+  std::size_t collapsed_lines = 0;
+};
+
+/// 4-way sharded queries through a pool that loses one device lane on its
+/// first launch, plus an unsharded + cache-hit chaser per dataset so the
+/// ledger has every row kind to roll up.
+ChaosResult run_chaos(const std::string& out_dir) {
+  obs::Tracer::global().clear();
+  obs::Tracer::global().enable();
+
+  serve::QueryEngine::Config cfg;
+  cfg.devices = 2;
+  cfg.streams_per_device = 1;
+  cfg.cpu_workers = 1;
+  cfg.cpu_threads = 2;
+  cfg.faults.resize(2);
+  cfg.faults[1].device_lost = true;
+  ChaosResult out;
+  {
+    serve::QueryEngine engine(cfg);
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      const PointsSoA pts = tbs::uniform_box(500, 10.0f, 40 + seed);
+      const double width = width_for(pts);
+      serve::SubmitOptions opts;
+      opts.shards = 4;
+      opts.cost = std::make_shared<obs::QueryCost>();
+      (void)engine.sdh(pts, width, kBuckets, opts).get();
+      out.sharded.push_back(*opts.cost);
+      (void)engine.pcf(pts, width * 2.0).get();      // unsharded row
+      (void)engine.sdh(pts, width, kBuckets).get();  // cache-hit row
+    }
+    out.total = engine.cost_ledger().total();
+    out.ledger_json_path = obs::artifact_path(out_dir, "cost_ledger.json");
+    if (engine.cost_ledger().write_json(out.ledger_json_path))
+      std::printf("wrote %s\n", out.ledger_json_path.c_str());
+
+    out.collapsed_path =
+        obs::artifact_path(out_dir, "cost_profile.collapsed");
+    const std::string folded = obs::collapsed_stacks(engine.tracer());
+    for (char c : folded) out.collapsed_lines += c == '\n' ? 1 : 0;
+    if (obs::write_collapsed(engine.tracer(), out.collapsed_path))
+      std::printf("wrote %s (%zu stack(s); feed to flamegraph.pl)\n",
+                  out.collapsed_path.c_str(), out.collapsed_lines);
+
+    std::printf("\ntop-down time accounting (chaos run):\n%s\n",
+                obs::time_accounting_text(
+                    obs::time_accounting(engine.tracer().snapshot()), 15)
+                    .c_str());
+  }
+  obs::Tracer::global().disable();
+  return out;
+}
+
+struct FeedbackResult {
+  core::EstimateCorrector::Stats live;  ///< engine-measured, wall-clock
+  std::uint64_t live_queries = 0;
+};
+
+/// 22 planned queries on a CPU-only engine whose per-pair cost is pinned
+/// ~1000x too high: a systematic model bias the corrector must learn away.
+FeedbackResult run_live_feedback() {
+  serve::QueryEngine::Config cfg;
+  cfg.devices = 0;
+  cfg.cpu_workers = 1;
+  cfg.cpu_threads = 2;
+  cfg.cpu_pair_cost_seconds = 1e-5;
+  serve::QueryEngine engine(cfg);
+  FeedbackResult out;
+  for (std::uint64_t seed = 0; seed < 22; ++seed) {
+    const PointsSoA pts = tbs::uniform_box(4096, 10.0f, 100 + seed);
+    (void)engine.sdh(pts, width_for(pts), kBuckets).get();
+    ++out.live_queries;
+  }
+  out.live = engine.estimate_corrector().overall();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tbs;
+  using namespace tbs::bench;
+
+  const std::string out_dir = obs::artifact_dir(argc, argv);
+  const double inject = std::stod(
+      obs::arg_value(argc, argv, "--inject-estimate-error", "0"));
+  std::printf("=== Cost attribution & estimate feedback ===\n\n");
+
+  // ---- Section 1: sharded chaos, books must balance ----
+  const ChaosResult chaos = run_chaos(out_dir);
+
+  TextTable t({"query", "launch(res-s)", "tiles", "Σtiles", "bal_err",
+               "waste", "lost", "failover"});
+  double worst_balance = 0.0;
+  std::uint64_t lanes_lost = 0, tiles_failed_over = 0;
+  double waste_total = 0.0;
+  for (std::size_t i = 0; i < chaos.sharded.size(); ++i) {
+    const obs::QueryCost& qc = chaos.sharded[i];
+    const double launch = qc.phase(obs::CostPhase::Launch).seconds;
+    const double tiles = qc.tile_seconds();
+    const double bal =
+        launch > 0.0 ? std::abs(tiles - launch) / launch : 1.0;
+    worst_balance = std::max(worst_balance, bal);
+    lanes_lost += qc.lanes_lost;
+    tiles_failed_over += qc.tiles_failed_over;
+    waste_total += qc.waste_seconds;
+    t.add_row({std::to_string(i), fmt_time(launch),
+               std::to_string(qc.tiles.size()), fmt_time(tiles),
+               TextTable::num(bal * 100.0, 3) + "%", fmt_time(qc.waste_seconds),
+               std::to_string(qc.lanes_lost),
+               std::to_string(qc.tiles_failed_over)});
+  }
+  t.print(std::cout);
+
+  // ---- Section 2a: deterministic synthetic feedback (gated) ----
+  core::EstimateCorrector synth;
+  const double bias = 2.5;  // the model under-estimates 2.5x, always
+  for (int i = 0; i < 40; ++i) {
+    double measured = 0.004 * bias;
+    if (inject > 0.0 && i >= 30) measured *= inject;  // estimates blow out
+    synth.observe("vgpu", "Reg-ROC-Out/B256", 65536.0, 0.004, measured);
+  }
+  const core::EstimateCorrector::Stats ss =
+      synth.stats("vgpu", "Reg-ROC-Out/B256", 65536.0);
+  std::printf(
+      "\nsynthetic feedback (2.5x bias, 40 obs): factor %.3f, "
+      "mae raw %.3f -> corrected %.3f, recent %.4f\n",
+      ss.factor, ss.mae_uncorrected, ss.mae_corrected,
+      ss.recent_err_corrected);
+
+  // ---- Section 2b: live engine feedback (wall-clock, ungated) ----
+  const FeedbackResult fb = run_live_feedback();
+  std::printf(
+      "live feedback (%llu planned queries, mispriced cpu model): "
+      "mae raw %.1f -> corrected %.1f, recent %.3f\n",
+      static_cast<unsigned long long>(fb.live.samples), fb.live.mae_uncorrected,
+      fb.live.mae_corrected, fb.live.recent_err_corrected);
+
+  obs::BenchReport report("cost");
+  {
+    using obs::Better;
+    obs::BenchEntry& e = report.entry("sharded_chaos", 500, "wall");
+    e.metric("queries", static_cast<double>(chaos.total.queries),
+             Better::Higher, /*gate=*/false);
+    e.metric("tile_balance_worst_rel_err", worst_balance, Better::Lower,
+             /*gate=*/false);
+    e.metric("waste_seconds", waste_total, Better::Lower, /*gate=*/false);
+    e.metric("lanes_lost", static_cast<double>(lanes_lost), Better::Lower,
+             /*gate=*/false);
+    e.metric("cache_hits", static_cast<double>(chaos.total.cache_hits),
+             Better::Higher, /*gate=*/false);
+    e.metric("collapsed_stacks", static_cast<double>(chaos.collapsed_lines),
+             Better::Higher, /*gate=*/false);
+
+    // Exact by construction (fixed inputs, no clocks): gated.
+    obs::BenchEntry& s = report.entry("feedback_synthetic", 65536, "model");
+    s.metric("estimate_mae_uncorrected", ss.mae_uncorrected, Better::Lower,
+             /*gate=*/true);
+    s.metric("estimate_mae_corrected", ss.mae_corrected, Better::Lower,
+             /*gate=*/true);
+    s.metric("estimate_recent_err_corrected", ss.recent_err_corrected,
+             Better::Lower, /*gate=*/true);
+
+    obs::BenchEntry& l = report.entry("feedback_live", 4096, "wall");
+    l.metric("estimate_mae_uncorrected", fb.live.mae_uncorrected,
+             Better::Lower, /*gate=*/false);
+    l.metric("estimate_mae_corrected", fb.live.mae_corrected, Better::Lower,
+             /*gate=*/false);
+    l.metric("estimate_recent_err_corrected", fb.live.recent_err_corrected,
+             Better::Lower, /*gate=*/false);
+  }
+  write_report(report, out_dir);
+
+  std::printf("\nshape checks:\n");
+  ShapeChecks checks;
+  checks.expect(!chaos.sharded.empty(), "chaos run produced sharded ledgers");
+  for (const obs::QueryCost& qc : chaos.sharded) {
+    checks.expect(qc.sharded && !qc.failed,
+                  "sharded query completed despite the lost lane");
+    checks.expect(!qc.tiles.empty(), "sharded ledger carries tile rows");
+  }
+  checks.expect(worst_balance <= 0.01,
+                "per-tile attributions sum to the launch phase within 1% "
+                "(worst " + std::to_string(worst_balance * 100.0) + "%)");
+  checks.expect(lanes_lost >= 1 && waste_total > 0.0,
+                "the lost lane's burned time is itemized as waste");
+  checks.expect(tiles_failed_over >= 1,
+                "failed-over tiles are tagged in the ledger");
+  checks.expect(chaos.total.cache_hits >= 6,
+                "cache-hit chasers recorded as hits, not work");
+  checks.expect(chaos.collapsed_lines > 0,
+                "continuous profile folded at least one stack");
+
+  checks.expect(ss.mae_corrected < 0.5 * ss.mae_uncorrected,
+                "synthetic: corrected estimate error beats raw");
+  bool enforce_ok = true;
+  std::string enforce_msg;
+  try {
+    synth.enforce(0.10);
+  } catch (const std::exception& e) {
+    enforce_ok = false;
+    enforce_msg = e.what();
+  }
+  checks.expect(enforce_ok,
+                "estimate-accuracy gate (enforce tol=0.10)" +
+                    (enforce_ok ? std::string()
+                                : ": " + enforce_msg));
+
+  checks.expect(fb.live.samples >= 20,
+                "live engine warmed the corrector on 20+ planned queries");
+  checks.expect(fb.live.recent_err_corrected <
+                    0.1 * fb.live.mae_uncorrected,
+                "live: EWMA-corrected error an order of magnitude under raw");
+  return checks.finish();
+}

@@ -13,6 +13,12 @@
 //   --prometheus <file>   text exposition: tbs_-prefixed samples, at least
 //                         one # TYPE line, histogram buckets end at +Inf.
 //   --flight <file>       flight-recorder dump: schema + events array.
+//   --cost <file>         cost ledger: schema tbs.cost_ledger.v1, rollup
+//                         sections present, recorded queries > 0, and every
+//                         sharded recent entry's Σ tile seconds balances
+//                         its launch phase within 1%.
+//   --collapsed <file>    collapsed-stack profile: non-empty, every line
+//                         is "frame[;frame...] <integer µs>".
 //   --require-exemplar    the prometheus file must carry at least one
 //                         OpenMetrics exemplar (# {trace_id="..."}).
 //   --expect-breach       the flight dump must have reason "slo_breach"
@@ -20,6 +26,7 @@
 //
 // Exit codes: 0 all named artifacts valid, 1 validation failure,
 // 2 usage / missing-file / JSON-parse errors.
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -245,8 +252,73 @@ void validate_flight(const std::string& path, bool expect_breach) {
               doc.at("reason").string.c_str(), doc.at("events").array.size());
 }
 
+void validate_cost(const std::string& path) {
+  const json::Value doc = json::parse(slurp(path));
+  if (doc.at("schema").string != "tbs.cost_ledger.v1")
+    fail_check("%s: bad schema \"%s\"", path.c_str(),
+               doc.at("schema").string.c_str());
+  for (const char* section :
+       {"total", "by_backend", "by_variant", "by_dataset"})
+    if (const json::Value* v = doc.find(section);
+        v == nullptr || !v->is_object())
+      fail_check("%s: missing rollup section \"%s\"", path.c_str(), section);
+  const double queries = doc.at("total").at("queries").number;
+  if (queries <= 0.0)
+    fail_check("%s: ledger recorded no queries", path.c_str());
+
+  // The books must balance: in every sharded per-query ledger the tile
+  // rows are the launch phase's decomposition, so their sum matches it
+  // within 1%.
+  std::size_t sharded = 0;
+  const json::Value& recent = doc.at("recent");
+  tbs::check(recent.is_array(), path + ": recent is not an array");
+  for (const json::Value& q : recent.array) {
+    const json::Value* tiles = q.find("tiles");
+    if (tiles == nullptr || tiles->array.empty()) continue;
+    ++sharded;
+    double tile_sum = 0.0;
+    for (const json::Value& t : tiles->array)
+      tile_sum += t.at("seconds").number;
+    const double launch = q.at("phases").at("launch").at("seconds").number;
+    if (launch <= 0.0 || std::abs(tile_sum - launch) > 0.01 * launch)
+      fail_check("%s: trace %s tile sum %g != launch phase %g (>1%%)",
+                 path.c_str(), q.at("trace_id").string.c_str(), tile_sum,
+                 launch);
+  }
+  std::printf("cost        %-40s %g query(s), %zu sharded balanced\n",
+              path.c_str(), queries, sharded);
+}
+
+void validate_collapsed(const std::string& path) {
+  std::ifstream is(path);
+  tbs::check(static_cast<bool>(is), "cannot open '" + path + "'");
+  std::string line;
+  std::size_t lines = 0, lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    ++lines;
+    // "frame[;frame...] <integer µs>" — one space, positive integer value.
+    const std::size_t sp = line.rfind(' ');
+    bool ok = sp != std::string::npos && sp > 0 && sp + 1 < line.size();
+    if (ok)
+      for (std::size_t i = sp + 1; i < line.size(); ++i)
+        ok = ok && line[i] >= '0' && line[i] <= '9';
+    // Frames are sanitized at fold time: no spaces inside the stack.
+    if (ok) ok = line.find(' ') == sp;
+    if (!ok)
+      fail_check("%s:%zu: not a collapsed-stack line: %s", path.c_str(),
+                 lineno, line.c_str());
+  }
+  if (lines == 0)
+    fail_check("%s: empty collapsed profile", path.c_str());
+  else
+    std::printf("collapsed   %-40s %zu stack(s)\n", path.c_str(), lines);
+}
+
 int run(int argc, char** argv) {
   std::string trace_path, feed_path, prom_path, flight_path;
+  std::string cost_path, collapsed_path;
   bool require_exemplar = false, expect_breach = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -263,6 +335,10 @@ int run(int argc, char** argv) {
       prom_path = value();
     } else if (arg == "--flight") {
       flight_path = value();
+    } else if (arg == "--cost") {
+      cost_path = value();
+    } else if (arg == "--collapsed") {
+      collapsed_path = value();
     } else if (arg == "--require-exemplar") {
       require_exemplar = true;
     } else if (arg == "--expect-breach") {
@@ -270,15 +346,16 @@ int run(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: ops_validate [--trace f] [--ops-feed f] [--prometheus f]\n"
-          "                    [--flight f] [--require-exemplar]\n"
-          "                    [--expect-breach]\n");
+          "                    [--flight f] [--cost f] [--collapsed f]\n"
+          "                    [--require-exemplar] [--expect-breach]\n");
       return 0;
     } else {
       tbs::fail("unknown flag: " + arg);
     }
   }
   tbs::check(!trace_path.empty() || !feed_path.empty() || !prom_path.empty() ||
-                 !flight_path.empty(),
+                 !flight_path.empty() || !cost_path.empty() ||
+                 !collapsed_path.empty(),
              "no artifacts given (see --help)");
   tbs::check(!expect_breach || !flight_path.empty(),
              "--expect-breach needs --flight");
@@ -289,6 +366,8 @@ int run(int argc, char** argv) {
   if (!feed_path.empty()) validate_ops_feed(feed_path);
   if (!prom_path.empty()) validate_prometheus(prom_path, require_exemplar);
   if (!flight_path.empty()) validate_flight(flight_path, expect_breach);
+  if (!cost_path.empty()) validate_cost(cost_path);
+  if (!collapsed_path.empty()) validate_collapsed(collapsed_path);
 
   if (g_failures > 0) {
     std::fprintf(stderr, "ops_validate: %d failure(s)\n", g_failures);

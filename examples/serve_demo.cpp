@@ -49,6 +49,12 @@
 //                 breaching query's trace id
 //   --sample M    keep 1-in-M healthy traces (eventful ones always kept)
 //   --dash        render a live text dashboard while the clients run
+//   --cost        answer "where did my query's time go?": print the cost
+//                 ledger's phase/waste accounting and the top-down time
+//                 table folded from the span tree, and write
+//                 serve_demo_cost.json (schema tbs.cost_ledger.v1) +
+//                 serve_demo_profile.collapsed (flamegraph input; feed to
+//                 flamegraph.pl or speedscope)
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -59,6 +65,8 @@
 #include <vector>
 
 #include "common/datagen.hpp"
+#include "obs/cost.hpp"
+#include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "serve/engine.hpp"
@@ -68,9 +76,11 @@ int main(int argc, char** argv) {
 
   bool chaos = false;
   bool dash = false;
+  bool cost = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
     if (std::strcmp(argv[i], "--dash") == 0) dash = true;
+    if (std::strcmp(argv[i], "--cost") == 0) cost = true;
   }
   std::string backend = "vgpu";
   if (const char* env = std::getenv("TBS_BACKEND");
@@ -274,6 +284,47 @@ int main(int argc, char** argv) {
                   engine.telemetry() ? engine.telemetry()->ticks() : 0));
   std::printf("  prometheus           : %s\n",
               cfg.telemetry.prometheus_path.c_str());
+
+  if (cost) {
+    // Where did my query's time go? The ledger's phase decomposition over
+    // every query this run served, waste itemized separately.
+    const obs::CostLedger& ledger = engine.cost_ledger();
+    const obs::CostLedger::Aggregate total = ledger.total();
+    std::printf("\ncost ledger (%llu queries, %llu cache hits):\n",
+                static_cast<unsigned long long>(total.queries),
+                static_cast<unsigned long long>(total.cache_hits));
+    for (std::size_t p = 0; p < obs::kCostPhases; ++p)
+      std::printf("  %-10s %10.3f ms\n",
+                  std::string(
+                      obs::to_string(static_cast<obs::CostPhase>(p)))
+                      .c_str(),
+                  total.phase_seconds[p] * 1e3);
+    std::printf("  %-10s %10.3f ms (%llu events — retries, backoff, "
+                "lost lanes)\n",
+                "waste", total.waste_seconds * 1e3,
+                static_cast<unsigned long long>(total.waste_events));
+    for (const auto& [name, agg] : ledger.by_backend())
+      std::printf("  backend %-12s %llu queries, %.3f ms attributed\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(agg.queries),
+                  agg.total_seconds * 1e3);
+
+    std::printf("\ntop-down time accounting (span tree):\n%s",
+                obs::time_accounting_text(
+                    obs::time_accounting(obs::Tracer::global().snapshot()),
+                    12)
+                    .c_str());
+
+    const std::string cost_path =
+        obs::artifact_path(out_dir, "serve_demo_cost.json");
+    if (ledger.write_json(cost_path))
+      std::printf("  cost ledger          : %s\n", cost_path.c_str());
+    const std::string collapsed_path =
+        obs::artifact_path(out_dir, "serve_demo_profile.collapsed");
+    if (obs::write_collapsed(obs::Tracer::global(), collapsed_path))
+      std::printf("  collapsed profile    : %s (flamegraph input)\n",
+                  collapsed_path.c_str());
+  }
 
   // The exit check. Fault-free: 37 submissions, 3 distinct shapes — dedup
   // must collapse them to at most 3 executions. Under chaos, degraded

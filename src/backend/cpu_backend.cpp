@@ -1,5 +1,6 @@
 #include "backend/cpu_backend.hpp"
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <cmath>
@@ -107,6 +108,11 @@ vgpu::KernelStats CpuBackend::launch_cross(const PointsSoA& anchors,
 }
 
 double CpuBackend::pair_cost() {
+  // Invariant: every read of pair_cost_ happens under calib_mu_, and the
+  // value published is always strictly positive — a concurrent estimate()
+  // during first-use calibration either runs the calibration itself or
+  // blocks here and then reads the finished value; it can never observe a
+  // torn or zero cost.
   const std::lock_guard<std::mutex> lock(calib_mu_);
   if (pair_cost_ > 0.0) return pair_cost_;
   // One timed run of the tiled SDH loop on synthetic data; the histogram
@@ -118,8 +124,11 @@ double CpuBackend::pair_cost() {
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  pair_cost_ = seconds * static_cast<double>(pool_.size()) /
-               pairs_of(static_cast<double>(kPairCalibN));
+  // A coarse steady_clock can measure the run as 0s; clamping keeps the
+  // published cost positive so the "calibrated" state is unambiguous and
+  // estimates never price all candidates at zero.
+  pair_cost_ = std::max(1e-12, seconds * static_cast<double>(pool_.size()) /
+                                   pairs_of(static_cast<double>(kPairCalibN)));
   return pair_cost_;
 }
 

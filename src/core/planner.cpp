@@ -28,9 +28,45 @@ Candidate price(backend::IBackend& be, const PointsSoA& sample,
   check(!sample.empty(), "planner: empty sample");
   const backend::Estimate est =
       be.estimate(kernel, sample, desc, block_size, target_n);
-  const std::string name =
-      kernel.name + "/B" + std::to_string(block_size);
-  return Candidate{name, est.seconds, est.bottleneck, be.caps().name};
+  Candidate c;
+  c.name = kernel.name + "/B" + std::to_string(block_size);
+  c.predicted_seconds = est.seconds;
+  c.bottleneck = est.bottleneck;
+  c.backend = be.caps().name;
+  c.raw_seconds = est.seconds;
+  c.kernel = &kernel;
+  c.block_size = block_size;
+  c.kind = be.caps().kind;
+  return c;
+}
+
+/// Re-price every candidate from its stored raw estimate with the
+/// corrector's current factors and rebind the plan to the cheapest
+/// corrected candidate. A no-op without a corrector, and on plans whose
+/// candidates predate the raw-estimate fields.
+void apply_correction(Plan& p, const EstimateCorrector* corrector,
+                      double target_n) {
+  if (corrector == nullptr || p.considered.empty()) return;
+  const Candidate* winner = nullptr;
+  for (Candidate& c : p.considered) {
+    if (c.kernel == nullptr || !(c.raw_seconds > 0.0)) return;
+    c.predicted_seconds =
+        c.raw_seconds * corrector->factor(c.backend, c.name, target_n);
+    if (winner == nullptr || c.predicted_seconds < winner->predicted_seconds)
+      winner = &c;
+  }
+  const bool changed = winner->kernel != p.kernel ||
+                       winner->block_size != p.block_size ||
+                       winner->backend != p.backend_name;
+  p.kernel = winner->kernel;
+  p.block_size = winner->block_size;
+  p.predicted_seconds = winner->predicted_seconds;
+  p.backend = winner->kind;
+  p.backend_name = winner->backend;
+  p.raw_predicted_seconds = winner->raw_seconds;
+  p.variant_key = winner->name;
+  if (changed)
+    obs::MetricsRegistry::global().counter("planner.estimate.reranks").inc();
 }
 
 }  // namespace
@@ -165,6 +201,8 @@ Plan calibrate_plan(std::span<backend::IBackend* const> backends,
           out.block_size = b;
           out.backend = be->caps().kind;
           out.backend_name = be->caps().name;
+          out.raw_predicted_seconds = c.raw_seconds;
+          out.variant_key = c.name;
         }
         out.considered.push_back(std::move(c));
       }
@@ -180,11 +218,13 @@ Plan calibrate_plan(std::span<backend::IBackend* const> backends,
 Plan traced_calibrate(std::span<backend::IBackend* const> backends,
                       const PointsSoA& sample,
                       const kernels::ProblemDesc& desc, double target_n,
-                      const std::string& key) {
+                      const std::string& key,
+                      const EstimateCorrector* corrector) {
   obs::MetricsRegistry::global().counter("core.plan.calibrations").inc();
   obs::Span span("core.plan.calibrate", "core");
   if (!key.empty()) span.attr("key", key);
   Plan out = calibrate_plan(backends, sample, desc, target_n);
+  apply_correction(out, corrector, target_n);
   span.attr("candidates", static_cast<std::uint64_t>(out.considered.size()));
   span.attr("winner", out.kernel->name);
   span.attr("backend", out.backend_name);
@@ -197,19 +237,24 @@ Plan traced_calibrate(std::span<backend::IBackend* const> backends,
 /// spec-based key scheme.
 Plan plan_impl(std::span<backend::IBackend* const> backends,
                const PointsSoA& sample, const kernels::ProblemDesc& desc,
-               double target_n, PlanCache* cache, const std::string& key) {
+               double target_n, PlanCache* cache, const std::string& key,
+               const EstimateCorrector* corrector) {
   obs::MetricsRegistry::global().counter("core.plan.calls").inc();
   obs::Span span("core.plan", "core");
 
   if (cache == nullptr) {
     span.attr("outcome", "calibrated");
-    return traced_calibrate(backends, sample, desc, target_n, std::string());
+    return traced_calibrate(backends, sample, desc, target_n, std::string(),
+                            corrector);
   }
 
   span.attr("key", key);
   if (std::optional<Plan> hit = cache->find(key)) {
     obs::MetricsRegistry::global().counter("core.plan.cache_hits").inc();
     span.attr("outcome", "cache_hit");
+    // A hit costs zero launches but still gets today's factors: re-rank
+    // the memoized candidates from their stored raw estimates.
+    apply_correction(*hit, corrector, target_n);
     return *std::move(hit);
   }
 
@@ -228,11 +273,13 @@ Plan plan_impl(std::span<backend::IBackend* const> backends,
         .counter("core.plan.single_flight_waits")
         .inc();
     span.attr("outcome", "single_flight");
+    apply_correction(*raced, corrector, target_n);
     return *std::move(raced);
   }
 
   span.attr("outcome", "calibrated");
-  Plan out = traced_calibrate(backends, sample, desc, target_n, key);
+  Plan out =
+      traced_calibrate(backends, sample, desc, target_n, key, corrector);
   cache->store(key, out);
   return out;
 }
@@ -241,11 +288,12 @@ Plan plan_impl(std::span<backend::IBackend* const> backends,
 
 Plan plan(std::span<backend::IBackend* const> backends,
           const PointsSoA& sample, const kernels::ProblemDesc& desc,
-          double target_n, PlanCache* cache) {
+          double target_n, PlanCache* cache,
+          const EstimateCorrector* corrector) {
   const std::string key =
       cache != nullptr ? plan_cache_key(backends, desc, target_n)
                        : std::string();
-  return plan_impl(backends, sample, desc, target_n, cache, key);
+  return plan_impl(backends, sample, desc, target_n, cache, key, corrector);
 }
 
 Plan plan(vgpu::Stream& stream, const PointsSoA& sample,
@@ -257,7 +305,7 @@ Plan plan(vgpu::Stream& stream, const PointsSoA& sample,
       cache != nullptr
           ? plan_cache_key(stream.device().spec(), desc, target_n)
           : std::string();
-  return plan_impl(one, sample, desc, target_n, cache, key);
+  return plan_impl(one, sample, desc, target_n, cache, key, nullptr);
 }
 
 SdhPlan plan_sdh(vgpu::Device& dev, const PointsSoA& sample,

@@ -27,6 +27,7 @@
 
 #include "backend/backend.hpp"
 #include "common/points.hpp"
+#include "core/feedback.hpp"
 #include "kernels/pcf.hpp"
 #include "kernels/registry.hpp"
 #include "kernels/sdh.hpp"
@@ -41,6 +42,13 @@ struct Candidate {
   double predicted_seconds = 0.0;
   std::string bottleneck;
   std::string backend;  ///< Capabilities::name of the pricing backend
+  /// The backend's raw estimate before any EstimateCorrector factor —
+  /// kept so a memoized plan can be re-ranked with *current* factors on a
+  /// cache hit, without re-pricing a single candidate.
+  double raw_seconds = 0.0;
+  const kernels::KernelVariant* kernel = nullptr;  ///< re-rank rebinds this
+  int block_size = 256;
+  backend::Kind kind = backend::Kind::Vgpu;
 };
 
 /// A generic plan: the winning (backend, registry variant, block size).
@@ -53,6 +61,12 @@ struct Plan {
   double predicted_seconds = 0.0;
   backend::Kind backend = backend::Kind::Vgpu;
   std::string backend_name;  ///< e.g. "vgpu:sim-titan-x", "cpu:8w"
+  /// Winner's raw (uncorrected) estimate — what the serving layer feeds
+  /// back to the EstimateCorrector alongside the measured seconds.
+  double raw_predicted_seconds = 0.0;
+  /// Winner's candidate name ("<variant>/B<block>") — the corrector's
+  /// variant key, so the feedback loop keys exactly what was priced.
+  std::string variant_key;
   std::vector<Candidate> considered;  ///< all candidates, priced
 };
 
@@ -128,9 +142,17 @@ class PlanCache {
 /// are skipped; throws CheckError if no candidate is launchable anywhere.
 /// With a cache, a repeat request returns the memoized plan without a
 /// single calibration launch.
+///
+/// `corrector` (optional) closes the measured-vs-estimate feedback loop:
+/// every candidate's raw estimate is multiplied by the corrector's EWMA
+/// factor for its (backend, variant, N-bucket) key before the winner is
+/// picked, and a cache *hit* is re-ranked from its stored raw estimates
+/// with the factors in force now — so placement improves online while the
+/// cache still costs zero launches.
 Plan plan(std::span<backend::IBackend* const> backends,
           const PointsSoA& sample, const kernels::ProblemDesc& desc,
-          double target_n, PlanCache* cache = nullptr);
+          double target_n, PlanCache* cache = nullptr,
+          const EstimateCorrector* corrector = nullptr);
 
 /// Legacy single-substrate entry point: plans over a VgpuBackend view of
 /// `stream` (calibration launches stay on the caller's lane). Behaviour,

@@ -273,4 +273,180 @@ DriftReport check_drift(backend::IBackend& be, const DriftOptions& opt) {
       });
 }
 
+namespace {
+
+/// A span name with ';' or ' ' would corrupt the collapsed-stack grammar
+/// (semicolon separates frames, the last space separates the value).
+std::string frame_name(const std::string& name) {
+  std::string out = name.empty() ? std::string("<anonymous>") : name;
+  for (char& c : out)
+    if (c == ';' || c == ' ' || c == '\n') c = '_';
+  return out;
+}
+
+/// Resolve each span's parent index (-1 = root): by recorded span ids when
+/// the child's parent_id names a span we hold, else by per-thread (ts,
+/// depth) nesting — a span encloses every later same-thread span of
+/// greater depth until one of depth <= its own closes the scope.
+std::vector<int> resolve_parents(const std::vector<SpanRecord>& spans) {
+  std::vector<int> parent(spans.size(), -1);
+  std::map<std::uint64_t, int> by_id;
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    if (spans[i].span_id != 0)
+      by_id[spans[i].span_id] = static_cast<int>(i);
+
+  std::vector<int> order(spans.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const SpanRecord& sa = spans[static_cast<std::size_t>(a)];
+    const SpanRecord& sb = spans[static_cast<std::size_t>(b)];
+    if (sa.tid != sb.tid) return sa.tid < sb.tid;
+    if (sa.ts_us != sb.ts_us) return sa.ts_us < sb.ts_us;
+    return sa.depth < sb.depth;
+  });
+
+  std::map<std::uint32_t, std::vector<int>> stacks;
+  for (const int i : order) {
+    const SpanRecord& s = spans[static_cast<std::size_t>(i)];
+    std::vector<int>& stack = stacks[s.tid];
+    while (!stack.empty()) {
+      const SpanRecord& top = spans[static_cast<std::size_t>(stack.back())];
+      if (top.depth >= s.depth || top.ts_us + top.dur_us <= s.ts_us)
+        stack.pop_back();
+      else
+        break;
+    }
+    if (s.parent_id != 0) {
+      const auto it = by_id.find(s.parent_id);
+      if (it != by_id.end() && it->second != i) {
+        parent[static_cast<std::size_t>(i)] = it->second;
+        stack.push_back(i);
+        continue;
+      }
+    }
+    parent[static_cast<std::size_t>(i)] = stack.empty() ? -1 : stack.back();
+    stack.push_back(i);
+  }
+  return parent;
+}
+
+/// Full "a;b;c" path per span, memoized; a defensive hop cap breaks any
+/// parent cycle a malformed record set could encode.
+std::vector<std::string> resolve_paths(const std::vector<SpanRecord>& spans,
+                                       const std::vector<int>& parent) {
+  std::vector<std::string> paths(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    std::vector<int> chain;
+    int cur = static_cast<int>(i);
+    while (cur >= 0 && chain.size() <= spans.size()) {
+      chain.push_back(cur);
+      const std::size_t u = static_cast<std::size_t>(cur);
+      if (!paths[u].empty() && cur != static_cast<int>(i)) break;
+      cur = parent[u];
+    }
+    std::string prefix;
+    int resolved = -1;
+    if (!chain.empty()) {
+      const std::size_t last = static_cast<std::size_t>(chain.back());
+      if (!paths[last].empty() && chain.back() != static_cast<int>(i)) {
+        prefix = paths[last];
+        resolved = chain.back();
+      }
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      if (*it == resolved) continue;
+      const std::size_t u = static_cast<std::size_t>(*it);
+      if (!prefix.empty()) prefix += ';';
+      prefix += frame_name(spans[u].name);
+      paths[u] = prefix;
+    }
+  }
+  return paths;
+}
+
+}  // namespace
+
+std::vector<TimeAccountRow> time_accounting(
+    const std::vector<SpanRecord>& spans) {
+  const std::vector<int> parent = resolve_parents(spans);
+  const std::vector<std::string> paths = resolve_paths(spans, parent);
+
+  std::vector<double> self(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) self[i] = spans[i].dur_us;
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    if (parent[i] >= 0)
+      self[static_cast<std::size_t>(parent[i])] -= spans[i].dur_us;
+
+  std::map<std::string, TimeAccountRow> rows;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    TimeAccountRow& row = rows[paths[i]];
+    row.path = paths[i];
+    row.total_us += spans[i].dur_us;
+    row.self_us += std::max(0.0, self[i]);
+    ++row.count;
+  }
+  std::vector<TimeAccountRow> out;
+  out.reserve(rows.size());
+  for (auto& [path, row] : rows) out.push_back(std::move(row));
+  std::sort(out.begin(), out.end(),
+            [](const TimeAccountRow& a, const TimeAccountRow& b) {
+              if (a.total_us != b.total_us) return a.total_us > b.total_us;
+              return a.path < b.path;
+            });
+  return out;
+}
+
+std::string collapsed_stacks(const std::vector<SpanRecord>& spans) {
+  // Aggregate self time per path; the flamegraph tool reconstructs
+  // inclusive time by stacking children, so self is the right value.
+  std::map<std::string, double> folded;
+  for (const TimeAccountRow& row : time_accounting(spans))
+    folded[row.path] += row.self_us;
+  std::string out;
+  for (const auto& [path, self_us] : folded) {
+    const long long us = std::llround(self_us);
+    if (us <= 0) continue;
+    out += path;
+    out += ' ';
+    out += std::to_string(us);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string collapsed_stacks(const Tracer& tracer) {
+  return collapsed_stacks(tracer.snapshot());
+}
+
+std::string time_accounting_text(const std::vector<TimeAccountRow>& rows,
+                                 std::size_t max_rows) {
+  std::string out =
+      "total_ms     self_ms      count  stack\n"
+      "-----------  -----------  -----  -----\n";
+  std::size_t shown = 0;
+  for (const TimeAccountRow& row : rows) {
+    if (shown++ >= max_rows) {
+      out += "... (" + std::to_string(rows.size() - max_rows) +
+             " more rows)\n";
+      break;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%11.3f  %11.3f  %5llu  ",
+                  row.total_us / 1000.0, row.self_us / 1000.0,
+                  static_cast<unsigned long long>(row.count));
+    out += buf;
+    out += row.path;
+    out += '\n';
+  }
+  return out;
+}
+
+bool write_collapsed(const Tracer& tracer, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << collapsed_stacks(tracer);
+  return static_cast<bool>(os);
+}
+
 }  // namespace tbs::obs

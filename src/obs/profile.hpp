@@ -161,4 +161,43 @@ bool has_simulated_counters(const vgpu::KernelStats& s);
 std::vector<std::pair<std::string, double>> drift_counters(
     const vgpu::KernelStats& s);
 
+// ---- Continuous profiling: folding the span tree ----
+//
+// The tracer's span set is a timeline; these helpers fold it into the two
+// classic aggregate views: collapsed stacks (the flamegraph input format —
+// one "root;child;leaf <µs>" line per distinct stack, value = self time)
+// and a top-down time-accounting table (inclusive/self/count per stack
+// path). Parentage is resolved from span ids where a trace context was
+// recorded, and from per-thread (ts, depth) nesting for context-free spans
+// — so one fold covers engine spans, planner spans, and retroactive
+// queue-wait spans on synthetic tracks alike.
+
+/// Fold completed spans into collapsed-stack lines, sorted, one per
+/// distinct stack: "a;b;c <integer µs of self time>". Stacks whose self
+/// time rounds to zero µs are omitted.
+std::string collapsed_stacks(const std::vector<SpanRecord>& spans);
+
+/// collapsed_stacks() over everything `tracer` has collected.
+std::string collapsed_stacks(const Tracer& tracer);
+
+/// One stack path's totals in the time-accounting view.
+struct TimeAccountRow {
+  std::string path;       ///< "a;b;c"
+  double total_us = 0.0;  ///< inclusive (sum of span durations at path)
+  double self_us = 0.0;   ///< exclusive of child spans, clamped >= 0
+  std::uint64_t count = 0;
+};
+
+/// Top-down accounting: one row per distinct stack path, sorted by
+/// inclusive time descending.
+std::vector<TimeAccountRow> time_accounting(
+    const std::vector<SpanRecord>& spans);
+
+/// Render rows as an aligned text table (truncated to `max_rows`).
+std::string time_accounting_text(const std::vector<TimeAccountRow>& rows,
+                                 std::size_t max_rows = 30);
+
+/// Write collapsed_stacks(tracer) to `path`; false if the file won't open.
+bool write_collapsed(const Tracer& tracer, const std::string& path);
+
 }  // namespace tbs::obs

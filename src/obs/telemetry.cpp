@@ -20,11 +20,26 @@ std::string prom_value(double v) {
 
 void append_exemplar(std::string& out, const FixedHistogram::Exemplar& ex) {
   if (ex.trace_id == 0) return;
-  out += " # {trace_id=\"" + trace_id_hex(ex.trace_id) + "\"} " +
+  out += " # {trace_id=\"" +
+         prometheus_label_value(trace_id_hex(ex.trace_id)) + "\"} " +
          prom_value(ex.value);
 }
 
 }  // namespace
+
+std::string prometheus_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
 
 std::string prometheus_name(std::string_view name) {
   std::string out = "tbs_";
@@ -61,7 +76,7 @@ std::string prometheus_text(const MetricsRegistry& registry) {
       cumulative += h.counts[b];
       const std::string le =
           b < h.bounds.size() ? json::number(h.bounds[b]) : "+Inf";
-      out += prom + "_bucket{le=\"" + le + "\"} " +
+      out += prom + "_bucket{le=\"" + prometheus_label_value(le) + "\"} " +
              std::to_string(cumulative);
       if (b < h.exemplars.size()) append_exemplar(out, h.exemplars[b]);
       out += "\n";

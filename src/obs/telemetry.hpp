@@ -41,6 +41,13 @@ std::string prometheus_text(const MetricsRegistry& registry);
 /// Sanitize one metric name the way prometheus_text() does.
 std::string prometheus_name(std::string_view name);
 
+/// Escape one label value for the text exposition: `\` -> `\\`, `"` ->
+/// `\"`, newline -> the two characters `\n`. Every label value the
+/// exposition emits (bucket `le`, exemplar `trace_id`) goes through this —
+/// a quote or newline smuggled into a value must not break the scrape
+/// grammar.
+std::string prometheus_label_value(std::string_view value);
+
 class TelemetryBus {
  public:
   struct Config {

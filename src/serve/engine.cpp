@@ -6,8 +6,26 @@
 
 #include "common/error.hpp"
 #include "kernels/registry.hpp"
+#include "perfmodel/timemodel.hpp"
 
 namespace tbs::serve {
+
+namespace {
+
+/// Ledger label for the query's problem kind.
+const char* query_kind(const Query& q) {
+  if (std::holds_alternative<SdhQuery>(q)) return "sdh";
+  if (std::holds_alternative<PcfQuery>(q)) return "pcf";
+  if (std::holds_alternative<KnnQuery>(q)) return "knn";
+  return "join";
+}
+
+double wall_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 QueryEngine::QueryEngine() : QueryEngine(Config{}) {}
 
@@ -81,6 +99,7 @@ QueryEngine::QueryEngine(Config cfg)
   for (std::size_t w = 0; w < cfg_.cpu_workers; ++w) {
     backend::CpuBackend::Config bc;
     bc.threads = cfg_.cpu_threads;
+    bc.pair_cost_seconds = cfg_.cpu_pair_cost_seconds;
     cpu_slots_.push_back(std::make_unique<CpuSlot>(bc));
   }
   // One persistent lane backend per device for the sharded path. These
@@ -190,7 +209,8 @@ std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
     Query query, const PointsSoA& pts, bool block, const SubmitOptions& opts) {
   const Clock::time_point t0 = Clock::now();
   const Clock::time_point deadline = deadline_from(opts, t0);
-  const std::string key = query_key(query, dataset_fingerprint(pts));
+  const std::uint64_t fp = dataset_fingerprint(pts);
+  const std::string key = query_key(query, fp);
   // Every submission gets a trace identity, tracing on or off — exemplars
   // and flight-recorder dumps name queries by trace id either way. The
   // submit span is the trace root ({trace_id, 0}); everything downstream
@@ -224,6 +244,16 @@ std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
         }
         span.attr("outcome", "cache_hit");
         flight_.record(FlightRecorder::Event::CacheHit, key, 0, seconds);
+        // A cache hit is a completed query with an (almost) empty ledger:
+        // no phases ran, the whole cost is the lookup itself.
+        obs::QueryCost qc;
+        qc.trace_id = root.trace_id;
+        qc.kind = query_kind(query);
+        qc.dataset_fp = fp;
+        qc.cache_hit = true;
+        qc.total_seconds = seconds;
+        cost_ledger_.record(qc);
+        if (opts.cost) *opts.cost = std::move(qc);
         return ready.get_future().share();
       }
 
@@ -232,6 +262,15 @@ std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
         c_coalesced_.inc();
         span.attr("outcome", "coalesced");
         flight_.record(FlightRecorder::Event::Coalesce, key);
+        // The work is attributed once, to the winning submission; this
+        // client's sink gets only the coalesced marker (not recorded in
+        // the ledger — that would double-count the query).
+        if (opts.cost) {
+          opts.cost->trace_id = root.trace_id;
+          opts.cost->kind = query_kind(query);
+          opts.cost->dataset_fp = fp;
+          opts.cost->coalesced = true;
+        }
         return it->second;
       }
 
@@ -250,6 +289,11 @@ std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
       // job's trace_id travels with it across the queue.
       job->ctx = span.active() ? span.context() : root;
       job->seq = submit_seq_.fetch_add(1, std::memory_order_relaxed);
+      job->dataset_fp = fp;
+      job->cost_sink = opts.cost;
+      job->cost.trace_id = job->ctx.trace_id;
+      job->cost.kind = query_kind(job->query);
+      job->cost.dataset_fp = fp;
       ResultFuture fut = job->promise.get_future().share();
       if (queue_.try_push(job)) {
         inflight_.emplace(key, fut);
@@ -368,6 +412,13 @@ void QueryEngine::process_job(WorkerCtx& ctx, Rng& rng,
                        job->ctx, {{"key", job->key}},
                        tracer_->track_tid("queue"));
 
+  // Queue phase: the wait until the *first* worker picked the job up. On a
+  // re-dispatch the gap since `submitted` includes the earlier failed
+  // ladder, which the ledger already itemizes as waste — don't recount it.
+  if (job->cost.phase(obs::CostPhase::Queue).seconds == 0.0)
+    job->cost.phase(obs::CostPhase::Queue).seconds =
+        std::chrono::duration<double>(t0 - job->submitted).count();
+
   // Cancel before any work: an expired query is never executed.
   if (t0 >= job->deadline) {
     finish_expired(worker_index, job);
@@ -442,7 +493,11 @@ void QueryEngine::process_job(WorkerCtx& ctx, Rng& rng,
     // Degraded answers are deliberately *not* cached: they are correct but
     // second-choice, and caching one would pin it past the fault's
     // recovery. A later identical query re-executes on a healthy ladder.
-    if (!error && !degraded) cache_.store(job->key, result);
+    if (!error && !degraded) {
+      const Clock::time_point cf0 = Clock::now();
+      cache_.store(job->key, result);
+      job->cost.phase(obs::CostPhase::CacheFill).seconds += wall_since(cf0);
+    }
     {
       const std::lock_guard<std::mutex> lock(mu_);
       inflight_.erase(job->key);
@@ -478,6 +533,13 @@ void QueryEngine::process_job(WorkerCtx& ctx, Rng& rng,
     }
     if (flight_.policy().p99_threshold_seconds > 0.0)
       flight_.maybe_dump_slo_breach(latency_.summary().p99);
+    // Close the query's cost ledger and publish it — before the promise is
+    // fulfilled, so a client waking from .get() observes its sink filled.
+    job->cost.total_seconds = seconds;
+    job->cost.degraded = degraded;
+    job->cost.failed = error != nullptr;
+    cost_ledger_.record(job->cost);
+    if (job->cost_sink) *job->cost_sink = job->cost;
   }  // serve.execute recorded here, before any client can wake
   // Retroactive sampling: the query is finished and its spans are all
   // recorded, so this is the one moment the keep/drop decision can see
@@ -505,6 +567,11 @@ QueryEngine::Outcome QueryEngine::run_ladder(
   CircuitBreaker& breaker = ctx.breaker;
   const int max_attempts = std::max(1, cfg_.retry.max_attempts);
   std::string device_msg;  // last device error, for the RetriesExhausted wrap
+  // Waste accounting: every rung charges the wall time of an attempt that
+  // produced no result (plus backoff sleeps) to the job's ledger, so the
+  // final entry itemizes fault-tolerance overhead separately from the
+  // productive phases execute()/run_sharded() fill.
+  obs::QueryCost& qc = job->cost;
 
   // Rung 0: sharded fan-out. The query runs as K shards x tiles over the
   // whole backend pool, merged with the reduction tree. This must run
@@ -516,7 +583,7 @@ QueryEngine::Outcome QueryEngine::run_ladder(
   // here is evidence about *this* worker's device alone.
   if (wants_sharding(*job)) {
     ++attempts;
-    if (run_sharded(ctx, job, result, error)) return Outcome::Success;
+    if (run_sharded(ctx, job, result, error, qc)) return Outcome::Success;
   }
 
   // Rung 1: the planned execution, retried on transient device faults.
@@ -530,13 +597,17 @@ QueryEngine::Outcome QueryEngine::run_ladder(
       return Outcome::Fail;
     }
     ++attempts;
+    const Clock::time_point a0 = Clock::now();
     try {
       const std::lock_guard<std::mutex> dev_lock(ctx.mu);
-      result = execute(ctx.be, *job);
+      result = execute(ctx.be, *job, qc);
       breaker.record_success();
       error = nullptr;  // a successful retry supersedes earlier attempts
       return Outcome::Success;
     } catch (const vgpu::DeviceError& e) {
+      qc.waste_seconds += wall_since(a0);
+      ++qc.waste_events;
+      ++qc.retries;
       note_fault(worker_index, breaker, job->key);
       job->eventful = true;  // faulted queries keep their traces
       error = std::current_exception();
@@ -558,7 +629,9 @@ QueryEngine::Outcome QueryEngine::run_ladder(
       obs::Span backoff_span(*tracer_, "serve.retry_backoff", "serve");
       backoff_span.attr("key", job->key);
       backoff_span.attr("attempt", std::to_string(attempt + 1));
+      const Clock::time_point b0 = Clock::now();
       std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+      qc.waste_seconds += wall_since(b0);  // the backoff stall is waste too
     } catch (...) {
       // Deterministic application error (bad arguments): no retry, no
       // breaker impact — re-running a wrong query cannot make it right.
@@ -580,12 +653,14 @@ QueryEngine::Outcome QueryEngine::run_ladder(
     obs::Span failover_span(*tracer_, "serve.failover", "serve");
     failover_span.attr("key", job->key);
     failover_span.attr("from", ctx.be.caps().name);
+    const Clock::time_point f0 = Clock::now();
     try {
       const std::lock_guard<std::mutex> failover_lock(failover_mu_);
-      result = execute(failover_backend(), *job);
+      result = execute(failover_backend(), *job, qc);
       failover_span.attr("to", failover_backend().caps().name);
       failover_span.attr("outcome", "ok");
       c_failovers_.inc();
+      qc.failover = true;
       flight_.record(FlightRecorder::Event::Failover, job->key,
                      static_cast<std::uint32_t>(worker_index));
       error = nullptr;
@@ -594,6 +669,8 @@ QueryEngine::Outcome QueryEngine::run_ladder(
       // CPU launches only throw on precondition violations; keep the error
       // and fall through to the degraded rung rather than giving up here.
       failover_span.attr("outcome", "error");
+      qc.waste_seconds += wall_since(f0);
+      ++qc.waste_events;
       error = std::current_exception();
     }
   }
@@ -601,15 +678,21 @@ QueryEngine::Outcome QueryEngine::run_ladder(
   // Rung 3: the degraded baseline — a fixed, planner-free registry variant.
   // Only meaningful for queries whose normal path is planned (SDH/PCF).
   if (cfg_.degrade && has_baseline(job->query)) {
+    const Clock::time_point d0 = Clock::now();
     try {
       const std::lock_guard<std::mutex> dev_lock(ctx.mu);
       result = execute_degraded(ctx.be, *job);
       breaker.record_success();
       degraded = true;
       job->eventful = true;
+      // The baseline bypasses execute(), so attribute its launch here.
+      qc.phase(obs::CostPhase::Launch).seconds += wall_since(d0);
+      qc.backend = ctx.be.caps().name;
       error = nullptr;
       return Outcome::Success;
     } catch (const vgpu::DeviceError& e) {
+      qc.waste_seconds += wall_since(d0);
+      ++qc.waste_events;
       note_fault(worker_index, breaker, job->key);
       job->eventful = true;
       error = std::current_exception();
@@ -655,7 +738,8 @@ bool QueryEngine::wants_sharding(const Job& job) {
 
 bool QueryEngine::run_sharded(WorkerCtx& ctx,
                               const std::shared_ptr<Job>& job,
-                              QueryResult& result, std::exception_ptr& error) {
+                              QueryResult& result, std::exception_ptr& error,
+                              obs::QueryCost& qc) {
   c_shard_queries_.inc();
 
   // Every device plus every CPU slot is a lane; lane index is stable
@@ -689,6 +773,7 @@ bool QueryEngine::run_sharded(WorkerCtx& ctx,
   sopt.trace = obs::current_trace_context();
 
   shard::Executor ex(&shard_router_);
+  const Clock::time_point s0 = Clock::now();
   try {
     shard::Report rep = ex.run(
         lanes, *job->pts, desc, sopt,
@@ -709,6 +794,39 @@ bool QueryEngine::run_sharded(WorkerCtx& ctx,
                                tracer_->track_tid("shard"));
         });
     c_shard_tiles_.inc(rep.tiles_total);
+    // Cost attribution. The launch phase for a sharded query is the sum of
+    // tile resource-seconds (tiles run in parallel; resource-seconds, not
+    // wall, is what the per-tile rows must balance against), so Σ tiles ==
+    // phases[launch] by construction and the acceptance check verifies the
+    // row-by-row accounting reproduces it within 1%.
+    qc.sharded = true;
+    qc.backend = "sharded";
+    qc.variant = rep.variant_name;
+    qc.phase(obs::CostPhase::Stage).seconds += rep.stage_seconds;
+    qc.phase(obs::CostPhase::Stage).bytes +=
+        static_cast<double>(rep.staged_bytes);
+    qc.phase(obs::CostPhase::Merge).seconds += rep.merge_seconds;
+    qc.waste_seconds += rep.waste_seconds;
+    qc.waste_events += rep.waste_events;
+    qc.lanes_lost += rep.lanes_lost;
+    qc.tiles_failed_over += rep.tiles_failed_over;
+    qc.measured_seconds = rep.kernel_seconds;  // the parallel makespan
+    qc.tiles.reserve(qc.tiles.size() + rep.spans.size());
+    for (const shard::TileSpan& ts : rep.spans) {
+      obs::TileCost tc;
+      tc.a = static_cast<int>(ts.tile.a);
+      tc.b = static_cast<int>(ts.tile.b);
+      tc.lane = ts.lane;
+      tc.backend = ts.lane_name;
+      tc.seconds = ts.seconds;
+      tc.stage_seconds = ts.stage_seconds;
+      tc.staged_bytes = static_cast<double>(ts.staged_bytes);
+      tc.device_cycles = ts.device_cycles;
+      tc.failover = ts.failover;
+      qc.phase(obs::CostPhase::Launch).seconds += ts.seconds;
+      qc.phase(obs::CostPhase::Launch).device_cycles += ts.device_cycles;
+      qc.tiles.push_back(std::move(tc));
+    }
     if (tracer_->enabled()) {
       // Tile timings are modeled (vgpu) or remote wall time, so they go on
       // a synthetic track anchored at "now" rather than the worker's row.
@@ -752,7 +870,10 @@ bool QueryEngine::run_sharded(WorkerCtx& ctx,
   } catch (const vgpu::DeviceError&) {
     // Every lane died (or staging itself faulted persistently). Count the
     // fault against this worker's breaker like any other device error and
-    // let the caller fall through to the unsharded ladder.
+    // let the caller fall through to the unsharded ladder; everything the
+    // dead fan-out burned is waste.
+    qc.waste_seconds += wall_since(s0);
+    ++qc.waste_events;
     note_fault(ctx.index, ctx.breaker, job->key);
     job->eventful = true;
     error = std::current_exception();
@@ -778,23 +899,36 @@ vgpu::KernelStats host_stats() {
 
 }  // namespace
 
-QueryResult QueryEngine::execute(backend::IBackend& be, const Job& job) {
+QueryResult QueryEngine::execute(backend::IBackend& be, const Job& job,
+                                 obs::QueryCost& qc) {
   const PointsSoA& pts = *job.pts;
   const auto& registry = kernels::KernelRegistry::instance();
+  // Cost/feedback capture. Phase seconds are staged in locals and committed
+  // to `qc` only after a successful launch (commit-on-success): when an
+  // attempt throws, the ladder charges its whole wall time to waste, and
+  // partially-filled phases would double-count it.
+  double plan_seconds = 0.0;
+  core::Plan chosen;
+  bool planned_used = false;
   // Planned problems (SDH/PCF) pick their variant per backend: the default
   // is the registry baseline; above the plan threshold the planner prices
   // this worker's backend's own catalogue (so a CPU worker can win with
-  // Tree-SDH while a vgpu worker picks a shared-memory variant).
+  // Tree-SDH while a vgpu worker picks a shared-memory variant), with
+  // estimates bias-corrected by the engine's EstimateCorrector.
   const auto planned = [&](const kernels::ProblemDesc& desc,
                            int default_id) -> std::pair<const kernels::KernelVariant*, int> {
     const kernels::KernelVariant* kernel =
         registry.find_by_id(desc.type, default_id);
     int block = 256;
     if (pts.size() > cfg_.plan_threshold) {
+      const Clock::time_point p0 = Clock::now();
       backend::IBackend* one[] = {&be};
       const core::Plan p = core::plan(one, pts, desc,
                                       static_cast<double>(pts.size()),
-                                      &plan_cache_);
+                                      &plan_cache_, &corrector_);
+      plan_seconds += wall_since(p0);
+      chosen = p;
+      planned_used = true;
       kernel = p.kernel;
       block = p.block_size;
     } else if (kernel != nullptr && !be.can_launch(*kernel, desc, block)) {
@@ -812,6 +946,32 @@ QueryResult QueryEngine::execute(backend::IBackend& be, const Job& job) {
           "QueryEngine: no launchable variant for this backend");
     return {kernel, block};
   };
+  // Successful-launch epilogue: feed the corrector with the measured
+  // seconds on the estimate's own clock (modeled device seconds for vgpu,
+  // wall for cpu — what IBackend::estimate() predicts) and commit this
+  // attempt's plan/launch phases plus the feedback triple to the ledger.
+  const auto account = [&](const vgpu::KernelStats& stats,
+                           double launch_wall) {
+    double measured = launch_wall;
+    if (auto* vb = dynamic_cast<backend::VgpuBackend*>(&be);
+        vb != nullptr && stats.block_dim > 0)
+      measured = perfmodel::model_time(vb->device().spec(), stats).seconds;
+    if (planned_used && chosen.raw_predicted_seconds > 0.0 && measured > 0.0)
+      corrector_.observe(chosen.backend_name, chosen.variant_key,
+                         static_cast<double>(pts.size()),
+                         chosen.raw_predicted_seconds, measured);
+    qc.backend = be.caps().name;
+    if (planned_used) {
+      qc.variant = chosen.variant_key;
+      qc.estimate_seconds = chosen.predicted_seconds;
+      qc.raw_estimate_seconds = chosen.raw_predicted_seconds;
+    }
+    qc.phase(obs::CostPhase::Plan).seconds += plan_seconds;
+    qc.phase(obs::CostPhase::Launch).seconds += launch_wall;
+    qc.phase(obs::CostPhase::Launch).device_cycles +=
+        static_cast<double>(stats.total_warp_cycles);
+    qc.measured_seconds = measured;
+  };
   return std::visit(
       [&](const auto& q) -> QueryResult {
         using Q = std::decay_t<decltype(q)>;
@@ -823,7 +983,9 @@ QueryResult QueryEngine::execute(backend::IBackend& be, const Job& job) {
           kernels::SdhResult r;
           kernels::KernelOutput out;
           out.hist = &r.hist;
+          const Clock::time_point l0 = Clock::now();
           r.stats = be.launch(*kernel, pts, desc, block, out);
+          account(r.stats, wall_since(l0));
           return r;
         } else if constexpr (std::is_same_v<Q, PcfQuery>) {
           const kernels::ProblemDesc desc = kernels::ProblemDesc::pcf(q.radius);
@@ -832,27 +994,42 @@ QueryResult QueryEngine::execute(backend::IBackend& be, const Job& job) {
           kernels::PcfResult r;
           kernels::KernelOutput out;
           out.pairs = &r.pairs_within;
+          const Clock::time_point l0 = Clock::now();
           r.stats = be.launch(*kernel, pts, desc, block, out);
+          account(r.stats, wall_since(l0));
           return r;
         } else if constexpr (std::is_same_v<Q, KnnQuery>) {
-          if (auto* vb = dynamic_cast<backend::VgpuBackend*>(&be))
-            return kernels::run_knn(vb->device(), pts, q.k, /*block_size=*/256);
+          if (auto* vb = dynamic_cast<backend::VgpuBackend*>(&be)) {
+            const Clock::time_point l0 = Clock::now();
+            kernels::KnnResult r =
+                kernels::run_knn(vb->device(), pts, q.k, /*block_size=*/256);
+            account(r.stats, wall_since(l0));
+            return r;
+          }
           auto* cb = dynamic_cast<backend::CpuBackend*>(&be);
           check(cb != nullptr, "QueryEngine: unknown backend kind for kNN");
           kernels::KnnResult r;
+          const Clock::time_point l0 = Clock::now();
           r.neighbours = cpubase::cpu_knn(cb->pool(), pts, q.k);
           r.stats = host_stats();
+          account(r.stats, wall_since(l0));
           return r;
         } else {
           static_assert(std::is_same_v<Q, JoinQuery>);
-          if (auto* vb = dynamic_cast<backend::VgpuBackend*>(&be))
-            return kernels::run_distance_join(vb->stream(), pts, q.radius,
-                                              q.variant, /*block_size=*/256);
+          if (auto* vb = dynamic_cast<backend::VgpuBackend*>(&be)) {
+            const Clock::time_point l0 = Clock::now();
+            kernels::JoinResult r = kernels::run_distance_join(
+                vb->stream(), pts, q.radius, q.variant, /*block_size=*/256);
+            account(r.stats, wall_since(l0));
+            return r;
+          }
           auto* cb = dynamic_cast<backend::CpuBackend*>(&be);
           check(cb != nullptr, "QueryEngine: unknown backend kind for join");
           kernels::JoinResult r;
+          const Clock::time_point l0 = Clock::now();
           r.pairs = cpubase::cpu_distance_join(cb->pool(), pts, q.radius);
           r.stats = host_stats();
+          account(r.stats, wall_since(l0));
           return r;
         }
       },
@@ -911,6 +1088,7 @@ backend::CpuBackend& QueryEngine::failover_backend() {
   if (!failover_cpu_) {
     backend::CpuBackend::Config bc;
     bc.threads = cfg_.cpu_threads;
+    bc.pair_cost_seconds = cfg_.cpu_pair_cost_seconds;
     failover_cpu_ = std::make_unique<backend::CpuBackend>(bc);
   }
   return *failover_cpu_;
@@ -1023,6 +1201,19 @@ void QueryEngine::refresh_gauges(const EngineStats& s) const {
       .set(static_cast<double>(rs.stage_misses));
   metrics_.gauge("serve.shard.evictions")
       .set(static_cast<double>(rs.evictions));
+  // Cost-attribution rollups (`serve.cost.*`) and the planner's
+  // estimate-feedback accuracy (`planner.estimate.*`).
+  cost_ledger_.export_metrics(metrics_);
+  const core::EstimateCorrector::Stats es = corrector_.overall();
+  metrics_.gauge("planner.estimate.keys")
+      .set(static_cast<double>(corrector_.keys()));
+  metrics_.gauge("planner.estimate.samples")
+      .set(static_cast<double>(es.samples));
+  metrics_.gauge("planner.estimate.factor_hot").set(es.factor);
+  metrics_.gauge("planner.estimate.mae_uncorrected").set(es.mae_uncorrected);
+  metrics_.gauge("planner.estimate.mae_corrected").set(es.mae_corrected);
+  metrics_.gauge("planner.estimate.recent_err_corrected")
+      .set(es.recent_err_corrected);
 }
 
 bool QueryEngine::dump_flight(const std::string& path) const {

@@ -62,7 +62,9 @@
 #include "backend/backend.hpp"
 #include "backend/cpu_backend.hpp"
 #include "backend/vgpu_backend.hpp"
+#include "core/feedback.hpp"
 #include "core/planner.hpp"
+#include "obs/cost.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo.hpp"
 #include "obs/telemetry.hpp"
@@ -101,6 +103,12 @@ struct SubmitOptions {
   std::size_t shards = 0;
   /// How the dataset is split when shards >= 2 (see shard/partition.hpp).
   shard::Strategy shard_strategy = shard::Strategy::Contiguous;
+  /// Cost-attribution sink: when set, the engine fills it with the query's
+  /// complete cost ledger (phases, tiles, waste, estimate-vs-measured)
+  /// before the future becomes ready — so `fut.get(); *opts.cost` is
+  /// always consistent. A coalesced submission gets only the coalesced
+  /// marker (the work is attributed once, to the winning submission).
+  std::shared_ptr<obs::QueryCost> cost;
 };
 
 class QueryEngine {
@@ -114,6 +122,11 @@ class QueryEngine {
     std::size_t cpu_workers = 0;
     /// Threads per CPU worker's pool (0 = hardware concurrency).
     unsigned cpu_threads = 0;
+    /// Pinned per-pair cost for every CPU backend the engine creates
+    /// (workers + the failover rung); 0 = each backend calibrates on first
+    /// use. Tests pin a deliberately wrong cost to exercise the planner's
+    /// estimate-feedback loop deterministically.
+    double cpu_pair_cost_seconds = 0.0;
     /// Cross-backend failover rung: when a vgpu worker exhausts its retry
     /// schedule, run the query on a shared CPU backend (full planned
     /// execution, not tagged degraded) before falling to the registry
@@ -282,6 +295,20 @@ class QueryEngine {
     return telemetry_.get();
   }
 
+  /// Where every completed query's cost attribution lands (per-backend /
+  /// per-variant / per-dataset rollups + a recent ring). Exported as
+  /// `serve.cost.*` gauges by metrics_json()/stats().
+  [[nodiscard]] const obs::CostLedger& cost_ledger() const noexcept {
+    return cost_ledger_;
+  }
+
+  /// The planner's measured-vs-estimated feedback state. `enforce()` on it
+  /// is the CI accuracy gate; json() lands in bench reports.
+  [[nodiscard]] const core::EstimateCorrector& estimate_corrector()
+      const noexcept {
+    return corrector_;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -311,6 +338,17 @@ class QueryEngine {
     obs::TraceContext ctx{};
     /// Submission sequence number — the deterministic sampling coordinate.
     std::uint64_t seq = 0;
+    /// Dataset fingerprint (the cache key's data half) — the cost ledger's
+    /// per-dataset rollup coordinate.
+    std::uint64_t dataset_fp = 0;
+    /// Running cost attribution for this job. Lives on the job (not the
+    /// dispatch stack) so waste burned by a dispatch that ends in Requeue
+    /// still reaches the final ledger entry. Only touched by the worker
+    /// currently running the job.
+    obs::QueryCost cost{};
+    /// Client-provided sink (SubmitOptions::cost); filled before the
+    /// promise is fulfilled.
+    std::shared_ptr<obs::QueryCost> cost_sink;
     /// Something noteworthy happened (fault, retry, failover, degraded,
     /// error, SLO breach): the trace is exempt from sampling. Only touched
     /// by the worker currently running the job.
@@ -378,8 +416,12 @@ class QueryEngine {
   /// Run one query through a backend handle: planned SDH/PCF launch the
   /// winning registry variant (Tree-SDH included on CPU backends) via
   /// IBackend::launch; kNN and join dispatch on the substrate kind. The
-  /// caller holds the backend's launch lock.
-  QueryResult execute(backend::IBackend& be, const Job& job);
+  /// caller holds the backend's launch lock. Fills `qc`'s plan/launch
+  /// phases and estimate-vs-measured fields (commit-on-success: a throw
+  /// leaves `qc` untouched so the caller can charge the attempt to waste),
+  /// and feeds the planner's estimate corrector.
+  QueryResult execute(backend::IBackend& be, const Job& job,
+                      obs::QueryCost& qc);
 
   /// Known-safe fallback: fixed registry baseline (planner bypassed) for
   /// SDH/PCF, launched through the same backend seam. Precondition:
@@ -405,7 +447,8 @@ class QueryEngine {
   /// `error` set) to let the job fall through to the ordinary unsharded
   /// ladder.
   bool run_sharded(WorkerCtx& ctx, const std::shared_ptr<Job>& job,
-                   QueryResult& result, std::exception_ptr& error);
+                   QueryResult& result, std::exception_ptr& error,
+                   obs::QueryCost& qc);
 
   /// Resolve a submission's deadline (options override config default).
   Clock::time_point deadline_from(const SubmitOptions& opts,
@@ -480,6 +523,13 @@ class QueryEngine {
   mutable std::mutex mu_;  ///< guards inflight_, started_
   std::unordered_map<std::string, ResultFuture> inflight_;
   bool started_ = false;
+
+  /// Per-query cost attribution (tentpole of the cost/feedback plane).
+  /// Internally locked; mutable so refresh_gauges (const) can export it.
+  mutable obs::CostLedger cost_ledger_;
+  /// EWMA measured/estimated feedback per (backend, variant, N-bucket),
+  /// consulted by every core::plan() call the engine makes.
+  core::EstimateCorrector corrector_;
 
   LatencyRecorder latency_;
   std::atomic<std::int64_t> busy_ns_{0};  ///< summed worker execution time

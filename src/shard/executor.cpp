@@ -36,6 +36,8 @@ struct TileResult {
   bool failover = false;
   std::size_t lane = 0;
   double seconds = 0.0;
+  double stage_seconds = 0.0;   ///< staging wall of the kept attempt
+  std::size_t staged_bytes = 0; ///< bytes the kept attempt moved
   Histogram hist;
   std::uint64_t pairs = 0;
   vgpu::KernelStats stats;
@@ -48,6 +50,8 @@ struct LaneRun {
   std::vector<std::size_t> unfinished;  ///< ids lost with the lane
   double seconds = 0.0;                 ///< summed executed-tile seconds
   std::size_t staged_bytes = 0;
+  double waste_seconds = 0.0;       ///< wall of failed attempts
+  std::uint64_t waste_events = 0;
   std::exception_ptr error;  ///< non-DeviceError failures, rethrown
 };
 
@@ -103,10 +107,11 @@ Report Executor::run(std::span<const Lane> lanes, const PointsSoA& pts,
   for (const LaneRun& r : runs)
     if (!r.queue.empty()) ++report.lanes_used;
 
-  // Stage a tile's operand shards on a lane, deduped through the router.
-  // Caller holds the lane mutex (staging is a substrate operation too).
-  const auto stage_operands = [&](std::size_t l, const Tile& t,
-                                  std::size_t& bytes) {
+  // Stage a tile's operand shards on a lane, deduped through the router;
+  // returns the bytes this tile actually moved. Caller holds the lane
+  // mutex (staging is a substrate operation too).
+  const auto stage_operands = [&](std::size_t l, const Tile& t) {
+    std::size_t bytes = 0;
     for (const std::size_t s :
          t.diagonal() ? std::vector<std::size_t>{t.a}
                       : std::vector<std::size_t>{t.a, t.b}) {
@@ -114,6 +119,7 @@ Report Executor::run(std::span<const Lane> lanes, const PointsSoA& pts,
       if (router_ == nullptr || router_->needs_staging(l, sh.fingerprint))
         bytes += lanes[l].be->stage(sh.pts);
     }
+    return bytes;
   };
 
   // Execute one tile on a lane (mutex held by the caller); fills its
@@ -144,18 +150,30 @@ Report Executor::run(std::span<const Lane> lanes, const PointsSoA& pts,
   // Stage + execute under the lane mutex, riding out transient faults
   // (ECC / launch timeout) with in-place retries; only a persistent error
   // (device lost, or a transient one that keeps recurring) escapes and
-  // costs the lane.
+  // costs the lane. Every failed attempt's wall time is charged to the
+  // lane's waste, never to the tile — only the kept attempt's staging and
+  // kernel seconds land in the tile's result slot.
   constexpr int kTransientRetries = 2;
   const auto locked_execute = [&](std::size_t l, std::size_t id,
-                                  bool failover, std::size_t& staged) {
+                                  bool failover, LaneRun& run) {
     for (int attempt = 0;; ++attempt) {
+      const auto a0 = std::chrono::steady_clock::now();
       try {
         std::unique_lock<std::mutex> lock;
         if (lanes[l].mu != nullptr)
           lock = std::unique_lock<std::mutex>(*lanes[l].mu);
-        stage_operands(l, tiles[id], staged);
-        return execute_tile(l, id, failover);
+        const auto s0 = std::chrono::steady_clock::now();
+        const std::size_t tile_bytes = stage_operands(l, tiles[id]);
+        const double stage_sec = wall_seconds(s0);
+        const double sec = execute_tile(l, id, failover);
+        TileResult& tr = results[id];
+        tr.stage_seconds = stage_sec;
+        tr.staged_bytes = tile_bytes;
+        run.staged_bytes += tile_bytes;
+        return sec;
       } catch (const vgpu::DeviceError& e) {
+        run.waste_seconds += wall_seconds(a0);
+        ++run.waste_events;
         if (!e.transient() || attempt >= kTransientRetries) throw;
       }
     }
@@ -174,8 +192,7 @@ Report Executor::run(std::span<const Lane> lanes, const PointsSoA& pts,
       for (std::size_t qi = 0; qi < run.queue.size(); ++qi) {
         const std::size_t id = run.queue[qi];
         try {
-          run.seconds += locked_execute(l, id, /*failover=*/false,
-                                        run.staged_bytes);
+          run.seconds += locked_execute(l, id, /*failover=*/false, run);
         } catch (const vgpu::DeviceError&) {
           // Lane is gone: everything not yet finished (this tile included)
           // must run elsewhere. Completed partials stay valid.
@@ -222,8 +239,8 @@ Report Executor::run(std::span<const Lane> lanes, const PointsSoA& pts,
 
     const std::size_t id = pending.back();
     try {
-      runs[best].seconds += locked_execute(best, id, /*failover=*/true,
-                                           runs[best].staged_bytes);
+      runs[best].seconds +=
+          locked_execute(best, id, /*failover=*/true, runs[best]);
       pending.pop_back();
       ++report.tiles_failed_over;
     } catch (const vgpu::DeviceError&) {
@@ -266,12 +283,26 @@ Report Executor::run(std::span<const Lane> lanes, const PointsSoA& pts,
   for (const LaneRun& run : runs) {
     report.kernel_seconds = std::max(report.kernel_seconds, run.seconds);
     report.staged_bytes += run.staged_bytes;
+    report.waste_seconds += run.waste_seconds;
+    report.waste_events += run.waste_events;
   }
   report.spans.reserve(tiles.size());
-  for (std::size_t i = 0; i < tiles.size(); ++i)
-    report.spans.push_back(TileSpan{tiles[i], results[i].lane,
-                                    results[i].seconds,
-                                    results[i].failover});
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    const TileResult& tr = results[i];
+    TileSpan span;
+    span.tile = tiles[i];
+    span.lane = tr.lane;
+    span.lane_name = !lanes[tr.lane].name.empty()
+                         ? lanes[tr.lane].name
+                         : lanes[tr.lane].be->caps().name;
+    span.seconds = tr.seconds;
+    span.stage_seconds = tr.stage_seconds;
+    span.staged_bytes = tr.staged_bytes;
+    span.device_cycles = tr.stats.total_warp_cycles;
+    span.failover = tr.failover;
+    report.stage_seconds += tr.stage_seconds;
+    report.spans.push_back(std::move(span));
+  }
   return report;
 }
 

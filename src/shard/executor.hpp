@@ -63,11 +63,16 @@ struct Options {
   obs::TraceContext trace{};
 };
 
-/// Audit record of one executed tile.
+/// Audit record of one executed tile — the row a cost ledger attributes
+/// sharded launch time to.
 struct TileSpan {
   Tile tile;
   std::size_t lane = 0;    ///< lane that produced the kept partial
+  std::string lane_name;   ///< that lane's audit label / backend name
   double seconds = 0.0;    ///< modeled (vgpu) or wall (cpu) kernel time
+  double stage_seconds = 0.0;   ///< staging wall of the kept attempt
+  std::size_t staged_bytes = 0; ///< bytes the kept attempt moved
+  double device_cycles = 0.0;   ///< simulated warp cycles (0 on cpu)
   bool failover = false;   ///< re-executed after its original lane died
 };
 
@@ -78,6 +83,12 @@ struct Report {
   vgpu::KernelStats stats;     ///< merged over all executed tiles
   double kernel_seconds = 0.0; ///< makespan: max over lanes of tile sums
   double merge_seconds = 0.0;  ///< wall time of the reduction tree
+  double stage_seconds = 0.0;  ///< summed staging wall of kept attempts
+  /// Wall time burned on attempts that produced no kept partial: failed
+  /// transient retries and the dying attempt that cost a lane. Itemized
+  /// separately so productive tile seconds stay clean.
+  double waste_seconds = 0.0;
+  std::uint64_t waste_events = 0;
   std::size_t shards = 0;
   std::size_t lanes_used = 0;
   std::size_t lanes_lost = 0;

@@ -112,6 +112,36 @@ TEST(PrometheusText, TracedObservationsCarryExemplars) {
   EXPECT_EQ(exemplars, 1u);
 }
 
+TEST(PrometheusLabelValue, EscapesQuotesNewlinesAndBackslashes) {
+  EXPECT_EQ(obs::prometheus_label_value("plain"), "plain");
+  EXPECT_EQ(obs::prometheus_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(obs::prometheus_label_value("two\nlines"), "two\\nlines");
+  EXPECT_EQ(obs::prometheus_label_value("back\\slash"), "back\\\\slash");
+  // Backslash first, then quote: no double-escaping of the inserted '\'.
+  EXPECT_EQ(obs::prometheus_label_value("\\\""), "\\\\\\\"");
+}
+
+TEST(PrometheusText, ExpositionStaysOneLinePerSampleUnderHostileLabels) {
+  // A label value containing a raw quote or newline must reach the scrape
+  // file escaped — otherwise one hostile value breaks every later line.
+  obs::MetricsRegistry registry;
+  obs::FixedHistogram& h = registry.histogram("hostile", {0.1});
+  h.observe(0.25, /*trace_id=*/0xabcu);
+  const std::string text = obs::prometheus_text(registry);
+  // Every emitted line parses as a single sample: no raw newline was
+  // injected beyond the line separators themselves.
+  for (const std::string& l : lines_of(text)) {
+    EXPECT_EQ(l.find('\n'), std::string::npos);
+    // Quotes on a sample line come in balanced pairs.
+    std::size_t quotes = 0;
+    for (std::size_t i = 0; i < l.size(); ++i)
+      if (l[i] == '"' && (i == 0 || l[i - 1] != '\\')) ++quotes;
+    EXPECT_EQ(quotes % 2, 0u) << l;
+  }
+  EXPECT_NE(text.find("trace_id=\"0000000000000abc\""), std::string::npos)
+      << text;
+}
+
 TEST(TelemetryBus, DisabledWhenNoPathConfigured) {
   obs::TelemetryBus bus(obs::TelemetryBus::Config{}, nullptr, nullptr);
   EXPECT_FALSE(bus.enabled());
@@ -197,4 +227,27 @@ TEST(TelemetryBus, BackgroundThreadTicksAndStopFlushesFinalState) {
   bus.start();  // restartable after stop
   bus.stop();
   EXPECT_GT(bus.ticks(), after);
+}
+
+TEST(TelemetryBus, StopFlushesAFinalFeedLineWithPostStopState) {
+  // The period is far longer than the test, so no background tick can
+  // fire on its own: the only feed line is the one stop() must emit, and
+  // it must carry state mutated AFTER start() — a true shutdown flush,
+  // not a stale snapshot taken at startup.
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("last_words");
+  obs::TelemetryBus::Config cfg;
+  cfg.period_seconds = 3600.0;
+  cfg.ops_feed_path = temp_path("tbus_flush.jsonl");
+  obs::TelemetryBus bus(cfg, &registry,
+                        [&] { return registry.json_snapshot(); });
+  bus.start();
+  c.inc(42);
+  bus.stop();
+
+  const std::vector<std::string> feed = lines_of(slurp(cfg.ops_feed_path));
+  ASSERT_GE(feed.size(), 1u);
+  const json::Value doc = json::parse(feed.back());
+  EXPECT_EQ(doc.at("schema").string, "tbs.ops_feed.v1");
+  EXPECT_EQ(doc.at("metrics").at("counters").at("last_words").number, 42.0);
 }
