@@ -19,6 +19,10 @@
 //                         its launch phase within 1%.
 //   --collapsed <file>    collapsed-stack profile: non-empty, every line
 //                         is "frame[;frame...] <integer µs>".
+//   --integrity <file>    integrity_chaos ledger: schema tbs.integrity.v1,
+//                         totals reconcile with the per-case rows, zero
+//                         escapes anywhere, and the always-on defense
+//                         overhead under 1% of p50.
 //   --require-exemplar    the prometheus file must carry at least one
 //                         OpenMetrics exemplar (# {trace_id="..."}).
 //   --expect-breach       the flight dump must have reason "slo_breach"
@@ -289,6 +293,58 @@ void validate_cost(const std::string& path) {
               path.c_str(), queries, sharded);
 }
 
+void validate_integrity(const std::string& path) {
+  const json::Value doc = json::parse(slurp(path));
+  if (doc.at("schema").string != "tbs.integrity.v1")
+    fail_check("%s: bad schema \"%s\"", path.c_str(),
+               doc.at("schema").string.c_str());
+  const json::Value& cases = doc.at("cases");
+  tbs::check(cases.is_array(), path + ": cases is not an array");
+  if (cases.array.empty()) {
+    fail_check("%s: empty chaos matrix", path.c_str());
+    return;
+  }
+  double sum_queries = 0, sum_injected = 0, sum_caught = 0, sum_escapes = 0;
+  for (const json::Value& c : cases.array) {
+    const std::string& name = c.at("name").string;
+    for (const char* field : {"queries", "injected", "caught", "escapes"})
+      if (const json::Value* v = c.find(field);
+          v == nullptr || !v->is_number() || v->number < 0.0)
+        fail_check("%s: case \"%s\": missing/negative \"%s\"", path.c_str(),
+                   name.c_str(), field);
+    if (c.at("queries").number <= 0.0)
+      fail_check("%s: case \"%s\" ran no queries", path.c_str(),
+                 name.c_str());
+    // The contract the whole integrity layer exists for: nothing escapes.
+    if (c.at("escapes").number != 0.0)
+      fail_check("%s: case \"%s\": %g corrupted result(s) ESCAPED",
+                 path.c_str(), name.c_str(), c.at("escapes").number);
+    sum_queries += c.at("queries").number;
+    sum_injected += c.at("injected").number;
+    sum_caught += c.at("caught").number;
+    sum_escapes += c.at("escapes").number;
+  }
+  const json::Value& totals = doc.at("totals");
+  for (const auto& [field, sum] :
+       {std::pair<const char*, double>{"queries", sum_queries},
+        {"injected", sum_injected},
+        {"caught", sum_caught},
+        {"escapes", sum_escapes}})
+    if (totals.at(field).number != sum)
+      fail_check("%s: totals.%s %g != case sum %g", path.c_str(), field,
+                 totals.at(field).number, sum);
+  const json::Value& oh = doc.at("overhead");
+  const double frac = oh.at("frac_of_p50").number;
+  if (!(frac >= 0.0) || oh.at("p50_query_seconds").number <= 0.0)
+    fail_check("%s: degenerate overhead section", path.c_str());
+  else if (frac >= 0.01)
+    fail_check("%s: defense overhead %.3f%% of p50 breaches the 1%% budget",
+               path.c_str(), frac * 100.0);
+  std::printf("integrity   %-40s %g case(s), %g/%g caught, %g escaped\n",
+              path.c_str(), double(cases.array.size()), sum_caught,
+              sum_injected, sum_escapes);
+}
+
 void validate_collapsed(const std::string& path) {
   std::ifstream is(path);
   tbs::check(static_cast<bool>(is), "cannot open '" + path + "'");
@@ -318,7 +374,7 @@ void validate_collapsed(const std::string& path) {
 
 int run(int argc, char** argv) {
   std::string trace_path, feed_path, prom_path, flight_path;
-  std::string cost_path, collapsed_path;
+  std::string cost_path, collapsed_path, integrity_path;
   bool require_exemplar = false, expect_breach = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -339,6 +395,8 @@ int run(int argc, char** argv) {
       cost_path = value();
     } else if (arg == "--collapsed") {
       collapsed_path = value();
+    } else if (arg == "--integrity") {
+      integrity_path = value();
     } else if (arg == "--require-exemplar") {
       require_exemplar = true;
     } else if (arg == "--expect-breach") {
@@ -347,6 +405,7 @@ int run(int argc, char** argv) {
       std::printf(
           "usage: ops_validate [--trace f] [--ops-feed f] [--prometheus f]\n"
           "                    [--flight f] [--cost f] [--collapsed f]\n"
+          "                    [--integrity f]\n"
           "                    [--require-exemplar] [--expect-breach]\n");
       return 0;
     } else {
@@ -355,7 +414,7 @@ int run(int argc, char** argv) {
   }
   tbs::check(!trace_path.empty() || !feed_path.empty() || !prom_path.empty() ||
                  !flight_path.empty() || !cost_path.empty() ||
-                 !collapsed_path.empty(),
+                 !collapsed_path.empty() || !integrity_path.empty(),
              "no artifacts given (see --help)");
   tbs::check(!expect_breach || !flight_path.empty(),
              "--expect-breach needs --flight");
@@ -368,6 +427,7 @@ int run(int argc, char** argv) {
   if (!flight_path.empty()) validate_flight(flight_path, expect_breach);
   if (!cost_path.empty()) validate_cost(cost_path);
   if (!collapsed_path.empty()) validate_collapsed(collapsed_path);
+  if (!integrity_path.empty()) validate_integrity(integrity_path);
 
   if (g_failures > 0) {
     std::fprintf(stderr, "ops_validate: %d failure(s)\n", g_failures);

@@ -14,6 +14,16 @@
 //                                         # device faults: transients,
 //                                         # stragglers, ECC trips, and one
 //                                         # permanently dead device
+//   ./build/examples/serve_demo --chaos silent   # *silent* corruption:
+//                                         # staged-buffer and result bit
+//                                         # flips that raise nothing; the
+//                                         # invariant layer and the
+//                                         # cross-backend audit must catch
+//                                         # every one (audit rate defaults
+//                                         # to 1.0 in this mode)
+//   ./build/examples/serve_demo --audit-rate 0.1  # sample 10% of healthy
+//                                         # answers for bit-exact re-
+//                                         # execution on the CPU backend
 //   ./build/examples/serve_demo --backend cpu    # CPU-only worker pool
 //   ./build/examples/serve_demo --backend auto   # mixed vgpu+CPU pool;
 //                                                # with --chaos, vgpu
@@ -75,10 +85,17 @@ int main(int argc, char** argv) {
   using namespace tbs;
 
   bool chaos = false;
+  bool silent_chaos = false;
   bool dash = false;
   bool cost = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
+    if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
+      if (i + 1 < argc && std::strcmp(argv[i + 1], "silent") == 0) {
+        silent_chaos = true;
+        ++i;
+      }
+    }
     if (std::strcmp(argv[i], "--dash") == 0) dash = true;
     if (std::strcmp(argv[i], "--cost") == 0) cost = true;
   }
@@ -102,6 +119,13 @@ int main(int argc, char** argv) {
   const std::size_t sample_of = std::max<std::size_t>(
       1, std::strtoul(obs::arg_value(argc, argv, "--sample", "1").c_str(),
                       nullptr, 10));
+  // Silent chaos is invisible to the retry ladder's loud failures, so it
+  // defaults the audit to every answer; a plain run defaults to 0 (off).
+  const double audit_rate = std::strtod(
+      obs::arg_value(argc, argv, "--audit-rate",
+                     silent_chaos ? "1.0" : "0")
+          .c_str(),
+      nullptr);
 
   const PointsSoA gas = uniform_box(2000, 15.0f, /*seed=*/3);
   const int buckets = 64;
@@ -137,7 +161,17 @@ int main(int argc, char** argv) {
     // Heterogeneous pool under chaos: let vgpu workers whose retries run
     // out fail over to the shared CPU backend before degrading.
     if (backend == "auto") cfg.backend_failover = true;
+    if (silent_chaos) {
+      // Silent mode: nothing throws. One device flips result bits (the
+      // Eq. 1 invariants catch those), one flips staged-buffer bits (only
+      // the cross-backend audit can), one stays honest.
+      cfg.faults.assign(3, vgpu::FaultPlan{});
+      cfg.faults[0].silent_result_rate = 0.5;
+      cfg.faults[1].silent_staged_rate = 0.5;
+      cfg.breaker.failure_threshold = 0;  // quarantine comes from trip()
+    }
   }
+  cfg.audit_rate = audit_rate;
   const std::string out_dir = obs::artifact_dir(argc, argv);
   // The live ops plane: a background snapshotter feeding a JSONL history
   // and a Prometheus exposition (both validated by bench/ops_validate).
@@ -255,6 +289,21 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.counters.requeued),
                 static_cast<unsigned long long>(stats.counters.abandoned));
   }
+  if (chaos || audit_rate > 0.0) {
+    std::printf("  integrity            : %llu invariant violations, "
+                "%llu/%llu audits mismatched\n",
+                static_cast<unsigned long long>(
+                    stats.counters.integrity_violations),
+                static_cast<unsigned long long>(
+                    stats.counters.audit_mismatches),
+                static_cast<unsigned long long>(stats.counters.audits));
+    if (stats.counters.quarantines > 0)
+      std::printf("  quarantines          : %llu worker(s) tripped, "
+                  "%llu cache entries purged\n",
+                  static_cast<unsigned long long>(stats.counters.quarantines),
+                  static_cast<unsigned long long>(
+                      stats.counters.cache_invalidated));
+  }
 
   if (slo_seconds > 0.0) {
     const obs::SloMonitor::Status ss = engine.slo().status();
@@ -331,7 +380,19 @@ int main(int argc, char** argv) {
   // answers are deliberately not cached, so shapes can re-execute; the
   // check becomes "every query was answered and none was dropped".
   bool ok;
-  if (chaos) {
+  if (silent_chaos) {
+    // Silent corruption raises nothing on its own: the run only counts as
+    // defended if the integrity layers actually fired.
+    const std::uint64_t detections =
+        stats.counters.integrity_violations + stats.counters.audit_mismatches;
+    ok = stats.counters.failed == 0 && stats.counters.abandoned == 0 &&
+         stats.counters.completed > 0 && detections > 0;
+    std::printf("\n%s: %llu submissions answered under silent chaos "
+                "(%llu corruptions detected)\n",
+                ok ? "OK" : "UNEXPECTED",
+                static_cast<unsigned long long>(stats.counters.submitted),
+                static_cast<unsigned long long>(detections));
+  } else if (chaos) {
     ok = stats.counters.failed == 0 && stats.counters.abandoned == 0 &&
          stats.counters.completed > 0;
     std::printf("\n%s: %llu submissions all answered under chaos "

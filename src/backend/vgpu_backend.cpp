@@ -1,6 +1,7 @@
 #include "backend/vgpu_backend.hpp"
 
 #include <array>
+#include <cstring>
 
 #include "common/error.hpp"
 #include "kernels/cross.hpp"
@@ -35,6 +36,39 @@ PointsSoA take(const PointsSoA& sample, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i)
     out.push_back(sample[i % sample.size()]);
   return out;
+}
+
+/// Consumes the device injector's silent-corruption stream for one launch.
+vgpu::SilentFault next_silent(vgpu::Device& dev) {
+  vgpu::FaultInjector* inj = dev.fault_injector();
+  if (inj == nullptr || !inj->plan().silent_enabled())
+    return vgpu::SilentFault::None;
+  return inj->next_silent();
+}
+
+/// Silent staged-buffer corruption: flip the top mantissa bit of one
+/// coordinate before the kernel sees it. The perturbation is large (up to
+/// 50% of the value) so the corrupted histogram actually differs, yet the
+/// value stays finite — nothing downstream throws, and the total pair
+/// count still conserves, which is exactly what makes this fault invisible
+/// to the invariant layer and detectable only by a cross-backend audit.
+void corrupt_staged(PointsSoA& pts) {
+  std::span<float> xs = pts.x();
+  float& v = xs[pts.size() / 2];
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  bits ^= (std::uint32_t{1} << 22);
+  std::memcpy(&v, &bits, sizeof bits);
+}
+
+/// Silent result corruption: flip the low bit of the first histogram
+/// bucket (or of the pair count). This breaks total-count conservation by
+/// exactly one, so the invariant layer can catch it without re-execution.
+void corrupt_result(kernels::KernelOutput& out) {
+  if (out.hist != nullptr && out.hist->bucket_count() > 0)
+    out.hist->set_count(0, (*out.hist)[0] ^ std::uint64_t{1});
+  else if (out.pairs != nullptr)
+    *out.pairs ^= std::uint64_t{1};
 }
 
 }  // namespace
@@ -74,8 +108,17 @@ vgpu::KernelStats VgpuBackend::launch(const kernels::KernelVariant& v,
                                       kernels::KernelOutput& out) {
   check(v.launch != nullptr,
         "VgpuBackend: variant has no vgpu launch functor");
+  const vgpu::SilentFault silent = next_silent(stream_->device());
   try {
-    vgpu::KernelStats stats = v.launch(*stream_, pts, desc, block_size, out);
+    vgpu::KernelStats stats;
+    if (silent == vgpu::SilentFault::Staged && !pts.empty()) {
+      PointsSoA poisoned = pts;
+      corrupt_staged(poisoned);
+      stats = v.launch(*stream_, poisoned, desc, block_size, out);
+    } else {
+      stats = v.launch(*stream_, pts, desc, block_size, out);
+    }
+    if (silent == vgpu::SilentFault::Result) corrupt_result(out);
     launches_.fetch_add(1, std::memory_order_relaxed);
     return stats;
   } catch (const vgpu::DeviceError&) {
@@ -89,20 +132,29 @@ vgpu::KernelStats VgpuBackend::launch_cross(const PointsSoA& anchors,
                                             const kernels::ProblemDesc& desc,
                                             int block_size,
                                             kernels::KernelOutput& out) {
+  const vgpu::SilentFault silent = next_silent(stream_->device());
+  const PointsSoA* a = &anchors;
+  PointsSoA poisoned;
+  if (silent == vgpu::SilentFault::Staged && !anchors.empty()) {
+    poisoned = anchors;
+    corrupt_staged(poisoned);
+    a = &poisoned;
+  }
   try {
     vgpu::KernelStats stats;
     if (desc.type == kernels::ProblemType::Sdh) {
       kernels::SdhResult r =
-          kernels::run_sdh_cross(*stream_, anchors, partners,
+          kernels::run_sdh_cross(*stream_, *a, partners,
                                  desc.bucket_width, desc.buckets, block_size);
       if (out.hist != nullptr) *out.hist = std::move(r.hist);
       stats = r.stats;
     } else {
       kernels::PcfResult r = kernels::run_pcf_cross(
-          *stream_, anchors, partners, desc.radius, block_size);
+          *stream_, *a, partners, desc.radius, block_size);
       if (out.pairs != nullptr) *out.pairs = r.pairs_within;
       stats = r.stats;
     }
+    if (silent == vgpu::SilentFault::Result) corrupt_result(out);
     launches_.fetch_add(1, std::memory_order_relaxed);
     return stats;
   } catch (const vgpu::DeviceError&) {

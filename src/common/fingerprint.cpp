@@ -1,6 +1,32 @@
 #include "common/fingerprint.hpp"
 
+#include <cmath>
+#include <cstring>
+#include <limits>
+
 namespace tbs {
+
+namespace {
+
+/// Canonical bit pattern: +0.0 for either zero, one quiet NaN for every
+/// NaN payload, the value's own bits otherwise.
+std::uint64_t canonical_bits(double v) {
+  if (v == 0.0) v = 0.0;  // -0.0 == 0.0, so both take the +0.0 pattern
+  if (std::isnan(v)) v = std::numeric_limits<double>::quiet_NaN();
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+std::uint32_t canonical_bits(float v) {
+  if (v == 0.0f) v = 0.0f;
+  if (std::isnan(v)) v = std::numeric_limits<float>::quiet_NaN();
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+}  // namespace
 
 std::uint64_t dataset_fingerprint(const PointsSoA& pts) {
   Fnv1a h;
@@ -18,6 +44,23 @@ std::uint64_t shard_fingerprint(const PointsSoA& shard_pts,
   h.u64(shard_index);
   h.u64(shard_count);
   h.u64(dataset_fingerprint(shard_pts));
+  return h.value();
+}
+
+std::uint64_t checksum(std::span<const double> v) {
+  Fnv1a h;
+  h.u64(v.size());
+  for (const double d : v) h.u64(canonical_bits(d));
+  return h.value();
+}
+
+std::uint64_t checksum(std::span<const float> v) {
+  Fnv1a h;
+  h.u64(v.size());
+  for (const float f : v) {
+    const std::uint32_t bits = canonical_bits(f);
+    h.bytes(&bits, sizeof bits);
+  }
   return h.value();
 }
 

@@ -58,4 +58,12 @@ std::uint64_t shard_fingerprint(const PointsSoA& shard_pts,
                                 std::size_t shard_index,
                                 std::size_t shard_count);
 
+/// Value checksum over a numeric span — FNV-1a over *canonicalized* bit
+/// patterns: -0.0 hashes like +0.0 and every NaN hashes like one quiet
+/// NaN, so the checksum identifies the numeric payload rather than the
+/// exact encoding. Used by the serve integrity layer to verify a staged
+/// buffer survived the round trip bit-meaningfully intact.
+std::uint64_t checksum(std::span<const double> v);
+std::uint64_t checksum(std::span<const float> v);
+
 }  // namespace tbs

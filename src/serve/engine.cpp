@@ -1,12 +1,15 @@
 #include "serve/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fingerprint.hpp"
 #include "kernels/registry.hpp"
 #include "perfmodel/timemodel.hpp"
+#include "serve/integrity.hpp"
 
 namespace tbs::serve {
 
@@ -23,6 +26,16 @@ const char* query_kind(const Query& q) {
 double wall_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Canonical checksum of a point set's coordinate payload (the value the
+/// audit layer re-verifies before trusting a staged buffer).
+std::uint64_t points_checksum(const PointsSoA& pts) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = (h ^ checksum(pts.x())) * 0x100000001b3ULL;
+  h = (h ^ checksum(pts.y())) * 0x100000001b3ULL;
+  h = (h ^ checksum(pts.z())) * 0x100000001b3ULL;
+  return h;
 }
 
 }  // namespace
@@ -54,7 +67,18 @@ QueryEngine::QueryEngine(Config cfg)
       c_shard_lanes_lost_(metrics_.counter("serve.shard.lanes_lost")),
       c_shard_tiles_failed_over_(
           metrics_.counter("serve.shard.tiles_failed_over")),
+      c_shard_tiles_hedged_(metrics_.counter("serve.shard.tiles_hedged")),
+      c_shard_hedge_wins_(metrics_.counter("serve.shard.hedge_wins")),
       c_slo_breached_(metrics_.counter("serve.slo.breached")),
+      c_rejected_invalid_(metrics_.counter("serve.rejected_invalid")),
+      c_integrity_violations_(
+          metrics_.counter("serve.integrity.invariant_violations")),
+      c_audits_(metrics_.counter("serve.integrity.audits")),
+      c_audit_mismatches_(
+          metrics_.counter("serve.integrity.audit_mismatches")),
+      c_quarantines_(metrics_.counter("serve.integrity.quarantines")),
+      c_cache_invalidated_(
+          metrics_.counter("serve.integrity.cache_invalidated")),
       h_latency_(metrics_.histogram("serve.latency_seconds",
                                     obs::default_latency_bounds())),
       queue_(cfg.queue_capacity),
@@ -68,6 +92,10 @@ QueryEngine::QueryEngine(Config cfg)
         "QueryEngine: trace_sample_of must be >= 1");
   check(cfg_.trace_sample_keep <= cfg_.trace_sample_of,
         "QueryEngine: trace_sample_keep must be <= trace_sample_of");
+  check(cfg_.audit_rate >= 0.0 && cfg_.audit_rate <= 1.0,
+        "QueryEngine: audit_rate must be in [0, 1]");
+  check(cfg_.shard_hedge_after_seconds >= 0.0,
+        "QueryEngine: shard_hedge_after_seconds must be >= 0");
   slots_.reserve(cfg_.devices);
   for (std::size_t d = 0; d < cfg_.devices; ++d) {
     slots_.push_back(std::make_unique<DeviceSlot>(cfg_.spec));
@@ -205,11 +233,41 @@ QueryEngine::Clock::time_point QueryEngine::deadline_from(
                    std::chrono::duration<double>(seconds));
 }
 
+std::uint64_t QueryEngine::validate_input(const Query& query,
+                                          const PointsSoA& pts) {
+  const auto reject = [this](const std::string& why) {
+    c_rejected_invalid_.inc();
+    throw InvalidQueryError("QueryEngine: invalid query rejected — " + why);
+  };
+  if (const auto* sq = std::get_if<SdhQuery>(&query)) {
+    if (!std::isfinite(sq->bucket_width) || sq->bucket_width <= 0.0)
+      reject("SDH bucket width must be positive and finite");
+    if (sq->buckets < 1) reject("SDH bucket count must be >= 1");
+  } else if (const auto* pq = std::get_if<PcfQuery>(&query)) {
+    if (!std::isfinite(pq->radius) || pq->radius <= 0.0)
+      reject("PCF radius must be positive and finite");
+  } else if (const auto* kq = std::get_if<KnnQuery>(&query)) {
+    if (kq->k < 1) reject("kNN k must be >= 1");
+  } else if (const auto* jq = std::get_if<JoinQuery>(&query)) {
+    if (!std::isfinite(jq->radius) || jq->radius <= 0.0)
+      reject("join radius must be positive and finite");
+  }
+  for (const std::span<const float> axis : {pts.x(), pts.y(), pts.z()})
+    for (const float c : axis)
+      if (!std::isfinite(c))
+        reject("dataset contains a non-finite coordinate");
+  return points_checksum(pts);
+}
+
 std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
     Query query, const PointsSoA& pts, bool block, const SubmitOptions& opts) {
   const Clock::time_point t0 = Clock::now();
   const Clock::time_point deadline = deadline_from(opts, t0);
-  const std::uint64_t fp = dataset_fingerprint(pts);
+  // Input validation runs *before* fingerprinting: a NaN dataset must never
+  // acquire a cache identity — it would execute, produce a garbage
+  // histogram, and serve it to every future identical submission.
+  const std::uint64_t input_sum = validate_input(query, pts);
+  const std::uint64_t fp = serve::dataset_fingerprint(pts);
   const std::string key = query_key(query, fp);
   // Every submission gets a trace identity, tracing on or off — exemplars
   // and flight-recorder dumps name queries by trace id either way. The
@@ -290,6 +348,7 @@ std::optional<QueryEngine::ResultFuture> QueryEngine::submit_impl(
       job->ctx = span.active() ? span.context() : root;
       job->seq = submit_seq_.fetch_add(1, std::memory_order_relaxed);
       job->dataset_fp = fp;
+      job->input_checksum = input_sum;
       job->cost_sink = opts.cost;
       job->cost.trace_id = job->ctx.trace_id;
       job->cost.kind = query_kind(job->query);
@@ -481,6 +540,14 @@ void QueryEngine::process_job(WorkerCtx& ctx, Rng& rng,
                        std::memory_order_relaxed);
     if (outcome == Outcome::Requeue) return;
 
+    // Sampled cross-backend audit — after the ladder, before the cache
+    // store, so a silently corrupt answer can neither be delivered nor
+    // poison the cache. A mismatch replaces `result` with the audited
+    // answer and marks it degraded (correct, but from the fallback lane —
+    // not cacheable, so a later healthy execution replaces it).
+    if (!error && !degraded && maybe_audit(ctx, job, result))
+      degraded = true;
+
     // Order matters twice over. Publish to the cache before retiring the
     // in-flight entry, so a racing submit always finds the result one way
     // or the other. And fulfill the promise *last*: a client waking from
@@ -495,7 +562,9 @@ void QueryEngine::process_job(WorkerCtx& ctx, Rng& rng,
     // recovery. A later identical query re-executes on a healthy ladder.
     if (!error && !degraded) {
       const Clock::time_point cf0 = Clock::now();
-      cache_.store(job->key, result);
+      // Provenance-tagged: an audit mismatch later purges every entry the
+      // offending backend produced.
+      cache_.store(job->key, result, job->cost.backend);
       job->cost.phase(obs::CostPhase::CacheFill).seconds += wall_since(cf0);
     }
     {
@@ -572,6 +641,16 @@ QueryEngine::Outcome QueryEngine::run_ladder(
   // final entry itemizes fault-tolerance overhead separately from the
   // productive phases execute()/run_sharded() fill.
   obs::QueryCost& qc = job->cost;
+  // An invariant breach is a device fault with extra meaning: the lane
+  // returned a *wrong answer*, not a loud error. Count it, flag the job so
+  // its eventual answer is audited unconditionally, and record the event.
+  const auto note_integrity = [&](const vgpu::DeviceError& e) {
+    if (dynamic_cast<const IntegrityError*>(&e) == nullptr) return;
+    c_integrity_violations_.inc();
+    job->integrity_flagged = true;
+    flight_.record(FlightRecorder::Event::IntegrityViolation, job->key,
+                   static_cast<std::uint32_t>(worker_index));
+  };
 
   // Rung 0: sharded fan-out. The query runs as K shards x tiles over the
   // whole backend pool, merged with the reduction tree. This must run
@@ -601,6 +680,12 @@ QueryEngine::Outcome QueryEngine::run_ladder(
     try {
       const std::lock_guard<std::mutex> dev_lock(ctx.mu);
       result = execute(ctx.be, *job, qc);
+      // Algebraic invariants (Eq. 1) gate every answer before it counts as
+      // a success; a breach throws IntegrityError into this rung's catch
+      // as a non-transient fault, pushing the ladder to an independent
+      // backend.
+      verify_result(job->query, job->pts->size(), result,
+                    "QueryEngine rung 1");
       breaker.record_success();
       error = nullptr;  // a successful retry supersedes earlier attempts
       return Outcome::Success;
@@ -608,6 +693,7 @@ QueryEngine::Outcome QueryEngine::run_ladder(
       qc.waste_seconds += wall_since(a0);
       ++qc.waste_events;
       ++qc.retries;
+      note_integrity(e);
       note_fault(worker_index, breaker, job->key);
       job->eventful = true;  // faulted queries keep their traces
       error = std::current_exception();
@@ -657,6 +743,8 @@ QueryEngine::Outcome QueryEngine::run_ladder(
     try {
       const std::lock_guard<std::mutex> failover_lock(failover_mu_);
       result = execute(failover_backend(), *job, qc);
+      verify_result(job->query, job->pts->size(), result,
+                    "QueryEngine failover rung");
       failover_span.attr("to", failover_backend().caps().name);
       failover_span.attr("outcome", "ok");
       c_failovers_.inc();
@@ -682,6 +770,8 @@ QueryEngine::Outcome QueryEngine::run_ladder(
     try {
       const std::lock_guard<std::mutex> dev_lock(ctx.mu);
       result = execute_degraded(ctx.be, *job);
+      verify_result(job->query, job->pts->size(), result,
+                    "QueryEngine degraded rung");
       breaker.record_success();
       degraded = true;
       job->eventful = true;
@@ -693,6 +783,7 @@ QueryEngine::Outcome QueryEngine::run_ladder(
     } catch (const vgpu::DeviceError& e) {
       qc.waste_seconds += wall_since(d0);
       ++qc.waste_events;
+      note_integrity(e);
       note_fault(worker_index, breaker, job->key);
       job->eventful = true;
       error = std::current_exception();
@@ -767,6 +858,7 @@ bool QueryEngine::run_sharded(WorkerCtx& ctx,
   shard::Options sopt;
   sopt.shards = job->shards;
   sopt.strategy = job->shard_strategy;
+  sopt.hedge_after_seconds = cfg_.shard_hedge_after_seconds;
   // We are inside the job's serve.execute span, so the thread context *is*
   // the query's; hand it to the executor so lane threads (and the launch
   // observers that fire on them) join the same trace.
@@ -794,6 +886,19 @@ bool QueryEngine::run_sharded(WorkerCtx& ctx,
                                tracer_->track_tid("shard"));
         });
     c_shard_tiles_.inc(rep.tiles_total);
+    c_shard_tiles_hedged_.inc(rep.tiles_hedged);
+    c_shard_hedge_wins_.inc(rep.hedge_wins);
+    if (rep.tiles_hedged > 0) job->eventful = true;
+    if (rep.integrity_violations > 0) {
+      // Tile invariant breaches the executor already recovered from (the
+      // corrupt lane died, its tiles re-ran elsewhere). Count them and flag
+      // the job so the merged answer is audited unconditionally.
+      c_integrity_violations_.inc(rep.integrity_violations);
+      job->integrity_flagged = true;
+      job->eventful = true;
+      flight_.record(FlightRecorder::Event::IntegrityViolation, job->key,
+                     static_cast<std::uint32_t>(ctx.index));
+    }
     // Cost attribution. The launch phase for a sharded query is the sum of
     // tile resource-seconds (tiles run in parallel; resource-seconds, not
     // wall, is what the per-tile rows must balance against), so Σ tiles ==
@@ -867,13 +972,19 @@ bool QueryEngine::run_sharded(WorkerCtx& ctx,
     }
     error = nullptr;
     return true;
-  } catch (const vgpu::DeviceError&) {
+  } catch (const vgpu::DeviceError& e) {
     // Every lane died (or staging itself faulted persistently). Count the
     // fault against this worker's breaker like any other device error and
     // let the caller fall through to the unsharded ladder; everything the
     // dead fan-out burned is waste.
     qc.waste_seconds += wall_since(s0);
     ++qc.waste_events;
+    if (dynamic_cast<const IntegrityError*>(&e) != nullptr) {
+      c_integrity_violations_.inc();
+      job->integrity_flagged = true;
+      flight_.record(FlightRecorder::Event::IntegrityViolation, job->key,
+                     static_cast<std::uint32_t>(ctx.index));
+    }
     note_fault(ctx.index, ctx.breaker, job->key);
     job->eventful = true;
     error = std::current_exception();
@@ -1084,6 +1195,66 @@ QueryResult QueryEngine::execute_degraded(backend::IBackend& be,
       job.query);
 }
 
+bool QueryEngine::maybe_audit(WorkerCtx& ctx,
+                              const std::shared_ptr<Job>& job,
+                              QueryResult& result) {
+  if (!integrity_enabled()) return false;
+  if (!has_baseline(job->query)) return false;  // SDH/PCF only
+  bool sampled = job->integrity_flagged;
+  if (!sampled && cfg_.audit_rate > 0.0) {
+    // Deterministic per-submission sampling: the same workload audits the
+    // same queries on every run.
+    Rng coin(cfg_.audit_seed ^
+             (0x9e3779b97f4a7c15ULL * (job->seq + 1)));
+    sampled = coin.uniform() < cfg_.audit_rate;
+  }
+  if (!sampled) return false;
+
+  c_audits_.inc();
+  obs::Span span(*tracer_, "serve.audit", "serve");
+  span.attr("key", job->key);
+  // Staged-buffer verification: the canonical checksum taken at submit must
+  // still describe the bytes we are about to re-run.
+  const bool input_ok = points_checksum(*job->pts) == job->input_checksum;
+  QueryResult reference;
+  try {
+    const std::lock_guard<std::mutex> lock(failover_mu_);
+    reference = execute_degraded(failover_backend(), *job);
+  } catch (...) {
+    // The reference lane itself failed; there is nothing to compare
+    // against, so the primary answer stands.
+    span.attr("outcome", "reference_failed");
+    return false;
+  }
+  if (input_ok && results_bit_identical(result, reference)) {
+    span.attr("outcome", "ok");
+    return false;
+  }
+
+  // Mismatch: the producing backend returned a silently wrong answer (or
+  // the submitted buffer was tampered with in flight). Quarantine the
+  // worker, purge everything its backend put in the cache, and deliver the
+  // independently computed answer instead.
+  span.attr("outcome", input_ok ? "mismatch" : "input_corrupt");
+  c_audit_mismatches_.inc();
+  job->eventful = true;
+  job->integrity_flagged = true;
+  flight_.record(FlightRecorder::Event::IntegrityViolation, job->key,
+                 static_cast<std::uint32_t>(ctx.index));
+  if (ctx.breaker.trip()) {
+    c_breaker_open_.inc();
+    flight_.record(FlightRecorder::Event::BreakerOpen, job->key,
+                   static_cast<std::uint32_t>(ctx.index));
+    flight_.maybe_dump_on_breaker();
+  }
+  c_quarantines_.inc();
+  const std::size_t purged =
+      cache_.invalidate_by_provenance(job->cost.backend);
+  c_cache_invalidated_.inc(purged);
+  result = std::move(reference);
+  return true;
+}
+
 backend::CpuBackend& QueryEngine::failover_backend() {
   if (!failover_cpu_) {
     backend::CpuBackend::Config bc;
@@ -1115,6 +1286,14 @@ EngineStats QueryEngine::stats() const {
   out.counters.shard_tiles = c_shard_tiles_.value();
   out.counters.shard_lanes_lost = c_shard_lanes_lost_.value();
   out.counters.shard_tiles_failed_over = c_shard_tiles_failed_over_.value();
+  out.counters.shard_tiles_hedged = c_shard_tiles_hedged_.value();
+  out.counters.shard_hedge_wins = c_shard_hedge_wins_.value();
+  out.counters.rejected_invalid = c_rejected_invalid_.value();
+  out.counters.integrity_violations = c_integrity_violations_.value();
+  out.counters.audits = c_audits_.value();
+  out.counters.audit_mismatches = c_audit_mismatches_.value();
+  out.counters.quarantines = c_quarantines_.value();
+  out.counters.cache_invalidated = c_cache_invalidated_.value();
   out.latency = latency_.summary();
   out.elapsed_seconds =
       std::chrono::duration<double>(Clock::now() - epoch_).count();
@@ -1241,6 +1420,13 @@ std::uint64_t QueryEngine::launch_count() const {
     if (failover_cpu_) total += failover_cpu_->counters().launches;
   }
   return total;
+}
+
+vgpu::FaultStats QueryEngine::fault_stats(std::size_t device) const {
+  const std::unique_ptr<DeviceSlot>& slot = slots_.at(device);
+  const std::lock_guard<std::mutex> lock(slot->mu);
+  const vgpu::FaultInjector* inj = slot->dev.fault_injector();
+  return inj != nullptr ? inj->stats() : vgpu::FaultStats{};
 }
 
 }  // namespace tbs::serve

@@ -181,6 +181,20 @@ class QueryEngine {
     /// Fault-injection plans, one per device (index = device id; shorter
     /// vectors leave the remaining devices healthy). Empty = no chaos.
     std::vector<vgpu::FaultPlan> faults{};
+    /// Sampled cross-backend audit rate: this fraction of successfully
+    /// completed SDH/PCF answers is re-executed on the independent CPU
+    /// failover backend and compared bit-exact before delivery. Sampling
+    /// is deterministic per submission sequence number (audit_seed), and
+    /// every invariant-flagged query is audited regardless of the rate.
+    /// A mismatch quarantines the producing worker's breaker, purges the
+    /// cache entries that backend wrote, and delivers the audited answer.
+    /// 0 disables sampling (flagged queries are still audited when > 0).
+    double audit_rate = 0.0;
+    std::uint64_t audit_seed = 0xA0D17ULL;
+    /// Straggler hedging for the sharded path: tiles whose lane stalls
+    /// longer than this many wall seconds are re-launched on an idle spare
+    /// lane, first valid result wins (see shard::Options). 0 disables.
+    double shard_hedge_after_seconds = 0.0;
   };
 
   using ResultFuture = std::shared_future<QueryResult>;
@@ -253,6 +267,11 @@ class QueryEngine {
   [[nodiscard]] const CircuitBreaker& breaker(std::size_t worker) const {
     return *breakers_.at(worker);
   }
+
+  /// Fault-injection tallies for simulated device `device` (zeroes when no
+  /// fault plan is armed). The integrity bench reconciles injected silent
+  /// corruptions against caught ones through this.
+  [[nodiscard]] vgpu::FaultStats fault_stats(std::size_t device) const;
 
   /// The engine's metric registry (per-engine, not the process global —
   /// counters like `serve.submitted` are this engine's alone). Counter and
@@ -353,6 +372,15 @@ class QueryEngine {
     /// error, SLO breach): the trace is exempt from sampling. Only touched
     /// by the worker currently running the job.
     bool eventful = false;
+    /// Canonical checksum of the submitted coordinates (computed during
+    /// input validation, before the dataset is fingerprinted). The audit
+    /// layer re-verifies it before re-executing — staged-buffer
+    /// verification that the bytes being audited are the bytes the client
+    /// submitted.
+    std::uint64_t input_checksum = 0;
+    /// An execution attempt of this job tripped an algebraic invariant;
+    /// the eventual answer is audited unconditionally.
+    bool integrity_flagged = false;
   };
 
   /// One simulated device plus the host lock serializing launches on it
@@ -450,6 +478,24 @@ class QueryEngine {
                    QueryResult& result, std::exception_ptr& error,
                    obs::QueryCost& qc);
 
+  /// Sampled cross-backend audit (the integrity tentpole's last line of
+  /// defense): decide whether this completed answer is audited (deterministic
+  /// per-seq sampling, or unconditionally when the job is
+  /// integrity-flagged), re-execute it on the independent CPU failover
+  /// backend, and compare bit-exact. On mismatch: quarantine the producing
+  /// worker's breaker, purge the cache entries its backend wrote, and
+  /// replace `result` with the audited answer. Returns true when the
+  /// result was replaced (the caller treats it as degraded — correct but
+  /// not cacheable).
+  bool maybe_audit(WorkerCtx& ctx, const std::shared_ptr<Job>& job,
+                   QueryResult& result);
+
+  /// Reject malformed submissions (non-finite coordinates, non-positive
+  /// bucket width/radius, k < 1) with InvalidQueryError *before*
+  /// fingerprinting, and return the canonical coordinate checksum the
+  /// audit layer later re-verifies.
+  std::uint64_t validate_input(const Query& query, const PointsSoA& pts);
+
   /// Resolve a submission's deadline (options override config default).
   Clock::time_point deadline_from(const SubmitOptions& opts,
                                   Clock::time_point now) const;
@@ -485,7 +531,15 @@ class QueryEngine {
   obs::Counter& c_shard_tiles_;
   obs::Counter& c_shard_lanes_lost_;
   obs::Counter& c_shard_tiles_failed_over_;
+  obs::Counter& c_shard_tiles_hedged_;
+  obs::Counter& c_shard_hedge_wins_;
   obs::Counter& c_slo_breached_;
+  obs::Counter& c_rejected_invalid_;
+  obs::Counter& c_integrity_violations_;
+  obs::Counter& c_audits_;
+  obs::Counter& c_audit_mismatches_;
+  obs::Counter& c_quarantines_;
+  obs::Counter& c_cache_invalidated_;
   obs::FixedHistogram& h_latency_;
   /// Per-worker in-flight gauges (`serve.worker.<i>.inflight`), resolved
   /// once at construction so the worker loop pays one relaxed store per

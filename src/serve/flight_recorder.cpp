@@ -38,6 +38,7 @@ const char* FlightRecorder::to_string(Event e) {
     case Event::Abandon: return "abandon";
     case Event::Failover: return "failover";
     case Event::ShardFailover: return "shard_failover";
+    case Event::IntegrityViolation: return "integrity_violation";
   }
   return "unknown";
 }

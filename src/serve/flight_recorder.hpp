@@ -59,6 +59,7 @@ class FlightRecorder {
     Abandon,       ///< shut down with the query still queued
     Failover,      ///< served by the cross-backend failover rung
     ShardFailover, ///< a sharded query lost a lane; its tiles rerouted
+    IntegrityViolation,  ///< invariant breach or audit mismatch detected
   };
   static const char* to_string(Event e);
 

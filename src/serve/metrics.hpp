@@ -88,6 +88,18 @@ struct EngineCounters {
   std::uint64_t shard_tiles = 0;     ///< tiles executed (diagonal + cross)
   std::uint64_t shard_lanes_lost = 0;         ///< lanes lost mid-query
   std::uint64_t shard_tiles_failed_over = 0;  ///< tiles rerouted to survivors
+  std::uint64_t shard_tiles_hedged = 0;  ///< straggler hedge attempts launched
+  std::uint64_t shard_hedge_wins = 0;    ///< hedges that beat the primary
+
+  // --- result integrity (invariants + sampled audits) ---------------------
+  std::uint64_t rejected_invalid = 0;  ///< submits refused by input validation
+  /// Results that failed an algebraic invariant (count conservation,
+  /// Eq. 1) before reaching a client; each entered the ladder as corrupt.
+  std::uint64_t integrity_violations = 0;
+  std::uint64_t audits = 0;            ///< sampled cross-backend re-executions
+  std::uint64_t audit_mismatches = 0;  ///< audits that were not bit-identical
+  std::uint64_t quarantines = 0;       ///< breakers force-opened by an audit
+  std::uint64_t cache_invalidated = 0; ///< cache entries purged by quarantine
 };
 
 /// One consistent snapshot of engine health.

@@ -77,6 +77,19 @@ bool CircuitBreaker::record_failure() {
   return true;
 }
 
+bool CircuitBreaker::trip() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::Open) {
+    opened_at_ = Clock::now();  // restart the cooldown
+    return false;
+  }
+  state_ = State::Open;
+  opened_at_ = Clock::now();
+  probes_left_ = 0;
+  ++opened_;
+  return true;
+}
+
 CircuitBreaker::State CircuitBreaker::state() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return state_;

@@ -47,6 +47,16 @@ class RetriesExhausted : public ServeError {
   using ServeError::ServeError;
 };
 
+/// Thrown synchronously by submit/try_submit when the query or dataset is
+/// malformed (non-finite coordinates, non-positive bucket width or radius,
+/// k < 1). Rejected *before* fingerprinting: a NaN dataset would otherwise
+/// execute, produce a garbage histogram, and poison the result cache under
+/// its fingerprint key.
+class InvalidQueryError : public ServeError {
+ public:
+  using ServeError::ServeError;
+};
+
 /// Bounded retry with exponential backoff and jitter, applied per dispatch
 /// of a job onto a worker.
 struct RetryPolicy {
@@ -100,6 +110,14 @@ class CircuitBreaker {
   /// Note a device failure. Returns true when this failure *transitioned*
   /// the breaker to Open (the caller records the trip exactly once).
   [[nodiscard]] bool record_failure();
+
+  /// Force the breaker Open immediately, bypassing the failure-streak
+  /// threshold — the audit layer's quarantine when a backend is caught
+  /// returning silently corrupt results. Returns true when this call
+  /// *transitioned* the breaker to Open. Works even when the breaker is
+  /// disabled (failure_threshold == 0): corruption evidence outranks the
+  /// streak policy.
+  [[nodiscard]] bool trip();
 
   [[nodiscard]] State state() const;
   /// Consecutive device failures since the last success.

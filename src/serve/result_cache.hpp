@@ -36,27 +36,49 @@ class ResultCache {
     }
     ++hits_;
     lru_.splice(lru_.begin(), lru_, it->second);  // bump recency
-    return it->second->second;
+    return it->second->value;
   }
 
   /// Insert (or refresh) a key, evicting the least-recently-used entry
-  /// when over capacity.
-  void store(const std::string& key, QueryResult value) {
+  /// when over capacity. `provenance` names the backend that produced the
+  /// value — the handle invalidate_by_provenance() uses to purge every
+  /// entry a backend wrote once an audit catches it corrupting results.
+  void store(const std::string& key, QueryResult value,
+             std::string provenance = {}) {
     if (cap_ == 0) return;
     const std::lock_guard<std::mutex> lock(mu_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
-      it->second->second = std::move(value);
+      it->second->value = std::move(value);
+      it->second->provenance = std::move(provenance);
       lru_.splice(lru_.begin(), lru_, it->second);
       return;
     }
-    lru_.emplace_front(key, std::move(value));
+    lru_.emplace_front(Entry{key, std::move(value), std::move(provenance)});
     index_[key] = lru_.begin();
     if (lru_.size() > cap_) {
-      index_.erase(lru_.back().first);
+      index_.erase(lru_.back().key);
       lru_.pop_back();
       ++evictions_;
     }
+  }
+
+  /// Drop every entry whose provenance tag matches. Returns the number of
+  /// entries removed (also accumulated in invalidations()).
+  std::size_t invalidate_by_provenance(const std::string& provenance) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::size_t removed = 0;
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (it->provenance == provenance) {
+        index_.erase(it->key);
+        it = lru_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    invalidations_ += removed;
+    return removed;
   }
 
   [[nodiscard]] std::uint64_t hits() const {
@@ -71,6 +93,11 @@ class ResultCache {
     const std::lock_guard<std::mutex> lock(mu_);
     return evictions_;
   }
+  /// Entries purged by invalidate_by_provenance() so far.
+  [[nodiscard]] std::uint64_t invalidations() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return invalidations_;
+  }
   [[nodiscard]] std::size_t size() const {
     const std::lock_guard<std::mutex> lock(mu_);
     return lru_.size();
@@ -78,16 +105,21 @@ class ResultCache {
   [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
 
  private:
+  struct Entry {
+    std::string key;
+    QueryResult value;
+    std::string provenance;  ///< backend that produced the value
+  };
+
   mutable std::mutex mu_;
   std::size_t cap_;
-  /// front = most recently used; pairs of (key, value).
-  std::list<std::pair<std::string, QueryResult>> lru_;
-  std::unordered_map<std::string,
-                     std::list<std::pair<std::string, QueryResult>>::iterator>
-      index_;
+  /// front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t invalidations_ = 0;
 };
 
 }  // namespace tbs::serve

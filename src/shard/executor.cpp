@@ -1,14 +1,18 @@
 #include "shard/executor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <exception>
+#include <memory>
 #include <thread>
 #include <unordered_map>
 
 #include "backend/vgpu_backend.hpp"
 #include "common/error.hpp"
 #include "perfmodel/timemodel.hpp"
+#include "serve/integrity.hpp"
 #include "shard/merge.hpp"
 #include "vgpu/fault.hpp"
 
@@ -34,6 +38,7 @@ const kernels::KernelVariant* default_variant(kernels::ProblemType type) {
 struct TileResult {
   bool done = false;
   bool failover = false;
+  bool hedged = false;
   std::size_t lane = 0;
   double seconds = 0.0;
   double stage_seconds = 0.0;   ///< staging wall of the kept attempt
@@ -52,8 +57,24 @@ struct LaneRun {
   std::size_t staged_bytes = 0;
   double waste_seconds = 0.0;       ///< wall of failed attempts
   std::uint64_t waste_events = 0;
+  std::uint64_t integrity_violations = 0;  ///< tiles failing Eq. 1 here
   std::exception_ptr error;  ///< non-DeviceError failures, rethrown
 };
+
+/// What the straggler watchdog reads to spot a stalled tile: which tile a
+/// lane's thread is executing and since when (0 = idle), plus whether the
+/// thread has drained its queue and can serve as a hedge spare.
+struct LaneProgress {
+  std::atomic<std::int64_t> busy_since_ns{0};
+  std::atomic<std::size_t> tile{static_cast<std::size_t>(-1)};
+  std::atomic<bool> thread_done{false};
+};
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Charge a tile: modeled device seconds on a vgpu lane (the simulator's
 /// clock), wall seconds on a CPU lane (the host's clock) — the same split
@@ -99,6 +120,12 @@ Report Executor::run(std::span<const Lane> lanes, const PointsSoA& pts,
     tile_id[(static_cast<std::uint64_t>(tiles[i].a) << 32) | tiles[i].b] = i;
 
   std::vector<TileResult> results(tiles.size());
+  // First-valid-result-wins slots: primaries and hedge attempts execute
+  // into thread-local TileResults and the first to CAS its id installs.
+  const std::unique_ptr<std::atomic<bool>[]> installed(
+      new std::atomic<bool>[tiles.size()]);
+  for (std::size_t i = 0; i < tiles.size(); ++i)
+    installed[i].store(false, std::memory_order_relaxed);
   std::vector<LaneRun> runs(lanes.size());
   for (std::size_t l = 0; l < lanes.size(); ++l)
     for (const Tile& t : placement.lanes[l])
@@ -122,12 +149,13 @@ Report Executor::run(std::span<const Lane> lanes, const PointsSoA& pts,
     return bytes;
   };
 
-  // Execute one tile on a lane (mutex held by the caller); fills its
-  // result slot and returns the charged seconds.
-  const auto execute_tile = [&](std::size_t l, std::size_t id,
-                                bool failover) {
+  // Execute one tile on a lane (mutex held by the caller) into a local
+  // result slot, verify the Eq. 1 count-conservation invariant, and
+  // return the charged seconds. A silent result corruption surfaces here
+  // as a non-transient IntegrityError — the lane is not to be trusted.
+  const auto execute_tile = [&](std::size_t l, std::size_t id, bool failover,
+                                bool hedged, TileResult& tr) {
     const Tile& t = tiles[id];
-    TileResult& tr = results[id];
     kernels::KernelOutput out;
     out.hist = &tr.hist;
     out.pairs = &tr.pairs;
@@ -140,9 +168,19 @@ Report Executor::run(std::span<const Lane> lanes, const PointsSoA& pts,
                                            part.shards[t.b].pts, desc,
                                            opt.block_size, out);
     }
+    const std::uint64_t expected =
+        t.diagonal()
+            ? serve::expected_diagonal_pairs(part.shards[t.a].pts.size())
+            : serve::expected_cross_pairs(part.shards[t.a].pts.size(),
+                                          part.shards[t.b].pts.size());
+    if (desc.type == kernels::ProblemType::Sdh)
+      serve::verify_histogram(tr.hist, expected, "shard::Executor tile");
+    else
+      serve::verify_pair_count(tr.pairs, expected, "shard::Executor tile");
     tr.seconds = tile_seconds(lanes[l], tr.stats, wall_seconds(t0));
     tr.lane = l;
     tr.failover = failover;
+    tr.hedged = hedged;
     tr.done = true;
     return tr.seconds;
   };
@@ -155,8 +193,10 @@ Report Executor::run(std::span<const Lane> lanes, const PointsSoA& pts,
   // kernel seconds land in the tile's result slot.
   constexpr int kTransientRetries = 2;
   const auto locked_execute = [&](std::size_t l, std::size_t id,
-                                  bool failover, LaneRun& run) {
+                                  bool failover, bool hedged, LaneRun& run) {
     for (int attempt = 0;; ++attempt) {
+      if (installed[id].load(std::memory_order_acquire))
+        return 0.0;  // the race is already over; nothing to do
       const auto a0 = std::chrono::steady_clock::now();
       try {
         std::unique_lock<std::mutex> lock;
@@ -165,25 +205,43 @@ Report Executor::run(std::span<const Lane> lanes, const PointsSoA& pts,
         const auto s0 = std::chrono::steady_clock::now();
         const std::size_t tile_bytes = stage_operands(l, tiles[id]);
         const double stage_sec = wall_seconds(s0);
-        const double sec = execute_tile(l, id, failover);
-        TileResult& tr = results[id];
-        tr.stage_seconds = stage_sec;
-        tr.staged_bytes = tile_bytes;
-        run.staged_bytes += tile_bytes;
-        return sec;
+        TileResult local;
+        const double sec = execute_tile(l, id, failover, hedged, local);
+        local.stage_seconds = stage_sec;
+        local.staged_bytes = tile_bytes;
+        bool slot_free = false;
+        if (installed[id].compare_exchange_strong(
+                slot_free, true, std::memory_order_acq_rel)) {
+          results[id] = std::move(local);
+          run.staged_bytes += tile_bytes;
+          return sec;
+        }
+        // Lost the hedge race: the duplicate's wall time is pure waste.
+        run.waste_seconds += wall_seconds(a0);
+        ++run.waste_events;
+        return 0.0;
       } catch (const vgpu::DeviceError& e) {
         run.waste_seconds += wall_seconds(a0);
         ++run.waste_events;
+        if (dynamic_cast<const serve::IntegrityError*>(&e) != nullptr)
+          ++run.integrity_violations;
         if (!e.transient() || attempt >= kTransientRetries) throw;
       }
     }
   };
 
-  // Phase 1: one thread per lane with work, affinity-placed tiles.
+  // Phase 1: one thread per lane with work, affinity-placed tiles. Each
+  // thread publishes which tile it is on (and since when) so the straggler
+  // watchdog below can spot a stall.
+  const std::unique_ptr<LaneProgress[]> progress(
+      new LaneProgress[lanes.size()]);
   std::vector<std::thread> threads;
   threads.reserve(lanes.size());
   for (std::size_t l = 0; l < lanes.size(); ++l) {
-    if (runs[l].queue.empty()) continue;
+    if (runs[l].queue.empty()) {
+      progress[l].thread_done.store(true, std::memory_order_release);
+      continue;
+    }
     threads.emplace_back([&, l] {
       // Lane threads are born context-free; adopt the owning query's trace
       // so anything recorded here (backend launch observers) links up.
@@ -191,8 +249,14 @@ Report Executor::run(std::span<const Lane> lanes, const PointsSoA& pts,
       LaneRun& run = runs[l];
       for (std::size_t qi = 0; qi < run.queue.size(); ++qi) {
         const std::size_t id = run.queue[qi];
+        progress[l].tile.store(id, std::memory_order_relaxed);
+        progress[l].busy_since_ns.store(steady_ns(),
+                                        std::memory_order_release);
         try {
-          run.seconds += locked_execute(l, id, /*failover=*/false, run);
+          run.seconds +=
+              locked_execute(l, id, /*failover=*/false, /*hedged=*/false,
+                             run);
+          progress[l].busy_since_ns.store(0, std::memory_order_release);
         } catch (const vgpu::DeviceError&) {
           // Lane is gone: everything not yet finished (this tile included)
           // must run elsewhere. Completed partials stay valid.
@@ -200,15 +264,79 @@ Report Executor::run(std::span<const Lane> lanes, const PointsSoA& pts,
           run.unfinished.assign(run.queue.begin() +
                                     static_cast<std::ptrdiff_t>(qi),
                                 run.queue.end());
+          progress[l].busy_since_ns.store(0, std::memory_order_relaxed);
+          progress[l].thread_done.store(true, std::memory_order_release);
           return;
         } catch (...) {
           run.error = std::current_exception();
+          progress[l].busy_since_ns.store(0, std::memory_order_relaxed);
+          progress[l].thread_done.store(true, std::memory_order_release);
           return;
+        }
+      }
+      progress[l].thread_done.store(true, std::memory_order_release);
+    });
+  }
+
+  // Straggler watchdog: while phase 1 runs, hedge any tile stuck past the
+  // threshold onto a lane whose thread has already drained its queue.
+  // First valid result wins (the CAS in locked_execute); the loser's wall
+  // time lands in waste. Hedge failures never fail the run — the primary
+  // attempt, or phase-2 failover, still owns correctness.
+  std::atomic<bool> watchdog_stop{false};
+  std::size_t tiles_hedged = 0;
+  std::size_t hedge_wins = 0;
+  std::thread watchdog;
+  if (opt.hedge_after_seconds > 0.0 && lanes.size() > 1 && !threads.empty()) {
+    watchdog = std::thread([&] {
+      const obs::ScopedTraceContext trace_scope(opt.trace);
+      const auto hedge_ns =
+          static_cast<std::int64_t>(opt.hedge_after_seconds * 1e9);
+      const auto poll = std::chrono::duration<double>(
+          std::max(opt.hedge_after_seconds / 4.0, 0.0002));
+      std::vector<bool> hedged(tiles.size(), false);
+      while (!watchdog_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(poll);
+        for (std::size_t l = 0; l < lanes.size(); ++l) {
+          const std::int64_t since =
+              progress[l].busy_since_ns.load(std::memory_order_acquire);
+          if (since == 0 || steady_ns() - since < hedge_ns) continue;
+          const std::size_t id =
+              progress[l].tile.load(std::memory_order_relaxed);
+          if (id >= tiles.size() || hedged[id]) continue;
+          if (installed[id].load(std::memory_order_acquire)) continue;
+          std::size_t spare = lanes.size();
+          for (std::size_t h = 0; h < lanes.size(); ++h)
+            if (h != l &&
+                progress[h].thread_done.load(std::memory_order_acquire) &&
+                !runs[h].dead) {
+              spare = h;
+              break;
+            }
+          if (spare == lanes.size()) continue;
+          hedged[id] = true;
+          ++tiles_hedged;
+          try {
+            const double sec = locked_execute(spare, id, /*failover=*/false,
+                                              /*hedged=*/true, runs[spare]);
+            if (sec > 0.0) {
+              runs[spare].seconds += sec;
+              ++hedge_wins;
+            }
+          } catch (...) {
+            // The spare failed (or corrupted) the hedge; the primary or
+            // phase-2 failover still completes the tile.
+          }
         }
       }
     });
   }
+
   for (std::thread& t : threads) t.join();
+  watchdog_stop.store(true, std::memory_order_release);
+  if (watchdog.joinable()) watchdog.join();
+  report.tiles_hedged = tiles_hedged;
+  report.hedge_wins = hedge_wins;
 
   for (const LaneRun& run : runs)
     if (run.error) std::rethrow_exception(run.error);
@@ -222,9 +350,14 @@ Report Executor::run(std::span<const Lane> lanes, const PointsSoA& pts,
     if (!runs[l].dead) continue;
     ++report.lanes_lost;
     if (router_ != nullptr) router_->evict_lane(l);
-    pending.insert(pending.end(), runs[l].unfinished.begin(),
-                   runs[l].unfinished.end());
-    if (on_failover) on_failover(l, runs[l].unfinished.size());
+    // Tiles a hedge already completed need no failover re-execution.
+    std::size_t rerouted = 0;
+    for (const std::size_t id : runs[l].unfinished)
+      if (!installed[id].load(std::memory_order_acquire)) {
+        pending.push_back(id);
+        ++rerouted;
+      }
+    if (on_failover) on_failover(l, rerouted);
   }
 
   while (!pending.empty()) {
@@ -239,8 +372,8 @@ Report Executor::run(std::span<const Lane> lanes, const PointsSoA& pts,
 
     const std::size_t id = pending.back();
     try {
-      runs[best].seconds +=
-          locked_execute(best, id, /*failover=*/true, runs[best]);
+      runs[best].seconds += locked_execute(best, id, /*failover=*/true,
+                                           /*hedged=*/false, runs[best]);
       pending.pop_back();
       ++report.tiles_failed_over;
     } catch (const vgpu::DeviceError&) {
@@ -280,11 +413,23 @@ Report Executor::run(std::span<const Lane> lanes, const PointsSoA& pts,
   report.stats = merge_stats(stat_parts);
   report.merge_seconds = wall_seconds(m0);
 
+  // Whole-result invariant: tile conservation implies merged conservation
+  // (the partition is exact), so this catches merge-layer corruption.
+  if (desc.type == kernels::ProblemType::Sdh)
+    serve::verify_histogram(report.hist,
+                            serve::expected_diagonal_pairs(pts.size()),
+                            "shard::Executor merged result");
+  else
+    serve::verify_pair_count(report.pairs,
+                             serve::expected_diagonal_pairs(pts.size()),
+                             "shard::Executor merged result");
+
   for (const LaneRun& run : runs) {
     report.kernel_seconds = std::max(report.kernel_seconds, run.seconds);
     report.staged_bytes += run.staged_bytes;
     report.waste_seconds += run.waste_seconds;
     report.waste_events += run.waste_events;
+    report.integrity_violations += run.integrity_violations;
   }
   report.spans.reserve(tiles.size());
   for (std::size_t i = 0; i < tiles.size(); ++i) {
@@ -300,6 +445,7 @@ Report Executor::run(std::span<const Lane> lanes, const PointsSoA& pts,
     span.staged_bytes = tr.staged_bytes;
     span.device_cycles = tr.stats.total_warp_cycles;
     span.failover = tr.failover;
+    span.hedged = tr.hedged;
     report.stage_seconds += tr.stage_seconds;
     report.spans.push_back(std::move(span));
   }

@@ -61,6 +61,11 @@ struct Options {
   /// backend launch-observer spans recorded there join the query's trace.
   /// Invalid (default) = lane threads run trace-context-free.
   obs::TraceContext trace{};
+  /// Straggler hedging: when > 0, a watchdog re-executes any tile whose
+  /// lane has been busy on it longer than this many wall seconds onto an
+  /// idle spare lane. First valid result wins; the loser's wall time is
+  /// charged to waste. 0 disables hedging.
+  double hedge_after_seconds = 0.0;
 };
 
 /// Audit record of one executed tile — the row a cost ledger attributes
@@ -74,6 +79,7 @@ struct TileSpan {
   std::size_t staged_bytes = 0; ///< bytes the kept attempt moved
   double device_cycles = 0.0;   ///< simulated warp cycles (0 on cpu)
   bool failover = false;   ///< re-executed after its original lane died
+  bool hedged = false;     ///< kept partial came from a hedge attempt
 };
 
 /// Everything a sharded run produced.
@@ -94,6 +100,13 @@ struct Report {
   std::size_t lanes_lost = 0;
   std::size_t tiles_total = 0;
   std::size_t tiles_failed_over = 0;
+  /// Straggler hedges: attempts launched by the watchdog, and how many of
+  /// them won the race (the stalled primary's time went to waste instead).
+  std::size_t tiles_hedged = 0;
+  std::size_t hedge_wins = 0;
+  /// Tile results that failed an algebraic invariant (count conservation);
+  /// each cost its lane and was re-executed on an independent one.
+  std::uint64_t integrity_violations = 0;
   std::size_t staged_bytes = 0;
   /// What a replicate-everywhere schedule (kernels/multi.hpp) would have
   /// moved for the same lane count: lanes_used x the full dataset.

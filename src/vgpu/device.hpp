@@ -103,6 +103,11 @@ class Device {
   [[nodiscard]] const FaultInjector* fault_injector() const noexcept {
     return fault_.get();
   }
+  /// Mutable access for backends that consume the silent-corruption
+  /// decision stream (FaultInjector::next_silent advances its own RNG).
+  [[nodiscard]] FaultInjector* fault_injector() noexcept {
+    return fault_.get();
+  }
 
  private:
   friend class Stream;

@@ -71,4 +71,22 @@ void FaultInjector::on_launch_stats(KernelStats& stats) {
       "corrupted (bit 17), launch results discarded");
 }
 
+SilentFault FaultInjector::next_silent() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  // Fixed two draws per call — staged, then result — so the silent-fault
+  // sequence is a pure function of (seed, launch ordinal) regardless of
+  // which silent knob is enabled.
+  const double d_staged = silent_rng_.uniform();
+  const double d_result = silent_rng_.uniform();
+  if (d_staged < plan_.silent_staged_rate) {
+    ++stats_.silent_staged;
+    return SilentFault::Staged;
+  }
+  if (d_result < plan_.silent_result_rate) {
+    ++stats_.silent_result;
+    return SilentFault::Result;
+  }
+  return SilentFault::None;
+}
+
 }  // namespace tbs::vgpu

@@ -88,9 +88,24 @@ struct FaultPlan {
   /// Every attempt throws DeviceLostError (a permanently failing device).
   bool device_lost = false;
 
+  /// P(attempt launches against a staged buffer with one flipped mantissa
+  /// bit) — a *silent* fault: nothing throws, the kernel simply computes
+  /// over slightly-wrong coordinates. Only a redundant re-execution on an
+  /// independent backend can catch it (totals still conserve).
+  double silent_staged_rate = 0.0;
+  /// P(attempt completes and then one bit of the result payload — a
+  /// histogram bucket or the pair count — is flipped after the fact).
+  /// Silent, but violates total-count conservation, so the invariant
+  /// layer can catch it without re-execution.
+  double silent_result_rate = 0.0;
+
   [[nodiscard]] bool enabled() const noexcept {
     return transient_rate > 0.0 || stall_rate > 0.0 || corrupt_rate > 0.0 ||
-           fail_first_n > 0 || device_lost;
+           fail_first_n > 0 || device_lost || silent_enabled();
+  }
+
+  [[nodiscard]] bool silent_enabled() const noexcept {
+    return silent_staged_rate > 0.0 || silent_result_rate > 0.0;
   }
 };
 
@@ -102,11 +117,22 @@ struct FaultStats {
   std::uint64_t stalls = 0;
   std::uint64_t corruptions = 0;  ///< EccError
   std::uint64_t lost = 0;         ///< DeviceLostError
+  std::uint64_t silent_staged = 0;  ///< silent staged-buffer bit flips
+  std::uint64_t silent_result = 0;  ///< silent result-payload bit flips
 
+  /// Loud faults only — silent corruptions never throw, so they are not
+  /// part of the thrown-fault count the resilience tests key on.
   [[nodiscard]] std::uint64_t faults() const noexcept {
     return transients + scheduled + corruptions + lost;
   }
+
+  [[nodiscard]] std::uint64_t silent() const noexcept {
+    return silent_staged + silent_result;
+  }
 };
+
+/// The silent-corruption decision for one backend-level launch.
+enum class SilentFault { None, Staged, Result };
 
 /// Executes a FaultPlan at the launch boundary. Thread-safe (the owning
 /// Device may be driven from several serialized worker threads over its
@@ -120,7 +146,7 @@ struct FaultStats {
 class FaultInjector {
  public:
   explicit FaultInjector(FaultPlan plan)
-      : plan_(plan), rng_(plan.seed) {}
+      : plan_(plan), rng_(plan.seed), silent_rng_(plan.seed ^ kSilentSalt) {}
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
@@ -134,6 +160,13 @@ class FaultInjector {
   /// it. Must run before the launch's effects are replayed into the device.
   void on_launch_stats(KernelStats& stats);
 
+  /// Draws the silent-corruption decision for one backend-level launch.
+  /// Uses a second RNG stream (seed ^ salt) with a fixed two draws per
+  /// call, so the loud-fault sequence above — pinned at exactly three
+  /// draws per attempt — is byte-identical whether or not silent faults
+  /// are configured. Staged wins over Result when both fire.
+  [[nodiscard]] SilentFault next_silent();
+
   [[nodiscard]] FaultStats stats() const {
     const std::lock_guard<std::mutex> lock(mu_);
     return stats_;
@@ -141,9 +174,12 @@ class FaultInjector {
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
 
  private:
+  static constexpr std::uint64_t kSilentSalt = 0x51137F4417ULL;
+
   mutable std::mutex mu_;
   FaultPlan plan_;
   Rng rng_;                      ///< under mu_
+  Rng silent_rng_;               ///< under mu_; independent silent stream
   FaultStats stats_;             ///< under mu_
   std::uint32_t schedule_left_ = 0;  ///< initialized lazily from the plan
   bool schedule_init_ = false;

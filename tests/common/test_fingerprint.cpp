@@ -7,7 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
 #include <set>
+#include <span>
+#include <vector>
 
 #include "common/datagen.hpp"
 
@@ -68,6 +73,63 @@ TEST(Fingerprint, EmptyShardsAtDifferentPositionsStayDistinct) {
   const PointsSoA empty;
   EXPECT_NE(shard_fingerprint(empty, 0, 4), shard_fingerprint(empty, 1, 4));
   EXPECT_NE(shard_fingerprint(empty, 0, 4), shard_fingerprint(empty, 0, 8));
+}
+
+TEST(Checksum, EmptySpanIsStableAndLengthIsFolded) {
+  const std::vector<double> none;
+  EXPECT_EQ(checksum(std::span<const double>(none)),
+            checksum(std::span<const double>(none)));
+  // Length participates: [0.0] and [0.0, 0.0] must not collide.
+  const std::vector<double> one{0.0};
+  const std::vector<double> two{0.0, 0.0};
+  EXPECT_NE(checksum(std::span<const double>(none)),
+            checksum(std::span<const double>(one)));
+  EXPECT_NE(checksum(std::span<const double>(one)),
+            checksum(std::span<const double>(two)));
+}
+
+TEST(Checksum, SignedZerosCollapseToOneValue) {
+  // ±0.0 compare equal as numbers, so the value checksum must agree —
+  // a staged buffer that round-trips -0.0 as +0.0 is not corruption.
+  const std::vector<double> pos{1.0, 0.0, 3.0};
+  const std::vector<double> neg{1.0, -0.0, 3.0};
+  EXPECT_EQ(checksum(std::span<const double>(pos)),
+            checksum(std::span<const double>(neg)));
+  const std::vector<float> fpos{0.0f};
+  const std::vector<float> fneg{-0.0f};
+  EXPECT_EQ(checksum(std::span<const float>(fpos)),
+            checksum(std::span<const float>(fneg)));
+}
+
+TEST(Checksum, NanPayloadsCanonicalizeToOneValue) {
+  // Any NaN is "NaN" to the checksum: payload and sign bits are noise
+  // (kernels and copies may legally launder them), but NaN-vs-number is
+  // a real difference.
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  double weird;  // a NaN with a different payload and the sign bit set
+  std::uint64_t bits = 0xFFF800000000BEEFULL;
+  std::memcpy(&weird, &bits, sizeof weird);
+  ASSERT_TRUE(std::isnan(weird));
+
+  const std::vector<double> a{1.0, qnan, 2.0};
+  const std::vector<double> b{1.0, weird, 2.0};
+  const std::vector<double> c{1.0, 0.0, 2.0};
+  EXPECT_EQ(checksum(std::span<const double>(a)),
+            checksum(std::span<const double>(b)));
+  EXPECT_NE(checksum(std::span<const double>(a)),
+            checksum(std::span<const double>(c)));
+}
+
+TEST(Checksum, ValueAndPositionChangesAreDetected) {
+  const std::vector<float> base{1.5f, -2.25f, 4.0f, 8.0f};
+  std::vector<float> bumped = base;
+  bumped[2] = std::nextafter(bumped[2], 5.0f);  // one-ulp staged flip
+  std::vector<float> swapped = base;
+  std::swap(swapped[0], swapped[1]);
+  const std::uint64_t h = checksum(std::span<const float>(base));
+  EXPECT_NE(h, checksum(std::span<const float>(bumped)));
+  EXPECT_NE(h, checksum(std::span<const float>(swapped)));
+  EXPECT_EQ(h, checksum(std::span<const float>(base)));
 }
 
 }  // namespace

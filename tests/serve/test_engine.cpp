@@ -187,9 +187,11 @@ TEST(QueryEngineFailure, BadQueryDeliversTheExceptionAndIsNotCached) {
   cfg.streams_per_device = 1;
   QueryEngine engine(cfg);
 
-  auto fut = engine.knn(pts, /*k=*/0);  // run_knn requires 1 <= k
-  EXPECT_THROW(fut.get(), CheckError);
-  EXPECT_EQ(engine.stats().counters.failed, 1u);
+  // Degenerate parameters are rejected synchronously at submit, before the
+  // query acquires a fingerprint or reaches a worker.
+  EXPECT_THROW((void)engine.knn(pts, /*k=*/0), InvalidQueryError);
+  EXPECT_EQ(engine.stats().counters.rejected_invalid, 1u);
+  EXPECT_EQ(engine.stats().counters.failed, 0u);
   EXPECT_EQ(engine.cache().size(), 0u);
 
   // The engine stays serviceable after a failure.

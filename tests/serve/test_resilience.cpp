@@ -283,9 +283,9 @@ TEST(EngineResilience, ShutdownAbandonsQueuedWorkWithAnAuditTrail) {
 }
 
 TEST(EngineResilience, WorkerSurvivesAHundredConsecutiveThrowingQueries) {
-  // The exception-propagation guarantee: a kernel-side throw rejects only
-  // that query's future; the pool must survive 100 in a row and still
-  // serve real work.
+  // The rejection guarantee: a degenerate query is refused synchronously at
+  // submit — it never reaches a worker, never trips the breaker — and the
+  // pool must survive 100 in a row and still serve real work.
   const auto pts = test_points();
 
   QueryEngine::Config cfg;
@@ -295,12 +295,14 @@ TEST(EngineResilience, WorkerSurvivesAHundredConsecutiveThrowingQueries) {
   QueryEngine engine(cfg);
 
   for (int i = 0; i < 100; ++i) {
-    auto fut = engine.knn(pts, /*k=*/0);  // run_knn requires 1 <= k
-    EXPECT_THROW(fut.get(), CheckError) << "query " << i;
+    EXPECT_THROW((void)engine.knn(pts, /*k=*/0), InvalidQueryError)
+        << "query " << i;
   }
   const EngineStats stats = engine.stats();
-  EXPECT_EQ(stats.counters.failed, 100u);
+  EXPECT_EQ(stats.counters.rejected_invalid, 100u);
+  EXPECT_EQ(stats.counters.failed, 0u);  // rejected, not failed
   EXPECT_EQ(stats.counters.faults, 0u);  // app errors are not device faults
+  EXPECT_EQ(engine.launch_count(), 0u);  // never reached a device
   EXPECT_EQ(engine.breaker(0).state(), CircuitBreaker::State::Closed);
 
   const KnnResult ok = std::get<KnnResult>(engine.knn(pts, 4).get());
@@ -327,6 +329,94 @@ TEST(EngineResilience, ConfigDefaultDeadlineAppliesAndNegativeOptsOverride) {
   engine.start();
   EXPECT_THROW(doomed.get(), DeadlineExceeded);
   EXPECT_NO_THROW(safe.get());
+}
+
+TEST(CircuitBreaker, TripForcesOpenImmediatelyAndCountsOneTransition) {
+  CircuitBreaker breaker(BreakerPolicy{.failure_threshold = 5,
+                                       .cooldown_seconds = 10.0,
+                                       .half_open_probes = 1});
+  EXPECT_TRUE(breaker.allow());
+  // No failure streak needed: corruption evidence outranks the policy.
+  EXPECT_TRUE(breaker.trip());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_EQ(breaker.opened_count(), 1u);
+  // A second trip while already open is not a new transition — it only
+  // restarts the cooldown.
+  EXPECT_FALSE(breaker.trip());
+  EXPECT_EQ(breaker.opened_count(), 1u);
+}
+
+TEST(CircuitBreaker, TripWorksEvenWhenTheBreakerIsDisabled) {
+  CircuitBreaker breaker(BreakerPolicy{.failure_threshold = 0,
+                                       .cooldown_seconds = 10.0,
+                                       .half_open_probes = 1});
+  EXPECT_FALSE(breaker.record_failure());  // disabled: failures don't open
+  EXPECT_TRUE(breaker.trip());             // quarantine does
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+}
+
+TEST(CircuitBreaker, HalfOpenReTripRaceAdmitsBoundedProbesAndOneTransition) {
+  // The half-open re-trip race: many workers probe a cooled breaker at
+  // once. The contract — at most `half_open_probes` probes are admitted,
+  // and when they all fail, exactly one failure records the re-open
+  // transition (the counters a dashboard sums must not double-count).
+  CircuitBreaker breaker(BreakerPolicy{.failure_threshold = 1,
+                                       .cooldown_seconds = 0.01,
+                                       .half_open_probes = 2});
+  ASSERT_TRUE(breaker.trip());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));  // cool down
+
+  constexpr int kThreads = 8;
+  std::atomic<int> admitted{0};
+  std::atomic<int> transitions{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      if (breaker.allow()) {
+        admitted.fetch_add(1);
+        if (breaker.record_failure()) transitions.fetch_add(1);
+      }
+    });
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_GE(admitted.load(), 1);
+  EXPECT_LE(admitted.load(), 2);  // the probe budget bounds concurrency
+  EXPECT_EQ(transitions.load(), 1);  // exactly one re-open transition
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+  EXPECT_EQ(breaker.opened_count(), 2u);  // the trip + the failed probe
+}
+
+TEST(EngineResilience, RequeueIntoAClosingQueueStillDeliversATypedError) {
+  // A worker whose ladder ends in a requeue can race engine shutdown: the
+  // queue is already closed, so the hand-off is refused and the ladder
+  // must deliver RetriesExhausted itself — the future may never hang, and
+  // the audit counters must account for the query exactly once.
+  QueryEngine::Config cfg;
+  cfg.devices = 1;
+  cfg.streams_per_device = 1;
+  cfg.degrade = false;  // no baseline rung: the ladder wants to requeue
+  cfg.retry.max_attempts = 1;
+  cfg.retry.max_dispatches = 50;  // far more hand-offs than shutdown allows
+  cfg.breaker.failure_threshold = 0;
+  cfg.faults.resize(1);
+  cfg.faults[0].device_lost = true;
+  QueryEngine engine(cfg);
+
+  const PointsSoA pts = uniform_box(100, 5.0f, 31);
+  auto fut = engine.submit(PcfQuery{1.0}, pts);
+  engine.shutdown();
+
+  // The future is ready (shutdown joined every worker) and carries a typed
+  // serving error — ladder exhaustion or the shutdown abandon, depending
+  // on where the race landed.
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_THROW(fut.get(), ServeError);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.counters.completed, 0u);
+  EXPECT_EQ(stats.counters.failed + stats.counters.abandoned, 1u);
 }
 
 }  // namespace

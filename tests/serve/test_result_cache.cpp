@@ -78,5 +78,40 @@ TEST(ResultCache, CapacityZeroDisablesStorage) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST(ResultCache, ProvenanceInvalidationPurgesOnlyTheTaintedBackend) {
+  // The audit quarantine path: when a backend is caught serving corrupt
+  // results, every entry it produced is suspect — and only those.
+  ResultCache cache(8);
+  cache.store("a", pcf_result(1), "vgpu:0");
+  cache.store("b", pcf_result(2), "vgpu:1");
+  cache.store("c", pcf_result(3), "vgpu:0");
+  cache.store("d", pcf_result(4));  // untagged survives any purge
+
+  EXPECT_EQ(cache.invalidate_by_provenance("vgpu:0"), 2u);
+  EXPECT_EQ(cache.find("a"), std::nullopt);
+  EXPECT_EQ(cache.find("c"), std::nullopt);
+  EXPECT_TRUE(cache.find("b").has_value());
+  EXPECT_TRUE(cache.find("d").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.invalidations(), 2u);
+
+  // Purging again, or purging a tag nothing carries, is a no-op.
+  EXPECT_EQ(cache.invalidate_by_provenance("vgpu:0"), 0u);
+  EXPECT_EQ(cache.invalidate_by_provenance("never-seen"), 0u);
+  EXPECT_EQ(cache.invalidations(), 2u);
+}
+
+TEST(ResultCache, RestoreRetagsProvenance) {
+  // A refresh under a new backend re-assigns blame: the entry now belongs
+  // to whichever backend computed the value currently stored.
+  ResultCache cache(4);
+  cache.store("a", pcf_result(1), "vgpu:0");
+  cache.store("a", pcf_result(9), "cpu");
+  EXPECT_EQ(cache.invalidate_by_provenance("vgpu:0"), 0u);
+  ASSERT_TRUE(cache.find("a").has_value());
+  EXPECT_EQ(cache.invalidate_by_provenance("cpu"), 1u);
+  EXPECT_EQ(cache.find("a"), std::nullopt);
+}
+
 }  // namespace
 }  // namespace tbs::serve

@@ -1,0 +1,132 @@
+// Straggler hedging and per-tile invariants in the shard executor.
+//
+// Hedging: a tile whose lane stalls past Options::hedge_after_seconds is
+// re-executed on an idle spare lane; the first valid partial wins the
+// install race and the loser's wall time is charged to waste — so a
+// chronic straggler costs latency headroom, never correctness.
+//
+// Invariants: a lane that silently flips a result bit fails the per-tile
+// Eq. 1 check (IntegrityError, non-transient), dies like any corrupt lane,
+// and its tiles re-execute on survivors — the merged answer stays exact.
+#include "shard/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <vector>
+
+#include "backend/cpu_backend.hpp"
+#include "backend/vgpu_backend.hpp"
+#include "common/datagen.hpp"
+#include "kernels/sdh.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/fault.hpp"
+
+namespace tbs::shard {
+namespace {
+
+constexpr int kBuckets = 24;
+
+PointsSoA test_points(std::size_t n = 400, std::uint64_t seed = 91) {
+  return uniform_box(n, 10.0f, seed);
+}
+
+double width_for(const PointsSoA& pts) {
+  return pts.max_possible_distance() / kBuckets + 1e-4;
+}
+
+TEST(ShardHedging, StalledTileIsHedgedWithBitIdenticalAnswer) {
+  const PointsSoA pts = test_points();
+  const double width = width_for(pts);
+  vgpu::Device ref_dev;
+  const kernels::SdhResult ref = kernels::run_sdh(
+      ref_dev, pts, width, kBuckets, kernels::SdhVariant::RegRocOut, 256);
+
+  vgpu::Device slow_dev, fast_dev;
+  vgpu::FaultPlan stall;
+  stall.stall_rate = 1.0;
+  stall.stall_seconds = 0.25;  // every launch stalls far past the threshold
+  slow_dev.set_fault_plan(stall);
+  backend::VgpuBackend slow(slow_dev);
+  backend::VgpuBackend fast(fast_dev);
+  std::mutex mu0, mu1;
+  const std::vector<Lane> lanes{Lane{&slow, &mu0, "slow"},
+                                Lane{&fast, &mu1, "fast"}};
+
+  Executor ex;
+  Options opt;
+  opt.shards = 2;
+  opt.hedge_after_seconds = 0.02;
+  const Report rep = ex.run(lanes, pts,
+                            kernels::ProblemDesc::sdh(width, kBuckets), opt);
+
+  ASSERT_EQ(rep.hist.bucket_count(), ref.hist.bucket_count());
+  for (std::size_t b = 0; b < ref.hist.bucket_count(); ++b)
+    EXPECT_EQ(rep.hist[b], ref.hist[b]) << "bucket " << b;
+  EXPECT_GE(rep.tiles_hedged, 1u);
+  EXPECT_GE(rep.hedge_wins, 1u);
+  // The beaten primary's stall is itemized as waste, not productive time.
+  EXPECT_GT(rep.waste_seconds, 0.0);
+  EXPECT_GE(rep.waste_events, 1u);
+  EXPECT_EQ(rep.lanes_lost, 0u);  // a straggler is slow, not dead
+  // Kept spans record which partials came from hedge attempts.
+  std::size_t hedged_spans = 0;
+  for (const TileSpan& ts : rep.spans) hedged_spans += ts.hedged ? 1u : 0u;
+  EXPECT_EQ(hedged_spans, rep.hedge_wins);
+}
+
+TEST(ShardHedging, DisabledHedgingNeverHedges) {
+  const PointsSoA pts = test_points(200, 92);
+  const double width = width_for(pts);
+  vgpu::Device d0, d1;
+  backend::VgpuBackend b0(d0), b1(d1);
+  std::mutex mu0, mu1;
+  const std::vector<Lane> lanes{Lane{&b0, &mu0, "gpu0"},
+                                Lane{&b1, &mu1, "gpu1"}};
+  Executor ex;
+  Options opt;
+  opt.shards = 2;  // hedge_after_seconds stays 0 — the default
+  const Report rep = ex.run(lanes, pts,
+                            kernels::ProblemDesc::sdh(width, kBuckets), opt);
+  EXPECT_EQ(rep.tiles_hedged, 0u);
+  EXPECT_EQ(rep.hedge_wins, 0u);
+}
+
+TEST(ShardIntegrity, SilentlyCorruptLaneDiesAndTilesFailOverExact) {
+  const PointsSoA pts = test_points(300, 93);
+  const double width = width_for(pts);
+  vgpu::Device ref_dev;
+  const kernels::SdhResult ref = kernels::run_sdh(
+      ref_dev, pts, width, kBuckets, kernels::SdhVariant::RegRocOut, 256);
+
+  vgpu::Device bad_dev, good_dev;
+  vgpu::FaultPlan silent;
+  silent.silent_result_rate = 1.0;  // every launch flips one counter bit
+  bad_dev.set_fault_plan(silent);
+  backend::VgpuBackend bad(bad_dev);
+  backend::VgpuBackend good(good_dev);
+  std::mutex mu0, mu1;
+  const std::vector<Lane> lanes{Lane{&bad, &mu0, "bad"},
+                                Lane{&good, &mu1, "good"}};
+
+  Executor ex;
+  Options opt;
+  opt.shards = 2;
+  std::size_t lanes_lost = 0;
+  const Report rep =
+      ex.run(lanes, pts, kernels::ProblemDesc::sdh(width, kBuckets), opt,
+             [&](std::size_t, std::size_t) { ++lanes_lost; });
+
+  ASSERT_EQ(rep.hist.bucket_count(), ref.hist.bucket_count());
+  for (std::size_t b = 0; b < ref.hist.bucket_count(); ++b)
+    EXPECT_EQ(rep.hist[b], ref.hist[b]) << "bucket " << b;
+  EXPECT_GE(rep.integrity_violations, 1u);
+  EXPECT_EQ(rep.lanes_lost, 1u);
+  EXPECT_EQ(lanes_lost, 1u);
+  EXPECT_GT(rep.tiles_failed_over, 0u);
+  // Every kept partial came from the clean lane.
+  for (const TileSpan& ts : rep.spans) EXPECT_EQ(ts.lane_name, "good");
+}
+
+}  // namespace
+}  // namespace tbs::shard

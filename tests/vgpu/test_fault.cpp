@@ -211,5 +211,91 @@ TEST(FaultInjection, StreamFaultPoisonsTheQueueAndTheStreamRecovers) {
   EXPECT_EQ(stream.fault_injector()->stats().scheduled, 1u);
 }
 
+TEST(SilentFaults, SequenceIsAPureFunctionOfTheSeed) {
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.silent_staged_rate = 0.3;
+  plan.silent_result_rate = 0.3;
+
+  const auto draw = [&] {
+    FaultInjector inj(plan);
+    std::vector<SilentFault> seq;
+    seq.reserve(64);
+    for (int i = 0; i < 64; ++i) seq.push_back(inj.next_silent());
+    return seq;
+  };
+  const std::vector<SilentFault> a = draw();
+  const std::vector<SilentFault> b = draw();
+  EXPECT_EQ(a, b);  // same seed, same plan → identical corruption schedule
+
+  // Both kinds actually occur at these rates over 64 draws.
+  std::uint64_t staged = 0, result = 0;
+  for (const SilentFault f : a) {
+    staged += f == SilentFault::Staged ? 1u : 0u;
+    result += f == SilentFault::Result ? 1u : 0u;
+  }
+  EXPECT_GT(staged, 0u);
+  EXPECT_GT(result, 0u);
+
+  plan.seed = 78;  // a different seed reshuffles the schedule
+  FaultInjector other(plan);
+  std::vector<SilentFault> c;
+  for (int i = 0; i < 64; ++i) c.push_back(other.next_silent());
+  EXPECT_NE(a, c);
+}
+
+TEST(SilentFaults, DoNotPerturbTheLoudFaultSequence) {
+  // The pinned determinism contract: the loud stream consumes exactly
+  // three draws per attempt from its own RNG, so enabling silent rates
+  // must leave the thrown-fault schedule byte-identical.
+  const auto loud_schedule = [](const FaultPlan& plan) {
+    FaultInjector inj(plan);
+    std::vector<bool> threw;
+    threw.reserve(128);
+    for (int i = 0; i < 128; ++i) {
+      bool t = false;
+      try {
+        inj.on_launch_begin();
+      } catch (const DeviceError&) {
+        t = true;
+      }
+      threw.push_back(t);
+      (void)inj.next_silent();  // interleave like a real backend launch
+    }
+    return threw;
+  };
+  FaultPlan quiet;
+  quiet.seed = 99;
+  quiet.transient_rate = 0.25;
+  FaultPlan noisy = quiet;
+  noisy.silent_staged_rate = 0.5;
+  noisy.silent_result_rate = 0.5;
+  EXPECT_EQ(loud_schedule(quiet), loud_schedule(noisy));
+}
+
+TEST(SilentFaults, StatsCountSilentCorruptionsApartFromThrownFaults) {
+  FaultPlan plan;
+  plan.silent_result_rate = 1.0;
+  FaultInjector inj(plan);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NO_THROW(inj.on_launch_begin());  // silent faults never throw
+    EXPECT_EQ(inj.next_silent(), SilentFault::Result);
+  }
+  const FaultStats stats = inj.stats();
+  EXPECT_EQ(stats.silent_result, 5u);
+  EXPECT_EQ(stats.silent_staged, 0u);
+  EXPECT_EQ(stats.silent(), 5u);
+  EXPECT_EQ(stats.faults(), 0u);  // the resilience layer never sees them
+  EXPECT_EQ(stats.attempts, 5u);
+
+  // Staged wins when both fire every time.
+  FaultPlan both;
+  both.silent_staged_rate = 1.0;
+  both.silent_result_rate = 1.0;
+  FaultInjector tie(both);
+  EXPECT_EQ(tie.next_silent(), SilentFault::Staged);
+  EXPECT_EQ(tie.stats().silent_staged, 1u);
+}
+
 }  // namespace
 }  // namespace tbs::vgpu
